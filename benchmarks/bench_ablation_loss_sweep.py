@@ -1,0 +1,70 @@
+"""E11 — ablation: throughput as a function of the loss probability.
+
+The paper evaluates its expression only at 5 % loss; this sweep exercises the
+same expression across loss rates (analytically, exactly) and cross-checks a
+couple of points against simulation.  The printed series is the
+"throughput vs loss" curve a protocol designer would actually plot.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.performance import PerformanceAnalysis
+from repro.protocols import paper_throughput_expression_value, simple_protocol_net
+from repro.simulation import simulate
+from repro.viz import ExperimentReport, format_table
+
+from conftest import emit
+
+LOSS_RATES = [Fraction(0), Fraction(1, 100), Fraction(1, 20), Fraction(1, 10), Fraction(1, 5), Fraction(3, 10)]
+
+
+def sweep():
+    rows = []
+    for loss in LOSS_RATES:
+        net = simple_protocol_net(packet_loss_probability=loss, ack_loss_probability=loss)
+        analysis = PerformanceAnalysis(net)
+        rows.append((loss, analysis.throughput("t2").value, analysis.cycle_time().value))
+    return rows
+
+
+def test_loss_probability_sweep(benchmark):
+    rows = benchmark(sweep)
+
+    report = ExperimentReport("E11", "Ablation — loss-probability sweep")
+    closed_form_matches = all(
+        measured == paper_throughput_expression_value(packet_loss=loss, ack_loss=loss)
+        for loss, measured, _cycle in rows
+    )
+    report.add("analytic sweep matches the closed-form expression at every point", True, closed_form_matches)
+    monotone = all(rows[i][1] >= rows[i + 1][1] for i in range(len(rows) - 1))
+    report.add("throughput decreases monotonically with loss", True, monotone)
+
+    simulated = simulate(
+        simple_protocol_net(packet_loss_probability=Fraction(1, 10), ack_loss_probability=Fraction(1, 10)),
+        horizon=300_000,
+        seed=77,
+    )
+    analytic_at_10 = [row[1] for row in rows if row[0] == Fraction(1, 10)][0]
+    interval = simulated.throughput_interval("t2")
+    report.add(
+        "simulation agrees at 10% loss",
+        f"{float(analytic_at_10):.6f}",
+        f"{simulated.throughput('t2'):.6f} ± {interval.half_width:.6f}",
+        matches=interval.contains(float(analytic_at_10)),
+    )
+
+    print()
+    print("Throughput vs loss probability (exact analytic values):")
+    print(
+        format_table(
+            ("loss", "throughput [msg/ms]", "msg/s", "cycle time [ms]"),
+            [
+                (f"{float(loss):.2f}", f"{float(tp):.6f}", f"{float(tp)*1000:.2f}", f"{float(cycle):.1f}")
+                for loss, tp, cycle in rows
+            ],
+            align_right=False,
+        )
+    )
+    emit(report)

@@ -1,0 +1,59 @@
+"""E14 — baseline: Molloy-style exponential-delay (GSPN/CTMC) analysis.
+
+The paper positions its deterministic-delay analysis against the stochastic
+Petri net tradition in which every delay is exponential.  This benchmark runs
+both on the same protocol and reports how far the exponential approximation
+drifts from the deterministic result — the gap is the paper's motivation in
+one number (an exponential timeout with mean 1001 ms fires "early" so often
+that spurious retransmissions dominate).
+"""
+
+from __future__ import annotations
+
+from repro.protocols import PAPER_THROUGHPUT, producer_consumer_net, simple_protocol_net
+from repro.performance import PerformanceAnalysis
+from repro.stochastic import GSPNAnalysis
+from repro.viz import ExperimentReport
+
+from conftest import emit
+
+
+def solve_gspn():
+    return GSPNAnalysis(simple_protocol_net(), place_capacity=2).solve()
+
+
+def test_gspn_baseline(benchmark, paper_analysis):
+    result = benchmark(solve_gspn)
+
+    deterministic = float(paper_analysis.throughput("t2").value)
+    exponential = result.throughput["t7"]  # t7 completes once per accepted message
+    ratio = deterministic / exponential if exponential else float("inf")
+
+    # Second model: producer/consumer, where the two analyses are close
+    # because no timeout race is involved.
+    pc_net = producer_consumer_net(production_time=5, transfer_time=1, consumption_time=8)
+    pc_deterministic = float(PerformanceAnalysis(pc_net).throughput("finish_consume").value)
+    pc_exponential = GSPNAnalysis(pc_net).solve().throughput["finish_consume"]
+
+    report = ExperimentReport("E14", "Baseline — exponential-delay (GSPN) vs deterministic-delay analysis")
+    report.add("deterministic-delay throughput [msg/ms]", f"{float(PAPER_THROUGHPUT):.6f}", f"{deterministic:.6f}")
+    report.add(
+        "exponential-delay throughput [msg/ms] (state space truncated at 2 tokens/place)",
+        "(lower — exponential timeouts fire early)",
+        f"{exponential:.6f}",
+        matches=exponential < deterministic,
+    )
+    report.add("deterministic / exponential ratio", "> 1", f"{ratio:.1f}", matches=ratio > 1)
+    report.add("tangible CTMC states", "(tool output)", len(result.tangible_markings), matches=True)
+    report.add(
+        "producer/consumer: exponential within 35% of deterministic",
+        True,
+        abs(pc_exponential - pc_deterministic) / pc_deterministic < 0.35,
+    )
+    report.note(
+        "The timeout-dominated protocol is exactly the kind of model where assuming "
+        "exponential delays (the prior art the paper contrasts itself with) badly "
+        "misestimates performance, while delay-insensitive pipelines agree much more "
+        "closely."
+    )
+    emit(report)

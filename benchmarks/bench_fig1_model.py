@@ -1,0 +1,69 @@
+"""E1 — Figure 1: the simple protocol model and its timing table.
+
+Regenerates Figure 1b (the enabling/firing-time table), the conflict sets and
+their firing frequencies, and times model construction + structural
+validation.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.petri import assert_valid, place_invariants, transition_invariants
+from repro.protocols import simple_protocol_net
+from repro.viz import ExperimentReport, format_table
+
+from conftest import emit
+
+#: Figure 1b rows: transition -> (enabling time, firing time) in milliseconds.
+FIGURE_1B = {
+    "t1": (Fraction(0), Fraction(1)),
+    "t2": (Fraction(0), Fraction(1)),
+    "t3": (Fraction(1000), Fraction(1)),
+    "t4": (Fraction(0), Fraction("106.7")),
+    "t5": (Fraction(0), Fraction("106.7")),
+    "t6": (Fraction(0), Fraction("13.5")),
+    "t7": (Fraction(0), Fraction("13.5")),
+    "t8": (Fraction(0), Fraction("106.7")),
+    "t9": (Fraction(0), Fraction("106.7")),
+}
+
+#: The three probabilistic conflict sets of Figure 1a.
+FIGURE_1A_CONFLICTS = {
+    ("t4", "t5"): {"t4": Fraction(19, 20), "t5": Fraction(1, 20)},
+    ("t8", "t9"): {"t8": Fraction(19, 20), "t9": Fraction(1, 20)},
+    ("t2", "t3"): {"t2": Fraction(0), "t3": Fraction(1)},
+}
+
+
+def test_fig1_model_construction(benchmark):
+    net = benchmark(simple_protocol_net)
+    assert_valid(net)
+
+    report = ExperimentReport("E1", "Figure 1 — simple protocol model")
+    report.add("places", 8, len(net.places))
+    report.add("transitions", 9, len(net.transitions))
+    report.add("initial marking", "{'p1': 1, 'p8': 1}", str(net.initial_marking.to_dict()))
+    for name, (enabling, firing) in FIGURE_1B.items():
+        transition = net.transition(name)
+        report.add(
+            f"E({name}), F({name}) [ms]",
+            f"{enabling}, {firing}",
+            f"{transition.enabling_time}, {transition.firing_time}",
+        )
+    for members, frequencies in FIGURE_1A_CONFLICTS.items():
+        derived = net.conflict_set_of(members[0])
+        report.add(
+            f"conflict set {members}",
+            str({k: str(v) for k, v in frequencies.items()}),
+            str({k: str(derived.frequency(k)) for k in members}),
+        )
+    report.note(
+        "Structural cross-checks (not in the paper): P-invariants "
+        + str([inv.as_dict() for inv in place_invariants(net)])
+        + "; T-invariants (the three protocol cycles) "
+        + str([sorted(inv.support) for inv in transition_invariants(net)])
+    )
+    print()
+    print(format_table(("transition", "E [ms]", "F [ms]"), [(n, e, f) for n, (e, f) in FIGURE_1B.items()]))
+    emit(report)

@@ -1,0 +1,55 @@
+"""E3 — Figure 3: the successor-generation procedure.
+
+Exercises the two branches of the procedure (firable-transition step and
+time-advance step) on the states of the protocol where the paper walks
+through them, and times a full application of the procedure to every state of
+the graph.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.reachability import SuccessorGenerator, numeric_algebras, timed_reachability_graph
+from repro.viz import ExperimentReport
+
+from conftest import emit
+
+
+def expand_all_states(net):
+    """Apply the Figure-3 procedure to every reachable state (the work the
+    reachability builder does), returning the number of successor edges."""
+    generator = SuccessorGenerator(net, *numeric_algebras())
+    graph = timed_reachability_graph(net)
+    edges = 0
+    for node in graph.nodes:
+        edges += len(generator.successors(node.state))
+    return edges
+
+
+def test_fig3_successor_procedure(benchmark, paper_net):
+    edges = benchmark(expand_all_states, paper_net)
+
+    generator = SuccessorGenerator(paper_net, *numeric_algebras())
+    initial = generator.initial_state()
+    # state 1 -> state 2: t1 begins firing (zero delay, probability 1)
+    [first] = generator.successors(initial)
+    # state 2 -> state 3: time advances by F(t1)=1 and the timeout is armed
+    [second] = generator.successors(first.target)
+    # state 3 is the first decision state: two successors, probabilities .95/.05
+    decision_edges = generator.successors(second.target)
+
+    report = ExperimentReport("E3", "Figure 3 — successor generation procedure")
+    report.add("initial state successors", 1, len(generator.successors(initial)))
+    report.add("fire step delay", "0", str(first.delay))
+    report.add("fire step fired transition", "t1", "+".join(first.fired))
+    report.add("advance step delay (F(t1))", "1", str(second.delay))
+    report.add("timeout armed after send (RET(t3))", "1000", str(second.target.ret("t3")))
+    report.add("decision state successor count", 2, len(decision_edges))
+    report.add(
+        "decision probabilities",
+        "['1/20', '19/20']",
+        str([str(p) for p in sorted(edge.probability for edge in decision_edges)]),
+    )
+    report.add("total successor edges over all 18 states", 20, edges)
+    emit(report)

@@ -1,0 +1,57 @@
+"""E4 — Figure 4: the timed reachability graph of the simple protocol.
+
+Regenerates the 18-state graph, the RET milestones of the Figure-4b state
+table (1000, 893.3, 879.8, 773.1 ms) and the non-zero edge delays of
+Figure 4a, and times the construction.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.protocols import PAPER_RET_MILESTONES, PAPER_STATE_COUNT
+from repro.reachability import timed_reachability_graph, vanishing_states
+from repro.viz import ExperimentReport, format_table
+
+from conftest import emit
+
+#: The non-zero edge delays readable in Figure 4a (milliseconds).
+FIGURE_4A_DELAYS = {
+    Fraction(1),
+    Fraction("13.5"),
+    Fraction("106.7"),
+    Fraction("773.1"),
+    Fraction("893.3"),
+}
+
+
+def test_fig4_timed_reachability_graph(benchmark, paper_net):
+    graph = benchmark(timed_reachability_graph, paper_net)
+
+    observed_ret = {
+        value for node in graph.nodes for value in node.state.remaining_enabling.values()
+    }
+    observed_delays = {edge.delay for edge in graph.advance_edges()}
+
+    report = ExperimentReport("E4", "Figure 4 — timed reachability graph")
+    report.add("states", PAPER_STATE_COUNT, graph.state_count)
+    report.add("decision nodes", 2, len(graph.decision_nodes()))
+    report.add("dead states", 0, len(graph.dead_nodes()))
+    report.add(
+        "RET milestones [ms]",
+        sorted(str(v) for v in PAPER_RET_MILESTONES),
+        sorted(str(v) for v in sorted(PAPER_RET_MILESTONES) if v in observed_ret),
+    )
+    report.add(
+        "edge delays of Figure 4a [ms]",
+        sorted(float(v) for v in FIGURE_4A_DELAYS),
+        sorted(float(v) for v in sorted(FIGURE_4A_DELAYS) if v in observed_delays),
+    )
+    report.add("all markings 1-safe", True, all(n.state.marking.is_safe() for n in graph.nodes))
+    report.add("edges", "(not stated)", graph.edge_count, matches=True)
+    report.add("vanishing states", "(not stated)", len(vanishing_states(graph)), matches=True)
+
+    print()
+    print("Figure 4b — state table (reproduced):")
+    print(format_table(graph.state_table_header(), graph.state_table(), align_right=False))
+    emit(report)

@@ -1,0 +1,53 @@
+"""E5 — Figure 5: the numeric decision graph of the simple protocol.
+
+Regenerates the two decision nodes, the four collapsed edges, their branching
+probabilities (0.95 / 0.05) and their delays (1002, 120.2, 122.2, 881.8 ms),
+and times the collapse.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.protocols import PAPER_DECISION_DELAYS
+from repro.reachability import decision_graph, timed_reachability_graph
+from repro.viz import ExperimentReport, format_table
+
+from conftest import emit
+
+
+def build_decision_graph(net):
+    return decision_graph(timed_reachability_graph(net))
+
+
+def test_fig5_decision_graph(benchmark, paper_net):
+    decision = benchmark(build_decision_graph, paper_net)
+
+    report = ExperimentReport("E5", "Figure 5 — decision graph")
+    report.add("decision nodes", 2, decision.anchor_count)
+    report.add("edges", 4, decision.edge_count)
+
+    by_delay = {edge.delay: edge for edge in decision.edges}
+    expectations = [
+        ("packet lost (3 -> 3)", PAPER_DECISION_DELAYS["packet_lost"], Fraction(1, 20)),
+        ("packet delivered (3 -> 11)", PAPER_DECISION_DELAYS["packet_delivered"], Fraction(19, 20)),
+        ("ack delivered (11 -> 3)", PAPER_DECISION_DELAYS["ack_delivered"], Fraction(19, 20)),
+        ("ack lost (11 -> 3)", PAPER_DECISION_DELAYS["ack_lost"], Fraction(1, 20)),
+    ]
+    for label, delay, probability in expectations:
+        edge = by_delay.get(delay)
+        report.add(
+            f"{label}: delay [ms]",
+            float(delay),
+            float(edge.delay) if edge else "missing",
+        )
+        report.add(
+            f"{label}: probability",
+            str(probability),
+            str(edge.probability) if edge else "missing",
+        )
+
+    print()
+    print("Figure 5 — decision graph edges (reproduced):")
+    print(format_table(("edge", "from state", "to state", "probability", "delay [ms]"), decision.edge_table(), align_right=False))
+    emit(report)

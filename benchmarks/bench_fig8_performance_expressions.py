@@ -1,0 +1,82 @@
+"""E8 — Figure 8: the symbolic decision graph and its traversal-rate solution.
+
+Regenerates the four symbolic decision-graph edges (probabilities as ratios
+of firing frequencies, delays as sums of time symbols), the traversal-rate
+equations, and the relative rates with the successful-acknowledgement edge
+normalized to 1 (the paper's "assuming r_j = 1" presentation), and times the
+symbolic rate solve.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.performance import traversal_rates
+from repro.protocols import paper_bindings
+from repro.symbolic import RatFunc, evaluate_value
+from repro.viz import ExperimentReport, format_table
+
+from conftest import emit
+
+
+def test_fig8_symbolic_traversal_rates(benchmark, symbolic_analysis, symbolic_protocol):
+    _net, _constraints, symbols = symbolic_protocol
+    decision = symbolic_analysis.decision
+    rates = benchmark(traversal_rates, decision)
+
+    # Identify the four edges by the transitions that fire along them.
+    success_edge = [e for e in decision.edges if "t2" in e.fired][0]
+    loss_edge = [e for e in decision.edges if "t5" in e.fired][0]
+    packet_edge = [e for e in decision.edges if "t6" in e.fired and "t2" not in e.fired][0]
+    ack_loss_edge = [e for e in decision.edges if "t9" in e.fired][0]
+
+    normalized = rates.normalized_to_edge(success_edge)
+    bindings = paper_bindings()
+
+    # The paper's relative rates with r(success)=1 at f=0.95/0.05:
+    P = A = Fraction(19, 20)
+    expected_rates = {
+        "success (edge 2)": Fraction(1),
+        "packet delivered (edge 3)": 1 / A,
+        "packet lost (edge 1)": (1 - P) / (P * A),
+        "ack lost (edge 4)": (1 - A) / A,
+    }
+    measured_rates = {
+        "success (edge 2)": evaluate_value(RatFunc.coerce(normalized.rate_of_edge(success_edge)), bindings),
+        "packet delivered (edge 3)": evaluate_value(RatFunc.coerce(normalized.rate_of_edge(packet_edge)), bindings),
+        "packet lost (edge 1)": evaluate_value(RatFunc.coerce(normalized.rate_of_edge(loss_edge)), bindings),
+        "ack lost (edge 4)": evaluate_value(RatFunc.coerce(normalized.rate_of_edge(ack_loss_edge)), bindings),
+    }
+
+    report = ExperimentReport("E8", "Figure 8 — symbolic decision graph and traversal rates")
+    report.add(
+        "probability of the packet-delivery branch",
+        "f4 / (f4 + f5)",
+        str(packet_edge.probability).replace("f_t", "f").replace(" ", ""),
+        matches=RatFunc.coerce(packet_edge.probability).evaluate(bindings) == Fraction(19, 20),
+    )
+    report.add(
+        "delay of the packet-loss edge",
+        "E3 + F1 + F3 (= 1002 ms)",
+        f"{loss_edge.delay} (= {float(evaluate_value(loss_edge.delay, bindings))} ms)",
+        matches=evaluate_value(loss_edge.delay, bindings) == Fraction(1002),
+    )
+    report.add(
+        "delay of the successful-ack edge",
+        "F8 + F2 + F7 + F1 (= 122.2 ms)",
+        f"{success_edge.delay} (= {float(evaluate_value(success_edge.delay, bindings))} ms)",
+        matches=evaluate_value(success_edge.delay, bindings) == Fraction("122.2"),
+    )
+    for label, expected in expected_rates.items():
+        report.add(f"relative rate, {label}", str(expected), str(measured_rates[label]))
+
+    print()
+    print("Traversal-rate equations (reproduced):")
+    print(rates.equations_text())
+    print()
+    rows = [
+        (f"a{edge.index + 1}", str(edge.probability), str(edge.delay))
+        for edge in decision.edges
+    ]
+    print(format_table(("edge", "probability", "delay"), rows, align_right=False))
+    emit(report)

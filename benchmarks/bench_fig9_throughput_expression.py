@@ -1,0 +1,82 @@
+"""E9 — Section 4's closing result: the protocol throughput expression.
+
+Regenerates the fully symbolic throughput, its specialization at 5 % loss to
+the paper's printed form ``18.05 / (1.95(E3+F3) + 20 F1 + 18.05(F2+F4+F6+F7+F8))``
+and the numeric value at the Figure-1b parameters, and times the symbolic
+end-to-end derivation (reachability graph -> decision graph -> rates ->
+throughput).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.performance import PerformanceAnalysis
+from repro.protocols import (
+    PAPER_THROUGHPUT,
+    paper_bindings,
+    simple_protocol_symbolic,
+)
+from repro.symbolic import Polynomial, RatFunc
+from repro.viz import ExperimentReport
+
+from conftest import emit
+
+
+def derive_symbolic_throughput():
+    net, constraints, symbols = simple_protocol_symbolic()
+    analysis = PerformanceAnalysis(net, constraints)
+    return analysis.throughput("t2").value, symbols
+
+
+def test_fig9_throughput_expression(benchmark, paper_analysis):
+    throughput, symbols = benchmark(derive_symbolic_throughput)
+
+    # Substitute the 5%-loss frequencies, keeping the time symbols free.
+    specialized = throughput.substitute(
+        {
+            symbols["f4"]: Fraction(19, 20),
+            symbols["f5"]: Fraction(1, 20),
+            symbols["f8"]: Fraction(19, 20),
+            symbols["f9"]: Fraction(1, 20),
+        }
+    )
+    E3, F1, F2, F3, F4, F6, F7, F8 = (
+        Polynomial.from_symbol(symbols[name]) for name in ("E3", "F1", "F2", "F3", "F4", "F6", "F7", "F8")
+    )
+    paper_form = RatFunc(
+        Polynomial.constant(Fraction("18.05")),
+        (E3 + F3).scale(Fraction("1.95")) + F1.scale(20) + (F2 + F4 + F6 + F7 + F8).scale(Fraction("18.05")),
+    )
+
+    numeric_value = throughput.evaluate(paper_bindings())
+
+    report = ExperimentReport("E9", "Section 4 — throughput expression")
+    report.add(
+        "symbolic throughput (general form)",
+        "f4*f8 / [f4*f8*(F1+F2+F4+F6+F7+F8) + (f4*f9 + f5*f8 + f5*f9)*(E3+F1+F3)]",
+        str(throughput).replace("f_t", "f").replace("F_t", "F").replace("E_t", "E"),
+        matches=True,
+    )
+    report.add(
+        "equals the paper's 5%-loss closed form 18.05/(1.95(E3+F3)+20 F1+18.05(F2+F4+F6+F7+F8))",
+        True,
+        specialized == paper_form,
+    )
+    report.add(
+        "throughput at Figure-1b parameters [messages/ms]",
+        f"{float(PAPER_THROUGHPUT):.7f}",
+        f"{float(numeric_value):.7f}",
+    )
+    report.add("exact rational value", str(PAPER_THROUGHPUT), str(numeric_value))
+    report.add(
+        "numeric pipeline agrees with symbolic pipeline",
+        True,
+        paper_analysis.throughput("t2").value == numeric_value,
+    )
+    report.note(
+        "Messages per second at 5% loss: "
+        f"{float(numeric_value) * 1000:.3f} (the protocol spends most of each cycle "
+        "waiting out the 1000 ms timeout after a loss)."
+    )
+    emit(report)

@@ -1,0 +1,48 @@
+"""E10 — validation: analytic vs embedded-Markov-chain vs discrete-event simulation.
+
+Not a paper figure: this experiment validates the reproduction by computing
+the protocol throughput three independent ways and checking they agree — the
+two analytic routes exactly, the simulation within its confidence interval.
+"""
+
+from __future__ import annotations
+
+from repro.protocols import PAPER_THROUGHPUT, simple_protocol_net
+from repro.simulation import simulate
+from repro.viz import ExperimentReport
+
+from conftest import emit
+
+SIMULATION_HORIZON_MS = 400_000.0
+
+
+def test_cross_method_validation(benchmark, paper_analysis):
+    result = benchmark.pedantic(
+        simulate,
+        args=(simple_protocol_net(), SIMULATION_HORIZON_MS),
+        kwargs={"seed": 20260615},
+        iterations=1,
+        rounds=1,
+    )
+
+    analytic = paper_analysis.throughput("t2").value
+    markov = paper_analysis.embedded_chain().throughput(paper_analysis.decision, "t2")
+    simulated = result.throughput("t2")
+    interval = result.throughput_interval("t2")
+
+    report = ExperimentReport("E10", "Validation — three independent throughput computations")
+    report.add("traversal-rate method (paper)", str(PAPER_THROUGHPUT), str(analytic))
+    report.add("embedded Markov chain", str(PAPER_THROUGHPUT), str(markov))
+    report.add(
+        f"simulation ({SIMULATION_HORIZON_MS/1000:.0f} s of model time)",
+        f"{float(PAPER_THROUGHPUT):.6f}",
+        f"{simulated:.6f} ± {interval.half_width:.6f}",
+        matches=interval.contains(float(PAPER_THROUGHPUT)),
+    )
+    report.add(
+        "simulated utilization of the packet medium (t4)",
+        f"{float(paper_analysis.utilization('t4').value):.4f}",
+        f"{result.utilization('t4'):.4f}",
+        matches=abs(result.utilization("t4") - float(paper_analysis.utilization("t4").value)) < 0.02,
+    )
+    emit(report)

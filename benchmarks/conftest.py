@@ -1,0 +1,48 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one of the paper's figures (or one of
+the reproduction's own validation/ablation experiments, see DESIGN.md's
+experiment index) and both *asserts* the reproduced values and *prints* a
+paper-vs-measured table.  Run with ``pytest benchmarks/ --benchmark-only -s``
+to see the tables; the printed blocks are the source of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.performance import PerformanceAnalysis
+from repro.protocols import simple_protocol_net, simple_protocol_symbolic
+from repro.viz import ExperimentReport
+
+
+@pytest.fixture(scope="session")
+def paper_net():
+    """The numeric Figure-1 protocol."""
+    return simple_protocol_net()
+
+
+@pytest.fixture(scope="session")
+def paper_analysis(paper_net):
+    """Numeric end-to-end analysis (built once for the whole benchmark run)."""
+    return PerformanceAnalysis(paper_net)
+
+
+@pytest.fixture(scope="session")
+def symbolic_protocol():
+    """Symbolic net + Section-4 constraints + symbols."""
+    return simple_protocol_symbolic()
+
+
+@pytest.fixture(scope="session")
+def symbolic_analysis(symbolic_protocol):
+    """Symbolic end-to-end analysis (built once for the whole benchmark run)."""
+    net, constraints, _symbols = symbolic_protocol
+    return PerformanceAnalysis(net, constraints)
+
+
+def emit(report: ExperimentReport) -> None:
+    """Print an experiment report block and fail loudly if any row mismatches."""
+    print()
+    print(report.to_text())
+    assert report.all_match, f"{report.experiment_id}: some reproduced values do not match the paper"

@@ -1,0 +1,75 @@
+"""The alternating-bit extension and the comparison baselines.
+
+The paper's protocol has no sequence numbers; its text points out that an
+alternating bit makes it robust.  This example analyzes that extension and
+then runs the two baselines bundled with the library on the original
+protocol:
+
+* the discrete-event simulator (validates the analytic numbers and lets you
+  explore non-deterministic delay distributions), and
+* the Molloy-style exponential-delay (GSPN/CTMC) analysis the paper contrasts
+  its deterministic-delay method with.
+
+Run with ``python examples/alternating_bit_and_baselines.py``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro import PerformanceAnalysis, alternating_bit_net, simple_protocol_net, simulate
+from repro.simulation import Exponential
+from repro.stochastic import GSPNAnalysis
+from repro.viz import format_table
+
+
+def main() -> None:
+    # ---------------------------------------------------------------- AB protocol
+    ab = alternating_bit_net()
+    analysis = PerformanceAnalysis(ab)
+    accepted = analysis.throughput("accept0").value + analysis.throughput("accept1").value
+    duplicates = analysis.throughput("duplicate0").value + analysis.throughput("duplicate1").value
+    print("Alternating-bit protocol (the robust extension the paper mentions):")
+    print(f"  timed reachability graph : {analysis.state_count()} states "
+          f"(vs 18 for the unnumbered protocol)")
+    print(f"  accepted messages        : {float(accepted) * 1000:.3f} per second")
+    print(f"  duplicate deliveries     : {float(duplicates) * 1000:.3f} per second "
+          "(each lost acknowledgement causes exactly one)")
+    print()
+
+    # ---------------------------------------------------------------- simulation
+    net = simple_protocol_net()
+    exact = PerformanceAnalysis(net).throughput("t2").value
+    deterministic = simulate(net, horizon=300_000, seed=5)
+    exponential_medium = simulate(
+        net,
+        horizon=300_000,
+        seed=5,
+        firing_distributions={
+            "t4": Exponential(Fraction("106.7")),
+            "t5": Exponential(Fraction("106.7")),
+            "t8": Exponential(Fraction("106.7")),
+            "t9": Exponential(Fraction("106.7")),
+        },
+    )
+    print("Simulation baseline on the paper's protocol (300 s of model time):")
+    rows = [
+        ("exact analytic (deterministic delays)", f"{float(exact):.6f}"),
+        ("simulated, deterministic delays", f"{deterministic.throughput('t2'):.6f}"),
+        ("simulated, exponential medium delays", f"{exponential_medium.throughput('t2'):.6f}"),
+    ]
+    print(format_table(("method", "throughput [msg/ms]"), rows, align_right=False))
+    print()
+
+    # ---------------------------------------------------------------- GSPN baseline
+    gspn = GSPNAnalysis(net, place_capacity=2).solve()
+    print("Molloy-style exponential-delay (GSPN/CTMC) analysis of the same model:")
+    print(f"  tangible CTMC states: {len(gspn.tangible_markings)}")
+    print(f"  throughput          : {gspn.throughput['t7']:.6f} msg/ms "
+          f"(deterministic analysis: {float(exact):.6f})")
+    print("  -> assuming exponential delays misestimates this timeout-driven protocol "
+          "badly, which is exactly the gap the paper's method closes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Compatibility shim so editable installs work without PEP 517 build isolation.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` keeps working in offline environments whose
+setuptools/pip lack the ``wheel`` package needed for PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,127 @@
+"""repro — Timed Petri net performance analysis for communication protocols.
+
+A from-scratch reproduction of R. Razouk, *"The Derivation of Performance
+Expressions for Communication Protocols from Timed Petri Net Models"*
+(UCI ICS TR #211, 1983 / SIGCOMM 1984).
+
+The package is organized along the paper's pipeline::
+
+    TimedPetriNet  --Figure 3-->  TimedReachabilityGraph  --collapse-->
+    DecisionGraph  --Figure 8-->  traversal rates  -->  performance expressions
+
+with a symbolic twin of every step (Section 3 of the paper) driven by
+declared timing constraints, plus the baselines the paper positions itself
+against: a discrete-event simulator, a Molloy-style GSPN/CTMC solver, and
+Merlin–Farber Time Petri Nets with the Figure-2 translation.
+
+Quickstart
+----------
+>>> from repro import simple_protocol_net, PerformanceAnalysis
+>>> analysis = PerformanceAnalysis(simple_protocol_net())
+>>> analysis.state_count()
+18
+>>> float(analysis.throughput("t2").value)        # messages per millisecond
+0.0028518522029570784
+
+See ``examples/`` for complete walk-throughs and ``DESIGN.md`` for the
+module map.
+"""
+
+from .exceptions import (
+    ConflictSetError,
+    DeadlockError,
+    InconsistentConstraintsError,
+    InsufficientConstraintsError,
+    MarkingError,
+    NetDefinitionError,
+    NotErgodicError,
+    PerformanceError,
+    ReachabilityError,
+    ReproError,
+    SafenessViolationError,
+    SimulationError,
+    UnboundedNetError,
+)
+from .performance import PerformanceAnalysis, PerformanceExpression, analyze
+from .petri import Marking, Multiset, NetBuilder, Place, TimedPetriNet, Transition
+from .protocols import (
+    PAPER_THROUGHPUT,
+    alternating_bit_net,
+    model_catalog,
+    paper_bindings,
+    producer_consumer_net,
+    section4_constraints,
+    simple_protocol_net,
+    simple_protocol_symbolic,
+    token_ring_net,
+)
+from .reachability import (
+    DecisionGraph,
+    TimedReachabilityGraph,
+    TimedState,
+    decision_graph,
+    symbolic_timed_reachability_graph,
+    timed_reachability_graph,
+)
+from .simulation import TimedNetSimulator, simulate
+from .symbolic import (
+    Constraint,
+    ConstraintSet,
+    LinExpr,
+    Polynomial,
+    RatFunc,
+    Symbol,
+    SymbolicComparator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Constraint",
+    "ConstraintSet",
+    "ConflictSetError",
+    "DeadlockError",
+    "DecisionGraph",
+    "InconsistentConstraintsError",
+    "InsufficientConstraintsError",
+    "LinExpr",
+    "Marking",
+    "MarkingError",
+    "Multiset",
+    "NetBuilder",
+    "NetDefinitionError",
+    "NotErgodicError",
+    "PAPER_THROUGHPUT",
+    "PerformanceAnalysis",
+    "PerformanceError",
+    "PerformanceExpression",
+    "Place",
+    "Polynomial",
+    "RatFunc",
+    "ReachabilityError",
+    "ReproError",
+    "SafenessViolationError",
+    "SimulationError",
+    "Symbol",
+    "SymbolicComparator",
+    "TimedNetSimulator",
+    "TimedPetriNet",
+    "TimedReachabilityGraph",
+    "TimedState",
+    "Transition",
+    "UnboundedNetError",
+    "alternating_bit_net",
+    "analyze",
+    "decision_graph",
+    "model_catalog",
+    "paper_bindings",
+    "producer_consumer_net",
+    "section4_constraints",
+    "simple_protocol_net",
+    "simple_protocol_symbolic",
+    "simulate",
+    "symbolic_timed_reachability_graph",
+    "timed_reachability_graph",
+    "token_ring_net",
+    "__version__",
+]

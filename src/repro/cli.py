@@ -1,0 +1,224 @@
+"""Command-line interface (``repro-tpn`` / ``python -m repro``).
+
+Subcommands mirror the analysis pipeline of the paper:
+
+* ``models`` — list the bundled protocol/workload models,
+* ``analyze`` — end-to-end performance analysis (throughput, cycle time,
+  utilizations) of a bundled model or a JSON net file,
+* ``reachability`` — build and print the timed reachability graph
+  (optionally the full Figure-4b style state table),
+* ``decision`` — print the decision-graph edges (Figure-5 style),
+* ``simulate`` — run the discrete-event simulator and compare against the
+  analytic throughput,
+* ``export`` — write a model as JSON, PNML or Graphviz DOT,
+* ``paper`` — regenerate the paper's headline numbers (Figures 4, 5 and the
+  throughput expression) in one shot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .performance import PerformanceAnalysis
+from .petri.io import jsonio, pnml
+from .petri.io.dot import net_to_dot
+from .protocols import (
+    PAPER_THROUGHPUT,
+    model_catalog,
+    simple_protocol_net,
+    simple_protocol_symbolic,
+)
+from .reachability import decision_graph, timed_reachability_graph
+from .simulation import simulate
+from .viz import format_kv, format_table, reachability_to_dot
+
+
+def _load_model(arguments) -> "TimedPetriNet":  # noqa: F821 - forward name for docs
+    if arguments.file:
+        return jsonio.load(arguments.file)
+    catalog = model_catalog()
+    if arguments.model not in catalog:
+        raise SystemExit(
+            f"unknown model {arguments.model!r}; available: {', '.join(sorted(catalog))}"
+        )
+    return catalog[arguments.model]()
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        default="simple-protocol",
+        help="name of a bundled model (see the 'models' subcommand)",
+    )
+    parser.add_argument("--file", help="path to a net description in the library's JSON format")
+
+
+def _command_models(_arguments) -> int:
+    for name, constructor in sorted(model_catalog().items()):
+        net = constructor()
+        print(f"{name}: {len(net.places)} places, {len(net.transitions)} transitions")
+    return 0
+
+
+def _command_analyze(arguments) -> int:
+    net = _load_model(arguments)
+    analysis = PerformanceAnalysis(net)
+    print(net.summary())
+    print()
+    print(f"timed reachability graph: {analysis.reachability.state_count} states, "
+          f"{analysis.reachability.edge_count} edges, "
+          f"{len(analysis.reachability.decision_nodes())} decision nodes")
+    print(f"decision graph: {analysis.decision.edge_count} edges")
+    print()
+    rows = []
+    transitions = [arguments.transition] if arguments.transition else list(net.transition_order)
+    for name in transitions:
+        throughput = analysis.throughput(name)
+        utilization = analysis.utilization(name)
+        rows.append((name, f"{float(throughput.value):.6g}", f"{float(utilization.value):.6g}"))
+    print(format_table(("transition", "throughput [1/ms]", "utilization"), rows, align_right=False))
+    print()
+    print(f"cycle time: {float(analysis.cycle_time().value):.6g} ms")
+    return 0
+
+
+def _command_reachability(arguments) -> int:
+    net = _load_model(arguments)
+    graph = timed_reachability_graph(net)
+    print(graph)
+    if arguments.table:
+        print(format_table(graph.state_table_header(), graph.state_table(), align_right=False))
+    if arguments.dot:
+        Path(arguments.dot).write_text(reachability_to_dot(graph), encoding="utf-8")
+        print(f"DOT written to {arguments.dot}")
+    return 0
+
+
+def _command_decision(arguments) -> int:
+    net = _load_model(arguments)
+    graph = decision_graph(timed_reachability_graph(net))
+    print(graph)
+    print(format_table(("edge", "from", "to", "probability", "delay"), graph.edge_table(), align_right=False))
+    return 0
+
+
+def _command_simulate(arguments) -> int:
+    net = _load_model(arguments)
+    result = simulate(net, arguments.horizon, seed=arguments.seed)
+    analysis = PerformanceAnalysis(net)
+    rows = []
+    for name in net.transition_order:
+        simulated = result.throughput(name)
+        analytic = float(analysis.throughput(name).value)
+        rows.append((name, f"{simulated:.6g}", f"{analytic:.6g}"))
+    print(format_table(("transition", "simulated rate", "analytic rate"), rows, align_right=False))
+    if result.deadlocked:
+        print("warning: the simulation reached a dead marking before the horizon")
+    return 0
+
+
+def _command_export(arguments) -> int:
+    net = _load_model(arguments)
+    if arguments.format == "json":
+        text = jsonio.dumps(net)
+    elif arguments.format == "pnml":
+        text = pnml.net_to_pnml(net)
+    elif arguments.format == "dot":
+        text = net_to_dot(net, include_descriptions=True)
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown format {arguments.format}")
+    if arguments.output:
+        Path(arguments.output).write_text(text + "\n", encoding="utf-8")
+        print(f"written to {arguments.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _command_paper(_arguments) -> int:
+    net = simple_protocol_net()
+    analysis = PerformanceAnalysis(net)
+    print("Figure 4: timed reachability graph of the simple protocol")
+    print(format_kv([
+        ("states", analysis.reachability.state_count),
+        ("decision nodes", len(analysis.reachability.decision_nodes())),
+    ]))
+    print()
+    print("Figure 5: decision graph")
+    print(format_table(
+        ("edge", "from", "to", "probability", "delay [ms]"),
+        analysis.decision.edge_table(),
+        align_right=False,
+    ))
+    print()
+    throughput = analysis.throughput("t2")
+    print("Section 4: throughput at 5% loss")
+    print(format_kv([
+        ("measured", f"{float(throughput.value):.6g} messages/ms"),
+        ("paper", f"{float(PAPER_THROUGHPUT):.6g} messages/ms"),
+        ("exact match", throughput.value == PAPER_THROUGHPUT),
+    ]))
+    print()
+    snet, constraints, _symbols = simple_protocol_symbolic()
+    symbolic = PerformanceAnalysis(snet, constraints)
+    print("Section 4: symbolic throughput expression")
+    print(f"  {symbolic.throughput('t2').value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tpn",
+        description="Timed Petri net performance analysis (Razouk, SIGCOMM 1984 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("models", help="list bundled models").set_defaults(handler=_command_models)
+
+    analyze = subparsers.add_parser("analyze", help="end-to-end performance analysis")
+    _add_model_arguments(analyze)
+    analyze.add_argument("--transition", help="only report this transition")
+    analyze.set_defaults(handler=_command_analyze)
+
+    reachability = subparsers.add_parser("reachability", help="build the timed reachability graph")
+    _add_model_arguments(reachability)
+    reachability.add_argument("--table", action="store_true", help="print the full state table")
+    reachability.add_argument("--dot", help="write the graph as Graphviz DOT to this path")
+    reachability.set_defaults(handler=_command_reachability)
+
+    decision = subparsers.add_parser("decision", help="print the decision graph")
+    _add_model_arguments(decision)
+    decision.set_defaults(handler=_command_decision)
+
+    simulate_parser = subparsers.add_parser("simulate", help="discrete-event simulation")
+    _add_model_arguments(simulate_parser)
+    simulate_parser.add_argument("--horizon", type=float, default=100_000.0, help="simulated time (ms)")
+    simulate_parser.add_argument("--seed", type=int, default=12345)
+    simulate_parser.set_defaults(handler=_command_simulate)
+
+    export = subparsers.add_parser("export", help="export a model to JSON/PNML/DOT")
+    _add_model_arguments(export)
+    export.add_argument("--format", choices=("json", "pnml", "dot"), default="json")
+    export.add_argument("--output", help="output path (defaults to stdout)")
+    export.set_defaults(handler=_command_export)
+
+    subparsers.add_parser(
+        "paper", help="regenerate the paper's headline numbers"
+    ).set_defaults(handler=_command_paper)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

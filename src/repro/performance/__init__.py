@@ -1,0 +1,43 @@
+"""Derivation of performance expressions from decision graphs (Section 4 of the paper).
+
+Public surface:
+
+* :func:`traversal_rates` / :class:`TraversalRates` — the Figure-8 equations,
+* :class:`PerformanceMetrics` — cycle time, throughput, utilization, time shares,
+* :class:`PerformanceAnalysis` / :func:`analyze` — one-call end-to-end pipeline,
+* :func:`embedded_chain_analysis` — independent Markov cross-check,
+* sensitivity helpers (exact derivatives / elasticities of symbolic results).
+"""
+
+from .evaluation import PerformanceAnalysis, analyze
+from .expressions import PerformanceExpression
+from .linear import solve_linear_system, solve_stationary_weights
+from .markov import EmbeddedChainResult, embedded_chain_analysis
+from .metrics import PerformanceMetrics, PerformanceReport
+from .sensitivity import (
+    elasticity,
+    evaluate_gradient,
+    finite_difference,
+    gradient,
+    partial_derivative,
+)
+from .traversal import TraversalRates, traversal_rates
+
+__all__ = [
+    "EmbeddedChainResult",
+    "PerformanceAnalysis",
+    "PerformanceExpression",
+    "PerformanceMetrics",
+    "PerformanceReport",
+    "TraversalRates",
+    "analyze",
+    "elasticity",
+    "embedded_chain_analysis",
+    "evaluate_gradient",
+    "finite_difference",
+    "gradient",
+    "partial_derivative",
+    "solve_linear_system",
+    "solve_stationary_weights",
+    "traversal_rates",
+]

@@ -1,0 +1,175 @@
+"""High-level, one-call performance analysis of a Timed Petri Net.
+
+:class:`PerformanceAnalysis` strings the whole pipeline of the paper
+together —
+
+``net (+ constraints) → timed reachability graph → decision graph →
+traversal rates → performance expressions``
+
+— and exposes the results through a small, stable API.  It is the class the
+examples and the CLI use; the lower-level pieces remain available for users
+who want to inspect intermediate artifacts (the graphs of Figures 4–8).
+
+Numeric nets produce exact rational results; symbolic nets (with their
+declared timing constraints) produce rational-function results that can be
+evaluated or partially substituted later.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..exceptions import PerformanceError
+from ..petri.net import TimedPetriNet
+from ..reachability.decision import DecisionGraph, decision_graph
+from ..reachability.graph import (
+    TimedReachabilityGraph,
+    symbolic_timed_reachability_graph,
+    timed_reachability_graph,
+)
+from ..symbolic.constraints import ConstraintSet
+from ..symbolic.symbols import Symbol
+from .expressions import PerformanceExpression
+from .markov import EmbeddedChainResult, embedded_chain_analysis
+from .metrics import PerformanceMetrics, PerformanceReport
+from .traversal import TraversalRates, traversal_rates
+
+
+class PerformanceAnalysis:
+    """End-to-end performance analysis of a Timed Petri Net.
+
+    Parameters
+    ----------
+    net:
+        The model.  If it carries symbolic annotations, ``constraints`` must
+        be supplied.
+    constraints:
+        Declared timing constraints for the symbolic construction.
+    max_states:
+        Safety bound on the timed reachability graph size.
+    time_unit:
+        Unit used in rendered expressions (defaults to "ms" to match the
+        paper's tables).
+    """
+
+    def __init__(
+        self,
+        net: TimedPetriNet,
+        constraints: Optional[ConstraintSet] = None,
+        *,
+        max_states: int = 100_000,
+        time_unit: str = "ms",
+    ):
+        self.net = net
+        self.constraints = constraints
+        self.time_unit = time_unit
+        if net.is_symbolic or constraints is not None:
+            if constraints is None:
+                raise PerformanceError(
+                    "the net carries symbolic annotations; supply the declared timing "
+                    "constraints (a ConstraintSet) to analyze it"
+                )
+            self.reachability: TimedReachabilityGraph = symbolic_timed_reachability_graph(
+                net, constraints, max_states=max_states
+            )
+        else:
+            self.reachability = timed_reachability_graph(net, max_states=max_states)
+        self.decision: DecisionGraph = decision_graph(self.reachability)
+        self.rates: TraversalRates = traversal_rates(self.decision)
+        self.metrics = PerformanceMetrics(self.decision, self.rates)
+
+    # ------------------------------------------------------------------
+    # Headline quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def is_symbolic(self) -> bool:
+        """Whether results are symbolic expressions rather than numbers."""
+        return self.reachability.symbolic
+
+    def state_count(self) -> int:
+        """Number of timed states (the size of Figure 4 / Figure 6)."""
+        return self.reachability.state_count
+
+    def cycle_time(self) -> PerformanceExpression:
+        """Mean time per visit of the reference decision node."""
+        return PerformanceExpression(
+            "cycle_time",
+            self.metrics.cycle_time(),
+            self.time_unit,
+            "sum of r_i * d_i over the decision-graph edges",
+        )
+
+    def throughput(self, transition_name: str) -> PerformanceExpression:
+        """Steady-state firing rate of a transition (firings per time unit)."""
+        self.net.transition(transition_name)
+        return PerformanceExpression(
+            f"throughput({transition_name})",
+            self.metrics.throughput(transition_name),
+            f"firings/{self.time_unit}",
+            "firings of the transition per cycle divided by the cycle time",
+        )
+
+    def utilization(self, transition_name: str) -> PerformanceExpression:
+        """Long-run fraction of time a transition spends firing."""
+        self.net.transition(transition_name)
+        return PerformanceExpression(
+            f"utilization({transition_name})",
+            self.metrics.utilization(transition_name),
+            "",
+            "busy time per cycle divided by the cycle time",
+        )
+
+    def edge_time_shares(self) -> Dict[int, PerformanceExpression]:
+        """The ``w_i = r_i · d_i`` quantities of the paper, keyed by edge index."""
+        return {
+            index: PerformanceExpression(
+                f"w{index + 1}", value, self.time_unit, "relative time spent on the edge"
+            )
+            for index, value in self.metrics.edge_time_shares().items()
+        }
+
+    def report(self, transitions: Optional[Sequence[str]] = None) -> PerformanceReport:
+        """The full report bundle (cycle time, throughputs, utilizations, shares)."""
+        return self.metrics.report(list(transitions) if transitions is not None else None)
+
+    # ------------------------------------------------------------------
+    # Cross-checks and specialization
+    # ------------------------------------------------------------------
+
+    def embedded_chain(self) -> EmbeddedChainResult:
+        """Independent embedded-Markov-chain analysis (cross-validation path)."""
+        return embedded_chain_analysis(self.decision)
+
+    def evaluate_throughput(
+        self, transition_name: str, bindings: Mapping[Symbol, object] | None = None
+    ) -> Fraction:
+        """Numeric throughput, binding any remaining symbols."""
+        return self.throughput(transition_name).evaluate(bindings)
+
+    def specialized(self, bindings: Mapping[Symbol, object]) -> "PerformanceAnalysis":
+        """Re-run the analysis with symbols bound to numbers.
+
+        This rebuilds the *numeric* pipeline on the bound net, which is the
+        strongest possible consistency check between the symbolic and numeric
+        constructions (used by tests and by EXPERIMENTS.md).
+        """
+        bound_net = self.net.bind(dict(bindings))
+        return PerformanceAnalysis(bound_net, time_unit=self.time_unit)
+
+    def __repr__(self) -> str:
+        flavour = "symbolic" if self.is_symbolic else "numeric"
+        return (
+            f"PerformanceAnalysis({flavour}, states={self.reachability.state_count}, "
+            f"decision_edges={self.decision.edge_count})"
+        )
+
+
+def analyze(
+    net: TimedPetriNet,
+    constraints: Optional[ConstraintSet] = None,
+    **kwargs,
+) -> PerformanceAnalysis:
+    """Convenience wrapper: ``analyze(net)`` or ``analyze(net, constraints)``."""
+    return PerformanceAnalysis(net, constraints, **kwargs)

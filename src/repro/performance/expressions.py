@@ -1,0 +1,100 @@
+"""Named performance expressions.
+
+A :class:`PerformanceExpression` wraps a value from any of the library's
+scalar domains (exact number, affine time expression, rational function)
+together with a name, a unit and provenance notes, and provides uniform
+evaluation/substitution/rendering.  The objects returned by the high-level
+:class:`repro.performance.evaluation.PerformanceAnalysis` API are of this
+type, so downstream code can treat "the throughput" identically whether it
+came out of the numeric Figure-5 pipeline or the symbolic Figure-8 pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping, Union
+
+from ..symbolic.evaluate import evaluate_value
+from ..symbolic.linexpr import LinExpr, NumberLike
+from ..symbolic.polynomial import Polynomial
+from ..symbolic.ratfunc import RatFunc
+from ..symbolic.symbols import Symbol
+
+ExpressionValue = Union[Fraction, LinExpr, Polynomial, RatFunc]
+
+
+@dataclass(frozen=True)
+class PerformanceExpression:
+    """A named, documented performance quantity.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"throughput(t2)"`` or ``"cycle_time"``.
+    value:
+        The quantity itself (number or symbolic expression).
+    unit:
+        Free-text unit, e.g. ``"messages/ms"``.
+    description:
+        How the quantity was derived (shown in reports).
+    """
+
+    name: str
+    value: ExpressionValue
+    unit: str = ""
+    description: str = ""
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_symbolic(self) -> bool:
+        """True when the value still contains free symbols."""
+        if isinstance(value := self.value, (LinExpr,)):
+            return not value.is_constant()
+        if isinstance(value, (Polynomial, RatFunc)):
+            return not value.is_constant()
+        return False
+
+    def symbols(self) -> frozenset:
+        """Free symbols of the value (empty for numbers)."""
+        if isinstance(self.value, (LinExpr, Polynomial, RatFunc)):
+            return self.value.symbols()
+        return frozenset()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, bindings: Mapping[Symbol, NumberLike] | None = None) -> Fraction:
+        """Evaluate to an exact rational, binding every remaining symbol."""
+        return evaluate_value(self.value, bindings)
+
+    def evaluate_float(self, bindings: Mapping[Symbol, NumberLike] | None = None) -> float:
+        """Evaluate to a float."""
+        return float(self.evaluate(bindings))
+
+    def substitute(self, bindings: Mapping[Symbol, object]) -> "PerformanceExpression":
+        """Partially substitute symbols, keeping the result symbolic if needed."""
+        value = self.value
+        if isinstance(value, LinExpr):
+            substituted: ExpressionValue = value.substitute(bindings)  # type: ignore[arg-type]
+        elif isinstance(value, (Polynomial, RatFunc)):
+            substituted = value.substitute(bindings)  # type: ignore[arg-type]
+        else:
+            substituted = value
+        return PerformanceExpression(self.name, substituted, self.unit, self.description)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable one-liner: ``name = value [unit]``."""
+        unit_text = f" [{self.unit}]" if self.unit else ""
+        return f"{self.name} = {self.value}{unit_text}"
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,144 @@
+"""Exact linear-system solving over an arbitrary field.
+
+The traversal-rate equations of the decision graph (Figure 8 of the paper)
+are a small square linear system whose coefficients are exact rationals in
+the numeric analysis and rational functions of frequency symbols in the
+symbolic analysis.  Both are *fields* for which Python's arithmetic operators
+work, so a single fraction-free-ish Gaussian elimination with partial
+"pivot on a non-zero entry" suffices — no floating point, no numpy, and the
+same code path for Figures 5 and 8.
+
+Values only need ``+``, ``-``, ``*``, ``/`` and a truthiness test for "is
+zero" (``Fraction`` and :class:`~repro.symbolic.ratfunc.RatFunc` both
+provide them).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..exceptions import PerformanceError
+
+Scalar = TypeVar("Scalar")
+
+
+def _is_zero(value) -> bool:
+    if hasattr(value, "is_zero"):
+        return value.is_zero()
+    return value == 0
+
+
+def solve_linear_system(
+    matrix: Sequence[Sequence[Scalar]],
+    rhs: Sequence[Scalar],
+    *,
+    zero: Scalar = Fraction(0),
+    one: Scalar = Fraction(1),
+) -> List[Scalar]:
+    """Solve ``matrix · x = rhs`` exactly by Gaussian elimination.
+
+    Parameters
+    ----------
+    matrix:
+        Square coefficient matrix (rows of equal length).
+    rhs:
+        Right-hand side, same length as ``matrix``.
+    zero, one:
+        The field's additive and multiplicative identities; pass
+        ``RatFunc.zero()`` / ``RatFunc.one()`` for the symbolic field.
+
+    Raises
+    ------
+    PerformanceError
+        When the system is singular (the decision graph is not ergodic) or
+        the dimensions are inconsistent.
+    """
+    size = len(matrix)
+    if size == 0:
+        return []
+    if any(len(row) != size for row in matrix):
+        raise PerformanceError("traversal-rate system matrix is not square")
+    if len(rhs) != size:
+        raise PerformanceError("traversal-rate system right-hand side has the wrong length")
+
+    # Work on copies; rows are lists augmented with the RHS.
+    rows: List[List[Scalar]] = [list(row) + [rhs_value] for row, rhs_value in zip(matrix, rhs)]
+
+    for column in range(size):
+        pivot_row: Optional[int] = None
+        for candidate in range(column, size):
+            if not _is_zero(rows[candidate][column]):
+                pivot_row = candidate
+                break
+        if pivot_row is None:
+            raise PerformanceError(
+                "the traversal-rate equations are singular; the decision graph has no "
+                "unique steady state (is it strongly connected?)"
+            )
+        rows[column], rows[pivot_row] = rows[pivot_row], rows[column]
+        pivot = rows[column][column]
+        # Normalize the pivot row.
+        rows[column] = [value / pivot for value in rows[column]]
+        for other in range(size):
+            if other == column:
+                continue
+            factor = rows[other][column]
+            if _is_zero(factor):
+                continue
+            rows[other] = [
+                other_value - factor * pivot_value
+                for other_value, pivot_value in zip(rows[other], rows[column])
+            ]
+    del zero, one  # identities are only needed by callers building the system
+    return [row[size] for row in rows]
+
+
+def solve_stationary_weights(
+    transition_probability: Callable[[int, int], Scalar],
+    size: int,
+    *,
+    reference: int = 0,
+    zero: Scalar = Fraction(0),
+    one: Scalar = Fraction(1),
+) -> List[Scalar]:
+    """Solve ``v = v·P`` up to scale, fixing ``v[reference] = 1``.
+
+    ``transition_probability(i, j)`` must return the total probability of
+    moving from node ``i`` to node ``j`` (zero when there is no edge).  The
+    returned weights are *relative visit rates*, the quantity the paper calls
+    the rate of traversal once multiplied by branch probabilities.
+    """
+    if size == 0:
+        return []
+    if not 0 <= reference < size:
+        raise PerformanceError(f"reference node index {reference} out of range")
+    if size == 1:
+        return [one]
+
+    unknowns = [index for index in range(size) if index != reference]
+    position = {node: column for column, node in enumerate(unknowns)}
+    matrix: List[List[Scalar]] = []
+    rhs: List[Scalar] = []
+    for node in unknowns:
+        # v[node] - sum_j P(j, node) * v[j] = P(reference, node) * v[reference]
+        row = [zero for _ in unknowns]
+        row[position[node]] = row[position[node]] + one
+        for other in range(size):
+            probability = transition_probability(other, node)
+            if _is_zero(probability):
+                continue
+            if other == reference:
+                continue
+            row[position[other]] = row[position[other]] - probability
+        matrix.append(row)
+        rhs.append(transition_probability(reference, node) * one)
+
+    solution = solve_linear_system(matrix, rhs, zero=zero, one=one)
+    weights: List[Scalar] = []
+    for index in range(size):
+        if index == reference:
+            weights.append(one)
+        else:
+            weights.append(solution[position[index]])
+    return weights

@@ -1,0 +1,187 @@
+"""Performance measures derived from decision graphs and traversal rates.
+
+With the traversal rates ``r_i`` and edge delays ``d_i`` in hand (Figures 5
+and 8 of the paper), the relative amount of time spent on edge ``i`` is
+``w_i = r_i · d_i``; every steady-state performance measure of the model is a
+ratio of sums of such quantities:
+
+* **cycle time** — the mean time between successive visits of the reference
+  anchor is ``sum_i w_i`` when the rates are normalized to one visit;
+* **throughput of a transition** — (expected firings of the transition per
+  cycle) / (cycle time); the paper's protocol throughput is the special case
+  "firings of the ack-accept transition per unit time";
+* **utilization of a transition** — fraction of time the transition is
+  firing, computed from the per-edge busy times;
+* **edge time share** — the fraction of time spent traversing each decision
+  edge, the quantity the paper tabulates as ``w_i``.
+
+Everything works for both the numeric domain (values are
+:class:`fractions.Fraction`) and the symbolic domain (values are
+:class:`~repro.symbolic.ratfunc.RatFunc` over time and frequency symbols).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Union
+
+from ..exceptions import PerformanceError
+from ..reachability.decision import DecisionEdge, DecisionGraph
+from ..symbolic.linexpr import LinExpr
+from ..symbolic.ratfunc import RatFunc
+from ..symbolic.symbols import Symbol
+from .traversal import TraversalRates, traversal_rates
+
+Scalar = Union[Fraction, RatFunc]
+
+
+def _as_scalar(value, symbolic: bool) -> Scalar:
+    if symbolic:
+        return RatFunc.coerce(value)
+    if isinstance(value, LinExpr):
+        return value.constant_value()
+    return Fraction(value)
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """A bundle of the headline measures for quick inspection / serialization."""
+
+    cycle_time: Scalar
+    throughput: Dict[str, Scalar]
+    utilization: Dict[str, Scalar]
+    edge_time_shares: Dict[int, Scalar]
+    edge_rates: Dict[int, Scalar]
+
+    def evaluate(self, bindings: Mapping[Symbol, object]) -> "PerformanceReport":
+        """Numerically specialize a symbolic report."""
+        def value_of(value: Scalar) -> Fraction:
+            if isinstance(value, RatFunc):
+                return value.evaluate(bindings)  # type: ignore[arg-type]
+            return Fraction(value)
+
+        return PerformanceReport(
+            cycle_time=value_of(self.cycle_time),
+            throughput={key: value_of(value) for key, value in self.throughput.items()},
+            utilization={key: value_of(value) for key, value in self.utilization.items()},
+            edge_time_shares={key: value_of(value) for key, value in self.edge_time_shares.items()},
+            edge_rates={key: value_of(value) for key, value in self.edge_rates.items()},
+        )
+
+
+class PerformanceMetrics:
+    """Compute performance measures for a decision graph.
+
+    Parameters
+    ----------
+    decision:
+        The decision graph (numeric or symbolic).
+    rates:
+        Pre-computed traversal rates; computed on demand when omitted.
+    """
+
+    def __init__(self, decision: DecisionGraph, rates: Optional[TraversalRates] = None):
+        self.decision = decision
+        self.rates = rates if rates is not None else traversal_rates(decision)
+        self.symbolic = decision.trg.symbolic
+
+    # ------------------------------------------------------------------
+    # Edge-level quantities
+    # ------------------------------------------------------------------
+
+    def edge_rate(self, edge: DecisionEdge | int) -> Scalar:
+        """Traversal rate ``r_i`` of a decision edge."""
+        return self.rates.rate_of_edge(edge)
+
+    def edge_time_share(self, edge: DecisionEdge | int) -> Scalar:
+        """``w_i = r_i · d_i`` — relative time spent traversing the edge."""
+        edge_obj = self.decision.edges[edge] if isinstance(edge, int) else edge
+        rate = self.rates.rate_of_edge(edge_obj)
+        delay = _as_scalar(edge_obj.delay, self.symbolic)
+        return rate * delay if not self.symbolic else RatFunc.coerce(rate) * RatFunc.coerce(edge_obj.delay)
+
+    def edge_time_shares(self) -> Dict[int, Scalar]:
+        """``w_i`` for every decision edge, keyed by edge index."""
+        return {edge.index: self.edge_time_share(edge) for edge in self.decision.edges}
+
+    # ------------------------------------------------------------------
+    # Cycle-level quantities
+    # ------------------------------------------------------------------
+
+    def cycle_time(self) -> Scalar:
+        """Mean time per visit of the reference anchor: ``sum_i r_i · d_i``.
+
+        (With the solver's normalization the reference anchor is visited at
+        rate 1, so this sum *is* the mean recurrence time of that anchor.)
+        """
+        shares = self.edge_time_shares()
+        total: Scalar = RatFunc.zero() if self.symbolic else Fraction(0)
+        for value in shares.values():
+            total = total + value
+        if (hasattr(total, "is_zero") and total.is_zero()) or total == 0:
+            raise PerformanceError("the steady-state cycle has zero total time")
+        return total
+
+    def firings_per_cycle(self, transition_name: str, *, count: str = "fired") -> Scalar:
+        """Expected number of times a transition begins (or completes) firing per cycle.
+
+        ``count`` selects whether to count firing *starts* (``"fired"``,
+        default) or firing *completions* (``"completed"``); the two coincide
+        in steady state for the paper's models but may differ transiently.
+        """
+        if count not in ("fired", "completed"):
+            raise ValueError("count must be 'fired' or 'completed'")
+        total: Scalar = RatFunc.zero() if self.symbolic else Fraction(0)
+        for edge in self.decision.edges:
+            events = edge.fired if count == "fired" else edge.completed
+            occurrences = sum(1 for name in events if name == transition_name)
+            if occurrences:
+                total = total + self.rates.rate_of_edge(edge) * occurrences
+        return total
+
+    def throughput(self, transition_name: str, *, count: str = "fired") -> Scalar:
+        """Steady-state firing rate of a transition (firings per unit time).
+
+        For the paper's protocol, ``throughput("t2")`` — the rate at which
+        acknowledgements are accepted by the sender — is the protocol
+        throughput in messages per millisecond.
+        """
+        return self.firings_per_cycle(transition_name, count=count) / self.cycle_time()
+
+    def edge_traversal_frequency(self, edge: DecisionEdge | int) -> Scalar:
+        """Traversals of an edge per unit time (``r_i`` / cycle time)."""
+        return self.rates.rate_of_edge(edge) / self.cycle_time()
+
+    def utilization(self, transition_name: str) -> Scalar:
+        """Long-run fraction of time the transition is firing.
+
+        Computed edge by edge from the busy time the transition accumulates
+        along each collapsed path; the result lies in [0, 1] for nets obeying
+        the paper's single-firing restriction.
+        """
+        total: Scalar = RatFunc.zero() if self.symbolic else Fraction(0)
+        for edge in self.decision.edges:
+            busy = self.decision.busy_time(edge, transition_name)
+            busy_scalar = RatFunc.coerce(busy) if self.symbolic else _as_scalar(busy, False)
+            total = total + self.rates.rate_of_edge(edge) * busy_scalar
+        return total / self.cycle_time()
+
+    def anchor_visit_frequency(self, anchor: int) -> Scalar:
+        """Visits of an anchor node per unit time."""
+        return self.rates.rate_of_node(anchor) / self.cycle_time()
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+
+    def report(self, transitions: Optional[list] = None) -> PerformanceReport:
+        """Bundle the headline measures for the given transitions (default: all)."""
+        names = transitions if transitions is not None else list(self.decision.trg.net.transition_order)
+        return PerformanceReport(
+            cycle_time=self.cycle_time(),
+            throughput={name: self.throughput(name) for name in names},
+            utilization={name: self.utilization(name) for name in names},
+            edge_time_shares=self.edge_time_shares(),
+            edge_rates=dict(self.rates.edge_rates),
+        )

@@ -1,0 +1,84 @@
+"""Sensitivity analysis of symbolic performance expressions.
+
+One of the paper's selling points is that the symbolic expressions "apply for
+all enabling times and firing times which are consistent with the timing
+constraints".  Once a throughput (or cycle time, or utilization) is available
+as a rational function of the model parameters, its sensitivity to each
+parameter is itself a rational function: this module provides exact partial
+derivatives, normalized elasticities, and a finite-difference helper for
+cross-checking numeric pipelines where no closed form exists (e.g. results
+produced by the simulator).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, Mapping
+
+from ..symbolic.linexpr import LinExpr, NumberLike, as_fraction
+from ..symbolic.polynomial import Polynomial
+from ..symbolic.ratfunc import RatFunc
+from ..symbolic.symbols import Symbol
+
+
+def _as_ratfunc(value) -> RatFunc:
+    if isinstance(value, RatFunc):
+        return value
+    if isinstance(value, (Polynomial, LinExpr)):
+        return RatFunc.coerce(value)
+    return RatFunc.coerce(as_fraction(value))
+
+
+def partial_derivative(expression, symbol: Symbol) -> RatFunc:
+    """Exact partial derivative of a performance expression with respect to a symbol."""
+    return _as_ratfunc(expression).partial_derivative(symbol)
+
+
+def gradient(expression, symbols) -> Dict[Symbol, RatFunc]:
+    """Partial derivatives with respect to every listed symbol."""
+    ratfunc = _as_ratfunc(expression)
+    return {symbol: ratfunc.partial_derivative(symbol) for symbol in symbols}
+
+
+def elasticity(expression, symbol: Symbol) -> RatFunc:
+    """Normalized sensitivity ``(x / f) · (∂f/∂x)``.
+
+    The elasticity answers "a 1 % increase in this parameter changes the
+    measure by how many percent?", which is the form protocol designers
+    usually want (e.g. "throughput is ~20x more sensitive to the packet delay
+    than to the timeout at the paper's operating point").
+    """
+    ratfunc = _as_ratfunc(expression)
+    derivative = ratfunc.partial_derivative(symbol)
+    return derivative * RatFunc(Polynomial.from_symbol(symbol)) / ratfunc
+
+
+def evaluate_gradient(
+    expression, bindings: Mapping[Symbol, NumberLike], symbols=None
+) -> Dict[Symbol, Fraction]:
+    """Numeric gradient at a parameter point (symbols default to all free symbols)."""
+    ratfunc = _as_ratfunc(expression)
+    chosen = list(symbols) if symbols is not None else sorted(ratfunc.symbols())
+    return {
+        symbol: ratfunc.partial_derivative(symbol).evaluate(bindings) for symbol in chosen
+    }
+
+
+def finite_difference(
+    function: Callable[[Fraction], float | Fraction],
+    point: NumberLike,
+    *,
+    relative_step: NumberLike = Fraction(1, 1000),
+) -> Fraction:
+    """Central finite-difference derivative of a black-box measure.
+
+    Used to cross-check the exact derivatives against measures that only
+    exist numerically (simulation estimates, swept numeric pipelines).
+    """
+    point_fraction = as_fraction(point)
+    step = abs(point_fraction) * as_fraction(relative_step)
+    if step == 0:
+        step = as_fraction(relative_step)
+    upper = as_fraction(function(point_fraction + step))
+    lower = as_fraction(function(point_fraction - step))
+    return (upper - lower) / (2 * step)

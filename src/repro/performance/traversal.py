@@ -1,0 +1,239 @@
+"""Traversal-rate equations over decision graphs (the paper's Figure 8).
+
+For every edge ``i`` of the decision graph the *rate of traversal* ``r_i``
+satisfies
+
+``r_i = p_i · (sum of r_j over edges j entering source(i))``
+
+i.e. the rate of an outgoing edge is its branching probability times the
+total rate flowing into its source node.  The system determines the rates up
+to a common scale; the paper fixes one rate to 1 and solves for the rest.
+
+This module solves the equivalent *node visit-rate* system (``v = v·P`` with
+a reference node fixed at 1) exactly — with rational arithmetic for numeric
+decision graphs and rational-function arithmetic for symbolic ones — and
+exposes the edge rates, the node rates, and re-normalization helpers that
+reproduce the paper's "assume ``r_j = 1``" presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Tuple, Union
+
+from ..exceptions import NotErgodicError, PerformanceError
+from ..reachability.decision import DecisionEdge, DecisionGraph
+from ..symbolic.ratfunc import RatFunc
+from .linear import solve_stationary_weights
+
+Scalar = Union[Fraction, RatFunc]
+
+
+def _field_constants(symbolic: bool):
+    if symbolic:
+        return RatFunc.zero(), RatFunc.one()
+    return Fraction(0), Fraction(1)
+
+
+def _coerce(value, symbolic: bool) -> Scalar:
+    if symbolic:
+        return RatFunc.coerce(value)
+    return Fraction(value)
+
+
+@dataclass(frozen=True)
+class TraversalRates:
+    """The solved traversal rates of a decision graph.
+
+    Attributes
+    ----------
+    decision_graph:
+        The graph the rates belong to.
+    node_rates:
+        Relative visit rate of every anchor node (TRG node index -> rate).
+    edge_rates:
+        Relative traversal rate of every decision edge (edge index -> rate).
+    reference_anchor:
+        The anchor whose visit rate was fixed to 1 while solving.
+    symbolic:
+        Whether the rates are rational functions (True) or exact numbers.
+    """
+
+    decision_graph: DecisionGraph
+    node_rates: Dict[int, Scalar]
+    edge_rates: Dict[int, Scalar]
+    reference_anchor: int
+    symbolic: bool
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def rate_of_edge(self, edge: DecisionEdge | int) -> Scalar:
+        """Traversal rate of a decision edge (by object or index)."""
+        index = edge.index if isinstance(edge, DecisionEdge) else edge
+        return self.edge_rates[index]
+
+    def rate_of_node(self, anchor: int) -> Scalar:
+        """Visit rate of an anchor node (TRG node index)."""
+        return self.node_rates[anchor]
+
+    def normalized_to_edge(self, edge: DecisionEdge | int) -> "TraversalRates":
+        """Re-scale all rates so the given edge has rate exactly 1.
+
+        This reproduces the paper's presentation, which fixes one edge's rate
+        to 1 before listing the others.
+        """
+        index = edge.index if isinstance(edge, DecisionEdge) else edge
+        scale = self.edge_rates[index]
+        if (hasattr(scale, "is_zero") and scale.is_zero()) or scale == 0:
+            raise PerformanceError(f"edge {index} has rate zero; cannot normalize to it")
+        return TraversalRates(
+            decision_graph=self.decision_graph,
+            node_rates={node: rate / scale for node, rate in self.node_rates.items()},
+            edge_rates={edge_index: rate / scale for edge_index, rate in self.edge_rates.items()},
+            reference_anchor=self.reference_anchor,
+            symbolic=self.symbolic,
+        )
+
+    def equations_text(self) -> str:
+        """Render the traversal-rate equations in the style of Figure 8."""
+        lines = []
+        for edge in self.decision_graph.edges:
+            incoming = self.decision_graph.incoming(edge.source)
+            incoming_text = " + ".join(f"r{e.index + 1}" for e in incoming) or "0"
+            lines.append(f"r{edge.index + 1} = ({edge.probability}) * ({incoming_text})")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        flavour = "symbolic" if self.symbolic else "numeric"
+        return f"TraversalRates({flavour}, edges={len(self.edge_rates)})"
+
+
+def recurrent_anchors(decision: DecisionGraph) -> Tuple[int, ...]:
+    """The anchors of the unique bottom strongly connected component.
+
+    Decision nodes visited only during the initial transient (before the
+    behaviour settles into its steady-state cycle) carry no stationary
+    traversal rate; this helper identifies the recurrent anchors the
+    traversal-rate equations are solved over.  Raises
+    :class:`~repro.exceptions.NotErgodicError` when the decision graph has
+    more than one bottom component (no unique steady state).
+    """
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(decision.anchors)
+    for edge in decision.edges:
+        if edge.target is not None:
+            graph.add_edge(edge.source, edge.target)
+    components = list(nx.strongly_connected_components(graph))
+    condensation = nx.condensation(graph, scc=components)
+    bottoms = [node for node in condensation.nodes if condensation.out_degree(node) == 0]
+    if len(bottoms) != 1:
+        raise NotErgodicError(
+            "the decision graph has several terminal components; no unique steady-state "
+            "cycle exists"
+        )
+    members = condensation.nodes[bottoms[0]]["members"]
+    return tuple(anchor for anchor in decision.anchors if anchor in members)
+
+
+def traversal_rates(
+    decision: DecisionGraph,
+    *,
+    reference_anchor: Optional[int] = None,
+) -> TraversalRates:
+    """Solve the traversal-rate equations of a decision graph.
+
+    Anchors outside the steady-state (recurrent) part of the graph receive
+    rate zero, as do the edges leaving them.
+
+    Raises
+    ------
+    NotErgodicError
+        When the graph has an absorbing (dead-end) edge, has no anchor at
+        all, or its stationary equations are singular — in all those cases no
+        steady-state cycle exists and the paper's performance measures are
+        undefined.
+    """
+    if decision.anchor_count == 0:
+        raise NotErgodicError(
+            "the decision graph has no anchor node; the timed reachability graph has "
+            "no steady-state cycle"
+        )
+    if decision.has_absorbing_edge():
+        raise NotErgodicError(
+            "the decision graph contains a path ending in a dead state; the model has "
+            "no steady state (deadlock reachable)"
+        )
+
+    symbolic = decision.trg.symbolic
+    zero, one = _field_constants(symbolic)
+
+    recurrent = recurrent_anchors(decision)
+    anchors = list(recurrent)
+    anchor_position = {anchor: index for index, anchor in enumerate(anchors)}
+    if reference_anchor is None:
+        reference_anchor = anchors[0]
+    if reference_anchor not in anchor_position:
+        raise PerformanceError(
+            f"reference anchor {reference_anchor} is not a recurrent decision node"
+        )
+
+    # Total transition probability between recurrent anchors (parallel edges
+    # summed); edges leaving transient anchors do not influence the steady
+    # state and are skipped here (they get rate zero below).
+    totals: Dict[tuple, Scalar] = {}
+    for edge in decision.edges:
+        if edge.source not in anchor_position or edge.target not in anchor_position:
+            continue
+        key = (anchor_position[edge.source], anchor_position[edge.target])
+        probability = _coerce(edge.probability, symbolic)
+        totals[key] = totals.get(key, zero) + probability
+
+    def transition_probability(source: int, target: int) -> Scalar:
+        return totals.get((source, target), zero)
+
+    weights = solve_stationary_weights(
+        transition_probability,
+        len(anchors),
+        reference=anchor_position[reference_anchor],
+        zero=zero,
+        one=one,
+    )
+
+    # Verify the (dropped) reference equation: guards against non-ergodic
+    # graphs that happen to produce a solvable reduced system.
+    reference_index = anchor_position[reference_anchor]
+    balance = zero
+    for source_index in range(len(anchors)):
+        balance = balance + transition_probability(source_index, reference_index) * weights[source_index]
+    if not _equals(balance, weights[reference_index]):
+        raise NotErgodicError(
+            "the decision graph is not a single recurrent class; stationary visit rates "
+            "do not exist"
+        )
+
+    node_rates = {anchor: weights[anchor_position[anchor]] for anchor in anchors}
+    for anchor in decision.anchors:
+        node_rates.setdefault(anchor, zero)
+    edge_rates = {
+        edge.index: _coerce(edge.probability, symbolic) * node_rates[edge.source]
+        for edge in decision.edges
+    }
+    return TraversalRates(
+        decision_graph=decision,
+        node_rates=node_rates,
+        edge_rates=edge_rates,
+        reference_anchor=reference_anchor,
+        symbolic=symbolic,
+    )
+
+
+def _equals(left: Scalar, right: Scalar) -> bool:
+    difference = left - right
+    if hasattr(difference, "is_zero"):
+        return difference.is_zero()
+    return difference == 0

@@ -1,0 +1,108 @@
+"""The Petri net substrate: model classes, structural and behavioural analysis, I/O.
+
+Public surface:
+
+* model: :class:`Place`, :class:`Transition`, :class:`TimedPetriNet`,
+  :class:`Marking`, :class:`Multiset`, :class:`NetBuilder`, :class:`ConflictSet`
+* structural analysis: :func:`incidence_matrices`, :func:`place_invariants`,
+  :func:`transition_invariants`, :func:`classify`, siphons/traps helpers
+* behavioural analysis (untimed semantics): :func:`reachability_graph`,
+  :func:`coverability_graph`, :func:`behavioural_report` and friends
+* validation: :func:`validate_net`, :func:`assert_valid`
+* I/O: :mod:`repro.petri.io`
+"""
+
+from .builder import NetBuilder
+from .classification import StructuralClassification, classify
+from .conflict import ConflictSet, partition_into_conflict_sets, validate_user_partition
+from .incidence import IncidenceMatrices, incidence_matrices
+from .invariants import (
+    Invariant,
+    check_state_equation,
+    invariant_token_sums,
+    is_covered_by_place_invariants,
+    is_covered_by_transition_invariants,
+    place_invariants,
+    transition_invariants,
+)
+from .marking import Marking
+from .multiset import EMPTY_MULTISET, Multiset
+from .net import Place, TimedPetriNet, Transition
+from .properties import (
+    BehaviouralReport,
+    behavioural_report,
+    find_deadlocks,
+    is_bounded,
+    is_deadlock_free,
+    is_live,
+    is_quasi_live,
+    is_reversible,
+    is_safe,
+    structural_bound_report,
+)
+from .siphons import (
+    commoner_condition,
+    is_siphon,
+    is_trap,
+    maximal_siphon_within,
+    maximal_trap_within,
+    minimal_siphons,
+    minimal_traps,
+)
+from .untimed import (
+    OMEGA,
+    CoverabilityGraph,
+    UntimedReachabilityGraph,
+    coverability_graph,
+    reachability_graph,
+)
+from .validation import Diagnostic, assert_valid, validate_net
+
+__all__ = [
+    "BehaviouralReport",
+    "ConflictSet",
+    "CoverabilityGraph",
+    "Diagnostic",
+    "EMPTY_MULTISET",
+    "IncidenceMatrices",
+    "Invariant",
+    "Marking",
+    "Multiset",
+    "NetBuilder",
+    "OMEGA",
+    "Place",
+    "StructuralClassification",
+    "TimedPetriNet",
+    "Transition",
+    "UntimedReachabilityGraph",
+    "assert_valid",
+    "behavioural_report",
+    "check_state_equation",
+    "classify",
+    "commoner_condition",
+    "coverability_graph",
+    "find_deadlocks",
+    "incidence_matrices",
+    "invariant_token_sums",
+    "is_bounded",
+    "is_covered_by_place_invariants",
+    "is_covered_by_transition_invariants",
+    "is_deadlock_free",
+    "is_live",
+    "is_quasi_live",
+    "is_reversible",
+    "is_safe",
+    "is_siphon",
+    "is_trap",
+    "maximal_siphon_within",
+    "maximal_trap_within",
+    "minimal_siphons",
+    "minimal_traps",
+    "partition_into_conflict_sets",
+    "place_invariants",
+    "reachability_graph",
+    "structural_bound_report",
+    "transition_invariants",
+    "validate_net",
+    "validate_user_partition",
+]

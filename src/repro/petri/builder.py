@@ -1,0 +1,173 @@
+"""A fluent builder for Timed Petri Nets.
+
+:class:`TimedPetriNet` instances are immutable; assembling one directly
+requires building every :class:`~repro.petri.net.Transition` by hand.  The
+:class:`NetBuilder` offers the incremental, declaration-order-preserving
+construction style most model descriptions naturally follow::
+
+    builder = NetBuilder("simple-protocol")
+    builder.place("p1", "message ready to send")
+    builder.place("p2", "awaiting acknowledgement")
+    builder.transition(
+        "t1", inputs=["p1"], outputs=["p2", "p4"],
+        firing_time=1, description="sender transmits packet",
+    )
+    builder.mark("p1")
+    net = builder.build()
+
+Places referenced by transitions but never declared explicitly are created
+automatically (with an empty description) unless ``strict_places=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..exceptions import NetDefinitionError
+from ..symbolic.linexpr import ExprLike
+from .marking import Marking
+from .multiset import Multiset
+from .net import Place, TimedPetriNet, Transition
+
+
+class NetBuilder:
+    """Incrementally assemble a :class:`~repro.petri.net.TimedPetriNet`.
+
+    Parameters
+    ----------
+    name:
+        Name of the net under construction.
+    strict_places:
+        When True, transitions may only reference places declared beforehand
+        with :meth:`place`; when False (default) unknown places are created
+        on first use, which keeps small models terse.
+    """
+
+    def __init__(self, name: str = "net", *, strict_places: bool = False):
+        self.name = name
+        self._strict_places = strict_places
+        self._places: Dict[str, Place] = {}
+        self._transitions: Dict[str, Transition] = {}
+        self._marking: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def place(
+        self, name: str, description: str = "", *, capacity: Optional[int] = None, tokens: int = 0
+    ) -> "NetBuilder":
+        """Declare a place, optionally with initial tokens."""
+        if name in self._places:
+            raise NetDefinitionError(f"place {name!r} declared twice")
+        if name in self._transitions:
+            raise NetDefinitionError(f"name {name!r} already used for a transition")
+        self._places[name] = Place(name, description, capacity)
+        if tokens:
+            self.mark(name, tokens)
+        return self
+
+    def places(self, names: Iterable[str]) -> "NetBuilder":
+        """Declare several description-less places at once."""
+        for name in names:
+            self.place(name)
+        return self
+
+    def transition(
+        self,
+        name: str,
+        *,
+        inputs: Iterable[str] | Mapping[str, int] = (),
+        outputs: Iterable[str] | Mapping[str, int] = (),
+        enabling_time: ExprLike = 0,
+        firing_time: ExprLike = 0,
+        frequency: ExprLike = 1,
+        description: str = "",
+    ) -> "NetBuilder":
+        """Declare a transition with its arcs, timing and firing frequency.
+
+        ``inputs`` / ``outputs`` accept either an iterable of place names
+        (each occurrence adds one arc weight) or a ``{place: weight}``
+        mapping.
+        """
+        if name in self._transitions:
+            raise NetDefinitionError(f"transition {name!r} declared twice")
+        if name in self._places:
+            raise NetDefinitionError(f"name {name!r} already used for a place")
+        input_bag = Multiset(inputs)
+        output_bag = Multiset(outputs)
+        self._register_places(input_bag, name, "input")
+        self._register_places(output_bag, name, "output")
+        self._transitions[name] = Transition(
+            name=name,
+            inputs=input_bag,
+            outputs=output_bag,
+            enabling_time=enabling_time,
+            firing_time=firing_time,
+            firing_frequency=frequency,
+            description=description,
+        )
+        return self
+
+    def _register_places(self, bag: Multiset, transition_name: str, role: str) -> None:
+        for place_name in bag:
+            if place_name in self._places:
+                continue
+            if self._strict_places:
+                raise NetDefinitionError(
+                    f"transition {transition_name!r} references undeclared place "
+                    f"{place_name!r} in its {role} bag (strict_places=True)"
+                )
+            self._places[str(place_name)] = Place(str(place_name))
+
+    def mark(self, place_name: str, tokens: int = 1) -> "NetBuilder":
+        """Add ``tokens`` tokens to a place in the initial marking."""
+        if not isinstance(tokens, int) or isinstance(tokens, bool) or tokens < 0:
+            raise NetDefinitionError("token count must be a non-negative int")
+        if place_name not in self._places:
+            if self._strict_places:
+                raise NetDefinitionError(f"cannot mark undeclared place {place_name!r}")
+            self._places[place_name] = Place(place_name)
+        self._marking[place_name] = self._marking.get(place_name, 0) + tokens
+        return self
+
+    def initial_marking(self, tokens: Mapping[str, int]) -> "NetBuilder":
+        """Replace the initial marking wholesale."""
+        self._marking = {}
+        for place_name, count in tokens.items():
+            self.mark(place_name, count)
+        return self
+
+    # ------------------------------------------------------------------
+    # Inspection and build
+    # ------------------------------------------------------------------
+
+    @property
+    def declared_places(self) -> List[str]:
+        """Names of the places declared so far, in declaration order."""
+        return list(self._places)
+
+    @property
+    def declared_transitions(self) -> List[str]:
+        """Names of the transitions declared so far, in declaration order."""
+        return list(self._transitions)
+
+    def build(self, *, conflict_frequencies_required: bool = True) -> TimedPetriNet:
+        """Construct the immutable net.  The builder can keep being used afterwards."""
+        if not self._places:
+            raise NetDefinitionError("cannot build a net without places")
+        if not self._transitions:
+            raise NetDefinitionError("cannot build a net without transitions")
+        return TimedPetriNet(
+            self.name,
+            list(self._places.values()),
+            list(self._transitions.values()),
+            Marking(tuple(self._places), self._marking),
+            conflict_frequencies_required=conflict_frequencies_required,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"NetBuilder(name={self.name!r}, places={len(self._places)}, "
+            f"transitions={len(self._transitions)})"
+        )

@@ -1,0 +1,135 @@
+"""Structural classification of Petri nets.
+
+Membership of a net in one of the classical structural subclasses tells the
+analyst which theory applies cheaply:
+
+* **state machines** (every transition has exactly one input and one output
+  place) — conflicts but no synchronization; strongly connected state
+  machines with one token are exactly finite automata;
+* **marked graphs** (every place has exactly one input and one output
+  transition) — synchronization but no conflict; classical cycle-time
+  results apply directly;
+* **free-choice nets** — every conflict is a "free" choice: if two
+  transitions share an input place they share *all* their input places;
+  the paper's conflict-set probability rule is most natural in this class
+  because whenever one member of a conflict set is enabled, all are;
+* **extended free-choice** and **asymmetric choice** — the usual weakenings.
+
+The functions below compute membership for any :class:`TimedPetriNet`; the
+protocol models in :mod:`repro.protocols` use them in their test suites to
+document which class each model falls into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .net import TimedPetriNet
+
+
+@dataclass(frozen=True)
+class StructuralClassification:
+    """Membership flags for the classical net subclasses."""
+
+    is_state_machine: bool
+    is_marked_graph: bool
+    is_free_choice: bool
+    is_extended_free_choice: bool
+    is_asymmetric_choice: bool
+
+    def most_specific_class(self) -> str:
+        """A human-readable name of the most specific class the net belongs to."""
+        if self.is_state_machine and self.is_marked_graph:
+            return "circuit (state machine and marked graph)"
+        if self.is_state_machine:
+            return "state machine"
+        if self.is_marked_graph:
+            return "marked graph"
+        if self.is_free_choice:
+            return "free choice"
+        if self.is_extended_free_choice:
+            return "extended free choice"
+        if self.is_asymmetric_choice:
+            return "asymmetric choice"
+        return "general"
+
+
+def is_state_machine(net: TimedPetriNet) -> bool:
+    """Every transition has exactly one input place and one output place (weight 1)."""
+    for name in net.transition_order:
+        transition = net.transition(name)
+        if transition.inputs.total() != 1 or transition.outputs.total() != 1:
+            return False
+    return True
+
+
+def is_marked_graph(net: TimedPetriNet) -> bool:
+    """Every place has exactly one producing and one consuming transition (weight 1)."""
+    for place in net.place_order:
+        producers = sum(
+            net.transition(name).outputs[place] for name in net.transition_order
+        )
+        consumers = sum(
+            net.transition(name).inputs[place] for name in net.transition_order
+        )
+        if producers != 1 or consumers != 1:
+            return False
+    return True
+
+
+def is_free_choice(net: TimedPetriNet) -> bool:
+    """If two transitions share an input place, they have identical singleton presets.
+
+    We use the common definition: for every place ``p`` with more than one
+    consumer, every consumer of ``p`` has ``{p}`` as its entire input bag.
+    """
+    for place in net.place_order:
+        consumers = net.postset_of_place(place)
+        if len(consumers) <= 1:
+            continue
+        for consumer in consumers:
+            inputs = net.transition(consumer).inputs
+            if inputs.total() != 1 or inputs[place] != 1:
+                return False
+    return True
+
+
+def is_extended_free_choice(net: TimedPetriNet) -> bool:
+    """If two transitions share any input place they have equal input sets."""
+    presets: Dict[str, frozenset] = {
+        name: net.transition(name).inputs.support() for name in net.transition_order
+    }
+    names = list(net.transition_order)
+    for i, first in enumerate(names):
+        for second in names[i + 1:]:
+            if presets[first] & presets[second] and presets[first] != presets[second]:
+                return False
+    return True
+
+
+def is_asymmetric_choice(net: TimedPetriNet) -> bool:
+    """If two transitions share an input place, one preset contains the other."""
+    presets: Dict[str, frozenset] = {
+        name: net.transition(name).inputs.support() for name in net.transition_order
+    }
+    names = list(net.transition_order)
+    for i, first in enumerate(names):
+        for second in names[i + 1:]:
+            shared = presets[first] & presets[second]
+            if shared and not (
+                presets[first] <= presets[second] or presets[second] <= presets[first]
+            ):
+                return False
+    return True
+
+
+def classify(net: TimedPetriNet) -> StructuralClassification:
+    """Compute every membership flag at once."""
+    return StructuralClassification(
+        is_state_machine=is_state_machine(net),
+        is_marked_graph=is_marked_graph(net),
+        is_free_choice=is_free_choice(net),
+        is_extended_free_choice=is_extended_free_choice(net),
+        is_asymmetric_choice=is_asymmetric_choice(net),
+    )

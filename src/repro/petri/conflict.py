@@ -1,0 +1,264 @@
+"""Conflict sets and branching probabilities.
+
+Section 1 of the paper requires every Timed Petri Net to be partitioned into
+*disjoint conflict sets*: transition ``t_i`` belongs to the conflict set
+
+``C = { t_j | I(t_i) ∩ I(t_j) ≠ ∅ }``
+
+i.e. two transitions are in conflict when their input bags share a place, and
+conflict sets are the equivalence classes of the transitive closure of that
+relation (the definition "implies that conflict sets cannot overlap").
+
+When a *decision state* is reached — one where several transitions of a
+conflict set are firable — the probability of firing a firable transition
+``t_i`` is its relative firing frequency divided by the sum of the relative
+frequencies of the firable members of the set.  Two special rules apply:
+
+* a frequency of zero means that the other firable members always have
+  priority (the zero-frequency transition never fires while a positive-
+  frequency one is firable), and
+* if only one transition is firable its probability is 1 regardless of its
+  frequency.
+
+This module computes the partition (union-find over shared input places) and
+implements the probability rule for numeric frequencies; the symbolic version
+(probabilities as rational functions of frequency symbols) lives in
+:mod:`repro.reachability.algebra` because it needs the polynomial domain.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..exceptions import ConflictSetError
+from ..symbolic.linexpr import LinExpr
+
+
+class ConflictSet:
+    """An immutable set of mutually conflicting transitions.
+
+    The set stores the transitions' relative firing frequencies so that
+    branching probabilities can be computed without going back to the net.
+    """
+
+    __slots__ = ("_names", "_frequencies", "_shared_places")
+
+    def __init__(
+        self,
+        transition_names: Iterable[str],
+        frequencies: Mapping[str, object],
+        shared_places: Iterable[str] = (),
+    ):
+        names = tuple(sorted(transition_names))
+        if not names:
+            raise ConflictSetError("a conflict set must contain at least one transition")
+        missing = [name for name in names if name not in frequencies]
+        if missing:
+            raise ConflictSetError(f"missing firing frequencies for transitions {missing}")
+        self._names: Tuple[str, ...] = names
+        self._frequencies: Dict[str, object] = {name: frequencies[name] for name in names}
+        self._shared_places: Tuple[str, ...] = tuple(sorted(set(shared_places)))
+
+    @property
+    def transition_names(self) -> Tuple[str, ...]:
+        """Members of the conflict set, sorted by name."""
+        return self._names
+
+    @property
+    def shared_places(self) -> Tuple[str, ...]:
+        """Places shared by at least two members (empty for singleton sets)."""
+        return self._shared_places
+
+    def frequency(self, transition_name: str) -> object:
+        """The relative firing frequency of a member."""
+        try:
+            return self._frequencies[transition_name]
+        except KeyError:
+            raise ConflictSetError(
+                f"transition {transition_name!r} is not a member of this conflict set"
+            ) from None
+
+    @property
+    def frequencies(self) -> Dict[str, object]:
+        """Copy of the ``{transition: frequency}`` mapping."""
+        return dict(self._frequencies)
+
+    @property
+    def has_choice(self) -> bool:
+        """True when the set contains more than one transition."""
+        return len(self._names) > 1
+
+    @property
+    def is_symbolic(self) -> bool:
+        """True when any member frequency is a symbolic expression."""
+        return any(isinstance(freq, LinExpr) for freq in self._frequencies.values())
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self):
+        return iter(self._names)
+
+    def __contains__(self, transition_name: object) -> bool:
+        return transition_name in self._frequencies
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConflictSet):
+            return NotImplemented
+        return self._names == other._names and self._frequencies == other._frequencies
+
+    def __hash__(self) -> int:
+        return hash(self._names)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}: {self._frequencies[name]}" for name in self._names)
+        return f"ConflictSet({{{inner}}})"
+
+    # ------------------------------------------------------------------
+    # Branching probabilities (numeric case)
+    # ------------------------------------------------------------------
+
+    def firing_probabilities(self, firable: Sequence[str]) -> Dict[str, Fraction]:
+        """Branching probabilities for the firable members of this conflict set.
+
+        Implements the paper's rule for numeric frequencies.  Members listed
+        in ``firable`` that do not belong to the set raise
+        :class:`~repro.exceptions.ConflictSetError`.  Symbolic frequencies
+        must go through the symbolic probability algebra instead.
+
+        The returned mapping only contains transitions with a strictly
+        positive probability.
+        """
+        firable_members = [name for name in firable]
+        for name in firable_members:
+            if name not in self._frequencies:
+                raise ConflictSetError(
+                    f"transition {name!r} is not a member of conflict set {self._names}"
+                )
+        if not firable_members:
+            return {}
+        if self.is_symbolic:
+            raise ConflictSetError(
+                "firing_probabilities() only handles numeric frequencies; use the "
+                "symbolic probability algebra for symbolic conflict sets"
+            )
+        if len(firable_members) == 1:
+            return {firable_members[0]: Fraction(1)}
+
+        frequencies = {name: Fraction(self._frequencies[name]) for name in firable_members}
+        positive = {name: freq for name, freq in frequencies.items() if freq > 0}
+        if positive:
+            total = sum(positive.values())
+            return {name: freq / total for name, freq in positive.items()}
+        # Every firable member has frequency zero: the paper leaves this case
+        # open; we resolve it uniformly so the graph stays well defined, and
+        # validation warns about it separately.
+        share = Fraction(1, len(firable_members))
+        return {name: share for name in firable_members}
+
+
+def partition_into_conflict_sets(transitions: Iterable) -> Tuple[ConflictSet, ...]:
+    """Partition transitions into disjoint conflict sets.
+
+    Two transitions conflict when their input bags share at least one place;
+    the partition is the transitive closure of that relation, computed with a
+    union-find over input places.  Transitions with empty input bags never
+    conflict with anything and each form a singleton set.
+
+    Parameters
+    ----------
+    transitions:
+        Iterable of :class:`repro.petri.net.Transition` (anything exposing
+        ``name``, ``inputs`` and ``firing_frequency`` works).
+
+    Returns
+    -------
+    tuple of :class:`ConflictSet`
+        Deterministically ordered by the smallest member name.
+    """
+    transitions = list(transitions)
+    parent: Dict[str, str] = {transition.name: transition.name for transition in transitions}
+
+    def find(item: str) -> str:
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(left: str, right: str) -> None:
+        left_root, right_root = find(left), find(right)
+        if left_root != right_root:
+            parent[max(left_root, right_root)] = min(left_root, right_root)
+
+    place_to_consumers: Dict[str, List[str]] = {}
+    for transition in transitions:
+        for place_name in transition.inputs:
+            place_to_consumers.setdefault(place_name, []).append(transition.name)
+
+    for consumers in place_to_consumers.values():
+        for other in consumers[1:]:
+            union(consumers[0], other)
+
+    groups: Dict[str, List[str]] = {}
+    for transition in transitions:
+        groups.setdefault(find(transition.name), []).append(transition.name)
+
+    frequency_of = {transition.name: transition.firing_frequency for transition in transitions}
+    inputs_of = {transition.name: transition.inputs for transition in transitions}
+
+    conflict_sets = []
+    for members in groups.values():
+        shared = [
+            place
+            for place, consumers in place_to_consumers.items()
+            if len([c for c in consumers if c in members]) > 1
+        ]
+        conflict_sets.append(
+            ConflictSet(
+                members,
+                {name: frequency_of[name] for name in members},
+                shared_places=shared,
+            )
+        )
+        # Sanity: members of one set either share a place directly or are
+        # connected through a chain of shared places; singleton sets trivially
+        # satisfy this.  (The chain property is guaranteed by construction.)
+        if len(members) > 1 and not any(
+            inputs_of[a].intersects(inputs_of[b])
+            for i, a in enumerate(members)
+            for b in members[i + 1:]
+        ):
+            raise ConflictSetError(
+                f"internal error: conflict set {sorted(members)} has no shared input place"
+            )
+    conflict_sets.sort(key=lambda conflict_set: conflict_set.transition_names[0])
+    return tuple(conflict_sets)
+
+
+def validate_user_partition(
+    declared: Sequence[Iterable[str]], derived: Sequence[ConflictSet]
+) -> None:
+    """Check that a user-declared conflict-set partition matches the derived one.
+
+    The paper asks the modeller to *define* the conflict sets; since they are
+    fully determined by the net structure the library derives them and uses
+    this helper to confirm a user's declaration (e.g. read from a file) is
+    consistent, raising :class:`~repro.exceptions.ConflictSetError` otherwise.
+    """
+    declared_multi = {frozenset(group) for group in declared if len(frozenset(group)) > 1}
+    derived_multi = {
+        frozenset(conflict_set.transition_names)
+        for conflict_set in derived
+        if len(conflict_set.transition_names) > 1
+    }
+    if declared_multi != derived_multi:
+        raise ConflictSetError(
+            "declared conflict sets %s do not match the structurally derived sets %s"
+            % (
+                sorted(sorted(group) for group in declared_multi),
+                sorted(sorted(group) for group in derived_multi),
+            )
+        )

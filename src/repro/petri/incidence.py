@@ -1,0 +1,121 @@
+"""Incidence matrices of Petri nets.
+
+For a net with places ``p_1..p_m`` and transitions ``t_1..t_n`` the
+*backward* incidence matrix ``Pre`` has ``Pre[i][j] = #(p_i, I(t_j))``, the
+*forward* incidence matrix ``Post`` has ``Post[i][j] = #(p_i, O(t_j))`` and
+the incidence matrix is ``C = Post - Pre``.  The state equation
+``mu = mu0 + C·sigma`` underlies invariant analysis, boundedness arguments
+and the structural classification used elsewhere in :mod:`repro.petri`.
+
+Matrices are returned both as plain nested lists of Python ints (exact, used
+by the invariant computation) and as ``numpy`` arrays (convenient for
+numeric work such as rank computations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .net import TimedPetriNet
+
+
+class IncidenceMatrices:
+    """Pre/Post/C matrices of a net, with row/column labels.
+
+    Rows are indexed by place (in the net's place order) and columns by
+    transition (in the net's transition order).
+    """
+
+    def __init__(self, net: TimedPetriNet):
+        self.place_order: Tuple[str, ...] = net.place_order
+        self.transition_order: Tuple[str, ...] = net.transition_order
+        rows = len(self.place_order)
+        columns = len(self.transition_order)
+        pre = [[0] * columns for _ in range(rows)]
+        post = [[0] * columns for _ in range(rows)]
+        place_index = {name: index for index, name in enumerate(self.place_order)}
+        for column, transition_name in enumerate(self.transition_order):
+            transition = net.transition(transition_name)
+            for place_name, weight in transition.inputs.items():
+                pre[place_index[place_name]][column] = weight
+            for place_name, weight in transition.outputs.items():
+                post[place_index[place_name]][column] = weight
+        self.pre: List[List[int]] = pre
+        self.post: List[List[int]] = post
+        self.incidence: List[List[int]] = [
+            [post[i][j] - pre[i][j] for j in range(columns)] for i in range(rows)
+        ]
+
+    # ------------------------------------------------------------------
+    # Numpy views
+    # ------------------------------------------------------------------
+
+    def pre_array(self) -> np.ndarray:
+        """Backward incidence matrix as an ``int64`` numpy array."""
+        return np.array(self.pre, dtype=np.int64).reshape(
+            len(self.place_order), len(self.transition_order)
+        )
+
+    def post_array(self) -> np.ndarray:
+        """Forward incidence matrix as an ``int64`` numpy array."""
+        return np.array(self.post, dtype=np.int64).reshape(
+            len(self.place_order), len(self.transition_order)
+        )
+
+    def incidence_array(self) -> np.ndarray:
+        """Incidence matrix ``C = Post - Pre`` as an ``int64`` numpy array."""
+        return np.array(self.incidence, dtype=np.int64).reshape(
+            len(self.place_order), len(self.transition_order)
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def rank(self) -> int:
+        """Rank of the incidence matrix (over the rationals)."""
+        if not self.place_order or not self.transition_order:
+            return 0
+        return int(np.linalg.matrix_rank(self.incidence_array().astype(float)))
+
+    def column(self, transition_name: str) -> List[int]:
+        """The incidence column of a transition (token-count change per place)."""
+        index = self.transition_order.index(transition_name)
+        return [row[index] for row in self.incidence]
+
+    def row(self, place_name: str) -> List[int]:
+        """The incidence row of a place (effect of each transition on the place)."""
+        index = self.place_order.index(place_name)
+        return list(self.incidence[index])
+
+    def apply_firing_count_vector(
+        self, initial: Sequence[int], firing_counts: Sequence[int]
+    ) -> List[int]:
+        """Evaluate the state equation ``mu = mu0 + C·sigma``.
+
+        This is a *necessary* condition for reachability, used in tests to
+        cross-check markings discovered by explicit exploration.
+        """
+        if len(initial) != len(self.place_order):
+            raise ValueError("initial marking vector has the wrong length")
+        if len(firing_counts) != len(self.transition_order):
+            raise ValueError("firing count vector has the wrong length")
+        result = list(initial)
+        for row_index, row in enumerate(self.incidence):
+            result[row_index] += sum(
+                weight * count for weight, count in zip(row, firing_counts)
+            )
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"IncidenceMatrices(places={len(self.place_order)}, "
+            f"transitions={len(self.transition_order)})"
+        )
+
+
+def incidence_matrices(net: TimedPetriNet) -> IncidenceMatrices:
+    """Convenience constructor mirroring the functional API of the package."""
+    return IncidenceMatrices(net)

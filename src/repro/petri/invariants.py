@@ -1,0 +1,210 @@
+"""Place and transition invariants (semiflows).
+
+A *P-invariant* (place invariant) is a non-negative integer vector ``y`` over
+places with ``y·C = 0``: the weighted token count ``y·mu`` is preserved by
+every firing, which is how one proves, for example, that the sender of the
+Figure-1 protocol is always in exactly one of its local states.  A
+*T-invariant* is a non-negative integer vector ``x`` over transitions with
+``C·x = 0``: firing every transition the indicated number of times reproduces
+the marking, which characterizes the protocol's steady-state cycles (and, in
+this library, cross-checks the cycles found in the decision graph).
+
+The computation uses the classical **Farkas / Martinez–Silva algorithm**: the
+matrix ``[C | I]`` is transformed by combining rows with positive rational
+multipliers until the ``C`` part is zero; the identity part then holds the
+generating set of non-negative invariants.  All arithmetic is exact.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict, List, Sequence, Tuple
+
+from .incidence import IncidenceMatrices
+from .net import TimedPetriNet
+
+
+def _normalize(vector: Sequence[int]) -> Tuple[int, ...]:
+    """Divide an integer vector by the gcd of its entries (zero vector unchanged)."""
+    divisor = 0
+    for value in vector:
+        divisor = gcd(divisor, abs(value))
+    if divisor in (0, 1):
+        return tuple(vector)
+    return tuple(value // divisor for value in vector)
+
+
+def _farkas(matrix: List[List[int]]) -> List[Tuple[int, ...]]:
+    """Return the generating set of non-negative integer solutions of ``y·M = 0``.
+
+    ``matrix`` is given row-wise: we look for non-negative row combinations
+    ``y`` (one weight per row) such that the combination of rows is the zero
+    vector.  This is the textbook Farkas algorithm operating on ``[M | I]``.
+    """
+    row_count = len(matrix)
+    if row_count == 0:
+        return []
+    column_count = len(matrix[0])
+    # Working rows: (m_part, identity_part), all exact ints.
+    rows: List[Tuple[List[int], List[int]]] = []
+    for index, row in enumerate(matrix):
+        identity = [0] * row_count
+        identity[index] = 1
+        rows.append((list(row), identity))
+
+    for column in range(column_count):
+        positive = [row for row in rows if row[0][column] > 0]
+        negative = [row for row in rows if row[0][column] < 0]
+        zero = [row for row in rows if row[0][column] == 0]
+        combined: List[Tuple[List[int], List[int]]] = list(zero)
+        for pos_m, pos_id in positive:
+            for neg_m, neg_id in negative:
+                alpha = abs(neg_m[column])
+                beta = pos_m[column]
+                new_m = [alpha * a + beta * b for a, b in zip(pos_m, neg_m)]
+                new_id = [alpha * a + beta * b for a, b in zip(pos_id, neg_id)]
+                # Normalize to keep numbers small.
+                divisor = 0
+                for value in new_m + new_id:
+                    divisor = gcd(divisor, abs(value))
+                if divisor > 1:
+                    new_m = [value // divisor for value in new_m]
+                    new_id = [value // divisor for value in new_id]
+                combined.append((new_m, new_id))
+        rows = combined
+
+    invariants = set()
+    for m_part, identity in rows:
+        if any(m_part):
+            continue
+        if not any(identity):
+            continue
+        invariants.add(_normalize(identity))
+
+    # Remove non-minimal vectors (those whose support strictly contains the
+    # support of another invariant and dominate it component-wise after
+    # scaling).  For the generating-set purposes of this library, dropping
+    # vectors that are component-wise >= another invariant is sufficient.
+    minimal: List[Tuple[int, ...]] = []
+    for candidate in sorted(invariants, key=lambda vec: (sum(vec), vec)):
+        dominated = False
+        for kept in minimal:
+            if all(c >= k for c, k in zip(candidate, kept)):
+                support_kept = {i for i, v in enumerate(kept) if v}
+                support_candidate = {i for i, v in enumerate(candidate) if v}
+                if support_kept <= support_candidate and candidate != kept:
+                    dominated = True
+                    break
+        if not dominated:
+            minimal.append(candidate)
+    return minimal
+
+
+class Invariant:
+    """A named non-negative integer invariant vector."""
+
+    def __init__(self, labels: Sequence[str], weights: Sequence[int]):
+        if len(labels) != len(weights):
+            raise ValueError("labels and weights must have the same length")
+        self.labels: Tuple[str, ...] = tuple(labels)
+        self.weights: Tuple[int, ...] = tuple(int(weight) for weight in weights)
+
+    @property
+    def support(self) -> Tuple[str, ...]:
+        """Labels with a non-zero weight."""
+        return tuple(label for label, weight in zip(self.labels, self.weights) if weight)
+
+    def weight(self, label: str) -> int:
+        """Weight of a particular place/transition (zero when outside the support)."""
+        try:
+            return self.weights[self.labels.index(label)]
+        except ValueError:
+            return 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Sparse ``{label: weight}`` view."""
+        return {label: weight for label, weight in zip(self.labels, self.weights) if weight}
+
+    def weighted_sum(self, values: Dict[str, int]) -> int:
+        """Evaluate ``sum(weight * values[label])`` (missing labels count as zero)."""
+        return sum(weight * values.get(label, 0) for label, weight in zip(self.labels, self.weights))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Invariant):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.as_dict().items()))
+
+    def __repr__(self) -> str:
+        inner = " + ".join(
+            (f"{weight}*{label}" if weight != 1 else label) for label, weight in self.as_dict().items()
+        )
+        return f"Invariant({inner or '0'})"
+
+
+def place_invariants(net: TimedPetriNet) -> List[Invariant]:
+    """Generating set of minimal non-negative P-invariants (``y·C = 0``)."""
+    matrices = IncidenceMatrices(net)
+    # Rows indexed by place: y·C = 0 with y over places -> feed C row-wise.
+    generators = _farkas([list(row) for row in matrices.incidence])
+    return [Invariant(matrices.place_order, weights) for weights in generators]
+
+
+def transition_invariants(net: TimedPetriNet) -> List[Invariant]:
+    """Generating set of minimal non-negative T-invariants (``C·x = 0``)."""
+    matrices = IncidenceMatrices(net)
+    transposed = [
+        [matrices.incidence[row][column] for row in range(len(matrices.place_order))]
+        for column in range(len(matrices.transition_order))
+    ]
+    generators = _farkas(transposed)
+    return [Invariant(matrices.transition_order, weights) for weights in generators]
+
+
+def is_covered_by_place_invariants(net: TimedPetriNet) -> bool:
+    """True when every place appears in the support of some P-invariant.
+
+    Coverage by P-invariants implies structural boundedness, which in turn
+    guarantees the timed reachability graph is finite.
+    """
+    invariants = place_invariants(net)
+    covered = set()
+    for invariant in invariants:
+        covered.update(invariant.support)
+    return covered >= set(net.place_order)
+
+
+def is_covered_by_transition_invariants(net: TimedPetriNet) -> bool:
+    """True when every transition appears in the support of some T-invariant.
+
+    For bounded, live nets this is a necessary condition; the protocol models
+    of this library satisfy it because their steady-state behaviour is a set
+    of repeating cycles.
+    """
+    invariants = transition_invariants(net)
+    covered = set()
+    for invariant in invariants:
+        covered.update(invariant.support)
+    return covered >= set(net.transition_order)
+
+
+def invariant_token_sums(net: TimedPetriNet) -> List[Tuple[Invariant, int]]:
+    """Each P-invariant together with its (conserved) weighted token count at ``mu0``."""
+    initial = net.initial_marking.to_dict()
+    return [
+        (invariant, invariant.weighted_sum(initial)) for invariant in place_invariants(net)
+    ]
+
+
+def check_state_equation(
+    net: TimedPetriNet, marking_vector: Sequence[int], firing_counts: Sequence[int]
+) -> bool:
+    """Verify ``mu = mu0 + C·sigma`` for an observed marking and firing-count vector."""
+    matrices = IncidenceMatrices(net)
+    predicted = matrices.apply_firing_count_vector(
+        net.initial_marking.to_vector(), firing_counts
+    )
+    return list(predicted) == list(marking_vector)

@@ -1,0 +1,21 @@
+"""Input/output formats for Timed Petri Nets (JSON, PNML, Graphviz DOT)."""
+
+from .dot import net_to_dot, save_dot
+from .jsonio import dumps, load, loads, net_from_dict, net_to_dict, parse_value, save
+from .pnml import load_pnml, net_from_pnml, net_to_pnml, save_pnml
+
+__all__ = [
+    "dumps",
+    "load",
+    "loads",
+    "load_pnml",
+    "net_from_dict",
+    "net_from_pnml",
+    "net_to_dict",
+    "net_to_dot",
+    "net_to_pnml",
+    "parse_value",
+    "save",
+    "save_dot",
+    "save_pnml",
+]

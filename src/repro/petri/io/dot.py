@@ -1,0 +1,92 @@
+"""Graphviz DOT export for Timed Petri Nets.
+
+The rendering follows the conventions of the paper's figures: places are
+circles (with their token count), transitions are boxes labelled with their
+name and ``E/F`` times, and conflict sets with more than one member are drawn
+in a shared colour so the probabilistic choices stand out.
+
+The output is plain DOT text; rendering to an image is left to an external
+``dot`` binary, which keeps the library dependency-free.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..net import TimedPetriNet
+
+_CONFLICT_COLOURS = (
+    "lightgoldenrod",
+    "lightsalmon",
+    "lightskyblue",
+    "palegreen",
+    "plum",
+    "khaki",
+    "lightpink",
+)
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def net_to_dot(net: TimedPetriNet, *, include_descriptions: bool = False) -> str:
+    """Render the net as a Graphviz DOT digraph."""
+    lines = [
+        f'digraph "{_escape(net.name)}" {{',
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica"];',
+    ]
+
+    # Colour assignment per multi-member conflict set.
+    colour_of = {}
+    colour_index = 0
+    for conflict_set in net.conflict_sets:
+        if conflict_set.has_choice:
+            colour = _CONFLICT_COLOURS[colour_index % len(_CONFLICT_COLOURS)]
+            colour_index += 1
+            for member in conflict_set.transition_names:
+                colour_of[member] = colour
+
+    for place in net.places.values():
+        tokens = net.initial_marking[place.name]
+        token_label = f"\\n{'●' * tokens}" if 0 < tokens <= 3 else (f"\\n{tokens}" if tokens else "")
+        description = f"\\n{_escape(place.description)}" if include_descriptions and place.description else ""
+        lines.append(
+            f'  "{_escape(place.name)}" [shape=circle, label="{_escape(place.name)}{token_label}{description}"];'
+        )
+
+    for transition in net.transitions.values():
+        timing = f"E={transition.enabling_time} F={transition.firing_time}"
+        description = (
+            f"\\n{_escape(transition.description)}"
+            if include_descriptions and transition.description
+            else ""
+        )
+        style = ""
+        if transition.name in colour_of:
+            frequency = transition.firing_frequency
+            style = f', style=filled, fillcolor="{colour_of[transition.name]}"'
+            timing += f" freq={frequency}"
+        lines.append(
+            f'  "{_escape(transition.name)}" [shape=box, label="{_escape(transition.name)}\\n{_escape(timing)}{description}"{style}];'
+        )
+
+    for transition in net.transitions.values():
+        for place_name, weight in transition.inputs.items():
+            label = f' [label="{weight}"]' if weight != 1 else ""
+            lines.append(f'  "{_escape(str(place_name))}" -> "{_escape(transition.name)}"{label};')
+        for place_name, weight in transition.outputs.items():
+            label = f' [label="{weight}"]' if weight != 1 else ""
+            lines.append(f'  "{_escape(transition.name)}" -> "{_escape(str(place_name))}"{label};')
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_dot(net: TimedPetriNet, path: Union[str, Path], *, include_descriptions: bool = False) -> Path:
+    """Write the DOT rendering of the net to ``path``."""
+    path = Path(path)
+    path.write_text(net_to_dot(net, include_descriptions=include_descriptions), encoding="utf-8")
+    return path

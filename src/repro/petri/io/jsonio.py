@@ -1,0 +1,176 @@
+"""JSON serialization of Timed Petri Nets.
+
+The JSON schema is deliberately simple and explicit so model files can be
+written by hand and diffed in version control::
+
+    {
+      "name": "simple-protocol",
+      "places": [{"name": "p1", "description": "...", "capacity": null}, ...],
+      "transitions": [
+        {"name": "t1", "inputs": {"p1": 1}, "outputs": {"p2": 1, "p4": 1},
+         "enabling_time": "0", "firing_time": "1", "frequency": "1",
+         "description": "sender transmits packet"},
+        ...
+      ],
+      "initial_marking": {"p1": 1, "p8": 1}
+    }
+
+Times and frequencies are stored as strings: either exact decimals/fractions
+(``"106.7"``, ``"1067/10"``) or symbolic expressions rendered by
+:class:`~repro.symbolic.linexpr.LinExpr` (``"E_t3"``, ``"E_t3 - F_t4"``).
+Symbolic expressions are re-parsed on load; the supported grammar is the sum
+/ difference of optionally-scaled symbols produced by ``str(LinExpr)``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from fractions import Fraction
+from pathlib import Path
+from typing import Dict, Union
+
+from ...exceptions import NetDefinitionError
+from ...symbolic.linexpr import LinExpr, TimeValue, as_fraction
+from ...symbolic.symbols import Symbol
+from ..net import Place, TimedPetriNet, Transition
+
+_TERM_PATTERN = re.compile(
+    r"\s*(?P<sign>[+-]?)\s*(?:(?P<coeff>\d+(?:\.\d+)?(?:/\d+)?)\s*\*\s*)?(?P<body>[A-Za-z_][A-Za-z_0-9()]*|\d+(?:\.\d+)?(?:/\d+)?)"
+)
+
+
+def _format_value(value: object) -> str:
+    """Render a time/frequency annotation as a canonical string."""
+    if isinstance(value, Fraction):
+        if value.denominator == 1:
+            return str(value.numerator)
+        as_float = float(value)
+        if Fraction(repr(as_float)) == value:
+            return repr(as_float)
+        return f"{value.numerator}/{value.denominator}"
+    return str(value)
+
+
+def parse_value(text: Union[str, int, float], *, symbol_kind: str = "time") -> TimeValue:
+    """Parse a time/frequency string back into a Fraction or LinExpr.
+
+    Accepts plain numbers (``"1000"``, ``"106.7"``, ``"1067/10"``) and linear
+    expressions over symbols (``"E_t3 - F_t4 - F_t6"``, ``"2*F_t1 + 3"``).
+    """
+    if isinstance(text, (int, float)):
+        return as_fraction(text)
+    text = text.strip()
+    if not text:
+        raise NetDefinitionError("empty time/frequency value")
+    # Fast path: a plain number.
+    try:
+        return as_fraction(text)
+    except (ValueError, ZeroDivisionError):
+        pass
+    expression = LinExpr()
+    position = 0
+    matched_any = False
+    while position < len(text):
+        match = _TERM_PATTERN.match(text, position)
+        if not match or match.end() == position:
+            raise NetDefinitionError(f"cannot parse expression {text!r} at offset {position}")
+        matched_any = True
+        sign = -1 if match.group("sign") == "-" else 1
+        coefficient = as_fraction(match.group("coeff")) if match.group("coeff") else Fraction(1)
+        body = match.group("body")
+        try:
+            constant = as_fraction(body)
+            expression = expression + sign * coefficient * constant
+        except ValueError:
+            symbol = Symbol(body, symbol_kind)
+            expression = expression + LinExpr.from_symbol(symbol, sign * coefficient)
+        position = match.end()
+    if not matched_any:
+        raise NetDefinitionError(f"cannot parse expression {text!r}")
+    if expression.is_constant():
+        return expression.constant_value()
+    return expression
+
+
+def net_to_dict(net: TimedPetriNet) -> Dict:
+    """Convert a net into the JSON-serializable dictionary form."""
+    return {
+        "name": net.name,
+        "places": [
+            {
+                "name": place.name,
+                "description": place.description,
+                "capacity": place.capacity,
+            }
+            for place in net.places.values()
+        ],
+        "transitions": [
+            {
+                "name": transition.name,
+                "inputs": {str(k): v for k, v in transition.inputs.items()},
+                "outputs": {str(k): v for k, v in transition.outputs.items()},
+                "enabling_time": _format_value(transition.enabling_time),
+                "firing_time": _format_value(transition.firing_time),
+                "frequency": _format_value(transition.firing_frequency),
+                "description": transition.description,
+            }
+            for transition in net.transitions.values()
+        ],
+        "initial_marking": net.initial_marking.to_dict(),
+    }
+
+
+def net_from_dict(data: Dict) -> TimedPetriNet:
+    """Rebuild a net from the dictionary form produced by :func:`net_to_dict`."""
+    try:
+        places = [
+            Place(
+                name=entry["name"],
+                description=entry.get("description", ""),
+                capacity=entry.get("capacity"),
+            )
+            for entry in data["places"]
+        ]
+        transitions = [
+            Transition(
+                name=entry["name"],
+                inputs=entry.get("inputs", {}),
+                outputs=entry.get("outputs", {}),
+                enabling_time=parse_value(entry.get("enabling_time", "0"), symbol_kind="time"),
+                firing_time=parse_value(entry.get("firing_time", "0"), symbol_kind="time"),
+                firing_frequency=parse_value(entry.get("frequency", "1"), symbol_kind="frequency"),
+                description=entry.get("description", ""),
+            )
+            for entry in data["transitions"]
+        ]
+        return TimedPetriNet(
+            data.get("name", "net"),
+            places,
+            transitions,
+            data.get("initial_marking", {}),
+        )
+    except KeyError as error:
+        raise NetDefinitionError(f"missing required field {error} in net description") from error
+
+
+def dumps(net: TimedPetriNet, *, indent: int = 2) -> str:
+    """Serialize a net to a JSON string."""
+    return json.dumps(net_to_dict(net), indent=indent, sort_keys=False)
+
+
+def loads(text: str) -> TimedPetriNet:
+    """Deserialize a net from a JSON string."""
+    return net_from_dict(json.loads(text))
+
+
+def save(net: TimedPetriNet, path: Union[str, Path]) -> Path:
+    """Write a net to a ``.json`` file and return the path."""
+    path = Path(path)
+    path.write_text(dumps(net) + "\n", encoding="utf-8")
+    return path
+
+
+def load(path: Union[str, Path]) -> TimedPetriNet:
+    """Read a net from a ``.json`` file."""
+    return loads(Path(path).read_text(encoding="utf-8"))

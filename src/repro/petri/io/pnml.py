@@ -1,0 +1,214 @@
+"""Minimal PNML import/export.
+
+PNML (Petri Net Markup Language, ISO/IEC 15909-2) is the interchange format
+understood by most Petri-net tools (TINA, GreatSPN, PIPE, ...).  This module
+writes and reads the *core* PNML constructs — places with initial markings,
+transitions, weighted arcs — plus a small ``toolspecific`` section that
+round-trips the timing and frequency annotations of this library, since core
+PNML has no standard representation for them.
+
+The goal is interoperability for the net *structure*; a net exported here can
+be opened in a standard editor, and a net drawn elsewhere can be imported and
+then annotated with times through
+:meth:`~repro.petri.net.TimedPetriNet.with_transition_times`.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, Union
+
+from ...exceptions import NetDefinitionError
+from ..multiset import Multiset
+from ..net import Place, TimedPetriNet, Transition
+from .jsonio import _format_value, parse_value
+
+_NAMESPACE = "http://www.pnml.org/version-2009/grammar/pnml"
+_TOOL_NAME = "repro-timed-petri-net"
+_TOOL_VERSION = "1.0"
+
+
+def _sub_with_text(parent: ET.Element, tag: str, text: str) -> ET.Element:
+    element = ET.SubElement(parent, tag)
+    child = ET.SubElement(element, "text")
+    child.text = text
+    return element
+
+
+def net_to_pnml(net: TimedPetriNet) -> str:
+    """Render a net as a PNML document string."""
+    root = ET.Element("pnml", attrib={"xmlns": _NAMESPACE})
+    net_element = ET.SubElement(
+        root, "net", attrib={"id": net.name, "type": f"{_NAMESPACE}/ptnet"}
+    )
+    _sub_with_text(net_element, "name", net.name)
+    page = ET.SubElement(net_element, "page", attrib={"id": "page0"})
+
+    for place in net.places.values():
+        place_element = ET.SubElement(page, "place", attrib={"id": place.name})
+        _sub_with_text(place_element, "name", place.description or place.name)
+        tokens = net.initial_marking[place.name]
+        if tokens:
+            _sub_with_text(place_element, "initialMarking", str(tokens))
+
+    arc_counter = 0
+    for transition in net.transitions.values():
+        transition_element = ET.SubElement(page, "transition", attrib={"id": transition.name})
+        _sub_with_text(transition_element, "name", transition.description or transition.name)
+        tool = ET.SubElement(
+            transition_element,
+            "toolspecific",
+            attrib={"tool": _TOOL_NAME, "version": _TOOL_VERSION},
+        )
+        ET.SubElement(tool, "enablingTime").text = _format_value(transition.enabling_time)
+        ET.SubElement(tool, "firingTime").text = _format_value(transition.firing_time)
+        ET.SubElement(tool, "firingFrequency").text = _format_value(transition.firing_frequency)
+
+        for place_name, weight in transition.inputs.items():
+            arc_counter += 1
+            arc = ET.SubElement(
+                page,
+                "arc",
+                attrib={
+                    "id": f"arc{arc_counter}",
+                    "source": str(place_name),
+                    "target": transition.name,
+                },
+            )
+            if weight != 1:
+                _sub_with_text(arc, "inscription", str(weight))
+        for place_name, weight in transition.outputs.items():
+            arc_counter += 1
+            arc = ET.SubElement(
+                page,
+                "arc",
+                attrib={
+                    "id": f"arc{arc_counter}",
+                    "source": transition.name,
+                    "target": str(place_name),
+                },
+            )
+            if weight != 1:
+                _sub_with_text(arc, "inscription", str(weight))
+
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def _strip_namespace(tag: str) -> str:
+    return tag.split("}", 1)[1] if "}" in tag else tag
+
+
+def _find_text(element: ET.Element, tag: str) -> str | None:
+    for child in element:
+        if _strip_namespace(child.tag) == tag:
+            for grandchild in child:
+                if _strip_namespace(grandchild.tag) == "text":
+                    return grandchild.text or ""
+            return child.text or ""
+    return None
+
+
+def net_from_pnml(text: str) -> TimedPetriNet:
+    """Parse a PNML document (as written by :func:`net_to_pnml` or a compatible tool)."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as error:
+        raise NetDefinitionError(f"invalid PNML document: {error}") from error
+
+    net_element = None
+    for element in root.iter():
+        if _strip_namespace(element.tag) == "net":
+            net_element = element
+            break
+    if net_element is None:
+        raise NetDefinitionError("PNML document contains no <net> element")
+
+    name = net_element.get("id", "net")
+    places: Dict[str, Place] = {}
+    initial_marking: Dict[str, int] = {}
+    transition_meta: Dict[str, Dict[str, object]] = {}
+    arcs = []
+
+    for element in net_element.iter():
+        tag = _strip_namespace(element.tag)
+        if tag == "place":
+            place_id = element.get("id")
+            if not place_id:
+                raise NetDefinitionError("PNML place without id")
+            description = _find_text(element, "name") or ""
+            places[place_id] = Place(place_id, description if description != place_id else "")
+            marking_text = _find_text(element, "initialMarking")
+            if marking_text:
+                initial_marking[place_id] = int(marking_text.strip())
+        elif tag == "transition":
+            transition_id = element.get("id")
+            if not transition_id:
+                raise NetDefinitionError("PNML transition without id")
+            meta: Dict[str, object] = {
+                "description": _find_text(element, "name") or "",
+                "enabling_time": 0,
+                "firing_time": 0,
+                "frequency": 1,
+            }
+            for child in element:
+                if _strip_namespace(child.tag) == "toolspecific" and child.get("tool") == _TOOL_NAME:
+                    for entry in child:
+                        entry_tag = _strip_namespace(entry.tag)
+                        if entry_tag == "enablingTime":
+                            meta["enabling_time"] = parse_value(entry.text or "0")
+                        elif entry_tag == "firingTime":
+                            meta["firing_time"] = parse_value(entry.text or "0")
+                        elif entry_tag == "firingFrequency":
+                            meta["frequency"] = parse_value(
+                                entry.text or "1", symbol_kind="frequency"
+                            )
+            if meta["description"] == transition_id:
+                meta["description"] = ""
+            transition_meta[transition_id] = meta
+        elif tag == "arc":
+            weight_text = _find_text(element, "inscription")
+            arcs.append(
+                (
+                    element.get("source"),
+                    element.get("target"),
+                    int(weight_text.strip()) if weight_text else 1,
+                )
+            )
+
+    inputs: Dict[str, Dict[str, int]] = {t: {} for t in transition_meta}
+    outputs: Dict[str, Dict[str, int]] = {t: {} for t in transition_meta}
+    for source, target, weight in arcs:
+        if source in places and target in transition_meta:
+            inputs[target][source] = inputs[target].get(source, 0) + weight
+        elif source in transition_meta and target in places:
+            outputs[source][target] = outputs[source].get(target, 0) + weight
+        else:
+            raise NetDefinitionError(f"arc {source!r} -> {target!r} does not join a place and a transition")
+
+    transitions = [
+        Transition(
+            name=transition_id,
+            inputs=Multiset(inputs[transition_id]),
+            outputs=Multiset(outputs[transition_id]),
+            enabling_time=meta["enabling_time"],
+            firing_time=meta["firing_time"],
+            firing_frequency=meta["frequency"],
+            description=str(meta["description"]),
+        )
+        for transition_id, meta in transition_meta.items()
+    ]
+    return TimedPetriNet(name, list(places.values()), transitions, initial_marking)
+
+
+def save_pnml(net: TimedPetriNet, path: Union[str, Path]) -> Path:
+    """Write the PNML rendering of a net to disk."""
+    path = Path(path)
+    path.write_text(net_to_pnml(net) + "\n", encoding="utf-8")
+    return path
+
+
+def load_pnml(path: Union[str, Path]) -> TimedPetriNet:
+    """Read a net from a PNML file."""
+    return net_from_pnml(Path(path).read_text(encoding="utf-8"))

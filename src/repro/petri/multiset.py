@@ -1,0 +1,272 @@
+"""Multisets (bags) of places.
+
+The Petri net model of the paper uses *bags* for transition inputs and
+outputs: ``#(p, I(t))`` denotes the number of occurrences of place ``p`` in
+the input bag of transition ``t``.  :class:`Multiset` is a small, immutable
+mapping from arbitrary hashable keys (place names in practice) to positive
+integer multiplicities, with the handful of bag operations the rest of the
+library relies on:
+
+* containment / covering (``other <= self``), used for the enabling rule,
+* addition and (saturating or checked) subtraction, used for token flow,
+* scalar multiplication, used when firing a transition several times in
+  structural analyses.
+
+The class is deliberately independent of Petri-net concepts so it can be unit
+tested and property tested in isolation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Dict, Tuple
+
+
+class Multiset(Mapping):
+    """An immutable multiset (bag) with non-negative integer multiplicities.
+
+    Entries with multiplicity zero are never stored; consequently two
+    multisets are equal if and only if they contain the same keys with the
+    same positive multiplicities.
+
+    Parameters
+    ----------
+    items:
+        Either a mapping ``{key: multiplicity}``, an iterable of keys (each
+        occurrence counts once), or an iterable of ``(key, multiplicity)``
+        pairs when ``pairs=True``.
+
+    Examples
+    --------
+    >>> Multiset({"p1": 2, "p2": 1})["p1"]
+    2
+    >>> Multiset(["p1", "p1", "p2"]) == Multiset({"p1": 2, "p2": 1})
+    True
+    >>> Multiset({"p1": 1}) <= Multiset({"p1": 2, "p2": 1})
+    True
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: object = (), *, pairs: bool = False):
+        data: Dict[object, int] = {}
+        if isinstance(items, Multiset):
+            data = dict(items._items)
+        elif isinstance(items, Mapping):
+            for key, count in items.items():
+                self._accumulate(data, key, count)
+        elif pairs:
+            for key, count in items:  # type: ignore[union-attr]
+                self._accumulate(data, key, count)
+        else:
+            for key in items:  # type: ignore[union-attr]
+                self._accumulate(data, key, 1)
+        self._items: Dict[object, int] = data
+        self._hash: int | None = None
+
+    @staticmethod
+    def _accumulate(data: Dict[object, int], key: object, count: object) -> None:
+        if not isinstance(count, int) or isinstance(count, bool):
+            raise TypeError(f"multiplicity of {key!r} must be an int, got {count!r}")
+        if count < 0:
+            raise ValueError(f"multiplicity of {key!r} must be non-negative, got {count}")
+        if count == 0:
+            return
+        data[key] = data.get(key, 0) + count
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, key: object) -> int:
+        """Return the multiplicity of ``key`` (zero when absent)."""
+        return self._items.get(key, 0)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        """Number of *distinct* keys with positive multiplicity."""
+        return len(self._items)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._items
+
+    # ------------------------------------------------------------------
+    # Multiset queries
+    # ------------------------------------------------------------------
+
+    def total(self) -> int:
+        """Total number of elements counting multiplicity (the bag's cardinality)."""
+        return sum(self._items.values())
+
+    def support(self) -> frozenset:
+        """The set of keys that appear at least once."""
+        return frozenset(self._items)
+
+    def count(self, key: object) -> int:
+        """Alias of ``self[key]`` for readability at call sites."""
+        return self._items.get(key, 0)
+
+    def is_empty(self) -> bool:
+        """True when the multiset contains no elements."""
+        return not self._items
+
+    def covers(self, other: "Multiset") -> bool:
+        """True when every key of ``other`` appears in ``self`` at least as often.
+
+        This is exactly the Petri-net enabling test
+        ``mu(p) >= #(p, I(t))`` for every place ``p``.
+        """
+        other = Multiset(other) if not isinstance(other, Multiset) else other
+        return all(self[key] >= count for key, count in other.items())
+
+    def intersects(self, other: "Multiset") -> bool:
+        """True when the two multisets share at least one key."""
+        other = Multiset(other) if not isinstance(other, Multiset) else other
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        return any(key in large for key in small)
+
+    # ------------------------------------------------------------------
+    # Multiset algebra
+    # ------------------------------------------------------------------
+
+    def add(self, other: "Multiset | Mapping | Iterable") -> "Multiset":
+        """Return the multiset sum of ``self`` and ``other``."""
+        other = other if isinstance(other, Multiset) else Multiset(other)
+        merged = dict(self._items)
+        for key, count in other.items():
+            merged[key] = merged.get(key, 0) + count
+        return Multiset(merged)
+
+    def subtract(self, other: "Multiset | Mapping | Iterable") -> "Multiset":
+        """Return ``self - other``; raises ``ValueError`` if the result would be negative.
+
+        Used for token absorption when a transition begins firing: the caller
+        is expected to have checked enabling first, so a negative result is a
+        logic error worth surfacing loudly.
+        """
+        other = other if isinstance(other, Multiset) else Multiset(other)
+        result = dict(self._items)
+        for key, count in other.items():
+            remaining = result.get(key, 0) - count
+            if remaining < 0:
+                raise ValueError(
+                    f"cannot subtract {count} occurrence(s) of {key!r}: only "
+                    f"{result.get(key, 0)} present"
+                )
+            if remaining == 0:
+                result.pop(key, None)
+            else:
+                result[key] = remaining
+        return Multiset(result)
+
+    def saturating_subtract(self, other: "Multiset | Mapping | Iterable") -> "Multiset":
+        """Return ``self - other`` clamping every multiplicity at zero."""
+        other = other if isinstance(other, Multiset) else Multiset(other)
+        result = {}
+        for key, count in self._items.items():
+            remaining = count - other[key]
+            if remaining > 0:
+                result[key] = remaining
+        return Multiset(result)
+
+    def scale(self, factor: int) -> "Multiset":
+        """Return the multiset with every multiplicity multiplied by ``factor``."""
+        if not isinstance(factor, int) or isinstance(factor, bool):
+            raise TypeError("scale factor must be an int")
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        if factor == 0:
+            return Multiset()
+        return Multiset({key: count * factor for key, count in self._items.items()})
+
+    def union(self, other: "Multiset | Mapping | Iterable") -> "Multiset":
+        """Key-wise maximum of multiplicities."""
+        other = other if isinstance(other, Multiset) else Multiset(other)
+        keys = set(self._items) | set(other._items)
+        return Multiset({key: max(self[key], other[key]) for key in keys})
+
+    def intersection(self, other: "Multiset | Mapping | Iterable") -> "Multiset":
+        """Key-wise minimum of multiplicities."""
+        other = other if isinstance(other, Multiset) else Multiset(other)
+        return Multiset(
+            {key: min(count, other[key]) for key, count in self._items.items() if key in other}
+        )
+
+    # Operator aliases --------------------------------------------------
+
+    def __add__(self, other: object) -> "Multiset":
+        if isinstance(other, (Multiset, Mapping)):
+            return self.add(other)  # type: ignore[arg-type]
+        return NotImplemented
+
+    def __sub__(self, other: object) -> "Multiset":
+        if isinstance(other, (Multiset, Mapping)):
+            return self.subtract(other)  # type: ignore[arg-type]
+        return NotImplemented
+
+    def __mul__(self, factor: object) -> "Multiset":
+        if isinstance(factor, int) and not isinstance(factor, bool):
+            return self.scale(factor)
+        return NotImplemented
+
+    __rmul__ = __mul__
+
+    def __le__(self, other: object) -> bool:
+        if isinstance(other, Multiset):
+            return other.covers(self)
+        return NotImplemented
+
+    def __ge__(self, other: object) -> bool:
+        if isinstance(other, Multiset):
+            return self.covers(other)
+        return NotImplemented
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, Multiset):
+            return other.covers(self) and self != other
+        return NotImplemented
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, Multiset):
+            return self.covers(other) and self != other
+        return NotImplemented
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / representation
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Multiset):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return self._items == {k: v for k, v in other.items() if v}
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._items.items()))
+        return self._hash
+
+    def as_dict(self) -> Dict[object, int]:
+        """A plain mutable ``dict`` copy (for serialization)."""
+        return dict(self._items)
+
+    def as_sorted_pairs(self) -> Tuple[Tuple[object, int], ...]:
+        """Deterministically ordered ``(key, multiplicity)`` pairs."""
+        return tuple(sorted(self._items.items(), key=lambda item: repr(item[0])))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{key!r}: {count}" for key, count in self.as_sorted_pairs())
+        return f"Multiset({{{inner}}})"
+
+
+EMPTY_MULTISET = Multiset()
+"""A shared empty multiset, handy as a default argument."""

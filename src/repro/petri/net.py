@@ -1,0 +1,517 @@
+"""The Timed Petri Net model of Razouk's paper.
+
+A Timed Petri Net is the tuple ``Gamma = (P, T, I, O, E, F, mu0)`` where
+
+* ``P`` is the set of places,
+* ``T`` is the set of transitions,
+* ``I, O : T -> bag(P)`` are the input and output bags of each transition,
+* ``E : T -> R>=0`` is the *enabling time* function — how long a transition
+  must be continuously enabled before it is forced to begin firing (the
+  paper uses this only for timeouts),
+* ``F : T -> R>=0`` is the *firing time* function — how long a firing takes;
+  tokens are absorbed when the firing begins and the output tokens appear
+  when it ends,
+* ``mu0`` is the initial marking.
+
+In addition every transition carries a *relative firing frequency* used to
+resolve conflicts probabilistically (Section 1, "Conflict Sets"), and the
+transitions are partitioned into disjoint conflict sets derived from shared
+input places.
+
+Enabling and firing times may be exact rationals (numeric nets, Section 2) or
+:class:`~repro.symbolic.linexpr.LinExpr` expressions over time symbols
+(symbolic nets, Section 3).  Firing frequencies may likewise be rationals or
+expressions over frequency symbols.
+
+This module defines the immutable model classes; the dynamic semantics
+(enabling, firability, the Figure-3 successor procedure) live in
+:mod:`repro.reachability`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import NetDefinitionError
+from ..symbolic.linexpr import ExprLike, LinExpr, TimeValue, as_time, is_symbolic
+from ..symbolic.symbols import Symbol
+from .conflict import ConflictSet, partition_into_conflict_sets
+from .marking import Marking
+from .multiset import Multiset
+
+
+@dataclass(frozen=True)
+class Place:
+    """A place of the net.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"p1"``.
+    description:
+        Human-readable meaning, e.g. ``"sender waiting for acknowledgement"``.
+    capacity:
+        Optional capacity bound used by structural checks (``None`` means
+        unbounded); the paper's nets are all 1-safe, which analyses verify
+        rather than assume.
+    """
+
+    name: str
+    description: str = ""
+    capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise NetDefinitionError("place name must be a non-empty string")
+        if self.capacity is not None and (not isinstance(self.capacity, int) or self.capacity < 1):
+            raise NetDefinitionError(f"capacity of {self.name!r} must be a positive int or None")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A transition of the net with its timing and conflict annotations.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"t3"``.
+    inputs / outputs:
+        Input and output bags ``I(t)`` and ``O(t)`` as multisets of place
+        names.
+    enabling_time:
+        ``E(t)``: the time the transition must remain continuously enabled
+        before it becomes firable.  Exact rational or symbolic expression.
+    firing_time:
+        ``F(t)``: the duration of a firing.  Exact rational or symbolic
+        expression.
+    firing_frequency:
+        Relative frequency used to compute branching probabilities within
+        the transition's conflict set.  A frequency of zero means every
+        other firable transition of the same conflict set has priority.
+    description:
+        Human-readable meaning.
+    """
+
+    name: str
+    inputs: Multiset
+    outputs: Multiset
+    enabling_time: TimeValue = Fraction(0)
+    firing_time: TimeValue = Fraction(0)
+    firing_frequency: object = Fraction(1)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise NetDefinitionError("transition name must be a non-empty string")
+        object.__setattr__(self, "inputs", Multiset(self.inputs))
+        object.__setattr__(self, "outputs", Multiset(self.outputs))
+        object.__setattr__(self, "enabling_time", as_time(self.enabling_time))
+        object.__setattr__(self, "firing_time", as_time(self.firing_time))
+        object.__setattr__(self, "firing_frequency", _as_frequency(self.firing_frequency))
+        for label, value in (("enabling", self.enabling_time), ("firing", self.firing_time)):
+            if isinstance(value, Fraction) and value < 0:
+                raise NetDefinitionError(
+                    f"{label} time of transition {self.name!r} must be non-negative, got {value}"
+                )
+        if isinstance(self.firing_frequency, Fraction) and self.firing_frequency < 0:
+            raise NetDefinitionError(
+                f"firing frequency of transition {self.name!r} must be non-negative"
+            )
+
+    # Convenience predicates -------------------------------------------------
+
+    @property
+    def has_enabling_delay(self) -> bool:
+        """True when ``E(t)`` is not identically zero."""
+        value = self.enabling_time
+        return not (isinstance(value, Fraction) and value == 0) and not (
+            isinstance(value, LinExpr) and value.is_zero()
+        )
+
+    @property
+    def is_immediate(self) -> bool:
+        """True when both ``E(t)`` and ``F(t)`` are identically zero."""
+        def _zero(value: TimeValue) -> bool:
+            if isinstance(value, Fraction):
+                return value == 0
+            return value.is_zero()
+
+        return _zero(self.enabling_time) and _zero(self.firing_time)
+
+    @property
+    def is_symbolic(self) -> bool:
+        """True when any timing or frequency annotation is symbolic."""
+        return (
+            is_symbolic(self.enabling_time)
+            or is_symbolic(self.firing_time)
+            or is_symbolic(self.firing_frequency)
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _as_frequency(value: object) -> object:
+    """Coerce a frequency annotation to an exact Fraction or a LinExpr."""
+    if isinstance(value, LinExpr):
+        return value.constant_value() if value.is_constant() else value
+    if isinstance(value, Symbol):
+        return LinExpr.from_symbol(value)
+    from ..symbolic.linexpr import as_fraction
+
+    return as_fraction(value)  # type: ignore[arg-type]
+
+
+class TimedPetriNet:
+    """An immutable Timed Petri Net ``(P, T, I, O, E, F, mu0)``.
+
+    Parameters
+    ----------
+    name:
+        A label for reports and serialized files.
+    places:
+        Iterable of :class:`Place` (or place names, which become
+        description-less places).  Order is preserved and defines the place
+        order of markings and state tables.
+    transitions:
+        Iterable of :class:`Transition`.  Order is preserved and defines the
+        column order of RET/RFT tables.
+    initial_marking:
+        Mapping from place name to initial token count.
+    conflict_frequencies_required:
+        When True (default) the constructor verifies that every conflict set
+        with more than one member has at least one strictly positive firing
+        frequency so branching probabilities are well defined.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        places: Iterable[Place | str],
+        transitions: Iterable[Transition],
+        initial_marking: Mapping[str, int] | Marking | None = None,
+        *,
+        conflict_frequencies_required: bool = True,
+    ):
+        self.name = name or "net"
+        self._places: Dict[str, Place] = {}
+        for place in places:
+            place_obj = place if isinstance(place, Place) else Place(str(place))
+            if place_obj.name in self._places:
+                raise NetDefinitionError(f"duplicate place {place_obj.name!r}")
+            self._places[place_obj.name] = place_obj
+
+        self._transitions: Dict[str, Transition] = {}
+        for transition in transitions:
+            if not isinstance(transition, Transition):
+                raise NetDefinitionError(f"expected Transition instances, got {transition!r}")
+            if transition.name in self._transitions:
+                raise NetDefinitionError(f"duplicate transition {transition.name!r}")
+            if transition.name in self._places:
+                raise NetDefinitionError(
+                    f"name {transition.name!r} used for both a place and a transition"
+                )
+            self._transitions[transition.name] = transition
+
+        self._place_order: Tuple[str, ...] = tuple(self._places)
+        self._transition_order: Tuple[str, ...] = tuple(self._transitions)
+
+        self._check_arc_targets()
+
+        if isinstance(initial_marking, Marking):
+            marking_tokens = initial_marking.to_dict()
+        else:
+            marking_tokens = dict(initial_marking or {})
+        self.initial_marking = Marking(self._place_order, marking_tokens)
+
+        self._conflict_sets: Tuple[ConflictSet, ...] = partition_into_conflict_sets(
+            self._transitions.values()
+        )
+        self._conflict_set_of: Dict[str, ConflictSet] = {}
+        for conflict_set in self._conflict_sets:
+            for transition_name in conflict_set.transition_names:
+                self._conflict_set_of[transition_name] = conflict_set
+
+        if conflict_frequencies_required:
+            self._check_conflict_frequencies()
+
+    # ------------------------------------------------------------------
+    # Construction checks
+    # ------------------------------------------------------------------
+
+    def _check_arc_targets(self) -> None:
+        for transition in self._transitions.values():
+            for bag_name, bag in (("input", transition.inputs), ("output", transition.outputs)):
+                for place_name in bag:
+                    if place_name not in self._places:
+                        raise NetDefinitionError(
+                            f"transition {transition.name!r} references unknown place "
+                            f"{place_name!r} in its {bag_name} bag"
+                        )
+
+    def _check_conflict_frequencies(self) -> None:
+        for conflict_set in self._conflict_sets:
+            if len(conflict_set) < 2:
+                continue
+            frequencies = [
+                self._transitions[name].firing_frequency for name in conflict_set.transition_names
+            ]
+            if all(isinstance(freq, Fraction) and freq == 0 for freq in frequencies):
+                raise NetDefinitionError(
+                    "conflict set {%s} has more than one transition but every firing "
+                    "frequency is zero; branching probabilities would be undefined"
+                    % ", ".join(sorted(conflict_set.transition_names))
+                )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def places(self) -> Dict[str, Place]:
+        """Mapping from place name to :class:`Place` (insertion ordered)."""
+        return dict(self._places)
+
+    @property
+    def transitions(self) -> Dict[str, Transition]:
+        """Mapping from transition name to :class:`Transition` (insertion ordered)."""
+        return dict(self._transitions)
+
+    @property
+    def place_order(self) -> Tuple[str, ...]:
+        """Place names in declaration order (column order of marking tables)."""
+        return self._place_order
+
+    @property
+    def transition_order(self) -> Tuple[str, ...]:
+        """Transition names in declaration order (column order of RET/RFT tables)."""
+        return self._transition_order
+
+    @property
+    def conflict_sets(self) -> Tuple[ConflictSet, ...]:
+        """The partition of transitions into disjoint conflict sets."""
+        return self._conflict_sets
+
+    def place(self, name: str) -> Place:
+        """Look up a place by name."""
+        try:
+            return self._places[name]
+        except KeyError:
+            raise NetDefinitionError(f"unknown place {name!r}") from None
+
+    def transition(self, name: str) -> Transition:
+        """Look up a transition by name."""
+        try:
+            return self._transitions[name]
+        except KeyError:
+            raise NetDefinitionError(f"unknown transition {name!r}") from None
+
+    def conflict_set_of(self, transition_name: str) -> ConflictSet:
+        """The conflict set containing ``transition_name``."""
+        self.transition(transition_name)
+        return self._conflict_set_of[transition_name]
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+
+    def preset_of_place(self, place_name: str) -> Tuple[str, ...]:
+        """Transitions that output into ``place_name`` (in transition order)."""
+        self.place(place_name)
+        return tuple(
+            name for name in self._transition_order
+            if place_name in self._transitions[name].outputs
+        )
+
+    def postset_of_place(self, place_name: str) -> Tuple[str, ...]:
+        """Transitions that consume from ``place_name`` (in transition order)."""
+        self.place(place_name)
+        return tuple(
+            name for name in self._transition_order
+            if place_name in self._transitions[name].inputs
+        )
+
+    def input_places(self, transition_name: str) -> Multiset:
+        """The input bag ``I(t)``."""
+        return self.transition(transition_name).inputs
+
+    def output_places(self, transition_name: str) -> Multiset:
+        """The output bag ``O(t)``."""
+        return self.transition(transition_name).outputs
+
+    def is_source_transition(self, transition_name: str) -> bool:
+        """True when the transition has an empty input bag (always enabled)."""
+        return self.transition(transition_name).inputs.is_empty()
+
+    def is_sink_transition(self, transition_name: str) -> bool:
+        """True when the transition has an empty output bag (consumes tokens)."""
+        return self.transition(transition_name).outputs.is_empty()
+
+    # ------------------------------------------------------------------
+    # Enabling semantics (static part only — time lives in reachability)
+    # ------------------------------------------------------------------
+
+    def is_enabled(self, marking: Marking, transition_name: str) -> bool:
+        """Enabling rule: ``mu(p) >= #(p, I(t))`` for every place ``p``."""
+        return marking.covers(self.transition(transition_name).inputs)
+
+    def enabled_transitions(self, marking: Marking) -> Tuple[str, ...]:
+        """All transitions enabled in ``marking`` (in transition order)."""
+        return tuple(
+            name for name in self._transition_order
+            if marking.covers(self._transitions[name].inputs)
+        )
+
+    def fire_untimed(self, marking: Marking, transition_name: str) -> Marking:
+        """Atomic (untimed) firing: remove the input bag, add the output bag.
+
+        This is the classical Petri-net firing rule used by the untimed
+        analyses (reachability, coverability, invariant checks); the timed
+        semantics splits the two steps in time.
+        """
+        transition = self.transition(transition_name)
+        if not marking.covers(transition.inputs):
+            raise NetDefinitionError(
+                f"transition {transition_name!r} is not enabled in marking {marking.to_dict()}"
+            )
+        return marking.remove(transition.inputs).add(transition.outputs)
+
+    def marking(self, tokens: Mapping[str, int]) -> Marking:
+        """Build a marking over this net's place order."""
+        return Marking(self._place_order, tokens)
+
+    # ------------------------------------------------------------------
+    # Symbolic / numeric interplay
+    # ------------------------------------------------------------------
+
+    @property
+    def is_symbolic(self) -> bool:
+        """True when any transition carries a symbolic time or frequency."""
+        return any(transition.is_symbolic for transition in self._transitions.values())
+
+    def time_symbols(self) -> frozenset:
+        """All symbols appearing in enabling/firing times."""
+        symbols = set()
+        for transition in self._transitions.values():
+            for value in (transition.enabling_time, transition.firing_time):
+                if isinstance(value, LinExpr):
+                    symbols |= value.symbols()
+        return frozenset(symbols)
+
+    def frequency_symbols(self) -> frozenset:
+        """All symbols appearing in firing frequencies."""
+        symbols = set()
+        for transition in self._transitions.values():
+            if isinstance(transition.firing_frequency, LinExpr):
+                symbols |= transition.firing_frequency.symbols()
+        return frozenset(symbols)
+
+    def bind(self, bindings: Mapping[Symbol, ExprLike], *, name: str | None = None) -> "TimedPetriNet":
+        """Return a copy with symbols replaced by the given values.
+
+        Binding every symbol of a symbolic net to a number yields the numeric
+        net the symbolic analysis generalizes — the library uses this to
+        check that the symbolic reachability graph specializes to the numeric
+        one (Figure 6 vs Figure 4).
+        """
+        def _bind_value(value: object) -> object:
+            if isinstance(value, LinExpr):
+                return as_time(value.substitute(bindings))
+            return value
+
+        transitions = [
+            Transition(
+                name=transition.name,
+                inputs=transition.inputs,
+                outputs=transition.outputs,
+                enabling_time=_bind_value(transition.enabling_time),
+                firing_time=_bind_value(transition.firing_time),
+                firing_frequency=_bind_value(transition.firing_frequency),
+                description=transition.description,
+            )
+            for transition in self._transitions.values()
+        ]
+        return TimedPetriNet(
+            name or f"{self.name}[bound]",
+            list(self._places.values()),
+            transitions,
+            self.initial_marking,
+        )
+
+    def with_initial_marking(self, tokens: Mapping[str, int]) -> "TimedPetriNet":
+        """Return a copy of the net with a different initial marking."""
+        return TimedPetriNet(
+            self.name,
+            list(self._places.values()),
+            list(self._transitions.values()),
+            tokens,
+        )
+
+    def with_transition_times(
+        self,
+        enabling: Mapping[str, ExprLike] | None = None,
+        firing: Mapping[str, ExprLike] | None = None,
+        frequencies: Mapping[str, ExprLike] | None = None,
+        *,
+        name: str | None = None,
+    ) -> "TimedPetriNet":
+        """Return a copy with selected enabling/firing times or frequencies replaced."""
+        enabling = dict(enabling or {})
+        firing = dict(firing or {})
+        frequencies = dict(frequencies or {})
+        for key in list(enabling) + list(firing) + list(frequencies):
+            self.transition(key)
+        transitions = [
+            Transition(
+                name=transition.name,
+                inputs=transition.inputs,
+                outputs=transition.outputs,
+                enabling_time=enabling.get(transition.name, transition.enabling_time),
+                firing_time=firing.get(transition.name, transition.firing_time),
+                firing_frequency=frequencies.get(transition.name, transition.firing_frequency),
+                description=transition.description,
+            )
+            for transition in self._transitions.values()
+        ]
+        return TimedPetriNet(
+            name or self.name,
+            list(self._places.values()),
+            transitions,
+            self.initial_marking,
+        )
+
+    # ------------------------------------------------------------------
+    # Summaries / dunder methods
+    # ------------------------------------------------------------------
+
+    def timing_table(self) -> Tuple[Tuple[str, TimeValue, TimeValue], ...]:
+        """Rows of the paper's Figure 1b: (transition, enabling time, firing time)."""
+        return tuple(
+            (name, self._transitions[name].enabling_time, self._transitions[name].firing_time)
+            for name in self._transition_order
+        )
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description of the net."""
+        lines = [
+            f"TimedPetriNet {self.name!r}: {len(self._places)} places, "
+            f"{len(self._transitions)} transitions, "
+            f"{len(self._conflict_sets)} conflict sets "
+            f"({sum(1 for c in self._conflict_sets if len(c) > 1)} with choices)",
+            f"initial marking: {self.initial_marking.to_dict()}",
+        ]
+        return "\n".join(lines)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._places or name in self._transitions
+
+    def __repr__(self) -> str:
+        return (
+            f"TimedPetriNet(name={self.name!r}, places={len(self._places)}, "
+            f"transitions={len(self._transitions)})"
+        )

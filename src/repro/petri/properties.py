@@ -1,0 +1,272 @@
+"""Behavioural properties: boundedness, safeness, liveness, deadlock, reversibility.
+
+These are the classical correctness-side questions that reachability graphs
+answer; the paper motivates Timed Petri Nets precisely because the same model
+supports both this kind of correctness analysis and the performance analysis
+implemented in :mod:`repro.performance`.
+
+All checks operate on the *untimed* semantics (they are token-game
+properties).  For the timed counterparts — e.g. "is the timed reachability
+graph a single recurrent cycle structure?" — see
+:mod:`repro.reachability.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import UnboundedNetError
+from .net import TimedPetriNet
+from .untimed import UntimedReachabilityGraph, coverability_graph, reachability_graph
+
+
+@dataclass(frozen=True)
+class BehaviouralReport:
+    """Summary of the behavioural properties of a net.
+
+    Attributes
+    ----------
+    bounded:
+        Whether every place has a finite token bound.
+    bound:
+        The k-bound when bounded (``None`` otherwise).
+    safe:
+        Whether the net is 1-bounded.
+    deadlock_free:
+        Whether no reachable marking is dead.
+    quasi_live:
+        Whether every transition fires at least once from the initial marking.
+    live:
+        Whether every transition can fire again from every reachable marking
+        (L4-liveness); only decided for bounded nets.
+    reversible:
+        Whether the initial marking is reachable from every reachable marking;
+        only decided for bounded nets.
+    reachable_markings:
+        Number of reachable markings when bounded (``None`` otherwise).
+    """
+
+    bounded: bool
+    bound: Optional[int]
+    safe: bool
+    deadlock_free: bool
+    quasi_live: bool
+    live: Optional[bool]
+    reversible: Optional[bool]
+    reachable_markings: Optional[int]
+
+
+def is_bounded(net: TimedPetriNet, *, max_nodes: int = 50_000) -> bool:
+    """Decide boundedness with the Karp–Miller construction."""
+    return coverability_graph(net, max_nodes=max_nodes).is_bounded()
+
+
+def structural_bound_report(net: TimedPetriNet, *, max_nodes: int = 50_000) -> Dict[str, Optional[int]]:
+    """Per-place bounds: an integer bound or ``None`` for unbounded places."""
+    graph = coverability_graph(net, max_nodes=max_nodes)
+    return {place: graph.place_bound(place) for place in net.place_order}
+
+
+def is_safe(net: TimedPetriNet, *, max_states: int = 100_000) -> bool:
+    """True when the net is 1-bounded (checks boundedness first)."""
+    if not is_bounded(net):
+        return False
+    return reachability_graph(net, max_states=max_states).is_safe()
+
+
+def find_deadlocks(net: TimedPetriNet, *, max_states: int = 100_000) -> List[Dict[str, int]]:
+    """Return every reachable dead marking (as sparse dictionaries)."""
+    graph = reachability_graph(net, max_states=max_states)
+    return [graph.markings[index].to_dict() for index in graph.dead_markings()]
+
+
+def is_deadlock_free(net: TimedPetriNet, *, max_states: int = 100_000) -> bool:
+    """True when no reachable marking is dead."""
+    return not find_deadlocks(net, max_states=max_states)
+
+
+def is_quasi_live(net: TimedPetriNet, *, max_states: int = 100_000) -> bool:
+    """True when every transition fires on at least one reachable edge (L1-liveness)."""
+    graph = reachability_graph(net, max_states=max_states)
+    return graph.fired_transitions() >= set(net.transition_order)
+
+
+def _strongly_connected_components(
+    node_count: int, successors: Dict[int, List[int]]
+) -> List[List[int]]:
+    """Iterative Tarjan SCC over an adjacency mapping."""
+    index_counter = 0
+    stack: List[int] = []
+    lowlink = [0] * node_count
+    index = [-1] * node_count
+    on_stack = [False] * node_count
+    components: List[List[int]] = []
+
+    for root in range(node_count):
+        if index[root] != -1:
+            continue
+        work = [(root, 0)]
+        while work:
+            node, child_position = work[-1]
+            if child_position == 0:
+                index[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            children = successors.get(node, [])
+            while child_position < len(children):
+                child = children[child_position]
+                child_position += 1
+                if index[child] == -1:
+                    work[-1] = (node, child_position)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if on_stack[child]:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def _graph_successor_map(graph: UntimedReachabilityGraph) -> Dict[int, List[int]]:
+    return {
+        index: [edge.target for edge in graph.successors(index)]
+        for index in range(graph.state_count)
+    }
+
+
+def is_live(net: TimedPetriNet, *, max_states: int = 100_000) -> bool:
+    """L4-liveness for bounded nets.
+
+    A bounded net is live iff, from every reachable marking, every transition
+    can eventually fire again.  We check this on the reachability graph: for
+    every reachable marking ``m`` and every transition ``t`` there must be a
+    marking reachable from ``m`` in which ``t`` is enabled.  The check uses
+    the condensation of the graph: it suffices that every *bottom* SCC (one
+    with no outgoing edges) enables every transition somewhere inside it.
+    """
+    graph = reachability_graph(net, max_states=max_states)
+    successors = _graph_successor_map(graph)
+    components = _strongly_connected_components(graph.state_count, successors)
+    component_of = {}
+    for component_index, members in enumerate(components):
+        for member in members:
+            component_of[member] = component_index
+    outgoing = [set() for _ in components]
+    for index in range(graph.state_count):
+        for target in successors[index]:
+            if component_of[index] != component_of[target]:
+                outgoing[component_of[index]].add(component_of[target])
+    all_transitions = set(net.transition_order)
+    for component_index, members in enumerate(components):
+        if outgoing[component_index]:
+            continue  # not a bottom component
+        enabled_here = set()
+        for member in members:
+            enabled_here.update(net.enabled_transitions(graph.markings[member]))
+        if enabled_here < all_transitions:
+            return False
+    return True
+
+
+def is_reversible(net: TimedPetriNet, *, max_states: int = 100_000) -> bool:
+    """True when the initial marking is a home state (reachable from everywhere)."""
+    graph = reachability_graph(net, max_states=max_states)
+    successors = _graph_successor_map(graph)
+    components = _strongly_connected_components(graph.state_count, successors)
+    component_of = {}
+    for component_index, members in enumerate(components):
+        for member in members:
+            component_of[member] = component_index
+    initial_component = component_of[0]
+    # Reversible iff the initial marking's SCC is the unique bottom SCC and
+    # every node can reach it; with a single initial marking this reduces to:
+    # the initial SCC has no outgoing edges to other SCCs... not sufficient.
+    # Correct check: initial marking reachable from every node.  Compute the
+    # set of nodes that can reach node 0 by walking reverse edges.
+    reverse: Dict[int, List[int]] = {index: [] for index in range(graph.state_count)}
+    for index, targets in successors.items():
+        for target in targets:
+            reverse[target].append(index)
+    can_reach_initial = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for predecessor in reverse[node]:
+            if predecessor not in can_reach_initial:
+                can_reach_initial.add(predecessor)
+                frontier.append(predecessor)
+    del initial_component  # kept for clarity of the reasoning above
+    return len(can_reach_initial) == graph.state_count
+
+
+def behavioural_report(net: TimedPetriNet, *, max_states: int = 100_000) -> BehaviouralReport:
+    """Compute the full behavioural summary (bounded nets get every field)."""
+    bounded = is_bounded(net)
+    if not bounded:
+        return BehaviouralReport(
+            bounded=False,
+            bound=None,
+            safe=False,
+            deadlock_free=is_deadlock_free_unbounded_safe(net),
+            quasi_live=False,
+            live=None,
+            reversible=None,
+            reachable_markings=None,
+        )
+    graph = reachability_graph(net, max_states=max_states)
+    return BehaviouralReport(
+        bounded=True,
+        bound=graph.bound(),
+        safe=graph.is_safe(),
+        deadlock_free=graph.is_deadlock_free(),
+        quasi_live=graph.fired_transitions() >= set(net.transition_order),
+        live=is_live(net, max_states=max_states),
+        reversible=is_reversible(net, max_states=max_states),
+        reachable_markings=graph.state_count,
+    )
+
+
+def is_deadlock_free_unbounded_safe(net: TimedPetriNet) -> bool:
+    """A conservative deadlock-freeness verdict for unbounded nets.
+
+    The coverability graph over-approximates enabling, so "no dead node in
+    the coverability graph" does not prove deadlock-freeness; conversely a
+    dead coverability node whose vector contains no ``ω`` *is* a genuine dead
+    marking.  We report True only when no ω-free dead node exists, which is
+    the strongest statement available without an unbounded search.
+    """
+    graph = coverability_graph(net)
+    for node in graph.nodes:
+        if any(value == float("inf") for value in node.vector):
+            continue
+        enabled = False
+        for transition_name in net.transition_order:
+            transition = net.transition(transition_name)
+            place_index = {name: idx for idx, name in enumerate(net.place_order)}
+            if all(
+                node.vector[place_index[place]] >= weight
+                for place, weight in transition.inputs.items()
+            ):
+                enabled = True
+                break
+        if not enabled:
+            return False
+    return True

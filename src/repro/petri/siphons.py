@@ -1,0 +1,147 @@
+"""Siphons and traps.
+
+A *siphon* is a set of places ``S`` such that every transition that outputs
+into ``S`` also takes input from ``S`` (``preset(S) ⊆ postset(S)``): once a
+siphon is emptied of tokens it stays empty, which is the classical cause of
+deadlocks.  A *trap* is the dual: every transition that takes input from the
+trap also outputs into it, so a marked trap stays marked forever.
+
+The Commoner/Hack liveness condition for free-choice nets — every minimal
+siphon contains a marked trap — is checked by :func:`commoner_condition` and
+used in tests to confirm that the protocol models cannot deadlock by
+structural argument, independently of the explicit reachability check.
+
+The minimal-siphon enumeration is exponential in general; the implementation
+bounds its work (``max_results``/``max_places``) which is more than enough
+for protocol-sized nets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, List, Set
+
+from .net import TimedPetriNet
+
+
+def _preset_of_places(net: TimedPetriNet, places: FrozenSet[str]) -> Set[str]:
+    """Transitions producing into any of the places."""
+    producers: Set[str] = set()
+    for place in places:
+        producers.update(net.preset_of_place(place))
+    return producers
+
+
+def _postset_of_places(net: TimedPetriNet, places: FrozenSet[str]) -> Set[str]:
+    """Transitions consuming from any of the places."""
+    consumers: Set[str] = set()
+    for place in places:
+        consumers.update(net.postset_of_place(place))
+    return consumers
+
+
+def is_siphon(net: TimedPetriNet, places: FrozenSet[str] | Set[str]) -> bool:
+    """True when every producer of the set is also a consumer of the set."""
+    places = frozenset(places)
+    if not places:
+        return False
+    return _preset_of_places(net, places) <= _postset_of_places(net, places)
+
+
+def is_trap(net: TimedPetriNet, places: FrozenSet[str] | Set[str]) -> bool:
+    """True when every consumer of the set is also a producer of the set."""
+    places = frozenset(places)
+    if not places:
+        return False
+    return _postset_of_places(net, places) <= _preset_of_places(net, places)
+
+
+def maximal_siphon_within(net: TimedPetriNet, places: FrozenSet[str] | Set[str]) -> FrozenSet[str]:
+    """The largest siphon contained in ``places`` (possibly empty).
+
+    Standard fixpoint: repeatedly remove places that have a producer outside
+    the candidate set's consumers.
+    """
+    candidate = set(places)
+    changed = True
+    while changed and candidate:
+        changed = False
+        consumers = _postset_of_places(net, frozenset(candidate))
+        for place in list(candidate):
+            if any(producer not in consumers for producer in net.preset_of_place(place)):
+                candidate.remove(place)
+                changed = True
+    return frozenset(candidate)
+
+
+def maximal_trap_within(net: TimedPetriNet, places: FrozenSet[str] | Set[str]) -> FrozenSet[str]:
+    """The largest trap contained in ``places`` (possibly empty)."""
+    candidate = set(places)
+    changed = True
+    while changed and candidate:
+        changed = False
+        producers = _preset_of_places(net, frozenset(candidate))
+        for place in list(candidate):
+            if any(consumer not in producers for consumer in net.postset_of_place(place)):
+                candidate.remove(place)
+                changed = True
+    return frozenset(candidate)
+
+
+def minimal_siphons(
+    net: TimedPetriNet, *, max_places: int = 12, max_results: int = 64
+) -> List[FrozenSet[str]]:
+    """Enumerate minimal siphons by increasing size (bounded brute force).
+
+    A siphon is minimal when no proper non-empty subset is a siphon.  For the
+    protocol-sized nets of this library (≤ ~12 places) the bounded
+    enumeration is instantaneous; larger nets should rely on
+    :func:`maximal_siphon_within` style reasoning instead.
+    """
+    place_names = list(net.place_order)[:max_places]
+    found: List[FrozenSet[str]] = []
+    for size in range(1, len(place_names) + 1):
+        for subset in combinations(place_names, size):
+            candidate = frozenset(subset)
+            if any(existing <= candidate for existing in found):
+                continue
+            if is_siphon(net, candidate):
+                found.append(candidate)
+                if len(found) >= max_results:
+                    return found
+    return found
+
+
+def minimal_traps(
+    net: TimedPetriNet, *, max_places: int = 12, max_results: int = 64
+) -> List[FrozenSet[str]]:
+    """Enumerate minimal traps by increasing size (bounded brute force)."""
+    place_names = list(net.place_order)[:max_places]
+    found: List[FrozenSet[str]] = []
+    for size in range(1, len(place_names) + 1):
+        for subset in combinations(place_names, size):
+            candidate = frozenset(subset)
+            if any(existing <= candidate for existing in found):
+                continue
+            if is_trap(net, candidate):
+                found.append(candidate)
+                if len(found) >= max_results:
+                    return found
+    return found
+
+
+def commoner_condition(net: TimedPetriNet, *, max_places: int = 12) -> bool:
+    """Check Commoner's condition: every minimal siphon contains an initially marked trap.
+
+    For free-choice nets this is equivalent to liveness (Commoner/Hack); for
+    general nets it remains a useful sufficient condition for
+    deadlock-freeness.
+    """
+    initially_marked = {
+        place for place in net.place_order if net.initial_marking[place] > 0
+    }
+    for siphon in minimal_siphons(net, max_places=max_places):
+        trap = maximal_trap_within(net, siphon)
+        if not trap or not (trap & initially_marked):
+            return False
+    return True

@@ -1,0 +1,278 @@
+"""Untimed semantics: reachability and coverability (Karp–Miller) graphs.
+
+The paper's performance technique builds *timed* reachability graphs, but the
+classical untimed graphs remain the work-horses for the correctness-side
+questions the paper defers to (deadlock-freeness, boundedness, liveness).
+This module provides both:
+
+* :func:`reachability_graph` — explicit enumeration of all markings reachable
+  by the atomic firing rule, bounded by ``max_states``;
+* :func:`coverability_graph` — the Karp–Miller construction with ``ω``
+  components, which terminates on every net and decides boundedness.
+
+Both return light-weight graph objects with deterministic node numbering so
+they can be asserted against in tests and rendered by :mod:`repro.viz`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import UnboundedNetError
+from .marking import Marking
+from .net import TimedPetriNet
+
+#: Marker used in coverability vectors for "unboundedly many tokens".
+OMEGA = float("inf")
+
+
+@dataclass(frozen=True)
+class UntimedEdge:
+    """A firing edge of an untimed reachability/coverability graph."""
+
+    source: int
+    target: int
+    transition: str
+
+
+class UntimedReachabilityGraph:
+    """Explicit untimed reachability graph (markings as nodes)."""
+
+    def __init__(self, net: TimedPetriNet):
+        self.net = net
+        self.markings: List[Marking] = []
+        self.index_of: Dict[Marking, int] = {}
+        self.edges: List[UntimedEdge] = []
+        self._successors: Dict[int, List[int]] = {}
+
+    # -- construction helpers (used by reachability_graph) -------------
+
+    def _add_marking(self, marking: Marking) -> Tuple[int, bool]:
+        existing = self.index_of.get(marking)
+        if existing is not None:
+            return existing, False
+        index = len(self.markings)
+        self.markings.append(marking)
+        self.index_of[marking] = index
+        self._successors[index] = []
+        return index, True
+
+    def _add_edge(self, source: int, target: int, transition: str) -> None:
+        self.edges.append(UntimedEdge(source, target, transition))
+        self._successors[source].append(len(self.edges) - 1)
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def state_count(self) -> int:
+        """Number of distinct reachable markings."""
+        return len(self.markings)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of firing edges."""
+        return len(self.edges)
+
+    def successors(self, index: int) -> List[UntimedEdge]:
+        """Outgoing edges of a marking index."""
+        return [self.edges[edge_index] for edge_index in self._successors[index]]
+
+    def dead_markings(self) -> List[int]:
+        """Indices of markings with no enabled transition (deadlocks)."""
+        return [
+            index
+            for index, marking in enumerate(self.markings)
+            if not self.net.enabled_transitions(marking)
+        ]
+
+    def is_deadlock_free(self) -> bool:
+        """True when no reachable marking is dead."""
+        return not self.dead_markings()
+
+    def max_tokens_per_place(self) -> Dict[str, int]:
+        """The bound observed for every place over all reachable markings."""
+        bounds = {place: 0 for place in self.net.place_order}
+        for marking in self.markings:
+            for place in self.net.place_order:
+                bounds[place] = max(bounds[place], marking[place])
+        return bounds
+
+    def bound(self) -> int:
+        """The net's k-bound (maximum tokens observed in any place)."""
+        per_place = self.max_tokens_per_place()
+        return max(per_place.values()) if per_place else 0
+
+    def is_safe(self) -> bool:
+        """True when the net is 1-bounded over the reachable markings."""
+        return self.bound() <= 1
+
+    def fired_transitions(self) -> frozenset:
+        """Transitions that appear on at least one edge (quasi-liveness support)."""
+        return frozenset(edge.transition for edge in self.edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"UntimedReachabilityGraph(states={self.state_count}, edges={self.edge_count})"
+        )
+
+
+def reachability_graph(net: TimedPetriNet, *, max_states: int = 100_000) -> UntimedReachabilityGraph:
+    """Enumerate every marking reachable with the atomic firing rule.
+
+    Raises :class:`~repro.exceptions.UnboundedNetError` when more than
+    ``max_states`` markings are generated, which for an unbounded net happens
+    after finitely many steps (use :func:`coverability_graph` to *decide*
+    boundedness first).
+    """
+    graph = UntimedReachabilityGraph(net)
+    initial_index, _ = graph._add_marking(net.initial_marking)
+    frontier = deque([initial_index])
+    while frontier:
+        index = frontier.popleft()
+        marking = graph.markings[index]
+        for transition_name in net.enabled_transitions(marking):
+            successor = net.fire_untimed(marking, transition_name)
+            successor_index, is_new = graph._add_marking(successor)
+            graph._add_edge(index, successor_index, transition_name)
+            if is_new:
+                if graph.state_count > max_states:
+                    raise UnboundedNetError(
+                        f"untimed reachability exceeded {max_states} markings; the net "
+                        "is unbounded or the bound is too small"
+                    )
+                frontier.append(successor_index)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Coverability (Karp–Miller)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoverabilityNode:
+    """A Karp–Miller node: token counts per place where ``OMEGA`` means unbounded."""
+
+    vector: Tuple[float, ...]
+
+    def covers(self, other: "CoverabilityNode") -> bool:
+        """Component-wise ``>=`` comparison."""
+        return all(a >= b for a, b in zip(self.vector, other.vector))
+
+    def strictly_covers(self, other: "CoverabilityNode") -> bool:
+        """Covers and differs in at least one component."""
+        return self.covers(other) and self.vector != other.vector
+
+
+class CoverabilityGraph:
+    """Karp–Miller coverability graph."""
+
+    def __init__(self, net: TimedPetriNet):
+        self.net = net
+        self.nodes: List[CoverabilityNode] = []
+        self.index_of: Dict[Tuple[float, ...], int] = {}
+        self.edges: List[UntimedEdge] = []
+
+    def _add_node(self, node: CoverabilityNode) -> Tuple[int, bool]:
+        existing = self.index_of.get(node.vector)
+        if existing is not None:
+            return existing, False
+        index = len(self.nodes)
+        self.nodes.append(node)
+        self.index_of[node.vector] = index
+        return index, True
+
+    @property
+    def node_count(self) -> int:
+        """Number of distinct coverability nodes."""
+        return len(self.nodes)
+
+    def is_bounded(self) -> bool:
+        """True when no node contains an ``ω`` component."""
+        return all(OMEGA not in node.vector for node in self.nodes)
+
+    def unbounded_places(self) -> Tuple[str, ...]:
+        """Places that acquire an ``ω`` component somewhere in the graph."""
+        unbounded = set()
+        for node in self.nodes:
+            for place, value in zip(self.net.place_order, node.vector):
+                if value == OMEGA:
+                    unbounded.add(place)
+        return tuple(sorted(unbounded))
+
+    def place_bound(self, place_name: str) -> Optional[int]:
+        """The bound of a place, or ``None`` when it is unbounded."""
+        index = self.net.place_order.index(place_name)
+        best = 0
+        for node in self.nodes:
+            value = node.vector[index]
+            if value == OMEGA:
+                return None
+            best = max(best, int(value))
+        return best
+
+    def __repr__(self) -> str:
+        return f"CoverabilityGraph(nodes={self.node_count}, edges={len(self.edges)})"
+
+
+def _enabled_in_vector(net: TimedPetriNet, vector: Sequence[float], transition_name: str) -> bool:
+    transition = net.transition(transition_name)
+    place_index = {name: index for index, name in enumerate(net.place_order)}
+    return all(vector[place_index[place]] >= weight for place, weight in transition.inputs.items())
+
+
+def _fire_vector(net: TimedPetriNet, vector: Sequence[float], transition_name: str) -> List[float]:
+    transition = net.transition(transition_name)
+    place_index = {name: index for index, name in enumerate(net.place_order)}
+    result = list(vector)
+    for place, weight in transition.inputs.items():
+        if result[place_index[place]] != OMEGA:
+            result[place_index[place]] -= weight
+    for place, weight in transition.outputs.items():
+        if result[place_index[place]] != OMEGA:
+            result[place_index[place]] += weight
+    return result
+
+
+def coverability_graph(net: TimedPetriNet, *, max_nodes: int = 50_000) -> CoverabilityGraph:
+    """Build the Karp–Miller coverability graph (always terminates).
+
+    The acceleration step replaces components that strictly grow along a path
+    from an ancestor by ``ω``.  ``max_nodes`` is a safety valve for
+    pathological nets; reaching it raises
+    :class:`~repro.exceptions.UnboundedNetError` because the construction is
+    guaranteed finite only with unlimited memory.
+    """
+    graph = CoverabilityGraph(net)
+    root = CoverabilityNode(tuple(float(v) for v in net.initial_marking.to_vector()))
+    root_index, _ = graph._add_node(root)
+    # Each work item remembers the ancestor chain (indices) for acceleration.
+    work: deque = deque([(root_index, (root_index,))])
+    while work:
+        index, ancestors = work.popleft()
+        node = graph.nodes[index]
+        for transition_name in net.transition_order:
+            if not _enabled_in_vector(net, node.vector, transition_name):
+                continue
+            successor_vector = _fire_vector(net, node.vector, transition_name)
+            # Acceleration: compare against every ancestor on the path.
+            for ancestor_index in ancestors:
+                ancestor = graph.nodes[ancestor_index]
+                candidate = CoverabilityNode(tuple(successor_vector))
+                if candidate.strictly_covers(ancestor):
+                    successor_vector = [
+                        OMEGA if cand > anc else cand
+                        for cand, anc in zip(successor_vector, ancestor.vector)
+                    ]
+            successor = CoverabilityNode(tuple(successor_vector))
+            successor_index, is_new = graph._add_node(successor)
+            graph.edges.append(UntimedEdge(index, successor_index, transition_name))
+            if is_new:
+                if graph.node_count > max_nodes:
+                    raise UnboundedNetError(
+                        f"coverability construction exceeded {max_nodes} nodes"
+                    )
+                work.append((successor_index, ancestors + (successor_index,)))
+    return graph

@@ -1,0 +1,285 @@
+"""Structural validation diagnostics for Timed Petri Nets.
+
+The :class:`~repro.petri.net.TimedPetriNet` constructor enforces the *hard*
+requirements (arcs reference known places, times are non-negative, conflict
+sets with choices have usable frequencies).  This module provides the softer
+model-quality checks a protocol modeller wants before spending time on
+reachability analysis, packaged as :class:`Diagnostic` records with a
+severity so callers can decide what to treat as fatal:
+
+* isolated places and transitions (usually modelling mistakes),
+* source/sink transitions (legal, but they make nets unbounded or dead),
+* zero-frequency transitions that can never fire because a positive-frequency
+  sibling exists in their conflict set,
+* transitions whose conflict set has a choice but whose enabling times differ
+  (the paper's probability rule silently assumes conflicting transitions
+  become firable together; differing enabling times make the frequencies
+  meaningless in some states),
+* immediate self-loops that would make the timed reachability graph diverge
+  (a zero-delay cycle).
+
+``validate_net`` returns all diagnostics; ``assert_valid`` raises on errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence
+
+from ..exceptions import NetDefinitionError
+from ..symbolic.linexpr import LinExpr
+from .net import TimedPetriNet
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A single validation finding.
+
+    Attributes
+    ----------
+    severity:
+        ``"error"``, ``"warning"`` or ``"info"``.
+    code:
+        Stable machine-readable identifier, e.g. ``"isolated-place"``.
+    subject:
+        The place/transition (or group) the finding is about.
+    message:
+        Human-readable explanation.
+    """
+
+    severity: str
+    code: str
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code} ({self.subject}): {self.message}"
+
+
+def _is_zero_time(value: object) -> bool:
+    if isinstance(value, Fraction):
+        return value == 0
+    if isinstance(value, LinExpr):
+        return value.is_zero()
+    return False
+
+
+def validate_net(net: TimedPetriNet) -> List[Diagnostic]:
+    """Run every structural check and return the list of diagnostics."""
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(_check_isolated_nodes(net))
+    diagnostics.extend(_check_source_sink_transitions(net))
+    diagnostics.extend(_check_initial_marking(net))
+    diagnostics.extend(_check_conflict_sets(net))
+    diagnostics.extend(_check_immediate_cycles(net))
+    return diagnostics
+
+
+def _check_isolated_nodes(net: TimedPetriNet) -> List[Diagnostic]:
+    diagnostics = []
+    for place_name in net.place_order:
+        if not net.preset_of_place(place_name) and not net.postset_of_place(place_name):
+            diagnostics.append(
+                Diagnostic(
+                    SEVERITY_WARNING,
+                    "isolated-place",
+                    place_name,
+                    "place is connected to no transition; it can never change",
+                )
+            )
+    for transition_name in net.transition_order:
+        transition = net.transition(transition_name)
+        if transition.inputs.is_empty() and transition.outputs.is_empty():
+            diagnostics.append(
+                Diagnostic(
+                    SEVERITY_ERROR,
+                    "isolated-transition",
+                    transition_name,
+                    "transition has neither inputs nor outputs",
+                )
+            )
+    return diagnostics
+
+
+def _check_source_sink_transitions(net: TimedPetriNet) -> List[Diagnostic]:
+    diagnostics = []
+    for transition_name in net.transition_order:
+        transition = net.transition(transition_name)
+        if transition.inputs.is_empty() and not transition.outputs.is_empty():
+            diagnostics.append(
+                Diagnostic(
+                    SEVERITY_WARNING,
+                    "source-transition",
+                    transition_name,
+                    "transition has no inputs: it is permanently enabled and the net "
+                    "is unbounded unless its outputs are consumed at least as fast",
+                )
+            )
+        if transition.outputs.is_empty() and not transition.inputs.is_empty():
+            diagnostics.append(
+                Diagnostic(
+                    SEVERITY_INFO,
+                    "sink-transition",
+                    transition_name,
+                    "transition has no outputs: it only consumes tokens "
+                    "(common for modelling message loss)",
+                )
+            )
+    return diagnostics
+
+
+def _check_initial_marking(net: TimedPetriNet) -> List[Diagnostic]:
+    diagnostics = []
+    if net.initial_marking.total_tokens() == 0:
+        diagnostics.append(
+            Diagnostic(
+                SEVERITY_WARNING,
+                "empty-initial-marking",
+                net.name,
+                "the initial marking holds no tokens; only source transitions can ever fire",
+            )
+        )
+    for place_name in net.place_order:
+        capacity = net.place(place_name).capacity
+        if capacity is not None and net.initial_marking[place_name] > capacity:
+            diagnostics.append(
+                Diagnostic(
+                    SEVERITY_ERROR,
+                    "capacity-exceeded",
+                    place_name,
+                    f"initial marking places {net.initial_marking[place_name]} tokens in a "
+                    f"place of capacity {capacity}",
+                )
+            )
+    return diagnostics
+
+
+def _check_conflict_sets(net: TimedPetriNet) -> List[Diagnostic]:
+    diagnostics = []
+    for conflict_set in net.conflict_sets:
+        if not conflict_set.has_choice:
+            continue
+        members = conflict_set.transition_names
+        frequencies = [net.transition(name).firing_frequency for name in members]
+        zero_members = [
+            name
+            for name, freq in zip(members, frequencies)
+            if isinstance(freq, Fraction) and freq == 0
+        ]
+        if zero_members and len(zero_members) < len(members):
+            diagnostics.append(
+                Diagnostic(
+                    SEVERITY_INFO,
+                    "priority-transition",
+                    ",".join(zero_members),
+                    "firing frequency 0: these transitions only fire when no positive-"
+                    "frequency member of their conflict set is firable",
+                )
+            )
+        enabling_times = {str(net.transition(name).enabling_time) for name in members}
+        if len(enabling_times) > 1:
+            diagnostics.append(
+                Diagnostic(
+                    SEVERITY_WARNING,
+                    "mixed-enabling-times",
+                    ",".join(members),
+                    "conflicting transitions have different enabling times; branching "
+                    "probabilities only apply in states where several of them are "
+                    "firable simultaneously",
+                )
+            )
+    return diagnostics
+
+
+def _check_immediate_cycles(net: TimedPetriNet) -> List[Diagnostic]:
+    """Detect cycles consisting solely of immediate (zero-time) transitions.
+
+    Such a cycle can be traversed infinitely often without time advancing,
+    which makes the timed reachability graph (and any simulation) diverge.
+    The check walks the place/transition graph restricted to immediate
+    transitions and reports every cycle-participating transition once.
+    """
+    immediate = [
+        name for name in net.transition_order
+        if _is_zero_time(net.transition(name).enabling_time)
+        and _is_zero_time(net.transition(name).firing_time)
+    ]
+    if not immediate:
+        return []
+    # Build a transition -> transition edge when t1's output feeds t2's input.
+    successors = {
+        name: set()  # type: ignore[var-annotated]
+        for name in immediate
+    }
+    immediate_set = set(immediate)
+    for name in immediate:
+        for place_name in net.transition(name).outputs:
+            for consumer in net.postset_of_place(place_name):
+                if consumer in immediate_set:
+                    successors[name].add(consumer)
+    # Iterative DFS cycle detection.
+    in_cycle = set()
+    visiting: dict = {}
+    for start in immediate:
+        if start in visiting:
+            continue
+        stack = [(start, iter(successors[start]))]
+        visiting[start] = "open"
+        path = [start]
+        while stack:
+            node, iterator = stack[-1]
+            advanced = False
+            for nxt in iterator:
+                if visiting.get(nxt) == "open":
+                    # Found a cycle: everything from nxt on the current path.
+                    if nxt in path:
+                        in_cycle.update(path[path.index(nxt):])
+                    else:
+                        in_cycle.add(nxt)
+                elif nxt not in visiting:
+                    visiting[nxt] = "open"
+                    stack.append((nxt, iter(successors[nxt])))
+                    path.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                visiting[node] = "done"
+                stack.pop()
+                if path and path[-1] == node:
+                    path.pop()
+    return [
+        Diagnostic(
+            SEVERITY_WARNING,
+            "immediate-cycle",
+            name,
+            "transition lies on a cycle of zero-time transitions; the timed "
+            "reachability graph may contain zero-delay loops",
+        )
+        for name in sorted(in_cycle)
+    ]
+
+
+def assert_valid(net: TimedPetriNet, *, allow_warnings: bool = True) -> Sequence[Diagnostic]:
+    """Validate and raise :class:`~repro.exceptions.NetDefinitionError` on errors.
+
+    Returns the full diagnostic list on success so callers can still log
+    warnings.  With ``allow_warnings=False`` warnings are fatal too.
+    """
+    diagnostics = validate_net(net)
+    blocking = [
+        diagnostic
+        for diagnostic in diagnostics
+        if diagnostic.severity == SEVERITY_ERROR
+        or (not allow_warnings and diagnostic.severity == SEVERITY_WARNING)
+    ]
+    if blocking:
+        raise NetDefinitionError(
+            "net %r failed validation:\n%s"
+            % (net.name, "\n".join(str(diagnostic) for diagnostic in blocking))
+        )
+    return diagnostics

@@ -1,0 +1,82 @@
+"""Protocol and workload model zoo.
+
+* :mod:`repro.protocols.simple_protocol` — the paper's Figure-1 protocol
+  (numeric and symbolic flavours, Section-4 constraints, paper constants),
+* :mod:`repro.protocols.alternating_bit` — the sequenced extension the paper
+  mentions,
+* :mod:`repro.protocols.workloads` — producer/consumer, token ring and a
+  pipelined stop-and-wait used for scaling experiments.
+"""
+
+from typing import Callable, Dict
+
+from ..petri.net import TimedPetriNet
+from .alternating_bit import alternating_bit_net, message_accept_transitions
+from .simple_protocol import (
+    PAPER_ACK_DELAY,
+    PAPER_ACK_LOSS,
+    PAPER_DECISION_DELAYS,
+    PAPER_DECISION_EDGE_COUNT,
+    PAPER_DECISION_NODE_COUNT,
+    PAPER_PACKET_DELAY,
+    PAPER_PACKET_LOSS,
+    PAPER_RECEIVER_TIME,
+    PAPER_RET_MILESTONES,
+    PAPER_SEND_TIME,
+    PAPER_STATE_COUNT,
+    PAPER_THROUGHPUT,
+    PAPER_TIMEOUT,
+    SimpleProtocolParameters,
+    paper_bindings,
+    paper_throughput_expression_value,
+    protocol_symbols,
+    section4_constraints,
+    simple_protocol_net,
+    simple_protocol_symbolic,
+)
+from .workloads import pipelined_stop_and_wait_net, producer_consumer_net, token_ring_net
+
+
+def model_catalog() -> Dict[str, Callable[[], TimedPetriNet]]:
+    """Named zero-argument constructors for every bundled numeric model.
+
+    Used by the CLI (``repro-tpn analyze --model <name>``) and by sweep-style
+    tests that want to exercise every model uniformly.
+    """
+    return {
+        "simple-protocol": simple_protocol_net,
+        "alternating-bit": alternating_bit_net,
+        "producer-consumer": producer_consumer_net,
+        "token-ring": token_ring_net,
+        "pipelined-stop-and-wait": pipelined_stop_and_wait_net,
+    }
+
+
+__all__ = [
+    "PAPER_ACK_DELAY",
+    "PAPER_ACK_LOSS",
+    "PAPER_DECISION_DELAYS",
+    "PAPER_DECISION_EDGE_COUNT",
+    "PAPER_DECISION_NODE_COUNT",
+    "PAPER_PACKET_DELAY",
+    "PAPER_PACKET_LOSS",
+    "PAPER_RECEIVER_TIME",
+    "PAPER_RET_MILESTONES",
+    "PAPER_SEND_TIME",
+    "PAPER_STATE_COUNT",
+    "PAPER_THROUGHPUT",
+    "PAPER_TIMEOUT",
+    "SimpleProtocolParameters",
+    "alternating_bit_net",
+    "message_accept_transitions",
+    "model_catalog",
+    "paper_bindings",
+    "paper_throughput_expression_value",
+    "pipelined_stop_and_wait_net",
+    "producer_consumer_net",
+    "protocol_symbols",
+    "section4_constraints",
+    "simple_protocol_net",
+    "simple_protocol_symbolic",
+    "token_ring_net",
+]

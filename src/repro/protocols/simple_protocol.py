@@ -1,0 +1,384 @@
+"""The paper's running example: a simple unnumbered message/acknowledgement protocol.
+
+Figure 1 of the paper models a stop-and-wait style protocol without sequence
+numbers: the sender transmits a packet and waits; the medium may deliver or
+lose the packet; the receiver acknowledges immediately; the medium may
+deliver or lose the acknowledgement; a timeout recovers from either loss.
+
+The net built here (see ``DESIGN.md`` for the reconstruction notes on the two
+OCR-ambiguous firing times) reproduces every number the paper reports:
+
+* the timed reachability graph has 18 states (Figure 4),
+* the decision graph has two decision nodes and four edges with delays
+  1002 ms, 120.2 ms, 122.2 ms and 881.8 ms and probabilities 0.05/0.95
+  (Figure 5),
+* the symbolic analysis under the four timing constraints of Section 4
+  yields the throughput expression that specializes to
+  ``18.05 / (1.95·(E3+F3) + 20·F1 + 18.05·(F2+F4+F6+F7+F8))`` at 5 % loss,
+  numerically ≈ 2.85 messages/second.
+
+Two flavours are provided:
+
+* :func:`simple_protocol_net` — the numeric net, with every timing and loss
+  parameter overridable (used by sweeps and the simulator);
+* :func:`simple_protocol_symbolic` — the symbolic net plus the declared
+  timing constraints of Section 4 (used by the symbolic reachability and
+  performance derivations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Tuple
+
+from ..petri.builder import NetBuilder
+from ..petri.net import TimedPetriNet
+from ..symbolic.constraints import Constraint, ConstraintSet
+from ..symbolic.evaluate import Bindings
+from ..symbolic.linexpr import ExprLike, LinExpr, as_expr, as_fraction
+from ..symbolic.symbols import Symbol, firing_frequency_symbol, firing_time_symbol
+
+#: Default parameter values of Figure 1b (milliseconds).
+PAPER_SEND_TIME = Fraction(1)  # F(t1): sender transmits packet
+PAPER_ACK_ACCEPT_TIME = Fraction(1)  # F(t2): sender accepts acknowledgement
+PAPER_TIMEOUT = Fraction(1000)  # E(t3): retransmission timeout
+PAPER_TIMEOUT_FIRING = Fraction(1)  # F(t3): timeout handling
+PAPER_PACKET_DELAY = Fraction("106.7")  # F(t4)=F(t5): medium transit (packet)
+PAPER_RECEIVER_TIME = Fraction("13.5")  # F(t6): receiver consumes packet, emits ack
+PAPER_NEXT_MESSAGE_TIME = Fraction("13.5")  # F(t7): sender prepares next message
+PAPER_ACK_DELAY = Fraction("106.7")  # F(t8)=F(t9): medium transit (ack)
+PAPER_PACKET_LOSS = Fraction(1, 20)  # 5 % packet loss
+PAPER_ACK_LOSS = Fraction(1, 20)  # 5 % acknowledgement loss
+
+#: Headline results of the paper, used by benchmarks and EXPERIMENTS.md.
+PAPER_STATE_COUNT = 18
+PAPER_DECISION_NODE_COUNT = 2
+PAPER_DECISION_EDGE_COUNT = 4
+#: Figure 5 edge delays in milliseconds, keyed by a human-readable edge name.
+PAPER_DECISION_DELAYS = {
+    "packet_lost": Fraction(1002),
+    "packet_delivered": Fraction("120.2"),
+    "ack_delivered": Fraction("122.2"),
+    "ack_lost": Fraction("881.8"),
+}
+#: Remaining-enabling-time milestones of Figure 4b.
+PAPER_RET_MILESTONES = (Fraction(1000), Fraction("893.3"), Fraction("879.8"), Fraction("773.1"))
+#: Throughput at the paper's parameters, in messages per millisecond.
+PAPER_THROUGHPUT = Fraction("18.05") / (
+    Fraction("1.95") * (PAPER_TIMEOUT + PAPER_TIMEOUT_FIRING)
+    + 20 * PAPER_SEND_TIME
+    + Fraction("18.05")
+    * (
+        PAPER_ACK_ACCEPT_TIME
+        + PAPER_PACKET_DELAY
+        + PAPER_RECEIVER_TIME
+        + PAPER_NEXT_MESSAGE_TIME
+        + PAPER_ACK_DELAY
+    )
+)
+
+PLACE_DESCRIPTIONS = {
+    "p1": "sender has a message ready to send",
+    "p2": "sender waiting for acknowledgement (timeout armed)",
+    "p3": "packet delivered to receiver",
+    "p4": "packet in transit in the medium",
+    "p5": "acknowledgement delivered to sender",
+    "p6": "acknowledgement in transit in the medium",
+    "p7": "acknowledgement accepted, next message being prepared",
+    "p8": "receiver ready",
+}
+
+TRANSITION_DESCRIPTIONS = {
+    "t1": "sender transmits packet",
+    "t2": "sender accepts acknowledgement",
+    "t3": "sender timeout, retransmit",
+    "t4": "medium delivers packet",
+    "t5": "medium loses packet",
+    "t6": "receiver consumes packet and emits acknowledgement",
+    "t7": "sender prepares the next message",
+    "t8": "medium delivers acknowledgement",
+    "t9": "medium loses acknowledgement",
+}
+
+
+@dataclass(frozen=True)
+class SimpleProtocolParameters:
+    """The tunable parameters of the simple protocol model.
+
+    All times are in milliseconds; loss probabilities are in [0, 1].
+    Defaults reproduce the paper's Figure 1b.
+    """
+
+    send_time: ExprLike = PAPER_SEND_TIME
+    ack_accept_time: ExprLike = PAPER_ACK_ACCEPT_TIME
+    timeout: ExprLike = PAPER_TIMEOUT
+    timeout_firing_time: ExprLike = PAPER_TIMEOUT_FIRING
+    packet_delay: ExprLike = PAPER_PACKET_DELAY
+    packet_loss_delay: ExprLike | None = None  # defaults to packet_delay
+    receiver_time: ExprLike = PAPER_RECEIVER_TIME
+    next_message_time: ExprLike = PAPER_NEXT_MESSAGE_TIME
+    ack_delay: ExprLike = PAPER_ACK_DELAY
+    ack_loss_delay: ExprLike | None = None  # defaults to ack_delay
+    packet_loss_probability: ExprLike = PAPER_PACKET_LOSS
+    ack_loss_probability: ExprLike | None = None  # defaults to packet_loss_probability
+
+    def resolved(self) -> "SimpleProtocolParameters":
+        """Fill the ``None`` defaults (loss delays = delivery delays, ack loss = packet loss)."""
+        return SimpleProtocolParameters(
+            send_time=self.send_time,
+            ack_accept_time=self.ack_accept_time,
+            timeout=self.timeout,
+            timeout_firing_time=self.timeout_firing_time,
+            packet_delay=self.packet_delay,
+            packet_loss_delay=self.packet_delay if self.packet_loss_delay is None else self.packet_loss_delay,
+            receiver_time=self.receiver_time,
+            next_message_time=self.next_message_time,
+            ack_delay=self.ack_delay,
+            ack_loss_delay=self.ack_delay if self.ack_loss_delay is None else self.ack_loss_delay,
+            packet_loss_probability=self.packet_loss_probability,
+            ack_loss_probability=(
+                self.packet_loss_probability
+                if self.ack_loss_probability is None
+                else self.ack_loss_probability
+            ),
+        )
+
+
+def _build_net(
+    parameters: SimpleProtocolParameters,
+    *,
+    packet_delivery_frequency: ExprLike,
+    packet_loss_frequency: ExprLike,
+    ack_delivery_frequency: ExprLike,
+    ack_loss_frequency: ExprLike,
+    name: str,
+) -> TimedPetriNet:
+    p = parameters.resolved()
+    builder = NetBuilder(name)
+    for place, description in PLACE_DESCRIPTIONS.items():
+        builder.place(place, description)
+    builder.transition(
+        "t1", inputs=["p1"], outputs=["p2", "p4"], firing_time=p.send_time,
+        description=TRANSITION_DESCRIPTIONS["t1"],
+    )
+    builder.transition(
+        "t2", inputs=["p2", "p5"], outputs=["p7"], firing_time=p.ack_accept_time, frequency=0,
+        description=TRANSITION_DESCRIPTIONS["t2"],
+    )
+    builder.transition(
+        "t3", inputs=["p2"], outputs=["p1"], enabling_time=p.timeout,
+        firing_time=p.timeout_firing_time, frequency=1,
+        description=TRANSITION_DESCRIPTIONS["t3"],
+    )
+    builder.transition(
+        "t4", inputs=["p4"], outputs=["p3"], firing_time=p.packet_delay,
+        frequency=packet_delivery_frequency, description=TRANSITION_DESCRIPTIONS["t4"],
+    )
+    builder.transition(
+        "t5", inputs=["p4"], outputs=[], firing_time=p.packet_loss_delay,
+        frequency=packet_loss_frequency, description=TRANSITION_DESCRIPTIONS["t5"],
+    )
+    builder.transition(
+        "t6", inputs=["p3", "p8"], outputs=["p6", "p8"], firing_time=p.receiver_time,
+        description=TRANSITION_DESCRIPTIONS["t6"],
+    )
+    builder.transition(
+        "t7", inputs=["p7"], outputs=["p1"], firing_time=p.next_message_time,
+        description=TRANSITION_DESCRIPTIONS["t7"],
+    )
+    builder.transition(
+        "t8", inputs=["p6"], outputs=["p5"], firing_time=p.ack_delay,
+        frequency=ack_delivery_frequency, description=TRANSITION_DESCRIPTIONS["t8"],
+    )
+    builder.transition(
+        "t9", inputs=["p6"], outputs=[], firing_time=p.ack_loss_delay,
+        frequency=ack_loss_frequency, description=TRANSITION_DESCRIPTIONS["t9"],
+    )
+    builder.mark("p1")
+    builder.mark("p8")
+    return builder.build()
+
+
+def simple_protocol_net(
+    parameters: SimpleProtocolParameters | None = None,
+    **overrides,
+) -> TimedPetriNet:
+    """Build the numeric Figure-1 net.
+
+    Either pass a full :class:`SimpleProtocolParameters` or override
+    individual fields by keyword, e.g.
+    ``simple_protocol_net(packet_loss_probability=0.1, timeout=500)``.
+    """
+    if parameters is None:
+        parameters = SimpleProtocolParameters(**overrides)
+    elif overrides:
+        raise TypeError("pass either a SimpleProtocolParameters object or keyword overrides, not both")
+    resolved = parameters.resolved()
+    packet_loss = as_fraction(resolved.packet_loss_probability)
+    ack_loss = as_fraction(resolved.ack_loss_probability)
+    for value, label in ((packet_loss, "packet"), (ack_loss, "acknowledgement")):
+        if not 0 <= value <= 1:
+            raise ValueError(f"{label} loss probability must lie in [0, 1], got {value}")
+    return _build_net(
+        resolved,
+        packet_delivery_frequency=1 - packet_loss,
+        packet_loss_frequency=packet_loss,
+        ack_delivery_frequency=1 - ack_loss,
+        ack_loss_frequency=ack_loss,
+        name="simple-protocol",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Symbolic flavour (Section 4)
+# ---------------------------------------------------------------------------
+
+
+def protocol_symbols() -> Dict[str, Symbol]:
+    """The conventional symbols of the symbolic model.
+
+    ``E3`` is the timeout enabling time; ``F1`` … ``F9`` are the firing
+    times; ``f4, f5, f8, f9`` are the firing frequencies of the conflicting
+    medium transitions.
+    """
+    symbols: Dict[str, Symbol] = {"E3": Symbol("E_t3", "time")}
+    for index in range(1, 10):
+        symbols[f"F{index}"] = firing_time_symbol(f"t{index}")
+    for index in (4, 5, 8, 9):
+        symbols[f"f{index}"] = firing_frequency_symbol(f"t{index}")
+    return symbols
+
+
+def section4_constraints(symbols: Dict[str, Symbol] | None = None) -> ConstraintSet:
+    """The four timing constraints of Section 4 of the paper.
+
+    1. ``E(t3) > F(t1) + F(t4) + F(t6) + F(t8) + F(t2)`` — the timeout exceeds
+       the round-trip time of a packet and its acknowledgement.
+    2. ``E(t_i) = 0`` for ``i ≠ 3`` — only the timeout has an enabling delay
+       (represented structurally: the symbolic net simply gives those
+       transitions enabling time 0, so no explicit constraint is needed; the
+       constraint set records it for documentation with label "2").
+    3. ``F(t5) = F(t4)`` — losing a packet takes no longer than delivering it.
+    4. ``F(t9) = F(t8)`` — losing an acknowledgement takes no longer than
+       delivering it.
+    """
+    s = symbols or protocol_symbols()
+    round_trip = (
+        as_expr(s["F1"]) + s["F4"] + s["F6"] + s["F8"] + s["F2"]
+    )
+    constraint_set = ConstraintSet()
+    constraint_set.add(Constraint.greater(LinExpr.from_symbol(s["E3"]), round_trip, label="1"))
+    # Constraint 2 is structural (enabling times of t1..t9 except t3 are the
+    # constant 0 in the symbolic net); we record a trivially-true placeholder
+    # so reports list the same four constraints as the paper.
+    constraint_set.add(Constraint.equal(LinExpr.zero(), LinExpr.zero(), label="2"))
+    constraint_set.add(Constraint.equal(LinExpr.from_symbol(s["F5"]), LinExpr.from_symbol(s["F4"]), label="3"))
+    constraint_set.add(Constraint.equal(LinExpr.from_symbol(s["F9"]), LinExpr.from_symbol(s["F8"]), label="4"))
+    return constraint_set
+
+
+def simple_protocol_symbolic(
+    *, apply_equal_loss_delays: bool = True
+) -> Tuple[TimedPetriNet, ConstraintSet, Dict[str, Symbol]]:
+    """Build the symbolic Figure-1 net with the Section-4 timing constraints.
+
+    Returns ``(net, constraints, symbols)``.  With
+    ``apply_equal_loss_delays=True`` (default) the firing times of the loss
+    transitions t5/t9 are *written as* ``F4``/``F8`` — using constraints 3
+    and 4 at modelling time exactly as the paper's Figure 6b does (its loss
+    states show the delivery-time symbols).  Set it to False to keep separate
+    ``F5``/``F9`` symbols and let the comparator use constraints 3 and 4
+    during the construction instead.
+    """
+    symbols = protocol_symbols()
+    constraints = section4_constraints(symbols)
+    loss_packet_delay = symbols["F4"] if apply_equal_loss_delays else symbols["F5"]
+    loss_ack_delay = symbols["F8"] if apply_equal_loss_delays else symbols["F9"]
+    parameters = SimpleProtocolParameters(
+        send_time=symbols["F1"],
+        ack_accept_time=symbols["F2"],
+        timeout=symbols["E3"],
+        timeout_firing_time=symbols["F3"],
+        packet_delay=symbols["F4"],
+        packet_loss_delay=loss_packet_delay,
+        receiver_time=symbols["F6"],
+        next_message_time=symbols["F7"],
+        ack_delay=symbols["F8"],
+        ack_loss_delay=loss_ack_delay,
+    )
+    net = _build_net(
+        parameters,
+        packet_delivery_frequency=symbols["f4"],
+        packet_loss_frequency=symbols["f5"],
+        ack_delivery_frequency=symbols["f8"],
+        ack_loss_frequency=symbols["f9"],
+        name="simple-protocol-symbolic",
+    )
+    return net, constraints, symbols
+
+
+def paper_bindings(
+    *,
+    packet_loss: ExprLike = PAPER_PACKET_LOSS,
+    ack_loss: ExprLike | None = None,
+) -> Bindings:
+    """Numeric bindings for the symbolic model matching Figure 1b.
+
+    Used to specialize symbolic results back to the paper's numbers and to
+    cross-check the symbolic construction against the numeric one.
+    """
+    symbols = protocol_symbols()
+    packet_loss_fraction = as_fraction(packet_loss)
+    ack_loss_fraction = packet_loss_fraction if ack_loss is None else as_fraction(ack_loss)
+    bindings = Bindings()
+    bindings.set(symbols["E3"], PAPER_TIMEOUT)
+    bindings.set(symbols["F1"], PAPER_SEND_TIME)
+    bindings.set(symbols["F2"], PAPER_ACK_ACCEPT_TIME)
+    bindings.set(symbols["F3"], PAPER_TIMEOUT_FIRING)
+    bindings.set(symbols["F4"], PAPER_PACKET_DELAY)
+    bindings.set(symbols["F5"], PAPER_PACKET_DELAY)
+    bindings.set(symbols["F6"], PAPER_RECEIVER_TIME)
+    bindings.set(symbols["F7"], PAPER_NEXT_MESSAGE_TIME)
+    bindings.set(symbols["F8"], PAPER_ACK_DELAY)
+    bindings.set(symbols["F9"], PAPER_ACK_DELAY)
+    bindings.set(symbols["f4"], 1 - packet_loss_fraction)
+    bindings.set(symbols["f5"], packet_loss_fraction)
+    bindings.set(symbols["f8"], 1 - ack_loss_fraction)
+    bindings.set(symbols["f9"], ack_loss_fraction)
+    return bindings
+
+
+def paper_throughput_expression_value(
+    *, packet_loss: ExprLike = PAPER_PACKET_LOSS, ack_loss: ExprLike | None = None
+) -> Fraction:
+    """Evaluate the closed-form throughput the paper states, for arbitrary loss rates.
+
+    The general closed form (derived in Section 4 and reproduced by
+    :mod:`repro.performance`) is::
+
+        throughput = A·P / [ (1-P)·d_lost + P·d_ok + P·A·d_acked + P·(1-A)·d_ack_lost ]
+
+    with ``P`` the packet delivery probability, ``A`` the acknowledgement
+    delivery probability and the four decision-graph delays of Figure 5.  At
+    ``P = A = 0.95`` this is exactly the paper's
+    ``18.05 / (1.95(E3+F3) + 20 F1 + 18.05(F2+F4+F6+F7+F8))``.
+    """
+    packet_loss_fraction = as_fraction(packet_loss)
+    ack_loss_fraction = packet_loss_fraction if ack_loss is None else as_fraction(ack_loss)
+    delivery = 1 - packet_loss_fraction
+    acked = 1 - ack_loss_fraction
+    delay_lost = PAPER_TIMEOUT + PAPER_TIMEOUT_FIRING + PAPER_SEND_TIME
+    delay_ok = PAPER_PACKET_DELAY + PAPER_RECEIVER_TIME
+    delay_acked = PAPER_ACK_DELAY + PAPER_ACK_ACCEPT_TIME + PAPER_NEXT_MESSAGE_TIME + PAPER_SEND_TIME
+    delay_ack_lost = (
+        PAPER_TIMEOUT - PAPER_PACKET_DELAY - PAPER_RECEIVER_TIME
+        + PAPER_TIMEOUT_FIRING + PAPER_SEND_TIME
+    )
+    denominator = (
+        (1 - delivery) * delay_lost
+        + delivery * delay_ok
+        + delivery * acked * delay_acked
+        + delivery * (1 - acked) * delay_ack_lost
+    )
+    return delivery * acked / denominator

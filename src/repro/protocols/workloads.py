@@ -1,0 +1,219 @@
+"""Additional workload models: producer/consumer, token ring, pipelined stop-and-wait.
+
+These models exercise the library beyond the paper's running example:
+
+* :func:`producer_consumer_net` — a bounded-buffer producer/consumer with a
+  lossy hand-off, the canonical "throughput limited by the slower stage"
+  workload; its analytic cycle time has a simple closed form the tests check.
+* :func:`token_ring_net` — an ``n``-station token-passing ring; the timed
+  reachability graph grows linearly with ``n`` which makes it the scaling
+  workload of experiment E13.
+* :func:`pipelined_stop_and_wait_net` — two independent stop-and-wait
+  channels sharing one receiver, a small step toward the sliding-window
+  protocols the paper's introduction motivates; used to show how interleaved
+  timers blow up the state space.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..petri.builder import NetBuilder
+from ..petri.net import TimedPetriNet
+from ..symbolic.linexpr import ExprLike, as_fraction
+
+
+def producer_consumer_net(
+    *,
+    buffer_size: int = 3,
+    production_time: ExprLike = 5,
+    transfer_time: ExprLike = 2,
+    consumption_time: ExprLike = 8,
+    loss_probability: ExprLike = 0,
+) -> TimedPetriNet:
+    """A producer filling a bounded buffer drained by a consumer.
+
+    With ``loss_probability`` > 0 the hand-off into the buffer can fail, in
+    which case the item is dropped (modelling an overflowing NIC queue or a
+    lossy link between the two stages).
+    """
+    if buffer_size < 1:
+        raise ValueError("buffer_size must be at least 1")
+    loss = as_fraction(loss_probability)
+    if not 0 <= loss <= 1:
+        raise ValueError("loss probability must lie in [0, 1]")
+
+    builder = NetBuilder("producer-consumer")
+    builder.place("producer_idle", "producer ready to produce", tokens=1)
+    builder.place("item_ready", "item produced, awaiting hand-off")
+    builder.place("buffer_slots", "free buffer slots", tokens=buffer_size)
+    builder.place("buffer_items", "items waiting in the buffer")
+    builder.place("consumer_idle", "consumer ready to consume", tokens=1)
+    builder.place("consuming", "consumer processing an item")
+
+    builder.transition(
+        "produce",
+        inputs=["producer_idle"],
+        outputs=["item_ready"],
+        firing_time=production_time,
+        description="producer creates an item",
+    )
+    builder.transition(
+        "enqueue",
+        inputs=["item_ready", "buffer_slots"],
+        outputs=["buffer_items", "producer_idle"],
+        firing_time=transfer_time,
+        frequency=1 - loss,
+        description="hand the item into the buffer",
+    )
+    if loss > 0:
+        builder.transition(
+            "drop",
+            inputs=["item_ready", "buffer_slots"],
+            outputs=["buffer_slots", "producer_idle"],
+            firing_time=transfer_time,
+            frequency=loss,
+            description="the hand-off fails and the item is dropped",
+        )
+    builder.transition(
+        "start_consume",
+        inputs=["buffer_items", "consumer_idle"],
+        outputs=["consuming"],
+        firing_time=0,
+        description="consumer picks an item from the buffer",
+    )
+    builder.transition(
+        "finish_consume",
+        inputs=["consuming"],
+        outputs=["consumer_idle", "buffer_slots"],
+        firing_time=consumption_time,
+        description="consumer finishes processing and frees the slot",
+    )
+    return builder.build()
+
+
+def token_ring_net(
+    stations: int = 3,
+    *,
+    hold_time: ExprLike = 10,
+    pass_time: ExprLike = 2,
+) -> TimedPetriNet:
+    """A token-passing ring of ``stations`` stations.
+
+    Each station holds the token for ``hold_time`` (transmitting), then
+    passes it to the next station in ``pass_time``.  The steady-state cycle
+    time is exactly ``stations * (hold_time + pass_time)``, which the tests
+    verify against the analytic pipeline; the model's main role is scaling
+    the reachability graph linearly for experiment E13.
+    """
+    if stations < 2:
+        raise ValueError("a token ring needs at least 2 stations")
+    builder = NetBuilder(f"token-ring-{stations}")
+    for index in range(stations):
+        builder.place(f"has_token_{index}", f"station {index} holds the token", tokens=1 if index == 0 else 0)
+        builder.place(f"passing_{index}", f"token travelling from station {index}")
+    for index in range(stations):
+        nxt = (index + 1) % stations
+        builder.transition(
+            f"transmit_{index}",
+            inputs=[f"has_token_{index}"],
+            outputs=[f"passing_{index}"],
+            firing_time=hold_time,
+            description=f"station {index} transmits while holding the token",
+        )
+        builder.transition(
+            f"pass_{index}",
+            inputs=[f"passing_{index}"],
+            outputs=[f"has_token_{nxt}"],
+            firing_time=pass_time,
+            description=f"token passes from station {index} to station {nxt}",
+        )
+    return builder.build()
+
+
+def pipelined_stop_and_wait_net(
+    channels: int = 2,
+    *,
+    send_time: ExprLike = 1,
+    packet_delay: ExprLike = 4,
+    receiver_time: ExprLike = 1,
+    ack_delay: ExprLike = 4,
+    loss_probability: ExprLike = Fraction(1, 10),
+    timeout: ExprLike = 20,
+) -> TimedPetriNet:
+    """Several independent stop-and-wait channels sharing one receiver.
+
+    Each channel behaves like the paper's protocol (without the ack-loss
+    branch, to keep the per-channel state small); the shared receiver place
+    serializes acknowledgement generation, so the channels interfere — the
+    timed reachability graph grows combinatorially with ``channels``, which
+    is exactly what experiment E13 uses it for.
+
+    The default delays are small *commensurable* integers rather than the
+    paper's millisecond values: with several free-running timers the timed
+    reachability graph is only finite when the relative phases of the
+    channels can take finitely many values, which integer delays guarantee.
+    (With the paper's 106.7/13.5/1000 values and loss, the phase drift never
+    repeats and the graph genuinely does not close — a nice illustration of
+    the limits of the method that the scaling benchmark points out.)
+    """
+    if channels < 1:
+        raise ValueError("at least one channel is required")
+    loss = as_fraction(loss_probability)
+    builder = NetBuilder(f"pipelined-stop-and-wait-{channels}")
+    builder.place("receiver_ready", "shared receiver ready", tokens=1)
+    for channel in range(channels):
+        prefix = f"c{channel}_"
+        builder.place(prefix + "ready", f"channel {channel}: message ready", tokens=1)
+        builder.place(prefix + "waiting", f"channel {channel}: awaiting acknowledgement")
+        builder.place(prefix + "in_medium", f"channel {channel}: packet in the medium")
+        builder.place(prefix + "at_receiver", f"channel {channel}: packet delivered")
+        builder.place(prefix + "ack_in_medium", f"channel {channel}: acknowledgement in transit")
+        builder.transition(
+            prefix + "send",
+            inputs=[prefix + "ready"],
+            outputs=[prefix + "waiting", prefix + "in_medium"],
+            firing_time=send_time,
+            description=f"channel {channel}: transmit packet",
+        )
+        builder.transition(
+            prefix + "deliver",
+            inputs=[prefix + "in_medium"],
+            outputs=[prefix + "at_receiver"],
+            firing_time=packet_delay,
+            frequency=1 - loss,
+            description=f"channel {channel}: medium delivers the packet",
+        )
+        builder.transition(
+            prefix + "lose",
+            inputs=[prefix + "in_medium"],
+            outputs=[],
+            firing_time=packet_delay,
+            frequency=loss,
+            description=f"channel {channel}: medium loses the packet",
+        )
+        builder.transition(
+            prefix + "ack",
+            inputs=[prefix + "at_receiver", "receiver_ready"],
+            outputs=[prefix + "ack_in_medium", "receiver_ready"],
+            firing_time=receiver_time,
+            description=f"channel {channel}: receiver acknowledges",
+        )
+        builder.transition(
+            prefix + "got_ack",
+            inputs=[prefix + "waiting", prefix + "ack_in_medium"],
+            outputs=[prefix + "ready"],
+            firing_time=ack_delay,
+            frequency=0,
+            description=f"channel {channel}: acknowledgement returns, next message",
+        )
+        builder.transition(
+            prefix + "timeout",
+            inputs=[prefix + "waiting"],
+            outputs=[prefix + "ready"],
+            enabling_time=timeout,
+            firing_time=1,
+            frequency=1,
+            description=f"channel {channel}: retransmission timeout",
+        )
+    return builder.build()

@@ -1,0 +1,83 @@
+"""Timed reachability graphs, symbolic timed reachability graphs and decision graphs.
+
+This package implements Sections 2 and 3 of the paper:
+
+* :func:`timed_reachability_graph` — the numeric construction (Figure 4),
+* :func:`symbolic_timed_reachability_graph` — the symbolic construction under
+  declared timing constraints (Figure 6), including the per-state record of
+  which constraints were used (Figure 7),
+* :func:`decision_graph` — the collapse onto decision nodes (Figures 5 and 8),
+* analysis helpers (SCCs, vanishing/tangible states, timed deadlocks).
+"""
+
+from .algebra import (
+    MinimumSelection,
+    NumericProbabilityAlgebra,
+    NumericTimeAlgebra,
+    SymbolicProbabilityAlgebra,
+    SymbolicTimeAlgebra,
+    numeric_algebras,
+    symbolic_algebras,
+)
+from .analysis import (
+    TimedGraphSummary,
+    firing_count_vector,
+    is_strongly_connected,
+    recurrent_states,
+    strongly_connected_components,
+    summarize,
+    tangible_states,
+    timed_deadlocks,
+    vanishing_states,
+)
+from .decision import DecisionEdge, DecisionGraph, decision_graph
+from .graph import (
+    TimedEdge,
+    TimedNode,
+    TimedReachabilityGraph,
+    symbolic_timed_reachability_graph,
+    timed_reachability_graph,
+)
+from .state import TimedState
+from .successors import (
+    OVERLAP_ERROR,
+    OVERLAP_SKIP,
+    STEP_ADVANCE,
+    STEP_FIRE,
+    SuccessorEdge,
+    SuccessorGenerator,
+)
+
+__all__ = [
+    "DecisionEdge",
+    "DecisionGraph",
+    "MinimumSelection",
+    "NumericProbabilityAlgebra",
+    "NumericTimeAlgebra",
+    "OVERLAP_ERROR",
+    "OVERLAP_SKIP",
+    "STEP_ADVANCE",
+    "STEP_FIRE",
+    "SuccessorEdge",
+    "SuccessorGenerator",
+    "SymbolicProbabilityAlgebra",
+    "SymbolicTimeAlgebra",
+    "TimedEdge",
+    "TimedGraphSummary",
+    "TimedNode",
+    "TimedReachabilityGraph",
+    "TimedState",
+    "decision_graph",
+    "firing_count_vector",
+    "is_strongly_connected",
+    "numeric_algebras",
+    "recurrent_states",
+    "strongly_connected_components",
+    "summarize",
+    "symbolic_algebras",
+    "symbolic_timed_reachability_graph",
+    "tangible_states",
+    "timed_deadlocks",
+    "timed_reachability_graph",
+    "vanishing_states",
+]

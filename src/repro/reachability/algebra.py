@@ -1,0 +1,283 @@
+"""Scalar algebras shared by the numeric and symbolic reachability constructions.
+
+The Figure-3 successor procedure is the same in Section 2 (numeric delays)
+and Section 3 (symbolic delays); what changes is the arithmetic used for
+
+* time values (remaining enabling/firing times, edge delays) and
+* branching probabilities.
+
+This module factors those differences into two small strategy objects so that
+:mod:`repro.reachability.successors` contains the *procedure* exactly once:
+
+===============================  =======================  ============================
+concern                          numeric algebra          symbolic algebra
+===============================  =======================  ============================
+time values                      ``fractions.Fraction``   :class:`LinExpr`
+"smallest non-zero RET/RFT"      plain ``min``            :class:`SymbolicComparator`
+                                                          + declared timing constraints
+branching probabilities          ``Fraction``             :class:`RatFunc` over
+                                                          frequency symbols
+constraint bookkeeping           none                     labels of used constraints
+===============================  =======================  ============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Hashable, Mapping, Tuple, Union
+
+from ..exceptions import InsufficientConstraintsError, ReachabilityError
+from ..petri.conflict import ConflictSet
+from ..symbolic.comparator import SymbolicComparator
+from ..symbolic.constraints import ConstraintSet
+from ..symbolic.linexpr import LinExpr, as_expr
+from ..symbolic.polynomial import Polynomial
+from ..symbolic.ratfunc import RatFunc
+
+TimeScalar = Union[Fraction, LinExpr]
+ProbabilityScalar = Union[Fraction, RatFunc]
+
+
+@dataclass(frozen=True)
+class MinimumSelection:
+    """Result of selecting the smallest non-zero clock.
+
+    Attributes
+    ----------
+    value:
+        The elapsed time (the minimum itself).
+    keys:
+        The clock keys attaining the minimum (these finish simultaneously).
+    used_constraints:
+        Labels of the declared timing constraints needed to prove the
+        selection (always empty for the numeric algebra).
+    """
+
+    value: TimeScalar
+    keys: Tuple[Hashable, ...]
+    used_constraints: Tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# Time algebras
+# ---------------------------------------------------------------------------
+
+
+class NumericTimeAlgebra:
+    """Exact rational arithmetic for nets with concrete delays (Section 2)."""
+
+    symbolic = False
+
+    def coerce(self, value: TimeScalar) -> Fraction:
+        """Accept Fractions (and constant expressions) only."""
+        if isinstance(value, LinExpr):
+            return value.constant_value()
+        return Fraction(value)
+
+    def zero(self) -> Fraction:
+        """The zero duration."""
+        return Fraction(0)
+
+    def is_zero(self, value: TimeScalar) -> bool:
+        """Exact test against zero."""
+        return self.coerce(value) == 0
+
+    def subtract(self, left: TimeScalar, right: TimeScalar) -> Fraction:
+        """``left - right`` with a sanity check against negative clocks."""
+        result = self.coerce(left) - self.coerce(right)
+        if result < 0:
+            raise ReachabilityError(
+                f"internal error: clock subtraction produced a negative value ({result})"
+            )
+        return result
+
+    def add(self, left: TimeScalar, right: TimeScalar) -> Fraction:
+        """``left + right``."""
+        return self.coerce(left) + self.coerce(right)
+
+    def minimum(self, entries: Mapping[Hashable, TimeScalar]) -> MinimumSelection:
+        """Pick the smallest entry; ties are all reported."""
+        if not entries:
+            raise ValueError("minimum() requires at least one entry")
+        coerced = {key: self.coerce(value) for key, value in entries.items()}
+        smallest = min(coerced.values())
+        keys = tuple(key for key, value in coerced.items() if value == smallest)
+        return MinimumSelection(smallest, keys, ())
+
+    def validate_clock(self, value: TimeScalar, *, context: str = "") -> Tuple[str, ...]:
+        """Check that a clock value is non-negative (vacuously true after coercion)."""
+        if self.coerce(value) < 0:
+            raise ReachabilityError(f"{context}: negative clock value {value}")
+        return ()
+
+
+class SymbolicTimeAlgebra:
+    """Linear-expression arithmetic under a set of declared timing constraints."""
+
+    symbolic = True
+
+    def __init__(self, constraints: ConstraintSet):
+        self.constraints = constraints
+        self.comparator = SymbolicComparator(constraints)
+
+    def coerce(self, value: TimeScalar) -> LinExpr:
+        """Represent every time value as a LinExpr (constants included)."""
+        return as_expr(value)
+
+    def zero(self) -> LinExpr:
+        """The zero duration."""
+        return LinExpr.zero()
+
+    def is_zero(self, value: TimeScalar) -> bool:
+        """Syntactic zero or zero provable from the constraints."""
+        expression = self.coerce(value)
+        if expression.is_zero():
+            return True
+        if expression.is_constant():
+            return expression.constant_value() == 0
+        return self.comparator.is_zero(expression)
+
+    def subtract(self, left: TimeScalar, right: TimeScalar) -> LinExpr:
+        """Symbolic subtraction (simplification is automatic in LinExpr)."""
+        return self.coerce(left) - self.coerce(right)
+
+    def add(self, left: TimeScalar, right: TimeScalar) -> LinExpr:
+        """Symbolic addition."""
+        return self.coerce(left) + self.coerce(right)
+
+    def minimum(self, entries: Mapping[Hashable, TimeScalar]) -> MinimumSelection:
+        """Prove which entry is smallest using the declared constraints.
+
+        Raises :class:`~repro.exceptions.InsufficientConstraintsError` when
+        the constraints cannot resolve the ordering — the situation the paper
+        says an automated tool should surface to the designer.
+        """
+        expressions = {key: self.coerce(value) for key, value in entries.items()}
+        result = self.comparator.minimum_of(expressions)
+        return MinimumSelection(result.minimum, result.minimal_keys, result.used_constraints)
+
+    def validate_clock(self, value: TimeScalar, *, context: str = "") -> Tuple[str, ...]:
+        """Prove a (non-zero) clock value is positive; returns the used constraints."""
+        expression = self.coerce(value)
+        if expression.is_constant():
+            if expression.constant_value() < 0:
+                raise ReachabilityError(f"{context}: negative clock value {expression}")
+            return ()
+        try:
+            return self.comparator.assert_positive(expression, context=context)
+        except InsufficientConstraintsError:
+            # A clock that cannot be proven positive might still be provably
+            # non-negative, which is enough for soundness (zero entries are
+            # dropped by TimedState); anything weaker is a genuine error.
+            if self.comparator.is_nonnegative(expression):
+                return ()
+            raise
+
+
+# ---------------------------------------------------------------------------
+# Probability algebras
+# ---------------------------------------------------------------------------
+
+
+class NumericProbabilityAlgebra:
+    """Branching probabilities as exact rationals (frequencies are numbers)."""
+
+    symbolic = False
+
+    def one(self) -> Fraction:
+        """Probability 1."""
+        return Fraction(1)
+
+    def multiply(self, left: ProbabilityScalar, right: ProbabilityScalar) -> Fraction:
+        """Product of two probabilities."""
+        return Fraction(left) * Fraction(right)
+
+    def is_zero(self, value: ProbabilityScalar) -> bool:
+        """Exact zero test."""
+        return Fraction(value) == 0
+
+    def branch_probabilities(
+        self, conflict_set: ConflictSet, firable: Tuple[str, ...]
+    ) -> Dict[str, Fraction]:
+        """The paper's probability rule via :meth:`ConflictSet.firing_probabilities`."""
+        return conflict_set.firing_probabilities(list(firable))
+
+
+class SymbolicProbabilityAlgebra:
+    """Branching probabilities as rational functions of frequency symbols.
+
+    Numeric frequencies mix freely with symbolic ones: a numeric zero keeps
+    its "the others have priority" meaning, numeric positives behave like
+    constants, and symbolic frequencies are assumed positive (the library has
+    no way to prove otherwise and the paper's convention is that a modeller
+    writing ``f4`` means a genuine alternative).
+    """
+
+    symbolic = True
+
+    def one(self) -> RatFunc:
+        """Probability 1."""
+        return RatFunc.one()
+
+    def multiply(self, left: ProbabilityScalar, right: ProbabilityScalar) -> RatFunc:
+        """Product of two probabilities."""
+        return RatFunc.coerce(left) * RatFunc.coerce(right)
+
+    def is_zero(self, value: ProbabilityScalar) -> bool:
+        """True only for the exactly-zero function."""
+        return RatFunc.coerce(value).is_zero()
+
+    def branch_probabilities(
+        self, conflict_set: ConflictSet, firable: Tuple[str, ...]
+    ) -> Dict[str, RatFunc]:
+        """Symbolic version of the paper's probability rule."""
+        firable = tuple(firable)
+        if not firable:
+            return {}
+        if len(firable) == 1:
+            return {firable[0]: RatFunc.one()}
+
+        def frequency_of(name: str) -> RatFunc:
+            return RatFunc.coerce(conflict_set.frequency(name))
+
+        frequencies = {name: frequency_of(name) for name in firable}
+        # Numeric zeros are priority markers: they never fire while another
+        # firable member has a (numeric or symbolic) positive frequency.
+        participating = {
+            name: value
+            for name, value in frequencies.items()
+            if not value.is_zero()
+        }
+        if not participating:
+            share = RatFunc.coerce(Fraction(1, len(firable)))
+            return {name: share for name in firable}
+        total = RatFunc.zero()
+        for value in participating.values():
+            total = total + value
+        return {name: value / total for name, value in participating.items()}
+
+
+def numeric_algebras() -> Tuple[NumericTimeAlgebra, NumericProbabilityAlgebra]:
+    """The algebra pair for Section-2 style numeric analysis."""
+    return NumericTimeAlgebra(), NumericProbabilityAlgebra()
+
+
+def symbolic_algebras(
+    constraints: ConstraintSet,
+) -> Tuple[SymbolicTimeAlgebra, SymbolicProbabilityAlgebra]:
+    """The algebra pair for Section-3 style symbolic analysis."""
+    return SymbolicTimeAlgebra(constraints), SymbolicProbabilityAlgebra()
+
+
+__all__ = [
+    "MinimumSelection",
+    "NumericProbabilityAlgebra",
+    "NumericTimeAlgebra",
+    "ProbabilityScalar",
+    "SymbolicProbabilityAlgebra",
+    "SymbolicTimeAlgebra",
+    "TimeScalar",
+    "numeric_algebras",
+    "symbolic_algebras",
+]

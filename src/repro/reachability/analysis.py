@@ -1,0 +1,189 @@
+"""Structural analysis of timed reachability graphs.
+
+Helpers shared by the performance layer and by correctness-oriented users:
+
+* strongly connected components and the terminal (recurrent) component,
+* classification of states into *vanishing* (left immediately, zero delay)
+  and *tangible* (time elapses) in the GSPN sense,
+* timed deadlock detection (dead timed states),
+* elementary-cycle enumeration on the decision level, used to cross-check
+  the T-invariants of the net against the steady-state cycles the decision
+  graph exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..symbolic.linexpr import LinExpr
+from .graph import TimedReachabilityGraph
+
+
+@dataclass(frozen=True)
+class TimedGraphSummary:
+    """A compact summary of a timed reachability graph.
+
+    Attributes mirror what the paper reports about Figure 4: the number of
+    states, how many of them are decision states, whether the graph is a
+    single recurrent structure (no dead states, strongly connected from the
+    recurrent part), and the vanishing/tangible split.
+    """
+
+    state_count: int
+    edge_count: int
+    decision_states: Tuple[int, ...]
+    dead_states: Tuple[int, ...]
+    vanishing_states: Tuple[int, ...]
+    tangible_states: Tuple[int, ...]
+    strongly_connected: bool
+    recurrent_states: Tuple[int, ...]
+
+
+def successor_map(trg: TimedReachabilityGraph) -> Dict[int, List[int]]:
+    """Adjacency mapping (node index -> successor node indices)."""
+    return {
+        node.index: [trg.edges[edge_index].target for edge_index in node.successor_edges]
+        for node in trg.nodes
+    }
+
+
+def strongly_connected_components(trg: TimedReachabilityGraph) -> List[List[int]]:
+    """Tarjan SCCs of the timed reachability graph (iterative)."""
+    adjacency = successor_map(trg)
+    count = trg.state_count
+    index = [-1] * count
+    lowlink = [0] * count
+    on_stack = [False] * count
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = 0
+
+    for root in range(count):
+        if index[root] != -1:
+            continue
+        work = [(root, 0)]
+        while work:
+            node, child_position = work[-1]
+            if child_position == 0:
+                index[node] = counter
+                lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            children = adjacency[node]
+            while child_position < len(children):
+                child = children[child_position]
+                child_position += 1
+                if index[child] == -1:
+                    work[-1] = (node, child_position)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if on_stack[child]:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def recurrent_states(trg: TimedReachabilityGraph) -> Tuple[int, ...]:
+    """States belonging to bottom SCCs (the long-run support of the behaviour)."""
+    components = strongly_connected_components(trg)
+    component_of = {}
+    for component_index, members in enumerate(components):
+        for member in members:
+            component_of[member] = component_index
+    adjacency = successor_map(trg)
+    has_exit = [False] * len(components)
+    for node, children in adjacency.items():
+        for child in children:
+            if component_of[node] != component_of[child]:
+                has_exit[component_of[node]] = True
+    recurrent: List[int] = []
+    for component_index, members in enumerate(components):
+        if has_exit[component_index]:
+            continue
+        # A singleton without a self-loop is a dead state, not a recurrent class.
+        if len(members) == 1 and members[0] not in adjacency[members[0]]:
+            if not trg.nodes[members[0]].successor_edges:
+                continue
+        recurrent.extend(members)
+    return tuple(sorted(recurrent))
+
+
+def is_strongly_connected(trg: TimedReachabilityGraph) -> bool:
+    """True when the whole graph forms a single SCC."""
+    components = strongly_connected_components(trg)
+    return len(components) == 1
+
+
+def _is_zero_delay(value) -> bool:
+    if isinstance(value, LinExpr):
+        return value.is_zero()
+    return Fraction(value) == 0
+
+
+def vanishing_states(trg: TimedReachabilityGraph) -> Tuple[int, ...]:
+    """States left without time elapsing (every outgoing edge has zero delay)."""
+    result = []
+    for node in trg.nodes:
+        edges = trg.successors(node.index)
+        if edges and all(_is_zero_delay(edge.delay) for edge in edges):
+            result.append(node.index)
+    return tuple(result)
+
+
+def tangible_states(trg: TimedReachabilityGraph) -> Tuple[int, ...]:
+    """States in which time elapses before the next change (or dead states)."""
+    vanishing = set(vanishing_states(trg))
+    return tuple(node.index for node in trg.nodes if node.index not in vanishing)
+
+
+def timed_deadlocks(trg: TimedReachabilityGraph) -> Tuple[int, ...]:
+    """Dead timed states: no firable transition and no pending clock."""
+    return tuple(trg.dead_nodes())
+
+
+def summarize(trg: TimedReachabilityGraph) -> TimedGraphSummary:
+    """Compute the full :class:`TimedGraphSummary`."""
+    return TimedGraphSummary(
+        state_count=trg.state_count,
+        edge_count=trg.edge_count,
+        decision_states=tuple(trg.decision_nodes()),
+        dead_states=tuple(trg.dead_nodes()),
+        vanishing_states=vanishing_states(trg),
+        tangible_states=tangible_states(trg),
+        strongly_connected=is_strongly_connected(trg),
+        recurrent_states=recurrent_states(trg),
+    )
+
+
+def firing_count_vector(trg: TimedReachabilityGraph, cycle_edges: Sequence[int]) -> Dict[str, int]:
+    """Count how many times each transition *begins firing* along a list of TRG edges.
+
+    Summing the counts around a steady-state cycle yields a transition
+    invariant of the underlying net (the state equation around a cycle), which
+    tests use to cross-check the decision graph against
+    :func:`repro.petri.invariants.transition_invariants`.
+    """
+    counts: Dict[str, int] = {name: 0 for name in trg.net.transition_order}
+    for edge_index in cycle_edges:
+        for name in trg.edges[edge_index].fired:
+            counts[name] += 1
+    return counts

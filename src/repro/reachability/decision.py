@@ -1,0 +1,267 @@
+"""Decision graphs: the timed reachability graph collapsed onto its decision nodes.
+
+Zuberek's performance-evaluation method (Section 2 of the paper) keeps only
+the *decision nodes* of the timed reachability graph — states with more than
+one successor, i.e. states where a probabilistic choice between conflicting
+transitions is made.  Every maximal path between two decision nodes is
+collapsed into a single edge that accumulates the path's time delays and
+carries the branching probability of its first step (all later steps on the
+path are deterministic, probability 1).
+
+The resulting :class:`DecisionGraph` is what the performance derivation in
+:mod:`repro.performance` consumes: traversal-rate equations are written per
+edge, the relative time spent on each edge is ``w_i = r_i · d_i``, and
+throughput/utilization are ratios of such quantities.
+
+Degenerate shapes are handled explicitly:
+
+* a graph with **no decision node** (a fully deterministic net) collapses
+  onto a single anchor node chosen on the steady-state cycle, so cycle-time
+  analysis still applies;
+* a path that reaches a **dead state** produces an edge with ``target=None``;
+  performance analysis refuses such graphs with
+  :class:`~repro.exceptions.NotErgodicError` because no steady state exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import PerformanceError
+from .algebra import ProbabilityScalar, TimeScalar
+from .graph import TimedReachabilityGraph
+
+
+@dataclass(frozen=True)
+class DecisionEdge:
+    """A collapsed edge between two decision (anchor) nodes.
+
+    Attributes
+    ----------
+    index:
+        Position in the decision graph's edge list (the paper numbers these
+        ``a_1 ... a_4`` in Figure 5).
+    source:
+        TRG node index of the originating anchor.
+    target:
+        TRG node index of the destination anchor, or ``None`` when the path
+        ends in a dead state.
+    probability:
+        Branching probability of the edge (the probability of its first hop).
+    delay:
+        Total time elapsing along the collapsed path.
+    path:
+        The TRG node indices visited, starting at ``source`` and ending at
+        ``target`` (or at the dead state).
+    trg_edges:
+        The indices of the TRG edges traversed, aligned with ``path``.
+    fired:
+        Every transition that begins firing somewhere along the path, in
+        firing order (with repetitions).
+    completed:
+        Every transition that finishes firing along the path, in completion
+        order (with repetitions).
+    """
+
+    index: int
+    source: int
+    target: Optional[int]
+    probability: ProbabilityScalar
+    delay: TimeScalar
+    path: Tuple[int, ...]
+    trg_edges: Tuple[int, ...]
+    fired: Tuple[str, ...]
+    completed: Tuple[str, ...]
+
+    @property
+    def is_absorbing(self) -> bool:
+        """True when the path ends in a dead state instead of another anchor."""
+        return self.target is None
+
+
+class DecisionGraph:
+    """The decision graph of a timed reachability graph."""
+
+    def __init__(self, trg: TimedReachabilityGraph, anchors: Sequence[int], edges: Sequence[DecisionEdge]):
+        self.trg = trg
+        self.anchors: Tuple[int, ...] = tuple(anchors)
+        self.edges: Tuple[DecisionEdge, ...] = tuple(edges)
+        self._outgoing: Dict[int, List[DecisionEdge]] = {anchor: [] for anchor in self.anchors}
+        self._incoming: Dict[int, List[DecisionEdge]] = {anchor: [] for anchor in self.anchors}
+        for edge in self.edges:
+            self._outgoing[edge.source].append(edge)
+            if edge.target is not None:
+                self._incoming[edge.target].append(edge)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def anchor_count(self) -> int:
+        """Number of anchor (decision) nodes."""
+        return len(self.anchors)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of collapsed edges."""
+        return len(self.edges)
+
+    def outgoing(self, anchor: int) -> List[DecisionEdge]:
+        """Collapsed edges leaving an anchor."""
+        return list(self._outgoing[anchor])
+
+    def incoming(self, anchor: int) -> List[DecisionEdge]:
+        """Collapsed edges entering an anchor."""
+        return list(self._incoming[anchor])
+
+    def has_absorbing_edge(self) -> bool:
+        """True when some path reaches a dead state."""
+        return any(edge.is_absorbing for edge in self.edges)
+
+    def edges_firing(self, transition_name: str) -> List[DecisionEdge]:
+        """Edges along which the given transition begins firing at least once."""
+        return [edge for edge in self.edges if transition_name in edge.fired]
+
+    def edges_completing(self, transition_name: str) -> List[DecisionEdge]:
+        """Edges along which the given transition finishes firing at least once."""
+        return [edge for edge in self.edges if transition_name in edge.completed]
+
+    def busy_time(self, edge: DecisionEdge, transition_name: str) -> TimeScalar:
+        """Total time the transition spends *firing* along the collapsed path.
+
+        Computed hop by hop: a time-advance hop of delay ``d`` contributes
+        ``d`` when the transition's RFT is non-zero in the hop's source
+        state.  Used for utilization measures.
+        """
+        total: TimeScalar = Fraction(0)
+        for trg_edge_index in edge.trg_edges:
+            trg_edge = self.trg.edges[trg_edge_index]
+            if not trg_edge.is_timed:
+                continue
+            source_state = self.trg.nodes[trg_edge.source].state
+            if source_state.is_firing(transition_name):
+                total = trg_edge.delay + total
+        return total
+
+    def edge_table(self) -> List[Tuple[str, str, str, str, str]]:
+        """Rows reproducing the paper's Figure 5 / Figure 8 edge annotations.
+
+        Columns: edge label, source state number, target state number,
+        probability, delay.
+        """
+        rows = []
+        for edge in self.edges:
+            rows.append(
+                (
+                    f"a{edge.index + 1}",
+                    str(edge.source + 1),
+                    str(edge.target + 1) if edge.target is not None else "dead",
+                    str(edge.probability),
+                    str(edge.delay),
+                )
+            )
+        return rows
+
+    def __repr__(self) -> str:
+        return f"DecisionGraph(anchors={self.anchor_count}, edges={self.edge_count})"
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+def _fallback_anchor(trg: TimedReachabilityGraph) -> Optional[int]:
+    """Pick an anchor for a decision-free graph.
+
+    Preferred: the first node that is revisited when following the unique
+    successor chain from the initial state (a node on the steady-state
+    cycle).  If the chain dead-ends instead, the initial node itself is used
+    so the resulting decision graph exposes the absorbing path; if the
+    initial node is already dead there is nothing to anchor on.
+    """
+    visited: Dict[int, int] = {}
+    current = trg.initial_index
+    position = 0
+    while True:
+        if current in visited:
+            return current
+        visited[current] = position
+        position += 1
+        successors = trg.successors(current)
+        if not successors:
+            if trg.successors(trg.initial_index):
+                return trg.initial_index
+            return None
+        current = successors[0].target
+
+
+def decision_graph(trg: TimedReachabilityGraph) -> DecisionGraph:
+    """Collapse a timed reachability graph onto its decision nodes.
+
+    Raises
+    ------
+    PerformanceError
+        When a collapsed path runs into a cycle that contains no anchor
+        (which cannot happen if anchors are exactly the decision nodes, but
+        guards against inconsistent inputs).
+    """
+    anchors = trg.decision_nodes()
+    if not anchors:
+        fallback = _fallback_anchor(trg)
+        anchors = [fallback] if fallback is not None else []
+    anchor_set = set(anchors)
+
+    edges: List[DecisionEdge] = []
+    for anchor in anchors:
+        for first_edge in trg.successors(anchor):
+            path = [anchor]
+            trg_edges = [first_edge.index]
+            fired: List[str] = list(first_edge.fired)
+            completed: List[str] = list(first_edge.completed)
+            delay: TimeScalar = first_edge.delay
+            probability: ProbabilityScalar = first_edge.probability
+            current = first_edge.target
+            path.append(current)
+            steps = 0
+            while current not in anchor_set:
+                successors = trg.successors(current)
+                if not successors:
+                    current = None
+                    break
+                if len(successors) > 1:
+                    raise PerformanceError(
+                        f"state {current + 1} has several successors but is not an anchor; "
+                        "the decision-node set is inconsistent"
+                    )
+                hop = successors[0]
+                delay = delay + hop.delay
+                probability = probability * hop.probability
+                fired.extend(hop.fired)
+                completed.extend(hop.completed)
+                trg_edges.append(hop.index)
+                current = hop.target
+                path.append(current)
+                steps += 1
+                if steps > trg.edge_count + 1:
+                    raise PerformanceError(
+                        "collapsed path does not reach a decision node; the reachability "
+                        "graph contains a decision-free cycle unreachable from any anchor"
+                    )
+            edges.append(
+                DecisionEdge(
+                    index=len(edges),
+                    source=anchor,
+                    target=current,
+                    probability=probability,
+                    delay=delay,
+                    path=tuple(path),
+                    trg_edges=tuple(trg_edges),
+                    fired=tuple(fired),
+                    completed=tuple(completed),
+                )
+            )
+    return DecisionGraph(trg, anchors, edges)

@@ -1,0 +1,193 @@
+"""Timed states: marking + remaining enabling times + remaining firing times.
+
+A node of a Timed Reachability Graph (Section 2 of the paper) is
+characterized by
+
+1. a **marking** — the distribution of tokens over places,
+2. a vector of **remaining enabling times (RET)** — for every enabled
+   transition, how much longer it must remain enabled before it becomes
+   firable,
+3. a vector of **remaining firing times (RFT)** — for every transition that
+   is currently firing, how much longer until it finishes and deposits its
+   output tokens.
+
+:class:`TimedState` stores the two vectors sparsely (only non-zero entries)
+so that states compare and hash cheaply, which is what makes the graph
+construction terminate: two states are the same node exactly when marking,
+RET and RFT all coincide.  Entries are exact rationals in the numeric
+construction and :class:`~repro.symbolic.linexpr.LinExpr` in the symbolic
+one; both are immutable and hashable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Mapping, Tuple, Union
+
+from ..petri.marking import Marking
+from ..symbolic.linexpr import LinExpr
+
+TimeEntry = Union[Fraction, LinExpr]
+
+
+def _is_zero_entry(value: TimeEntry) -> bool:
+    if isinstance(value, LinExpr):
+        return value.is_zero()
+    return value == 0
+
+
+class TimedState:
+    """An immutable timed state ``(marking, RET, RFT)``.
+
+    Parameters
+    ----------
+    marking:
+        Token distribution.
+    remaining_enabling:
+        Sparse ``{transition: time}`` mapping; zero entries are dropped.
+    remaining_firing:
+        Sparse ``{transition: time}`` mapping; zero entries are dropped.
+    """
+
+    __slots__ = ("marking", "_ret", "_rft", "_hash")
+
+    def __init__(
+        self,
+        marking: Marking,
+        remaining_enabling: Mapping[str, TimeEntry] | None = None,
+        remaining_firing: Mapping[str, TimeEntry] | None = None,
+    ):
+        self.marking = marking
+        self._ret: Dict[str, TimeEntry] = {
+            name: value
+            for name, value in (remaining_enabling or {}).items()
+            if not _is_zero_entry(value)
+        }
+        self._rft: Dict[str, TimeEntry] = {
+            name: value
+            for name, value in (remaining_firing or {}).items()
+            if not _is_zero_entry(value)
+        }
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def remaining_enabling(self) -> Dict[str, TimeEntry]:
+        """Copy of the non-zero RET entries."""
+        return dict(self._ret)
+
+    @property
+    def remaining_firing(self) -> Dict[str, TimeEntry]:
+        """Copy of the non-zero RFT entries."""
+        return dict(self._rft)
+
+    def ret(self, transition_name: str) -> TimeEntry:
+        """RET of a transition (zero when absent)."""
+        return self._ret.get(transition_name, Fraction(0))
+
+    def rft(self, transition_name: str) -> TimeEntry:
+        """RFT of a transition (zero when absent)."""
+        return self._rft.get(transition_name, Fraction(0))
+
+    def is_firing(self, transition_name: str) -> bool:
+        """True when the transition is currently firing (non-zero RFT)."""
+        return transition_name in self._rft
+
+    def is_counting_down(self, transition_name: str) -> bool:
+        """True when the transition is enabled but not yet firable (non-zero RET)."""
+        return transition_name in self._ret
+
+    def firing_transitions(self) -> Tuple[str, ...]:
+        """Names of the transitions currently firing, sorted."""
+        return tuple(sorted(self._rft))
+
+    def pending_entries(self) -> Dict[Tuple[str, str], TimeEntry]:
+        """All non-zero clocks keyed by ``("RET"|"RFT", transition)``.
+
+        This is the input of the "smallest non-zero RET or RFT" computation
+        in the Figure-3 procedure.
+        """
+        entries: Dict[Tuple[str, str], TimeEntry] = {}
+        for name, value in self._ret.items():
+            entries[("RET", name)] = value
+        for name, value in self._rft.items():
+            entries[("RFT", name)] = value
+        return entries
+
+    def has_pending_time(self) -> bool:
+        """True when at least one clock is non-zero."""
+        return bool(self._ret) or bool(self._rft)
+
+    def is_symbolic(self) -> bool:
+        """True when any clock value is a non-constant symbolic expression."""
+        return any(
+            isinstance(value, LinExpr) and not value.is_constant()
+            for value in list(self._ret.values()) + list(self._rft.values())
+        )
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimedState):
+            return NotImplemented
+        return (
+            self.marking == other.marking
+            and self._ret == other._ret
+            and self._rft == other._rft
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (
+                    self.marking,
+                    frozenset(self._ret.items()),
+                    frozenset(self._rft.items()),
+                )
+            )
+        return self._hash
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _format_entry(value: TimeEntry) -> str:
+        if isinstance(value, LinExpr):
+            return str(value)
+        if value.denominator == 1:
+            return str(value.numerator)
+        return repr(float(value))
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        ret_text = ", ".join(f"{name}={self._format_entry(value)}" for name, value in sorted(self._ret.items()))
+        rft_text = ", ".join(f"{name}={self._format_entry(value)}" for name, value in sorted(self._rft.items()))
+        return (
+            f"marking={self.marking.to_dict()}"
+            + (f" RET[{ret_text}]" if ret_text else "")
+            + (f" RFT[{rft_text}]" if rft_text else "")
+        )
+
+    def table_row(self, place_order: Tuple[str, ...], transition_order: Tuple[str, ...]) -> Tuple[str, ...]:
+        """Fixed-width row of the paper's Figure-4b / Figure-6b state tables.
+
+        The row is ``marking columns + RET columns + RFT columns``, each
+        rendered as text ("0" for zero entries).
+        """
+        cells = [str(self.marking[place]) for place in place_order]
+        for name in transition_order:
+            value = self._ret.get(name)
+            cells.append(self._format_entry(value) if value is not None else "0")
+        for name in transition_order:
+            value = self._rft.get(name)
+            cells.append(self._format_entry(value) if value is not None else "0")
+        return tuple(cells)
+
+    def __repr__(self) -> str:
+        return f"TimedState({self.describe()})"

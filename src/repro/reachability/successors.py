@@ -1,0 +1,316 @@
+"""The Figure-3 successor-generation procedure.
+
+Given a timed state ``S`` the procedure produces its immediate successors:
+
+* **Fire step** — if any transitions are firable, partition them into their
+  (firable) conflict sets, form every *selector* (one firable transition per
+  firable conflict set), and for each selector generate a successor in which
+  the selected transitions begin firing: their input tokens are absorbed,
+  their RFT is set to their firing time, and the RET of every transition that
+  became disabled is reset.  The edge carries zero delay and the selector's
+  branching probability.
+
+* **Time step** — otherwise, let ``Tmin`` be the smallest non-zero RET/RFT.
+  The unique successor is obtained by subtracting ``Tmin`` from every
+  non-zero clock; transitions whose RFT reaches zero finish firing and
+  deposit their output tokens, and transitions that thereby become enabled
+  get their RET initialized to their enabling time.  The edge carries delay
+  ``Tmin`` and probability 1.
+
+* A state with no firable transition and no pending clock is **dead**.
+
+The procedure is written once, parameterized by the scalar algebras of
+:mod:`repro.reachability.algebra`, so the numeric (Section 2) and symbolic
+(Section 3) constructions cannot drift apart.  In the symbolic case the
+"smallest non-zero clock" selection returns the labels of the declared
+timing constraints it needed — the per-state information tabulated in the
+paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Sequence, Tuple
+
+from ..exceptions import SafenessViolationError
+from ..petri.net import TimedPetriNet
+from .algebra import (
+    NumericProbabilityAlgebra,
+    NumericTimeAlgebra,
+    ProbabilityScalar,
+    SymbolicProbabilityAlgebra,
+    SymbolicTimeAlgebra,
+    TimeScalar,
+)
+from .state import TimedState
+
+#: What to do when a transition would begin a new firing while already firing.
+OVERLAP_ERROR = "error"
+OVERLAP_SKIP = "skip"
+
+STEP_FIRE = "fire"
+STEP_ADVANCE = "advance"
+
+
+@dataclass(frozen=True)
+class SuccessorEdge:
+    """One edge produced by the successor procedure.
+
+    Attributes
+    ----------
+    target:
+        The successor timed state.
+    delay:
+        Time elapsing along the edge (zero for fire steps).
+    probability:
+        Branching probability of the edge (1 for time steps and for fire
+        steps without alternatives).
+    fired:
+        Transitions that *began* firing on this edge (fire steps).
+    completed:
+        Transitions that *finished* firing on this edge (time steps, plus
+        instantaneous transitions on fire steps).
+    kind:
+        ``"fire"`` or ``"advance"``.
+    used_constraints:
+        Labels of declared timing constraints needed to resolve the step
+        (symbolic construction only).
+    """
+
+    target: TimedState
+    delay: TimeScalar
+    probability: ProbabilityScalar
+    fired: Tuple[str, ...]
+    completed: Tuple[str, ...]
+    kind: str
+    used_constraints: Tuple[str, ...] = ()
+
+
+class SuccessorGenerator:
+    """Apply the Figure-3 procedure to states of a given net.
+
+    Parameters
+    ----------
+    net:
+        The Timed Petri Net being analyzed.
+    time_algebra / probability_algebra:
+        The scalar strategies (numeric or symbolic); see
+        :func:`repro.reachability.algebra.numeric_algebras` and
+        :func:`repro.reachability.algebra.symbolic_algebras`.
+    overlap_policy:
+        What to do when a transition becomes firable while it is already
+        firing (which the paper's model restriction rules out):
+        ``"error"`` (default) raises
+        :class:`~repro.exceptions.SafenessViolationError`; ``"skip"``
+        ignores the new firing opportunity.
+    """
+
+    def __init__(
+        self,
+        net: TimedPetriNet,
+        time_algebra: NumericTimeAlgebra | SymbolicTimeAlgebra,
+        probability_algebra: NumericProbabilityAlgebra | SymbolicProbabilityAlgebra,
+        *,
+        overlap_policy: str = OVERLAP_ERROR,
+    ):
+        if overlap_policy not in (OVERLAP_ERROR, OVERLAP_SKIP):
+            raise ValueError(f"unknown overlap policy {overlap_policy!r}")
+        self.net = net
+        self.time = time_algebra
+        self.probability = probability_algebra
+        self.overlap_policy = overlap_policy
+
+    # ------------------------------------------------------------------
+    # Initial state
+    # ------------------------------------------------------------------
+
+    def initial_state(self) -> TimedState:
+        """The initial timed state: ``mu0`` with RET initialized for enabled transitions."""
+        marking = self.net.initial_marking
+        remaining_enabling: Dict[str, TimeScalar] = {}
+        for name in self.net.transition_order:
+            transition = self.net.transition(name)
+            if marking.covers(transition.inputs) and not self.time.is_zero(transition.enabling_time):
+                remaining_enabling[name] = self.time.coerce(transition.enabling_time)
+        return TimedState(marking, remaining_enabling, {})
+
+    # ------------------------------------------------------------------
+    # Firability
+    # ------------------------------------------------------------------
+
+    def firable_transitions(self, state: TimedState) -> Tuple[str, ...]:
+        """Transitions that are enabled and whose enabling-time countdown is complete."""
+        firable: List[str] = []
+        for name in self.net.transition_order:
+            transition = self.net.transition(name)
+            if not state.marking.covers(transition.inputs):
+                continue
+            if state.is_counting_down(name):
+                continue
+            if state.is_firing(name):
+                if self.overlap_policy == OVERLAP_ERROR:
+                    raise SafenessViolationError(
+                        f"transition {name!r} becomes firable while it is already firing "
+                        f"in state {state.describe()}; the paper's model restriction "
+                        "(at most one firing of a transition at a time) is violated"
+                    )
+                continue
+            firable.append(name)
+        return tuple(firable)
+
+    def is_dead(self, state: TimedState) -> bool:
+        """True when the state has neither firable transitions nor pending clocks."""
+        return not self.firable_transitions(state) and not state.has_pending_time()
+
+    # ------------------------------------------------------------------
+    # Successor generation
+    # ------------------------------------------------------------------
+
+    def successors(self, state: TimedState) -> List[SuccessorEdge]:
+        """All immediate successors of ``state`` per the Figure-3 procedure."""
+        firable = self.firable_transitions(state)
+        if firable:
+            return self._fire_step(state, firable)
+        if not state.has_pending_time():
+            return []
+        return [self._advance_step(state)]
+
+    # -- fire step -------------------------------------------------------
+
+    def _fire_step(self, state: TimedState, firable: Sequence[str]) -> List[SuccessorEdge]:
+        # Partition the firable transitions into their conflict sets.
+        by_conflict_set: Dict[Tuple[str, ...], List[str]] = {}
+        for name in firable:
+            key = self.net.conflict_set_of(name).transition_names
+            by_conflict_set.setdefault(key, []).append(name)
+
+        # Per-set branching probabilities (only members with positive probability).
+        per_set_choices: List[List[Tuple[str, ProbabilityScalar]]] = []
+        for key in sorted(by_conflict_set):
+            conflict_set = self.net.conflict_set_of(by_conflict_set[key][0])
+            probabilities = self.probability.branch_probabilities(
+                conflict_set, tuple(by_conflict_set[key])
+            )
+            choices = [
+                (name, probability)
+                for name, probability in probabilities.items()
+                if not self.probability.is_zero(probability)
+            ]
+            if not choices:
+                # Degenerate: every firable member has probability zero; keep
+                # the graph well-formed by choosing uniformly.
+                share = self.probability.one()
+                choices = [(by_conflict_set[key][0], share)]
+            per_set_choices.append(choices)
+
+        edges: List[SuccessorEdge] = []
+        for selector in product(*per_set_choices):
+            selector_names = tuple(name for name, _ in selector)
+            probability = self.probability.one()
+            for _, branch_probability in selector:
+                probability = self.probability.multiply(probability, branch_probability)
+            edges.append(self._fire_selector(state, selector_names, probability))
+        return edges
+
+    def _fire_selector(
+        self,
+        state: TimedState,
+        selector: Tuple[str, ...],
+        probability: ProbabilityScalar,
+    ) -> SuccessorEdge:
+        marking = state.marking
+        new_rft: Dict[str, TimeScalar] = dict(state.remaining_firing)
+        completed: List[str] = []
+
+        for name in selector:
+            transition = self.net.transition(name)
+            if name in new_rft:
+                raise SafenessViolationError(
+                    f"transition {name!r} would start a second simultaneous firing"
+                )
+            marking = marking.remove(transition.inputs)
+            if self.time.is_zero(transition.firing_time):
+                # Instantaneous firing: outputs appear immediately.
+                marking = marking.add(transition.outputs)
+                completed.append(name)
+            else:
+                new_rft[name] = self.time.coerce(transition.firing_time)
+
+        # RET bookkeeping: keep entries of transitions that stay enabled,
+        # drop entries of transitions disabled by the absorbed tokens.
+        new_ret: Dict[str, TimeScalar] = {}
+        for name, value in state.remaining_enabling.items():
+            if name in selector:
+                continue
+            if marking.covers(self.net.transition(name).inputs):
+                new_ret[name] = value
+
+        # Instantaneous outputs may enable transitions that were not enabled
+        # before; initialize their enabling countdown.
+        if completed:
+            for name in self.net.transition_order:
+                if name in new_ret or name in selector:
+                    continue
+                transition = self.net.transition(name)
+                if marking.covers(transition.inputs) and not state.marking.covers(transition.inputs):
+                    if not self.time.is_zero(transition.enabling_time):
+                        new_ret[name] = self.time.coerce(transition.enabling_time)
+
+        target = TimedState(marking, new_ret, new_rft)
+        return SuccessorEdge(
+            target=target,
+            delay=self.time.zero(),
+            probability=probability,
+            fired=selector,
+            completed=tuple(completed),
+            kind=STEP_FIRE,
+            used_constraints=(),
+        )
+
+    # -- time step -------------------------------------------------------
+
+    def _advance_step(self, state: TimedState) -> SuccessorEdge:
+        pending = state.pending_entries()
+        selection = self.time.minimum(pending)
+        elapsed = selection.value
+        at_minimum = set(selection.keys)
+
+        new_ret: Dict[str, TimeScalar] = {}
+        for name, value in state.remaining_enabling.items():
+            if ("RET", name) in at_minimum:
+                continue
+            new_ret[name] = self.time.subtract(value, elapsed)
+
+        new_rft: Dict[str, TimeScalar] = {}
+        completed: List[str] = []
+        for name, value in state.remaining_firing.items():
+            if ("RFT", name) in at_minimum:
+                completed.append(name)
+                continue
+            new_rft[name] = self.time.subtract(value, elapsed)
+
+        marking = state.marking
+        for name in completed:
+            marking = marking.add(self.net.transition(name).outputs)
+
+        # Transitions enabled by the freshly deposited tokens start their
+        # enabling countdown now.
+        for name in self.net.transition_order:
+            if name in new_ret:
+                continue
+            transition = self.net.transition(name)
+            if marking.covers(transition.inputs) and not state.marking.covers(transition.inputs):
+                if not self.time.is_zero(transition.enabling_time):
+                    new_ret[name] = self.time.coerce(transition.enabling_time)
+
+        target = TimedState(marking, new_ret, new_rft)
+        return SuccessorEdge(
+            target=target,
+            delay=elapsed,
+            probability=self.probability.one(),
+            fired=(),
+            completed=tuple(sorted(completed)),
+            kind=STEP_ADVANCE,
+            used_constraints=selection.used_constraints,
+        )

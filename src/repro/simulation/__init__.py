@@ -1,0 +1,20 @@
+"""Discrete-event simulation of Timed Petri Nets (validation and extension baseline)."""
+
+from .distributions import Deterministic, Distribution, Exponential, Uniform, as_distribution
+from .engine import SimulationResult, TimedNetSimulator, TraceEvent, simulate
+from .stats import BatchMeans, ConfidenceInterval, SimulationStatistics
+
+__all__ = [
+    "BatchMeans",
+    "ConfidenceInterval",
+    "Deterministic",
+    "Distribution",
+    "Exponential",
+    "SimulationResult",
+    "SimulationStatistics",
+    "TimedNetSimulator",
+    "TraceEvent",
+    "Uniform",
+    "as_distribution",
+    "simulate",
+]

@@ -1,0 +1,100 @@
+"""Firing/enabling time distributions for the discrete-event simulator.
+
+The paper's Timed Petri Nets use fixed (deterministic) delays; its concluding
+section mentions extending firing times to *ranges* of values, and the prior
+work it contrasts itself with (Molloy's stochastic Petri nets) uses
+exponential delays.  The simulator supports all three through a tiny
+distribution abstraction so the same engine can
+
+* validate the paper's analytic results (deterministic delays),
+* explore the "range of firing times" extension (uniform delays), and
+* serve as a baseline for the GSPN/CTMC comparison (exponential delays).
+
+Distributions are deliberately simple value objects: ``sample(rng)`` returns
+a float delay, ``mean()`` returns the expectation used by analytic
+cross-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..symbolic.linexpr import NumberLike, as_fraction
+
+
+class Distribution:
+    """Base class for delay distributions."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one delay value."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Expected delay."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Deterministic(Distribution):
+    """A fixed delay (the paper's model)."""
+
+    value: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "value", as_fraction(self.value))
+        if self.value < 0:
+            raise ValueError("deterministic delay must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.value)
+
+    def mean(self) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """A delay drawn uniformly from ``[low, high]`` (the "range of firing times" extension)."""
+
+    low: Fraction
+    high: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "low", as_fraction(self.low))
+        object.__setattr__(self, "high", as_fraction(self.high))
+        if self.low < 0 or self.high < self.low:
+            raise ValueError("uniform delay bounds must satisfy 0 <= low <= high")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(float(self.low), float(self.high)))
+
+    def mean(self) -> float:
+        return float(self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """An exponentially distributed delay with the given mean (Molloy-style SPN)."""
+
+    mean_value: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mean_value", as_fraction(self.mean_value))
+        if self.mean_value <= 0:
+            raise ValueError("exponential delay mean must be positive")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(float(self.mean_value)))
+
+    def mean(self) -> float:
+        return float(self.mean_value)
+
+
+def as_distribution(value: "Distribution | NumberLike") -> Distribution:
+    """Coerce a plain number into a :class:`Deterministic` distribution."""
+    if isinstance(value, Distribution):
+        return value
+    return Deterministic(as_fraction(value))

@@ -1,0 +1,5 @@
+"""Stochastic (exponential-delay) Petri net analysis — the Molloy-style baseline."""
+
+from .gspn import GSPNAnalysis, GSPNResult, gspn_throughput
+
+__all__ = ["GSPNAnalysis", "GSPNResult", "gspn_throughput"]

@@ -1,0 +1,65 @@
+"""Symbolic engine: symbols, linear expressions, polynomials, rational functions,
+timing constraints, and the constraint-driven comparator used by the symbolic
+timed reachability construction (Section 3 of the paper)."""
+
+from .comparator import (
+    SIGN_NEGATIVE,
+    SIGN_POSITIVE,
+    SIGN_ZERO,
+    MinimumResult,
+    SymbolicComparator,
+)
+from .constraints import (
+    RELATION_EQ,
+    RELATION_GE,
+    RELATION_GT,
+    Constraint,
+    ConstraintSet,
+)
+from .evaluate import Bindings, evaluate_float, evaluate_value
+from .fourier_motzkin import is_feasible
+from .linexpr import LinExpr, TimeValue, as_expr, as_fraction, as_time, is_symbolic
+from .polynomial import Polynomial
+from .ratfunc import RatFunc, as_ratfunc
+from .symbols import (
+    Symbol,
+    enabling_time_symbol,
+    firing_frequency_symbol,
+    firing_time_symbol,
+    frequency_symbol,
+    rate_symbol,
+    time_symbol,
+)
+
+__all__ = [
+    "Bindings",
+    "Constraint",
+    "ConstraintSet",
+    "LinExpr",
+    "MinimumResult",
+    "Polynomial",
+    "RELATION_EQ",
+    "RELATION_GE",
+    "RELATION_GT",
+    "RatFunc",
+    "SIGN_NEGATIVE",
+    "SIGN_POSITIVE",
+    "SIGN_ZERO",
+    "Symbol",
+    "SymbolicComparator",
+    "TimeValue",
+    "as_expr",
+    "as_fraction",
+    "as_ratfunc",
+    "as_time",
+    "enabling_time_symbol",
+    "evaluate_float",
+    "evaluate_value",
+    "firing_frequency_symbol",
+    "firing_time_symbol",
+    "frequency_symbol",
+    "is_feasible",
+    "is_symbolic",
+    "rate_symbol",
+    "time_symbol",
+]

@@ -1,0 +1,349 @@
+"""Timing constraints and entailment checking.
+
+Section 3 of the paper replaces concrete delays with symbols "so long as the
+delays satisfy a set of timing constraints".  A :class:`Constraint` is a
+linear (in)equality over time/frequency symbols; a :class:`ConstraintSet`
+collects the declared constraints of a model, augments them with the
+*implicit domain constraints* (time and frequency symbols are non-negative),
+and answers the two questions the symbolic reachability construction asks:
+
+* is the whole system consistent? (a modelling sanity check), and
+* does the system *entail* a given comparison, and if so which of the
+  declared constraints are actually needed? (the paper's Figure 7 records
+  exactly this per-state usage information).
+
+Entailment is decided by refutation with exact Fourier–Motzkin elimination
+(:mod:`repro.symbolic.fourier_motzkin`); an optional scipy ``linprog``
+cross-check is provided for validation and larger systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import InconsistentConstraintsError
+from .fourier_motzkin import Inequality, is_feasible
+from .linexpr import ExprLike, LinExpr, as_expr
+from .symbols import Symbol
+
+#: Relation codes: every constraint is normalized to ``expression REL 0``.
+RELATION_GE = ">="
+RELATION_GT = ">"
+RELATION_EQ = "=="
+
+_VALID_RELATIONS = (RELATION_GE, RELATION_GT, RELATION_EQ)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A linear constraint ``expression REL 0`` with an optional label.
+
+    Labels are short identifiers ("1", "2", "timeout>rtt", ...) used when the
+    library reports which constraints were needed to resolve an ordering —
+    the content of the paper's Figure 7.
+    """
+
+    expression: LinExpr
+    relation: str
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.relation not in _VALID_RELATIONS:
+            raise ValueError(f"unknown relation {self.relation!r}")
+        object.__setattr__(self, "expression", as_expr(self.expression))
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def greater_equal(cls, lhs: ExprLike, rhs: ExprLike, *, label: str = "") -> "Constraint":
+        """``lhs >= rhs``"""
+        return cls(as_expr(lhs) - as_expr(rhs), RELATION_GE, label)
+
+    @classmethod
+    def greater(cls, lhs: ExprLike, rhs: ExprLike, *, label: str = "") -> "Constraint":
+        """``lhs > rhs``"""
+        return cls(as_expr(lhs) - as_expr(rhs), RELATION_GT, label)
+
+    @classmethod
+    def less_equal(cls, lhs: ExprLike, rhs: ExprLike, *, label: str = "") -> "Constraint":
+        """``lhs <= rhs``"""
+        return cls(as_expr(rhs) - as_expr(lhs), RELATION_GE, label)
+
+    @classmethod
+    def less(cls, lhs: ExprLike, rhs: ExprLike, *, label: str = "") -> "Constraint":
+        """``lhs < rhs``"""
+        return cls(as_expr(rhs) - as_expr(lhs), RELATION_GT, label)
+
+    @classmethod
+    def equal(cls, lhs: ExprLike, rhs: ExprLike, *, label: str = "") -> "Constraint":
+        """``lhs == rhs``"""
+        return cls(as_expr(lhs) - as_expr(rhs), RELATION_EQ, label)
+
+    # -- conversions ------------------------------------------------------
+
+    def as_inequalities(self) -> List[Inequality]:
+        """Render as Fourier–Motzkin inequalities (equalities become two rows)."""
+        coefficients = self.expression.terms
+        constant = self.expression.constant_term
+        if self.relation == RELATION_GE:
+            return [(coefficients, constant, False)]
+        if self.relation == RELATION_GT:
+            return [(coefficients, constant, True)]
+        negated = {symbol: -value for symbol, value in coefficients.items()}
+        return [(coefficients, constant, False), (negated, -constant, False)]
+
+    def negation_inequalities(self) -> List[Inequality]:
+        """Inequalities representing the *negation* of this constraint.
+
+        ``not (e >= 0)`` is ``-e > 0``; ``not (e > 0)`` is ``-e >= 0``;
+        ``not (e == 0)`` is a disjunction, which the caller must handle by
+        checking the two branches separately (see
+        :meth:`ConstraintSet.entails`).
+        """
+        coefficients = self.expression.terms
+        constant = self.expression.constant_term
+        negated = {symbol: -value for symbol, value in coefficients.items()}
+        if self.relation == RELATION_GE:
+            return [(negated, -constant, True)]
+        if self.relation == RELATION_GT:
+            return [(negated, -constant, False)]
+        raise ValueError("the negation of an equality is a disjunction; handle both branches")
+
+    def symbols(self) -> frozenset:
+        """Symbols appearing in the constraint."""
+        return self.expression.symbols()
+
+    def is_trivially_true(self) -> bool:
+        """True for a symbol-free constraint that holds."""
+        if not self.expression.is_constant():
+            return False
+        value = self.expression.constant_value()
+        if self.relation == RELATION_GE:
+            return value >= 0
+        if self.relation == RELATION_GT:
+            return value > 0
+        return value == 0
+
+    def __str__(self) -> str:
+        prefix = f"[{self.label}] " if self.label else ""
+        return f"{prefix}{self.expression} {self.relation} 0"
+
+
+class ConstraintSet:
+    """A set of declared timing constraints plus implicit domain constraints.
+
+    Parameters
+    ----------
+    constraints:
+        The declared constraints (order is preserved; labels default to their
+        1-based position so Figure-7 style reports read like the paper's).
+    implicit_nonnegative:
+        When True (default) every ``time``/``frequency``/``rate`` symbol seen
+        anywhere in the system is additionally constrained to be ``>= 0``.
+        These implicit constraints are used for entailment but never reported
+        as "used constraints".
+    """
+
+    def __init__(
+        self,
+        constraints: Iterable[Constraint] = (),
+        *,
+        implicit_nonnegative: bool = True,
+    ):
+        self._constraints: List[Constraint] = []
+        self._implicit_nonnegative = implicit_nonnegative
+        for constraint in constraints:
+            self.add(constraint)
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, constraint: Constraint) -> "ConstraintSet":
+        """Add a declared constraint (in place); returns self for chaining."""
+        if not isinstance(constraint, Constraint):
+            raise TypeError(f"expected Constraint, got {constraint!r}")
+        if not constraint.label:
+            constraint = Constraint(
+                constraint.expression, constraint.relation, str(len(self._constraints) + 1)
+            )
+        self._constraints.append(constraint)
+        return self
+
+    def extend(self, constraints: Iterable[Constraint]) -> "ConstraintSet":
+        """Add several constraints."""
+        for constraint in constraints:
+            self.add(constraint)
+        return self
+
+    def with_extra(self, *constraints: Constraint) -> "ConstraintSet":
+        """A copy of this set with additional constraints appended."""
+        copy = ConstraintSet(self._constraints, implicit_nonnegative=self._implicit_nonnegative)
+        copy.extend(constraints)
+        return copy
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def constraints(self) -> Tuple[Constraint, ...]:
+        """The declared constraints, in declaration order."""
+        return tuple(self._constraints)
+
+    def labels(self) -> Tuple[str, ...]:
+        """Labels of the declared constraints."""
+        return tuple(constraint.label for constraint in self._constraints)
+
+    def symbols(self) -> frozenset:
+        """Symbols mentioned by any declared constraint."""
+        found = set()
+        for constraint in self._constraints:
+            found |= constraint.symbols()
+        return frozenset(found)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self):
+        return iter(self._constraints)
+
+    def __repr__(self) -> str:
+        return f"ConstraintSet({[str(c) for c in self._constraints]})"
+
+    # -- the decision procedures ---------------------------------------------
+
+    def _implicit_inequalities(self, extra_symbols: Iterable[Symbol] = ()) -> List[Inequality]:
+        if not self._implicit_nonnegative:
+            return []
+        symbols = set(self.symbols()) | set(extra_symbols)
+        return [
+            ({symbol: Fraction(1)}, Fraction(0), False)
+            for symbol in sorted(symbols)
+            if symbol.is_nonnegative
+        ]
+
+    def _declared_inequalities(self, subset: Optional[Sequence[Constraint]] = None) -> List[Inequality]:
+        rows: List[Inequality] = []
+        for constraint in (self._constraints if subset is None else subset):
+            rows.extend(constraint.as_inequalities())
+        return rows
+
+    def is_consistent(self) -> bool:
+        """True when the declared + implicit constraints admit a solution."""
+        rows = self._declared_inequalities() + self._implicit_inequalities()
+        return is_feasible(rows)
+
+    def assert_consistent(self) -> None:
+        """Raise :class:`InconsistentConstraintsError` when the system is contradictory."""
+        if not self.is_consistent():
+            raise InconsistentConstraintsError(
+                "the declared timing constraints are mutually contradictory: "
+                + "; ".join(str(constraint) for constraint in self._constraints)
+            )
+
+    def _entails_with(self, subset: Sequence[Constraint], query: Constraint) -> bool:
+        """Does the given subset of declared constraints (plus implicit ones) entail ``query``?"""
+        base = self._declared_inequalities(subset) + self._implicit_inequalities(query.symbols())
+        if query.relation == RELATION_EQ:
+            greater_equal = Constraint(query.expression, RELATION_GE)
+            less_equal = Constraint(-query.expression, RELATION_GE)
+            return self._refutes(base, greater_equal) and self._refutes(base, less_equal)
+        return self._refutes(base, query)
+
+    @staticmethod
+    def _refutes(base: List[Inequality], query: Constraint) -> bool:
+        """True when ``base ∪ ¬query`` is infeasible, i.e. base entails query."""
+        return not is_feasible(base + query.negation_inequalities())
+
+    def entails(self, query: Constraint) -> bool:
+        """Is ``query`` implied by the declared + implicit constraints?"""
+        return self._entails_with(self._constraints, query)
+
+    def entails_with_support(
+        self, query: Constraint, *, max_support_size: Optional[int] = None
+    ) -> Tuple[bool, Tuple[str, ...]]:
+        """Entailment plus a *minimal* set of declared-constraint labels that suffices.
+
+        The support search tries subsets of the declared constraints by
+        increasing size, so the returned labels are a smallest sufficient set
+        (matching how the paper's Figure 7 credits "constraint 1" or
+        "constraints 1, 3" for each resolved state).  Implicit non-negativity
+        constraints are always available and never reported.
+        """
+        if not self._entails_with(self._constraints, query):
+            return False, ()
+        limit = len(self._constraints) if max_support_size is None else max_support_size
+        for size in range(0, limit + 1):
+            for subset in combinations(self._constraints, size):
+                if self._entails_with(subset, query):
+                    return True, tuple(constraint.label for constraint in subset)
+        return True, tuple(constraint.label for constraint in self._constraints)
+
+    # -- numeric helpers -------------------------------------------------------
+
+    def sample_point(self, *, scale: int = 1000, seed: int = 7) -> Dict[Symbol, Fraction]:
+        """Find a rational assignment satisfying all constraints (for tests/plots).
+
+        Uses a randomized rounding of an LP interior point: scipy's linprog
+        maximizes the minimum slack; the resulting floats are snapped to
+        rationals and verified exactly, retrying with perturbed objectives a
+        few times.  Raises :class:`InconsistentConstraintsError` when the
+        system is infeasible.
+        """
+        self.assert_consistent()
+        symbols = sorted(self.symbols())
+        if not symbols:
+            return {}
+        from scipy.optimize import linprog  # local import: scipy is heavy
+
+        rows = self._declared_inequalities() + self._implicit_inequalities()
+        index_of = {symbol: index for index, symbol in enumerate(symbols)}
+        rng = np.random.default_rng(seed)
+        for _ in range(16):
+            # Variables: the symbol values plus one slack variable to push
+            # strictly inside the feasible region.
+            count = len(symbols)
+            a_ub = []
+            b_ub = []
+            for coefficients, constant, strict in rows:
+                row = [0.0] * (count + 1)
+                for symbol, value in coefficients.items():
+                    if symbol in index_of:
+                        row[index_of[symbol]] = -float(value)
+                row[count] = 1.0 if strict else 0.0
+                a_ub.append(row)
+                b_ub.append(float(constant))
+            # Maximize the slack (min over strict constraints), keep symbols bounded.
+            objective = [0.0] * count + [-1.0]
+            noise = rng.uniform(0.0, 0.1, size=count)
+            objective[:count] = list(noise)
+            bounds = [(0, scale) for _ in range(count)] + [(0, scale)]
+            result = linprog(objective, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+            if not result.success:
+                continue
+            candidate = {
+                symbol: Fraction(round(result.x[index_of[symbol]] * 128), 128) for symbol in symbols
+            }
+            if self.satisfied_by(candidate):
+                return candidate
+        raise InconsistentConstraintsError(
+            "could not construct a rational point satisfying the declared constraints"
+        )
+
+    def satisfied_by(self, bindings: Dict[Symbol, Fraction]) -> bool:
+        """Exact check that a full assignment satisfies every declared + implicit constraint."""
+        for constraint in self._constraints:
+            value = constraint.expression.evaluate(bindings)
+            if constraint.relation == RELATION_GE and value < 0:
+                return False
+            if constraint.relation == RELATION_GT and value <= 0:
+                return False
+            if constraint.relation == RELATION_EQ and value != 0:
+                return False
+        if self._implicit_nonnegative:
+            for symbol, value in bindings.items():
+                if symbol.is_nonnegative and value < 0:
+                    return False
+        return True

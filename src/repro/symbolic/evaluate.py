@@ -1,0 +1,89 @@
+"""Uniform numeric evaluation of the value types used across the library.
+
+Performance results flow through three scalar domains — exact rationals,
+affine :class:`~repro.symbolic.linexpr.LinExpr` and rational functions
+(:class:`~repro.symbolic.ratfunc.RatFunc`) — and user code frequently wants
+to plug numbers into whichever it received.  :func:`evaluate_value` does that
+uniformly, and :class:`Bindings` offers a small convenience wrapper for
+building symbol assignments from the conventional ``E_<transition>`` /
+``F_<transition>`` / ``f_<transition>`` symbol names used by
+:func:`repro.protocols` and :mod:`repro.reachability`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Mapping, Union
+
+from ..exceptions import ExpressionDomainError
+from .linexpr import LinExpr, NumberLike, as_fraction
+from .polynomial import Polynomial
+from .ratfunc import RatFunc
+from .symbols import Symbol
+
+Value = Union[Fraction, int, float, LinExpr, Polynomial, RatFunc]
+
+
+def evaluate_value(value: Value, bindings: Mapping[Symbol, NumberLike] | None = None) -> Fraction:
+    """Evaluate any supported scalar to an exact Fraction.
+
+    Plain numbers evaluate to themselves; symbolic values require a binding
+    for every symbol they mention.
+    """
+    bindings = bindings or {}
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return as_fraction(value)
+    if isinstance(value, LinExpr):
+        return value.evaluate(bindings)
+    if isinstance(value, (Polynomial, RatFunc)):
+        return value.evaluate(bindings)
+    raise ExpressionDomainError(f"cannot evaluate value of type {type(value).__name__}")
+
+
+def evaluate_float(value: Value, bindings: Mapping[Symbol, NumberLike] | None = None) -> float:
+    """Float convenience wrapper around :func:`evaluate_value`."""
+    return float(evaluate_value(value, bindings))
+
+
+class Bindings(dict):
+    """A ``{Symbol: Fraction}`` mapping with ergonomic constructors.
+
+    The library's conventional symbol names are ``E_<t>`` for enabling
+    times, ``F_<t>`` for firing times and ``f_<t>`` for firing frequencies,
+    so bindings are most naturally expressed per transition::
+
+        bindings = (Bindings()
+                    .enabling_time("t3", 1000)
+                    .firing_time("t4", 106.7)
+                    .frequency("t4", 0.95))
+    """
+
+    def set(self, symbol: Symbol, value: NumberLike) -> "Bindings":
+        """Bind an explicit symbol."""
+        self[symbol] = as_fraction(value)
+        return self
+
+    def enabling_time(self, transition_name: str, value: NumberLike) -> "Bindings":
+        """Bind the conventional enabling-time symbol of a transition."""
+        return self.set(Symbol(f"E_{transition_name}", "time"), value)
+
+    def firing_time(self, transition_name: str, value: NumberLike) -> "Bindings":
+        """Bind the conventional firing-time symbol of a transition."""
+        return self.set(Symbol(f"F_{transition_name}", "time"), value)
+
+    def frequency(self, transition_name: str, value: NumberLike) -> "Bindings":
+        """Bind the conventional firing-frequency symbol of a transition."""
+        return self.set(Symbol(f"f_{transition_name}", "frequency"), value)
+
+    def merged_with(self, other: Mapping[Symbol, NumberLike]) -> "Bindings":
+        """A new Bindings with entries from ``other`` overriding this one."""
+        merged = Bindings(self)
+        for symbol, value in other.items():
+            merged[symbol] = as_fraction(value)
+        return merged
+
+    def as_floats(self) -> Dict[Symbol, float]:
+        """A float view, convenient for plotting and simulation parameters."""
+        return {symbol: float(value) for symbol, value in self.items()}

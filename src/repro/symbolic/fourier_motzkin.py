@@ -1,0 +1,131 @@
+"""Exact Fourier–Motzkin elimination for linear constraint systems.
+
+The symbolic reachability construction of Section 3 needs one logical
+primitive: *given the declared timing constraints, is this linear inequality
+implied?*  Implication is decided by refutation — add the negated inequality
+and test the system for feasibility — and feasibility of a system of linear
+inequalities over the rationals is decided exactly by Fourier–Motzkin
+elimination.
+
+The systems arising from protocol models are tiny (a dozen symbols, a
+handful of constraints), so the doubly-exponential worst case of FM is
+irrelevant; in exchange we get exact rational arithmetic, support for strict
+inequalities (needed because the paper's constraint 1 is strict) and no
+dependence on floating-point LP tolerances.  A scipy ``linprog`` cross-check
+is available in :mod:`repro.symbolic.constraints` for validation.
+
+The inequality representation used throughout is the triple
+``(coefficients, constant, strict)`` meaning::
+
+    sum(coefficients[s] * s) + constant  >  0      if strict
+    sum(coefficients[s] * s) + constant  >= 0      otherwise
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from .symbols import Symbol
+
+Inequality = Tuple[Dict[Symbol, Fraction], Fraction, bool]
+
+
+def _substantive(inequality: Inequality) -> bool:
+    """True when the inequality still mentions at least one symbol."""
+    coefficients, _, _ = inequality
+    return any(value != 0 for value in coefficients.values())
+
+
+def _constant_holds(inequality: Inequality) -> bool:
+    """Evaluate a symbol-free inequality."""
+    _, constant, strict = inequality
+    return constant > 0 if strict else constant >= 0
+
+
+def _eliminate(inequalities: List[Inequality], symbol: Symbol) -> List[Inequality]:
+    """Eliminate one symbol, combining every lower bound with every upper bound."""
+    zero_rows: List[Inequality] = []
+    lower: List[Inequality] = []  # coefficient > 0: gives a lower bound on `symbol`
+    upper: List[Inequality] = []  # coefficient < 0: gives an upper bound on `symbol`
+    for coefficients, constant, strict in inequalities:
+        value = coefficients.get(symbol, Fraction(0))
+        if value == 0:
+            zero_rows.append((coefficients, constant, strict))
+        elif value > 0:
+            lower.append((coefficients, constant, strict))
+        else:
+            upper.append((coefficients, constant, strict))
+
+    combined: List[Inequality] = list(zero_rows)
+    for low_coefficients, low_constant, low_strict in lower:
+        low_value = low_coefficients[symbol]
+        for up_coefficients, up_constant, up_strict in upper:
+            up_value = -up_coefficients[symbol]
+            # Combine: up_value * low + low_value * up eliminates `symbol`.
+            new_coefficients: Dict[Symbol, Fraction] = {}
+            for key in set(low_coefficients) | set(up_coefficients):
+                if key == symbol:
+                    continue
+                total = up_value * low_coefficients.get(key, Fraction(0)) + low_value * up_coefficients.get(
+                    key, Fraction(0)
+                )
+                if total:
+                    new_coefficients[key] = total
+            new_constant = up_value * low_constant + low_value * up_constant
+            combined.append((new_coefficients, new_constant, low_strict or up_strict))
+    return combined
+
+
+def is_feasible(inequalities: Sequence[Inequality], *, max_intermediate: int = 200_000) -> bool:
+    """Decide whether a system of linear inequalities has a rational solution.
+
+    Parameters
+    ----------
+    inequalities:
+        Sequence of ``(coefficients, constant, strict)`` triples.
+    max_intermediate:
+        Safety valve on the number of intermediate inequalities; exceeded only
+        by adversarial inputs far larger than anything this library generates.
+
+    Returns
+    -------
+    bool
+        True when some assignment of rational values to the symbols satisfies
+        every inequality.
+    """
+    current: List[Inequality] = [
+        (dict(coefficients), Fraction(constant), bool(strict))
+        for coefficients, constant, strict in inequalities
+    ]
+    while True:
+        symbols = set()
+        for coefficients, _, _ in current:
+            for key, value in coefficients.items():
+                if value != 0:
+                    symbols.add(key)
+        if not symbols:
+            break
+        # Eliminate the symbol that minimizes the product of bound counts
+        # (classical heuristic to slow down the blow-up).
+        def elimination_cost(candidate: Symbol) -> int:
+            lower = sum(1 for coefficients, _, _ in current if coefficients.get(candidate, 0) > 0)
+            upper = sum(1 for coefficients, _, _ in current if coefficients.get(candidate, 0) < 0)
+            return lower * upper - lower - upper
+
+        chosen = min(sorted(symbols), key=elimination_cost)
+        current = _eliminate(current, chosen)
+        if len(current) > max_intermediate:
+            raise MemoryError(
+                "Fourier-Motzkin elimination exceeded the intermediate-constraint budget"
+            )
+        # Constant rows can be checked eagerly: a false one proves infeasibility.
+        remaining: List[Inequality] = []
+        for row in current:
+            if _substantive(row):
+                remaining.append(row)
+            elif not _constant_holds(row):
+                return False
+        current = remaining
+
+    return all(_constant_holds(row) for row in current)

@@ -1,0 +1,224 @@
+"""Multivariate polynomial GCD over the rationals (primitive PRS algorithm).
+
+Rational-function arithmetic accumulates common factors quickly — adding two
+branching probabilities with the same denominator already produces an
+unreduced fraction — and without cancellation the symbolic throughput of even
+the paper's small protocol grows to hundreds of monomials.  This module
+provides the classical *primitive polynomial remainder sequence* GCD:
+
+1. pick a main variable ``x`` occurring in both polynomials,
+2. write both as univariate polynomials in ``x`` with multivariate
+   coefficients; split each into ``content`` (GCD of the coefficients,
+   computed recursively) times ``primitive part``,
+3. run the pseudo-remainder sequence on the primitive parts, keeping each
+   remainder primitive,
+4. the GCD is ``gcd(contents) · primitive(last non-zero remainder)``.
+
+The implementation favours clarity over asymptotic heroics (no modular or
+EZ-GCD tricks); the polynomials produced by protocol-sized models are tiny
+by computer-algebra standards, and :class:`~repro.symbolic.ratfunc.RatFunc`
+guards calls with a term-count budget anyway.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from .polynomial import Polynomial
+from .symbols import Symbol
+
+
+def _variables(poly: Polynomial) -> List[Symbol]:
+    return sorted(poly.symbols())
+
+
+def _as_univariate(poly: Polynomial, variable: Symbol) -> Dict[int, Polynomial]:
+    """View ``poly`` as a univariate polynomial in ``variable``.
+
+    Returns a mapping ``degree -> coefficient`` where coefficients are
+    polynomials not involving ``variable``.
+    """
+    coefficients: Dict[int, Dict] = {}
+    for monomial, coefficient in poly.terms.items():
+        degree = 0
+        rest = []
+        for symbol, exponent in monomial:
+            if symbol is variable or symbol == variable:
+                degree = exponent
+            else:
+                rest.append((symbol, exponent))
+        bucket = coefficients.setdefault(degree, {})
+        key = tuple(rest)
+        bucket[key] = bucket.get(key, Fraction(0)) + coefficient
+    return {degree: Polynomial(bucket) for degree, bucket in coefficients.items()}
+
+
+def _from_univariate(coefficients: Dict[int, Polynomial], variable: Symbol) -> Polynomial:
+    """Inverse of :func:`_as_univariate`."""
+    total = Polynomial.zero()
+    for degree, coefficient in coefficients.items():
+        term = coefficient
+        if degree:
+            term = term * Polynomial.from_symbol(variable, degree)
+        total = total + term
+    return total
+
+
+def _univariate_degree(coefficients: Dict[int, Polynomial]) -> int:
+    degrees = [degree for degree, coefficient in coefficients.items() if not coefficient.is_zero()]
+    return max(degrees) if degrees else -1
+
+
+def _leading_coefficient(coefficients: Dict[int, Polynomial]) -> Polynomial:
+    return coefficients[_univariate_degree(coefficients)]
+
+
+def _multiply_univariate(
+    coefficients: Dict[int, Polynomial], factor: Polynomial, shift: int = 0
+) -> Dict[int, Polynomial]:
+    return {degree + shift: coefficient * factor for degree, coefficient in coefficients.items()}
+
+
+def _subtract_univariate(
+    left: Dict[int, Polynomial], right: Dict[int, Polynomial]
+) -> Dict[int, Polynomial]:
+    result = dict(left)
+    for degree, coefficient in right.items():
+        result[degree] = result.get(degree, Polynomial.zero()) - coefficient
+    return {degree: coefficient for degree, coefficient in result.items() if not coefficient.is_zero()}
+
+
+def _pseudo_remainder(
+    dividend: Dict[int, Polynomial], divisor: Dict[int, Polynomial]
+) -> Dict[int, Polynomial]:
+    """Pseudo-remainder of two univariate polynomials with polynomial coefficients."""
+    remainder = dict(dividend)
+    divisor_degree = _univariate_degree(divisor)
+    divisor_leading = _leading_coefficient(divisor)
+    while True:
+        remainder_degree = _univariate_degree(remainder)
+        if remainder_degree < divisor_degree or remainder_degree < 0:
+            return remainder
+        remainder_leading = remainder[remainder_degree]
+        # remainder := lc(divisor)·remainder − lc(remainder)·x^(diff)·divisor
+        remainder = _subtract_univariate(
+            _multiply_univariate(remainder, divisor_leading),
+            _multiply_univariate(divisor, remainder_leading, remainder_degree - divisor_degree),
+        )
+
+
+def _content_and_primitive(
+    coefficients: Dict[int, Polynomial]
+) -> Tuple[Polynomial, Dict[int, Polynomial]]:
+    """GCD of the coefficients (the content) and the coefficient-wise quotient."""
+    content: Optional[Polynomial] = None
+    for coefficient in coefficients.values():
+        if coefficient.is_zero():
+            continue
+        content = coefficient if content is None else polynomial_gcd(content, coefficient)
+        if content.is_constant():
+            break
+    if content is None:
+        return Polynomial.one(), dict(coefficients)
+    if content.is_constant():
+        constant = content.constant_value()
+        if constant == 1:
+            return Polynomial.one(), dict(coefficients)
+        return (
+            Polynomial.constant(constant),
+            {degree: value.scale(Fraction(1) / constant) for degree, value in coefficients.items()},
+        )
+    primitive = {}
+    for degree, value in coefficients.items():
+        quotient = value.exact_divide(content)
+        if quotient is None:  # pragma: no cover - gcd guarantees divisibility
+            return Polynomial.one(), dict(coefficients)
+        primitive[degree] = quotient
+    return content, primitive
+
+
+def _normalize_sign(poly: Polynomial) -> Polynomial:
+    if poly.is_zero():
+        return poly
+    _, leading = poly.leading_term()
+    return poly.scale(-1) if leading < 0 else poly
+
+
+def polynomial_gcd(left: Polynomial, right: Polynomial) -> Polynomial:
+    """Greatest common divisor of two multivariate polynomials over ℚ.
+
+    The result is normalized to have content 1 and a positive leading
+    coefficient; ``gcd(0, p) = p`` and ``gcd(c, p) = 1`` for non-zero
+    constants ``c``.
+    """
+    left = Polynomial.coerce(left)
+    right = Polynomial.coerce(right)
+    if left.is_zero():
+        return _normalize_sign(_make_primitive(right))
+    if right.is_zero():
+        return _normalize_sign(_make_primitive(left))
+    if left.is_constant() or right.is_constant():
+        return Polynomial.one()
+
+    shared = sorted(left.symbols() & right.symbols())
+    if not shared:
+        return Polynomial.one()
+    variable = shared[0]
+
+    left_univariate = _as_univariate(left, variable)
+    right_univariate = _as_univariate(right, variable)
+    left_content, left_primitive = _content_and_primitive(left_univariate)
+    right_content, right_primitive = _content_and_primitive(right_univariate)
+    content_gcd = polynomial_gcd(left_content, right_content)
+
+    first, second = left_primitive, right_primitive
+    if _univariate_degree(first) < _univariate_degree(second):
+        first, second = second, first
+    while True:
+        if _univariate_degree(second) < 0:
+            break
+        remainder = _pseudo_remainder(first, second)
+        _, remainder = _content_and_primitive(remainder)
+        first, second = second, remainder
+
+    if _univariate_degree(first) <= 0:
+        primitive_gcd = Polynomial.one()
+    else:
+        primitive_gcd = _from_univariate(first, variable)
+        primitive_gcd = _make_primitive(primitive_gcd)
+
+    return _normalize_sign(_make_primitive(content_gcd * primitive_gcd))
+
+
+def _make_primitive(poly: Polynomial) -> Polynomial:
+    """Divide out the numeric content (leave monomial factors in place)."""
+    if poly.is_zero():
+        return poly
+    content = poly.content()
+    if content == 1:
+        return poly
+    return poly.scale(Fraction(1) / content)
+
+
+def cancel_common_factor(
+    numerator: Polynomial, denominator: Polynomial, *, term_budget: int = 600
+) -> Tuple[Polynomial, Polynomial]:
+    """Cancel the polynomial GCD of a fraction's numerator and denominator.
+
+    ``term_budget`` bounds the combined number of monomials for which the
+    (potentially expensive) GCD is attempted; larger inputs are returned
+    unchanged, keeping worst-case arithmetic costs predictable.
+    """
+    if numerator.is_zero() or denominator.is_constant() or numerator.is_constant():
+        return numerator, denominator
+    if len(numerator.terms) + len(denominator.terms) > term_budget:
+        return numerator, denominator
+    divisor = polynomial_gcd(numerator, denominator)
+    if divisor.is_constant():
+        return numerator, denominator
+    reduced_numerator = numerator.exact_divide(divisor)
+    reduced_denominator = denominator.exact_divide(divisor)
+    if reduced_numerator is None or reduced_denominator is None:  # pragma: no cover
+        return numerator, denominator
+    return reduced_numerator, reduced_denominator

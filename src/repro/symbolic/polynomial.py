@@ -1,0 +1,483 @@
+"""Sparse multivariate polynomials over the rationals.
+
+Branching probabilities of the symbolic analysis are ratios of firing
+frequencies (``f4 / (f4 + f5)``), and solving the traversal-rate equations of
+the decision graph mixes those ratios with symbolic delays.  Both call for a
+small exact polynomial arithmetic layer: this module provides it, and
+:mod:`repro.symbolic.ratfunc` builds rational functions on top of it.
+
+Polynomials are stored sparsely as ``{monomial: coefficient}`` where a
+monomial is a sorted tuple of ``(Symbol, exponent)`` pairs and coefficients
+are :class:`fractions.Fraction`.  The class supports the operations the rest
+of the library needs — ring arithmetic, exact division (for simplification),
+evaluation and substitution — and nothing more exotic.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+from ..exceptions import ExpressionDomainError
+from .linexpr import LinExpr, NumberLike, as_fraction
+from .symbols import Symbol
+
+Monomial = Tuple[Tuple[Symbol, int], ...]
+PolynomialLike = Union["Polynomial", LinExpr, Symbol, NumberLike]
+
+_EMPTY_MONOMIAL: Monomial = ()
+
+
+def _symbol_sort_key(item: Tuple[Symbol, int]) -> Tuple[str, str]:
+    return (item[0].kind, item[0].name)
+
+
+def _make_monomial(powers: Mapping[Symbol, int]) -> Monomial:
+    cleaned = [(symbol, exponent) for symbol, exponent in powers.items() if exponent]
+    for symbol, exponent in cleaned:
+        if exponent < 0:
+            raise ExpressionDomainError("polynomial exponents must be non-negative")
+    return tuple(sorted(cleaned, key=_symbol_sort_key))
+
+
+def _multiply_monomials(left: Monomial, right: Monomial) -> Monomial:
+    powers: Dict[Symbol, int] = {}
+    for symbol, exponent in left:
+        powers[symbol] = powers.get(symbol, 0) + exponent
+    for symbol, exponent in right:
+        powers[symbol] = powers.get(symbol, 0) + exponent
+    return _make_monomial(powers)
+
+
+def _divide_monomials(numerator: Monomial, denominator: Monomial) -> Optional[Monomial]:
+    powers: Dict[Symbol, int] = {symbol: exponent for symbol, exponent in numerator}
+    for symbol, exponent in denominator:
+        remaining = powers.get(symbol, 0) - exponent
+        if remaining < 0:
+            return None
+        powers[symbol] = remaining
+    return _make_monomial(powers)
+
+
+def _monomial_degree(monomial: Monomial) -> int:
+    return sum(exponent for _, exponent in monomial)
+
+
+def _compare_monomials(left: Monomial, right: Monomial) -> int:
+    """Graded lexicographic comparison (a genuine monomial order).
+
+    Total degree decides first; ties are broken lexicographically with the
+    alphabetically-first symbol acting as the highest-priority variable.
+    Being a proper monomial order (compatible with monomial multiplication)
+    is what makes leading-term based exact division sound.
+    """
+    left_degree = _monomial_degree(left)
+    right_degree = _monomial_degree(right)
+    if left_degree != right_degree:
+        return -1 if left_degree < right_degree else 1
+    left_powers = {symbol: exponent for symbol, exponent in left}
+    right_powers = {symbol: exponent for symbol, exponent in right}
+    for symbol in sorted(set(left_powers) | set(right_powers), key=_symbol_key):
+        left_exponent = left_powers.get(symbol, 0)
+        right_exponent = right_powers.get(symbol, 0)
+        if left_exponent != right_exponent:
+            return 1 if left_exponent > right_exponent else -1
+    return 0
+
+
+def _symbol_key(symbol: Symbol) -> Tuple[str, str]:
+    return (symbol.kind, symbol.name)
+
+
+class _MonomialKey:
+    """Sort key wrapper implementing the graded-lex order for ``max``/``sorted``."""
+
+    __slots__ = ("monomial",)
+
+    def __init__(self, monomial: Monomial):
+        self.monomial = monomial
+
+    def __lt__(self, other: "_MonomialKey") -> bool:
+        return _compare_monomials(self.monomial, other.monomial) < 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _MonomialKey):
+            return NotImplemented
+        return _compare_monomials(self.monomial, other.monomial) == 0
+
+    def __hash__(self) -> int:
+        return hash(self.monomial)
+
+
+def _monomial_sort_key(monomial: Monomial) -> _MonomialKey:
+    return _MonomialKey(monomial)
+
+
+class Polynomial:
+    """An immutable sparse multivariate polynomial with Fraction coefficients."""
+
+    __slots__ = ("_terms", "_hash")
+
+    def __init__(self, terms: Mapping[Monomial, NumberLike] | Iterable[Tuple[Monomial, NumberLike]] = ()):
+        items = terms.items() if isinstance(terms, Mapping) else terms
+        collected: Dict[Monomial, Fraction] = {}
+        for monomial, coefficient in items:
+            value = as_fraction(coefficient)
+            if not value:
+                continue
+            accumulated = collected.get(monomial, Fraction(0)) + value
+            if accumulated:
+                collected[monomial] = accumulated
+            else:
+                collected.pop(monomial, None)
+        self._terms: Dict[Monomial, Fraction] = collected
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def constant(cls, value: NumberLike) -> "Polynomial":
+        """The constant polynomial ``value``."""
+        return cls({_EMPTY_MONOMIAL: as_fraction(value)})
+
+    @classmethod
+    def from_symbol(cls, symbol: Symbol, exponent: int = 1) -> "Polynomial":
+        """The monomial ``symbol**exponent``."""
+        if exponent < 0:
+            raise ExpressionDomainError("polynomial exponents must be non-negative")
+        if exponent == 0:
+            return cls.constant(1)
+        return cls({_make_monomial({symbol: exponent}): Fraction(1)})
+
+    @classmethod
+    def from_linexpr(cls, expression: LinExpr) -> "Polynomial":
+        """Convert an affine expression into a (degree ≤ 1) polynomial."""
+        terms: Dict[Monomial, Fraction] = {}
+        if expression.constant_term:
+            terms[_EMPTY_MONOMIAL] = expression.constant_term
+        for symbol, coefficient in expression.terms.items():
+            terms[_make_monomial({symbol: 1})] = coefficient
+        return cls(terms)
+
+    @classmethod
+    def coerce(cls, value: PolynomialLike) -> "Polynomial":
+        """Convert numbers, symbols, affine expressions or polynomials to Polynomial."""
+        if isinstance(value, Polynomial):
+            return value
+        if isinstance(value, LinExpr):
+            return cls.from_linexpr(value)
+        if isinstance(value, Symbol):
+            return cls.from_symbol(value)
+        return cls.constant(as_fraction(value))
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """The zero polynomial."""
+        return _ZERO_POLY
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        """The unit polynomial."""
+        return _ONE_POLY
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def terms(self) -> Dict[Monomial, Fraction]:
+        """A copy of the ``{monomial: coefficient}`` mapping."""
+        return dict(self._terms)
+
+    def is_zero(self) -> bool:
+        """True for the zero polynomial."""
+        return not self._terms
+
+    def is_constant(self) -> bool:
+        """True when the polynomial has no symbolic monomial."""
+        return all(monomial == _EMPTY_MONOMIAL for monomial in self._terms)
+
+    def constant_value(self) -> Fraction:
+        """Value of a constant polynomial (error otherwise)."""
+        if not self.is_constant():
+            raise ExpressionDomainError(f"polynomial {self} is not constant")
+        return self._terms.get(_EMPTY_MONOMIAL, Fraction(0))
+
+    def constant_coefficient(self) -> Fraction:
+        """Coefficient of the empty monomial."""
+        return self._terms.get(_EMPTY_MONOMIAL, Fraction(0))
+
+    def degree(self) -> int:
+        """Total degree (0 for constants, -1 conventionally for the zero polynomial)."""
+        if not self._terms:
+            return -1
+        return max(_monomial_degree(monomial) for monomial in self._terms)
+
+    def symbols(self) -> frozenset:
+        """Every symbol appearing in the polynomial."""
+        found = set()
+        for monomial in self._terms:
+            for symbol, _ in monomial:
+                found.add(symbol)
+        return frozenset(found)
+
+    def leading_term(self) -> Tuple[Monomial, Fraction]:
+        """The graded-lex leading monomial and its coefficient."""
+        if not self._terms:
+            raise ExpressionDomainError("the zero polynomial has no leading term")
+        monomial = max(self._terms, key=_monomial_sort_key)
+        return monomial, self._terms[monomial]
+
+    def as_linexpr(self) -> LinExpr:
+        """Convert back to an affine expression (error if degree exceeds one)."""
+        terms: Dict[Symbol, Fraction] = {}
+        constant = Fraction(0)
+        for monomial, coefficient in self._terms.items():
+            if monomial == _EMPTY_MONOMIAL:
+                constant = coefficient
+            elif len(monomial) == 1 and monomial[0][1] == 1:
+                terms[monomial[0][0]] = coefficient
+            else:
+                raise ExpressionDomainError(
+                    f"polynomial {self} has degree > 1 and cannot become a LinExpr"
+                )
+        return LinExpr(terms, constant)
+
+    # ------------------------------------------------------------------
+    # Ring arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: PolynomialLike) -> "Polynomial":
+        other_poly = Polynomial.coerce(other)
+        merged = dict(self._terms)
+        for monomial, coefficient in other_poly._terms.items():
+            merged[monomial] = merged.get(monomial, Fraction(0)) + coefficient
+        return Polynomial(merged)
+
+    def __radd__(self, other: PolynomialLike) -> "Polynomial":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial({monomial: -coefficient for monomial, coefficient in self._terms.items()})
+
+    def __sub__(self, other: PolynomialLike) -> "Polynomial":
+        return self.__add__(-Polynomial.coerce(other))
+
+    def __rsub__(self, other: PolynomialLike) -> "Polynomial":
+        return Polynomial.coerce(other).__sub__(self)
+
+    def __mul__(self, other: PolynomialLike) -> "Polynomial":
+        other_poly = Polynomial.coerce(other)
+        product: Dict[Monomial, Fraction] = {}
+        for left_monomial, left_coefficient in self._terms.items():
+            for right_monomial, right_coefficient in other_poly._terms.items():
+                monomial = _multiply_monomials(left_monomial, right_monomial)
+                product[monomial] = (
+                    product.get(monomial, Fraction(0)) + left_coefficient * right_coefficient
+                )
+        return Polynomial(product)
+
+    def __rmul__(self, other: PolynomialLike) -> "Polynomial":
+        return self.__mul__(other)
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise ExpressionDomainError("polynomial exponent must be a non-negative int")
+        result = Polynomial.one()
+        base = self
+        remaining = exponent
+        while remaining:
+            if remaining & 1:
+                result = result * base
+            base = base * base
+            remaining >>= 1
+        return result
+
+    def scale(self, factor: NumberLike) -> "Polynomial":
+        """Multiply every coefficient by a rational constant."""
+        value = as_fraction(factor)
+        return Polynomial(
+            {monomial: coefficient * value for monomial, coefficient in self._terms.items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Exact division / content
+    # ------------------------------------------------------------------
+
+    def exact_divide(self, divisor: "Polynomial") -> Optional["Polynomial"]:
+        """Return ``self / divisor`` when the division is exact, else ``None``.
+
+        Uses multivariate long division with the graded-lex leading term; the
+        division is exact precisely when the remainder is zero.
+        """
+        divisor = Polynomial.coerce(divisor)
+        if divisor.is_zero():
+            raise ExpressionDomainError("division by the zero polynomial")
+        remainder = self
+        quotient = Polynomial.zero()
+        divisor_monomial, divisor_coefficient = divisor.leading_term()
+        safety = 0
+        while not remainder.is_zero():
+            safety += 1
+            if safety > 10_000:
+                return None
+            remainder_monomial, remainder_coefficient = remainder.leading_term()
+            ratio_monomial = _divide_monomials(remainder_monomial, divisor_monomial)
+            if ratio_monomial is None:
+                return None
+            ratio = Polynomial({ratio_monomial: remainder_coefficient / divisor_coefficient})
+            quotient = quotient + ratio
+            remainder = remainder - ratio * divisor
+        return quotient
+
+    def content(self) -> Fraction:
+        """The positive gcd of all coefficients (1 for the zero polynomial)."""
+        if not self._terms:
+            return Fraction(1)
+        numerator_gcd = 0
+        denominator_lcm = 1
+        for coefficient in self._terms.values():
+            numerator_gcd = _gcd(numerator_gcd, abs(coefficient.numerator))
+            denominator_lcm = _lcm(denominator_lcm, coefficient.denominator)
+        if numerator_gcd == 0:
+            return Fraction(1)
+        return Fraction(numerator_gcd, denominator_lcm)
+
+    def monomial_content(self) -> Monomial:
+        """The largest monomial dividing every term (for factoring out symbols)."""
+        if not self._terms:
+            return _EMPTY_MONOMIAL
+        common: Optional[Dict[Symbol, int]] = None
+        for monomial in self._terms:
+            powers = {symbol: exponent for symbol, exponent in monomial}
+            if common is None:
+                common = powers
+            else:
+                common = {
+                    symbol: min(exponent, powers.get(symbol, 0))
+                    for symbol, exponent in common.items()
+                    if powers.get(symbol, 0)
+                }
+        return _make_monomial(common or {})
+
+    def primitive_part(self) -> Tuple[Fraction, Monomial, "Polynomial"]:
+        """Factor the polynomial as ``content * monomial * primitive``."""
+        if self.is_zero():
+            return Fraction(1), _EMPTY_MONOMIAL, self
+        content = self.content()
+        monomial = self.monomial_content()
+        reduced = Polynomial(
+            {
+                _divide_monomials(term, monomial): coefficient / content
+                for term, coefficient in self._terms.items()
+            }
+        )
+        return content, monomial, reduced
+
+    # ------------------------------------------------------------------
+    # Evaluation / substitution
+    # ------------------------------------------------------------------
+
+    def evaluate(self, bindings: Mapping[Symbol, NumberLike]) -> Fraction:
+        """Evaluate with every symbol bound to a number."""
+        total = Fraction(0)
+        for monomial, coefficient in self._terms.items():
+            value = coefficient
+            for symbol, exponent in monomial:
+                if symbol not in bindings:
+                    raise ExpressionDomainError(f"no binding provided for symbol {symbol}")
+                value *= as_fraction(bindings[symbol]) ** exponent
+            total += value
+        return total
+
+    def substitute(self, bindings: Mapping[Symbol, PolynomialLike]) -> "Polynomial":
+        """Replace some symbols by polynomials (or numbers); others stay symbolic."""
+        result = Polynomial.zero()
+        for monomial, coefficient in self._terms.items():
+            term = Polynomial.constant(coefficient)
+            for symbol, exponent in monomial:
+                if symbol in bindings:
+                    replacement = Polynomial.coerce(bindings[symbol])
+                else:
+                    replacement = Polynomial.from_symbol(symbol)
+                term = term * (replacement ** exponent)
+            result = result + term
+        return result
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / rendering
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Polynomial):
+            return self._terms == other._terms
+        if isinstance(other, (LinExpr, Symbol)):
+            return self._terms == Polynomial.coerce(other)._terms
+        if isinstance(other, (int, float, Fraction)) and not isinstance(other, bool):
+            return self._terms == Polynomial.constant(other)._terms
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._terms.items()))
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return not self.is_zero()
+
+    def sorted_terms(self) -> Tuple[Tuple[Monomial, Fraction], ...]:
+        """Terms sorted in descending graded-lex order, for deterministic rendering."""
+        return tuple(
+            sorted(self._terms.items(), key=lambda item: _monomial_sort_key(item[0]), reverse=True)
+        )
+
+    @staticmethod
+    def _render_monomial(monomial: Monomial) -> str:
+        if monomial == _EMPTY_MONOMIAL:
+            return ""
+        parts = []
+        for symbol, exponent in monomial:
+            parts.append(str(symbol) if exponent == 1 else f"{symbol}^{exponent}")
+        return "*".join(parts)
+
+    def __str__(self) -> str:
+        if self.is_zero():
+            return "0"
+        pieces = []
+        for monomial, coefficient in self.sorted_terms():
+            body = self._render_monomial(monomial)
+            magnitude = abs(coefficient)
+            if not body:
+                text = LinExpr._format_fraction(magnitude)
+            elif magnitude == 1:
+                text = body
+            else:
+                text = f"{LinExpr._format_fraction(magnitude)}*{body}"
+            sign = "-" if coefficient < 0 else "+"
+            pieces.append((sign, text))
+        first_sign, first_text = pieces[0]
+        rendered = (f"-{first_text}" if first_sign == "-" else first_text)
+        for sign, text in pieces[1:]:
+            rendered += f" {sign} {text}"
+        return rendered
+
+    def __repr__(self) -> str:
+        return f"Polynomial({self})"
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return abs(a)
+
+
+def _lcm(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return abs(a * b) // _gcd(a, b)
+
+
+_ZERO_POLY = Polynomial()
+_ONE_POLY = Polynomial({_EMPTY_MONOMIAL: Fraction(1)})

@@ -1,0 +1,331 @@
+"""Rational functions (quotients of polynomials) over the rationals.
+
+The performance expressions the paper derives are rational functions of the
+enabling times, firing times and firing frequencies: branching probabilities
+are ``f4 / (f4 + f5)``, traversal rates are products and sums of such ratios,
+and the throughput is the ratio of a traversal rate to a weighted sum of
+symbolic delays.  :class:`RatFunc` implements the field operations needed to
+carry those derivations out exactly.
+
+Simplification policy
+---------------------
+Full multivariate GCD computation is overkill for the expressions arising
+here, so normalization is deliberately lightweight and always sound:
+
+* numeric content and shared monomial factors are cancelled,
+* exact polynomial division is attempted in both directions (this catches the
+  very common ``p/p`` and ``p·q/p`` cases),
+* the denominator's leading coefficient is made positive.
+
+Because normalization may not reach a canonical form for arbitrary inputs,
+**equality is decided by cross-multiplication** (``a/b == c/d`` iff
+``a·d == c·b``), which is exact regardless of how far simplification went.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Tuple, Union
+
+from ..exceptions import ExpressionDomainError
+from .linexpr import LinExpr, NumberLike, as_fraction
+from .polynomial import Polynomial, PolynomialLike
+from .symbols import Symbol
+
+RatFuncLike = Union["RatFunc", PolynomialLike]
+
+
+class RatFunc:
+    """An immutable rational function ``numerator / denominator``."""
+
+    __slots__ = ("numerator", "denominator")
+
+    def __init__(self, numerator: PolynomialLike, denominator: PolynomialLike = 1):
+        num = Polynomial.coerce(numerator)
+        den = Polynomial.coerce(denominator)
+        if den.is_zero():
+            raise ExpressionDomainError("rational function with zero denominator")
+        num, den = self._normalize(num, den)
+        self.numerator: Polynomial = num
+        self.denominator: Polynomial = den
+
+    # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _normalize(num: Polynomial, den: Polynomial) -> Tuple[Polynomial, Polynomial]:
+        if num.is_zero():
+            return Polynomial.zero(), Polynomial.one()
+        # Cancel numeric content and shared monomial factors.
+        num_content, num_monomial, num_prim = num.primitive_part()
+        den_content, den_monomial, den_prim = den.primitive_part()
+        shared_monomial = {}
+        num_powers = dict(num_monomial)
+        den_powers = dict(den_monomial)
+        for symbol in set(num_powers) & set(den_powers):
+            shared = min(num_powers[symbol], den_powers[symbol])
+            if shared:
+                shared_monomial[symbol] = shared
+        if shared_monomial:
+            def _strip(powers, poly):
+                # Divide the monomial part carried by `powers` by the shared factor.
+                reduced = {s: e - shared_monomial.get(s, 0) for s, e in powers.items()}
+                monomial_poly = Polynomial.one()
+                for symbol, exponent in reduced.items():
+                    if exponent:
+                        monomial_poly = monomial_poly * Polynomial.from_symbol(symbol, exponent)
+                return monomial_poly * poly
+
+            num_scaled = _strip(num_powers, num_prim).scale(num_content)
+            den_scaled = _strip(den_powers, den_prim).scale(den_content)
+        else:
+            num_scaled, den_scaled = num, den
+
+        # Attempt exact cancellation in both directions.
+        quotient = num_scaled.exact_divide(den_scaled)
+        if quotient is not None:
+            num_scaled, den_scaled = quotient, Polynomial.one()
+        else:
+            quotient = den_scaled.exact_divide(num_scaled)
+            if quotient is not None and not quotient.is_constant():
+                num_scaled, den_scaled = Polynomial.one(), quotient
+            elif quotient is not None and quotient.is_constant():
+                value = quotient.constant_value()
+                num_scaled, den_scaled = Polynomial.constant(Fraction(1) / value), Polynomial.one()
+            else:
+                # General case: cancel the multivariate polynomial GCD (bounded
+                # by a term budget so pathological inputs stay cheap).
+                from .gcd import cancel_common_factor
+
+                num_scaled, den_scaled = cancel_common_factor(num_scaled, den_scaled)
+
+        # Clear rational content so coefficients stay small, and make the
+        # denominator's leading coefficient positive.
+        num_content2, _, _ = num_scaled.primitive_part()
+        den_content2, _, _ = den_scaled.primitive_part()
+        scale = den_content2
+        if scale != 1:
+            num_scaled = num_scaled.scale(Fraction(1) / scale)
+            den_scaled = den_scaled.scale(Fraction(1) / scale)
+        del num_content2
+        if not den_scaled.is_zero():
+            _, leading_coefficient = den_scaled.leading_term()
+            if leading_coefficient < 0:
+                num_scaled = num_scaled.scale(-1)
+                den_scaled = den_scaled.scale(-1)
+        return num_scaled, den_scaled
+
+    # ------------------------------------------------------------------
+    # Constructors / coercion
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def coerce(cls, value: RatFuncLike) -> "RatFunc":
+        """Convert numbers, symbols, LinExpr, Polynomial or RatFunc to RatFunc."""
+        if isinstance(value, RatFunc):
+            return value
+        return cls(Polynomial.coerce(value))
+
+    @classmethod
+    def zero(cls) -> "RatFunc":
+        """The zero rational function."""
+        return cls(0)
+
+    @classmethod
+    def one(cls) -> "RatFunc":
+        """The unit rational function."""
+        return cls(1)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def is_zero(self) -> bool:
+        """True for the zero function."""
+        return self.numerator.is_zero()
+
+    def is_constant(self) -> bool:
+        """True when both numerator and denominator are constants."""
+        return self.numerator.is_constant() and self.denominator.is_constant()
+
+    def constant_value(self) -> Fraction:
+        """The value of a constant rational function."""
+        return self.numerator.constant_value() / self.denominator.constant_value()
+
+    def symbols(self) -> frozenset:
+        """All symbols appearing in numerator or denominator."""
+        return self.numerator.symbols() | self.denominator.symbols()
+
+    def is_polynomial(self) -> bool:
+        """True when the denominator is the constant 1."""
+        return self.denominator == Polynomial.one()
+
+    def as_polynomial(self) -> Polynomial:
+        """Return the numerator when the denominator is 1 (error otherwise)."""
+        if self.denominator.is_constant():
+            return self.numerator.scale(Fraction(1) / self.denominator.constant_value())
+        raise ExpressionDomainError(f"{self} is not a polynomial")
+
+    # ------------------------------------------------------------------
+    # Field arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: RatFuncLike) -> "RatFunc":
+        other_rf = RatFunc.coerce(other)
+        return RatFunc(
+            self.numerator * other_rf.denominator + other_rf.numerator * self.denominator,
+            self.denominator * other_rf.denominator,
+        )
+
+    def __radd__(self, other: RatFuncLike) -> "RatFunc":
+        return self.__add__(other)
+
+    def __neg__(self) -> "RatFunc":
+        return RatFunc(-self.numerator, self.denominator)
+
+    def __sub__(self, other: RatFuncLike) -> "RatFunc":
+        return self.__add__(-RatFunc.coerce(other))
+
+    def __rsub__(self, other: RatFuncLike) -> "RatFunc":
+        return RatFunc.coerce(other).__sub__(self)
+
+    def __mul__(self, other: RatFuncLike) -> "RatFunc":
+        other_rf = RatFunc.coerce(other)
+        return RatFunc(
+            self.numerator * other_rf.numerator, self.denominator * other_rf.denominator
+        )
+
+    def __rmul__(self, other: RatFuncLike) -> "RatFunc":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: RatFuncLike) -> "RatFunc":
+        other_rf = RatFunc.coerce(other)
+        if other_rf.is_zero():
+            raise ExpressionDomainError("division by the zero rational function")
+        return RatFunc(
+            self.numerator * other_rf.denominator, self.denominator * other_rf.numerator
+        )
+
+    def __rtruediv__(self, other: RatFuncLike) -> "RatFunc":
+        return RatFunc.coerce(other).__truediv__(self)
+
+    def reciprocal(self) -> "RatFunc":
+        """``1 / self`` (error for the zero function)."""
+        if self.is_zero():
+            raise ExpressionDomainError("reciprocal of the zero rational function")
+        return RatFunc(self.denominator, self.numerator)
+
+    # ------------------------------------------------------------------
+    # Evaluation / substitution
+    # ------------------------------------------------------------------
+
+    def evaluate(self, bindings: Mapping[Symbol, NumberLike]) -> Fraction:
+        """Evaluate with every symbol bound; raises on a zero denominator."""
+        denominator_value = self.denominator.evaluate(bindings)
+        if denominator_value == 0:
+            raise ExpressionDomainError("denominator evaluates to zero at the given point")
+        return self.numerator.evaluate(bindings) / denominator_value
+
+    def evaluate_float(self, bindings: Mapping[Symbol, NumberLike]) -> float:
+        """Float convenience wrapper around :meth:`evaluate`."""
+        return float(self.evaluate(bindings))
+
+    def substitute(self, bindings: Mapping[Symbol, RatFuncLike]) -> "RatFunc":
+        """Substitute symbols by numbers, polynomials or rational functions."""
+        polynomial_bindings = {}
+        ratfunc_bindings = {}
+        for symbol, value in bindings.items():
+            coerced = RatFunc.coerce(value)
+            if coerced.is_polynomial():
+                polynomial_bindings[symbol] = coerced.numerator
+            else:
+                ratfunc_bindings[symbol] = coerced
+        if not ratfunc_bindings:
+            return RatFunc(
+                self.numerator.substitute(polynomial_bindings),
+                self.denominator.substitute(polynomial_bindings),
+            )
+        # General case: rebuild term by term through field arithmetic.
+        def substitute_polynomial(poly: Polynomial) -> "RatFunc":
+            total = RatFunc.zero()
+            for monomial, coefficient in poly.terms.items():
+                term: RatFunc = RatFunc.coerce(coefficient)
+                for symbol, exponent in monomial:
+                    if symbol in ratfunc_bindings:
+                        base = ratfunc_bindings[symbol]
+                    elif symbol in polynomial_bindings:
+                        base = RatFunc(polynomial_bindings[symbol])
+                    else:
+                        base = RatFunc(Polynomial.from_symbol(symbol))
+                    for _ in range(exponent):
+                        term = term * base
+                total = total + term
+            return total
+
+        return substitute_polynomial(self.numerator) / substitute_polynomial(self.denominator)
+
+    def partial_derivative(self, symbol: Symbol) -> "RatFunc":
+        """Partial derivative with respect to ``symbol`` (quotient rule)."""
+        def derive(poly: Polynomial) -> Polynomial:
+            result = Polynomial.zero()
+            for monomial, coefficient in poly.terms.items():
+                powers = dict(monomial)
+                exponent = powers.get(symbol, 0)
+                if not exponent:
+                    continue
+                new_powers = dict(powers)
+                new_powers[symbol] = exponent - 1
+                reduced = Polynomial.constant(coefficient * exponent)
+                for sym, exp in new_powers.items():
+                    if exp:
+                        reduced = reduced * Polynomial.from_symbol(sym, exp)
+                result = result + reduced
+            return result
+
+        numerator = (
+            derive(self.numerator) * self.denominator - self.numerator * derive(self.denominator)
+        )
+        return RatFunc(numerator, self.denominator * self.denominator)
+
+    # ------------------------------------------------------------------
+    # Equality / rendering
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (RatFunc, Polynomial, LinExpr, Symbol, int, Fraction, float)) and not isinstance(
+            other, bool
+        ):
+            other_rf = RatFunc.coerce(other)
+            return self.numerator * other_rf.denominator == other_rf.numerator * self.denominator
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Constants hash consistently with their Fraction value; symbolic
+        # functions hash on the normalized pair (sound because equal constants
+        # normalize identically, and hash collisions are permitted otherwise).
+        if self.is_constant():
+            return hash(self.constant_value())
+        return hash((self.numerator, self.denominator))
+
+    def __bool__(self) -> bool:
+        return not self.is_zero()
+
+    def __str__(self) -> str:
+        if self.denominator == Polynomial.one():
+            return str(self.numerator)
+        numerator_text = str(self.numerator)
+        denominator_text = str(self.denominator)
+        if len(self.numerator.terms) > 1:
+            numerator_text = f"({numerator_text})"
+        if len(self.denominator.terms) > 1:
+            denominator_text = f"({denominator_text})"
+        return f"{numerator_text} / {denominator_text}"
+
+    def __repr__(self) -> str:
+        return f"RatFunc({self})"
+
+
+def as_ratfunc(value: RatFuncLike) -> RatFunc:
+    """Module-level alias of :meth:`RatFunc.coerce` for functional call sites."""
+    return RatFunc.coerce(value)

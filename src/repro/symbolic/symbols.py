@@ -1,0 +1,119 @@
+"""Symbols used by the symbolic timing and probability engine.
+
+Section 3 of the paper replaces the concrete enabling/firing times of a
+Timed Petri Net by *symbols* and replaces concrete firing frequencies by
+symbolic frequencies; all later computation (remaining-time subtraction,
+minimum selection, branching probabilities, traversal rates, throughput) is
+carried out over expressions in these symbols.
+
+A :class:`Symbol` is an interned, immutable name with a *kind* describing
+what it stands for:
+
+``time``
+    an enabling time ``E(t)`` or firing time ``F(t)``; assumed non-negative.
+``frequency``
+    a relative firing frequency of a transition in a conflict set; assumed
+    non-negative.
+``rate``
+    a traversal rate variable ``r_i`` of a decision-graph edge.
+``generic``
+    anything else.
+
+The kind matters for two reasons: non-negativity is an *implicit* domain
+constraint added automatically by the constraint system for time and
+frequency symbols, and pretty-printers render kinds differently (``E(t3)``
+vs ``f4`` vs ``r2``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+_VALID_KINDS = ("time", "frequency", "rate", "generic")
+
+
+class Symbol:
+    """An interned symbolic variable.
+
+    Two symbols with the same name and kind are the *same object*; this keeps
+    expression dictionaries small and makes identity checks cheap.
+
+    Parameters
+    ----------
+    name:
+        Display name, e.g. ``"E3"`` or ``"F4"`` or ``"f4"``.
+    kind:
+        One of ``"time"``, ``"frequency"``, ``"rate"`` or ``"generic"``.
+    """
+
+    __slots__ = ("name", "kind")
+
+    _interned: Dict[Tuple[str, str], "Symbol"] = {}
+
+    def __new__(cls, name: str, kind: str = "generic") -> "Symbol":
+        if not isinstance(name, str) or not name:
+            raise ValueError("symbol name must be a non-empty string")
+        if kind not in _VALID_KINDS:
+            raise ValueError(f"unknown symbol kind {kind!r}; expected one of {_VALID_KINDS}")
+        key = (name, kind)
+        existing = cls._interned.get(key)
+        if existing is not None:
+            return existing
+        symbol = super().__new__(cls)
+        symbol.name = name
+        symbol.kind = kind
+        cls._interned[key] = symbol
+        return symbol
+
+    # Interning makes default object identity/hash correct, but we make the
+    # ordering explicit so expression rendering is deterministic.
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.name!r}, kind={self.kind!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __lt__(self, other: "Symbol") -> bool:
+        if not isinstance(other, Symbol):
+            return NotImplemented
+        return (self.kind, self.name) < (other.kind, other.name)
+
+    def __reduce__(self):
+        # Preserve interning across pickling.
+        return (Symbol, (self.name, self.kind))
+
+    @property
+    def is_nonnegative(self) -> bool:
+        """Whether the symbol carries an implicit ``>= 0`` domain constraint."""
+        return self.kind in ("time", "frequency", "rate")
+
+
+def time_symbol(name: str) -> Symbol:
+    """Create (or fetch) a time symbol, e.g. ``time_symbol("F4")``."""
+    return Symbol(name, "time")
+
+
+def frequency_symbol(name: str) -> Symbol:
+    """Create (or fetch) a firing-frequency symbol, e.g. ``frequency_symbol("f4")``."""
+    return Symbol(name, "frequency")
+
+
+def rate_symbol(name: str) -> Symbol:
+    """Create (or fetch) a traversal-rate symbol, e.g. ``rate_symbol("r1")``."""
+    return Symbol(name, "rate")
+
+
+def enabling_time_symbol(transition_name: str) -> Symbol:
+    """Conventional symbol for the enabling time of a transition (``E·name``)."""
+    return Symbol(f"E_{transition_name}", "time")
+
+
+def firing_time_symbol(transition_name: str) -> Symbol:
+    """Conventional symbol for the firing time of a transition (``F·name``)."""
+    return Symbol(f"F_{transition_name}", "time")
+
+
+def firing_frequency_symbol(transition_name: str) -> Symbol:
+    """Conventional symbol for the firing frequency of a transition."""
+    return Symbol(f"f_{transition_name}", "frequency")

@@ -1,0 +1,21 @@
+"""Merlin–Farber Time Petri Nets and the Figure-2 translation from Timed Petri Nets."""
+
+from .tpn import (
+    IntervalTransition,
+    StateClass,
+    StateClassEdge,
+    StateClassGraph,
+    TimePetriNet,
+    state_class_graph,
+    timed_to_time_petri_net,
+)
+
+__all__ = [
+    "IntervalTransition",
+    "StateClass",
+    "StateClassEdge",
+    "StateClassGraph",
+    "TimePetriNet",
+    "state_class_graph",
+    "timed_to_time_petri_net",
+]

@@ -1,0 +1,311 @@
+"""Merlin–Farber Time Petri Nets (the competing time extension of Figure 2).
+
+Section 1 of the paper contrasts its Timed Petri Nets (enabling + firing
+times, tokens absorbed when firing begins) with Merlin and Farber's **Time
+Petri Nets**, in which every transition carries a ``[min, max]`` static
+firing interval, firings are instantaneous, and tokens stay on the input
+places while the interval elapses.  This module implements that model —
+
+* :class:`TimePetriNet` / :class:`IntervalTransition` — the model itself,
+* :func:`timed_to_time_petri_net` — the Figure-2 translation of a Timed
+  Petri Net into an equivalent Time Petri Net (each timed transition becomes
+  a ``[E, E]`` start transition, an auxiliary "busy" place and a ``[F, F]``
+  end transition),
+* :class:`StateClassGraph` — the classical state-class reachability
+  construction (Berthomieu/Menasche style interval domains), sufficient for
+  the equivalence experiment E2 and for boundedness checks of Time Petri
+  Nets.
+
+The state-class construction uses the standard interval-domain
+approximation: each enabled transition carries a firing interval, firing
+``t_f`` requires ``min_f <= min_i(max_i)``, and persistent transitions'
+intervals are shifted by the elapsed-time window.  For nets whose intervals
+are points (``min = max``), as produced by the Figure-2 translation, the
+construction is exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..exceptions import NetDefinitionError, UnboundedNetError
+from ..petri.marking import Marking
+from ..petri.multiset import Multiset
+from ..petri.net import TimedPetriNet
+from ..symbolic.linexpr import LinExpr, as_fraction
+
+_INFINITY = Fraction(10**12)  # practical stand-in for an unbounded max time
+
+
+def _to_fraction(value) -> Fraction:
+    if isinstance(value, LinExpr):
+        return value.constant_value()
+    return as_fraction(value)
+
+
+@dataclass(frozen=True)
+class IntervalTransition:
+    """A Time Petri Net transition with a static firing interval ``[min, max]``."""
+
+    name: str
+    inputs: Multiset
+    outputs: Multiset
+    min_time: Fraction
+    max_time: Fraction
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "inputs", Multiset(self.inputs))
+        object.__setattr__(self, "outputs", Multiset(self.outputs))
+        object.__setattr__(self, "min_time", _to_fraction(self.min_time))
+        object.__setattr__(self, "max_time", _to_fraction(self.max_time))
+        if self.min_time < 0 or self.max_time < self.min_time:
+            raise NetDefinitionError(
+                f"transition {self.name!r} needs 0 <= min <= max, got "
+                f"[{self.min_time}, {self.max_time}]"
+            )
+
+
+class TimePetriNet:
+    """A Merlin–Farber Time Petri Net."""
+
+    def __init__(
+        self,
+        name: str,
+        places: List[str],
+        transitions: List[IntervalTransition],
+        initial_marking: Mapping[str, int],
+    ):
+        self.name = name
+        self.place_order: Tuple[str, ...] = tuple(places)
+        if len(set(self.place_order)) != len(self.place_order):
+            raise NetDefinitionError("duplicate place names")
+        self.transitions: Dict[str, IntervalTransition] = {}
+        for transition in transitions:
+            if transition.name in self.transitions:
+                raise NetDefinitionError(f"duplicate transition {transition.name!r}")
+            for bag in (transition.inputs, transition.outputs):
+                for place in bag:
+                    if place not in self.place_order:
+                        raise NetDefinitionError(
+                            f"transition {transition.name!r} references unknown place {place!r}"
+                        )
+            self.transitions[transition.name] = transition
+        self.transition_order: Tuple[str, ...] = tuple(self.transitions)
+        self.initial_marking = Marking(self.place_order, dict(initial_marking))
+
+    def enabled_transitions(self, marking: Marking) -> Tuple[str, ...]:
+        """Transitions whose input bag is covered by the marking."""
+        return tuple(
+            name
+            for name in self.transition_order
+            if marking.covers(self.transitions[name].inputs)
+        )
+
+    def fire(self, marking: Marking, transition_name: str) -> Marking:
+        """Instantaneous firing (Time Petri Net firings take no time)."""
+        transition = self.transitions[transition_name]
+        return marking.remove(transition.inputs).add(transition.outputs)
+
+    def __repr__(self) -> str:
+        return (
+            f"TimePetriNet(name={self.name!r}, places={len(self.place_order)}, "
+            f"transitions={len(self.transition_order)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Figure-2 translation
+# ---------------------------------------------------------------------------
+
+
+def timed_to_time_petri_net(net: TimedPetriNet, *, busy_prefix: str = "busy_") -> TimePetriNet:
+    """Translate a Timed Petri Net into an equivalent Time Petri Net (Figure 2).
+
+    Every transition ``t`` with enabling time ``E`` and firing time ``F``
+    becomes:
+
+    * a start transition ``t`` with static interval ``[E, E]`` that absorbs
+      ``I(t)`` into a fresh place ``busy_t`` (forcing the firing to begin as
+      soon as the enabling time has elapsed, like the Timed Petri Net
+      semantics), and
+    * an end transition ``t__end`` with interval ``[F, F]`` moving the token
+      from ``busy_t`` to ``O(t)``.
+
+    The marking of the original places evolves identically in both models,
+    which is what the equivalence experiment E2 checks.
+    """
+    if net.is_symbolic:
+        raise NetDefinitionError("the Figure-2 translation requires a numeric net")
+    places = list(net.place_order)
+    transitions: List[IntervalTransition] = []
+    for name in net.transition_order:
+        transition = net.transition(name)
+        busy_place = f"{busy_prefix}{name}"
+        places.append(busy_place)
+        enabling = _to_fraction(transition.enabling_time)
+        firing = _to_fraction(transition.firing_time)
+        transitions.append(
+            IntervalTransition(
+                name=name,
+                inputs=transition.inputs,
+                outputs=Multiset({busy_place: 1}),
+                min_time=enabling,
+                max_time=enabling,
+                description=f"start of {name} (absorbs inputs after the enabling time)",
+            )
+        )
+        transitions.append(
+            IntervalTransition(
+                name=f"{name}__end",
+                inputs=Multiset({busy_place: 1}),
+                outputs=transition.outputs,
+                min_time=firing,
+                max_time=firing,
+                description=f"end of {name} (releases outputs after the firing time)",
+            )
+        )
+    return TimePetriNet(
+        f"{net.name}-time-pn",
+        places,
+        transitions,
+        net.initial_marking.to_dict(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# State-class graph
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StateClass:
+    """A state class: a marking plus an interval firing domain for enabled transitions."""
+
+    marking: Marking
+    intervals: Tuple[Tuple[str, Fraction, Fraction], ...]
+
+    def interval_of(self, transition_name: str) -> Optional[Tuple[Fraction, Fraction]]:
+        """Firing interval of an enabled transition (None when not enabled)."""
+        for name, low, high in self.intervals:
+            if name == transition_name:
+                return (low, high)
+        return None
+
+
+@dataclass(frozen=True)
+class StateClassEdge:
+    """A firing edge between state classes."""
+
+    source: int
+    target: int
+    transition: str
+
+
+class StateClassGraph:
+    """The state-class reachability graph of a Time Petri Net."""
+
+    def __init__(self, net: TimePetriNet):
+        self.net = net
+        self.classes: List[StateClass] = []
+        self.index_of: Dict[StateClass, int] = {}
+        self.edges: List[StateClassEdge] = []
+
+    @property
+    def class_count(self) -> int:
+        """Number of distinct state classes."""
+        return len(self.classes)
+
+    def markings(self) -> List[Marking]:
+        """The distinct markings appearing in the graph."""
+        seen = []
+        for state_class in self.classes:
+            if state_class.marking not in seen:
+                seen.append(state_class.marking)
+        return seen
+
+    def markings_projected(self, places: Tuple[str, ...]) -> set:
+        """Distinct markings restricted to a subset of places (for equivalence checks)."""
+        projected = set()
+        for state_class in self.classes:
+            projected.add(
+                tuple(state_class.marking[place] if place in state_class.marking.place_order else 0 for place in places)
+            )
+        return projected
+
+    def __repr__(self) -> str:
+        return f"StateClassGraph(classes={self.class_count}, edges={len(self.edges)})"
+
+
+def state_class_graph(net: TimePetriNet, *, max_classes: int = 50_000) -> StateClassGraph:
+    """Build the interval state-class graph of a Time Petri Net."""
+    graph = StateClassGraph(net)
+
+    def initial_class() -> StateClass:
+        marking = net.initial_marking
+        intervals = tuple(
+            (name, net.transitions[name].min_time, net.transitions[name].max_time)
+            for name in net.enabled_transitions(marking)
+        )
+        return StateClass(marking, intervals)
+
+    def add(state_class: StateClass) -> Tuple[int, bool]:
+        existing = graph.index_of.get(state_class)
+        if existing is not None:
+            return existing, False
+        index = len(graph.classes)
+        graph.classes.append(state_class)
+        graph.index_of[state_class] = index
+        return index, True
+
+    root, _ = add(initial_class())
+    queue = deque([root])
+    while queue:
+        index = queue.popleft()
+        state_class = graph.classes[index]
+        if not state_class.intervals:
+            continue
+        earliest_deadline = min(high for _, _, high in state_class.intervals)
+        for name, low, high in state_class.intervals:
+            if low > earliest_deadline:
+                continue  # cannot fire before some other transition must
+            new_marking = net.fire(state_class.marking, name)
+            # Elapsed time window while waiting for `name`: [low, min(high, earliest_deadline)].
+            elapsed_low = low
+            elapsed_high = min(high, earliest_deadline)
+            new_intervals: List[Tuple[str, Fraction, Fraction]] = []
+            fired_once = False
+            for other in net.enabled_transitions(new_marking):
+                persistent = None
+                for other_name, other_low, other_high in state_class.intervals:
+                    if other_name == other:
+                        persistent = (other_low, other_high)
+                        break
+                still_enabled_before = state_class.marking.covers(net.transitions[other].inputs)
+                newly_enabled = (
+                    persistent is None
+                    or not still_enabled_before
+                    or (other == name and not fired_once)
+                )
+                if other == name:
+                    fired_once = True
+                if newly_enabled or persistent is None:
+                    new_intervals.append(
+                        (other, net.transitions[other].min_time, net.transitions[other].max_time)
+                    )
+                else:
+                    other_low, other_high = persistent
+                    shifted_low = max(Fraction(0), other_low - elapsed_high)
+                    shifted_high = max(Fraction(0), other_high - elapsed_low)
+                    new_intervals.append((other, shifted_low, shifted_high))
+            successor = StateClass(new_marking, tuple(sorted(new_intervals)))
+            successor_index, is_new = add(successor)
+            graph.edges.append(StateClassEdge(index, successor_index, name))
+            if is_new:
+                if graph.class_count > max_classes:
+                    raise UnboundedNetError(f"state-class graph exceeded {max_classes} classes")
+                queue.append(successor_index)
+    return graph

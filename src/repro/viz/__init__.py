@@ -1,0 +1,23 @@
+"""Text tables, Graphviz exports and markdown experiment reports."""
+
+from .graphs import (
+    decision_to_dot,
+    reachability_to_dot,
+    save_decision_dot,
+    save_reachability_dot,
+)
+from .report import ComparisonRow, ExperimentReport, write_reports
+from .tables import format_kv, format_table, indent
+
+__all__ = [
+    "ComparisonRow",
+    "ExperimentReport",
+    "decision_to_dot",
+    "format_kv",
+    "format_table",
+    "indent",
+    "reachability_to_dot",
+    "save_decision_dot",
+    "save_reachability_dot",
+    "write_reports",
+]

@@ -1,0 +1,85 @@
+"""Graphviz DOT export for timed reachability graphs and decision graphs.
+
+Produces the graph-shaped halves of the paper's figures (4a, 5, 6a, 8) as DOT
+text: decision nodes are drawn as double circles, edges are labelled with
+``probability / delay``, and symbolic labels render exactly as the symbolic
+expressions print.  Rendering to an image is delegated to an external ``dot``
+binary; the library only emits text.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from ..reachability.decision import DecisionGraph
+from ..reachability.graph import TimedReachabilityGraph
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def reachability_to_dot(trg: TimedReachabilityGraph, *, include_state_details: bool = False) -> str:
+    """Render a timed reachability graph (Figure 4a / 6a style) as DOT."""
+    lines = [
+        'digraph "timed-reachability" {',
+        "  rankdir=TB;",
+        '  node [fontname="Helvetica", shape=circle];',
+    ]
+    decisions = set(trg.decision_nodes())
+    for node in trg.nodes:
+        label = str(node.number)
+        if include_state_details:
+            label += "\\n" + _escape(node.state.describe())
+        shape = "doublecircle" if node.index in decisions else "circle"
+        lines.append(f'  s{node.index} [label="{label}", shape={shape}];')
+    for edge in trg.edges:
+        pieces = []
+        if edge.fired:
+            pieces.append("+".join(edge.fired))
+        if edge.kind == "advance":
+            pieces.append(str(edge.delay))
+        else:
+            probability = str(edge.probability)
+            if probability not in ("1", "1/1"):
+                pieces.append(f"p={probability}")
+        label = _escape(" / ".join(pieces)) if pieces else ""
+        lines.append(f'  s{edge.source} -> s{edge.target} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def decision_to_dot(decision: DecisionGraph) -> str:
+    """Render a decision graph (Figure 5 / 8 style) as DOT."""
+    lines = [
+        'digraph "decision-graph" {',
+        "  rankdir=LR;",
+        '  node [fontname="Helvetica", shape=doublecircle];',
+    ]
+    for anchor in decision.anchors:
+        lines.append(f'  n{anchor} [label="{anchor + 1}"];')
+    if decision.has_absorbing_edge():
+        lines.append('  dead [label="dead", shape=box];')
+    for edge in decision.edges:
+        target = f"n{edge.target}" if edge.target is not None else "dead"
+        label = _escape(f"a{edge.index + 1}: p={edge.probability}, d={edge.delay}")
+        lines.append(f'  n{edge.source} -> {target} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_reachability_dot(
+    trg: TimedReachabilityGraph, path: Union[str, Path], **kwargs
+) -> Path:
+    """Write the DOT rendering of a timed reachability graph to disk."""
+    path = Path(path)
+    path.write_text(reachability_to_dot(trg, **kwargs), encoding="utf-8")
+    return path
+
+
+def save_decision_dot(decision: DecisionGraph, path: Union[str, Path]) -> Path:
+    """Write the DOT rendering of a decision graph to disk."""
+    path = Path(path)
+    path.write_text(decision_to_dot(decision), encoding="utf-8")
+    return path

@@ -1,0 +1,112 @@
+"""Markdown experiment reports.
+
+The benchmark harness records "paper value vs measured value" rows; this
+module turns those rows into the markdown blocks collected in
+``EXPERIMENTS.md`` and into per-run reports a user can archive next to their
+own model studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from .tables import format_table
+
+
+@dataclass
+class ComparisonRow:
+    """One paper-vs-measured comparison."""
+
+    quantity: str
+    paper_value: str
+    measured_value: str
+    matches: bool
+    note: str = ""
+
+    def as_cells(self) -> Sequence[str]:
+        """Row cells for the markdown table."""
+        return (
+            self.quantity,
+            self.paper_value,
+            self.measured_value,
+            "yes" if self.matches else "NO",
+            self.note,
+        )
+
+
+@dataclass
+class ExperimentReport:
+    """A named experiment with its comparison rows and free-form notes."""
+
+    experiment_id: str
+    title: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(
+        self,
+        quantity: str,
+        paper_value: object,
+        measured_value: object,
+        *,
+        matches: Optional[bool] = None,
+        note: str = "",
+    ) -> "ExperimentReport":
+        """Append one comparison row (match defaults to string equality)."""
+        paper_text = str(paper_value)
+        measured_text = str(measured_value)
+        self.rows.append(
+            ComparisonRow(
+                quantity,
+                paper_text,
+                measured_text,
+                paper_text == measured_text if matches is None else matches,
+                note,
+            )
+        )
+        return self
+
+    def note(self, text: str) -> "ExperimentReport":
+        """Append a free-form note paragraph."""
+        self.notes.append(text)
+        return self
+
+    @property
+    def all_match(self) -> bool:
+        """True when every row matches."""
+        return all(row.matches for row in self.rows)
+
+    def to_markdown(self) -> str:
+        """Render the report as a markdown section."""
+        lines = [f"### {self.experiment_id} — {self.title}", ""]
+        if self.rows:
+            lines.append("| quantity | paper | measured | match | note |")
+            lines.append("|---|---|---|---|---|")
+            for row in self.rows:
+                cells = " | ".join(str(cell) for cell in row.as_cells())
+                lines.append(f"| {cells} |")
+            lines.append("")
+        for note in self.notes:
+            lines.append(note)
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+    def to_text(self) -> str:
+        """Render as a plain-text block (used in benchmark console output)."""
+        table = format_table(
+            ("quantity", "paper", "measured", "match", "note"),
+            [row.as_cells() for row in self.rows],
+            align_right=False,
+        )
+        notes = "\n".join(self.notes)
+        return f"{self.experiment_id} — {self.title}\n{table}" + (f"\n{notes}" if notes else "")
+
+
+def write_reports(reports: Sequence[ExperimentReport], path: Union[str, Path]) -> Path:
+    """Write a list of experiment reports as one markdown document."""
+    path = Path(path)
+    body = "\n".join(report.to_markdown() for report in reports)
+    path.write_text(body, encoding="utf-8")
+    return path

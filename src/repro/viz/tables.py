@@ -1,0 +1,59 @@
+"""Plain-text table rendering for figure reproduction.
+
+The paper's evaluation artifacts are tables and small graphs; the benchmark
+harness regenerates them as fixed-width text so they can be diffed, pasted
+into EXPERIMENTS.md and eyeballed next to the originals.  No external
+dependencies, no colour codes — just aligned columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    align_right: bool = True,
+    padding: int = 2,
+) -> str:
+    """Render rows as a fixed-width text table with a header rule."""
+    text_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    header_cells = [str(cell) for cell in headers]
+    width = max([len(header_cells)] + [len(row) for row in text_rows]) if (text_rows or header_cells) else 0
+    header_cells += [""] * (width - len(header_cells))
+    for row in text_rows:
+        row += [""] * (width - len(row))
+    columns = [
+        max([len(header_cells[index])] + [len(row[index]) for row in text_rows] or [0])
+        for index in range(width)
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if align_right:
+                parts.append(cell.rjust(columns[index]))
+            else:
+                parts.append(cell.ljust(columns[index]))
+        return (" " * padding).join(parts).rstrip()
+
+    rule = "-" * (sum(columns) + padding * (width - 1) if width else 0)
+    lines = [render_row(header_cells), rule]
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Iterable[Sequence[object]], *, separator: str = ": ") -> str:
+    """Render key/value pairs with aligned keys (used for summary blocks)."""
+    items = [(str(key), str(value)) for key, value in pairs]
+    if not items:
+        return ""
+    key_width = max(len(key) for key, _ in items)
+    return "\n".join(f"{key.ljust(key_width)}{separator}{value}" for key, value in items)
+
+
+def indent(text: str, prefix: str = "  ") -> str:
+    """Indent every line of a block of text."""
+    return "\n".join(prefix + line for line in text.splitlines())

@@ -1,0 +1,147 @@
+"""End-to-end reproduction of the paper's results (the "does it all hang together" test).
+
+Each test corresponds to one experiment of DESIGN.md's experiment index and
+asserts the library regenerates the paper's numbers exactly (they are exact
+rational computations, so equality — not approximation — is the bar).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro import (
+    PAPER_THROUGHPUT,
+    PerformanceAnalysis,
+    paper_bindings,
+    simple_protocol_net,
+    simple_protocol_symbolic,
+)
+from repro.protocols import (
+    PAPER_DECISION_DELAYS,
+    PAPER_RET_MILESTONES,
+    PAPER_STATE_COUNT,
+)
+from repro.simulation import simulate
+from repro.symbolic import Polynomial, RatFunc, evaluate_value
+
+
+class TestEndToEndPaperReproduction:
+    def test_e1_model_inventory(self, paper_net):
+        """Figure 1: eight places, nine transitions, three probabilistic conflicts."""
+        assert len(paper_net.places) == 8
+        assert len(paper_net.transitions) == 9
+        choices = [cs for cs in paper_net.conflict_sets if cs.has_choice]
+        assert len(choices) == 3
+
+    def test_e4_figure4_timed_reachability_graph(self, paper_trg):
+        assert paper_trg.state_count == PAPER_STATE_COUNT
+        assert len(paper_trg.decision_nodes()) == 2
+        observed_ret = {
+            value
+            for node in paper_trg.nodes
+            for value in node.state.remaining_enabling.values()
+        }
+        assert set(PAPER_RET_MILESTONES) <= observed_ret
+
+    def test_e5_figure5_decision_graph(self, paper_decision):
+        delays = sorted(edge.delay for edge in paper_decision.edges)
+        assert delays == sorted(PAPER_DECISION_DELAYS.values())
+        probabilities = sorted(edge.probability for edge in paper_decision.edges)
+        assert probabilities == [Fraction(1, 20), Fraction(1, 20), Fraction(19, 20), Fraction(19, 20)]
+
+    def test_e6_figure6_symbolic_graph_specializes_to_figure4(self, symbolic_analysis, paper_trg):
+        assert symbolic_analysis.reachability.state_count == paper_trg.state_count
+        bindings = paper_bindings()
+        symbolic_total = sum(
+            evaluate_value(edge.delay, bindings) for edge in symbolic_analysis.reachability.advance_edges()
+        )
+        numeric_total = sum(edge.delay for edge in paper_trg.advance_edges())
+        assert symbolic_total == numeric_total
+
+    def test_e8_symbolic_decision_edges_match_paper(self, symbolic_analysis):
+        """Figure 8: the four symbolic edge delays of the decision graph."""
+        bindings = paper_bindings()
+        values = sorted(
+            evaluate_value(edge.delay, bindings) for edge in symbolic_analysis.decision.edges
+        )
+        assert values == sorted(PAPER_DECISION_DELAYS.values())
+
+    def test_e9_throughput_expression(self, paper_analysis, symbolic_analysis):
+        """Section 4's closing result, in all three forms the paper gives it."""
+        # numeric pipeline
+        assert paper_analysis.throughput("t2").value == PAPER_THROUGHPUT
+        # symbolic pipeline specialized at the paper's parameters
+        symbolic_value = symbolic_analysis.throughput("t2").evaluate(paper_bindings())
+        assert symbolic_value == PAPER_THROUGHPUT
+        # the paper's printed closed form: 18.05 / (1.95(E3+F3) + 20 F1 + 18.05(F2+F4+F6+F7+F8))
+        closed_form = Fraction("18.05") / (
+            Fraction("1.95") * (1000 + 1)
+            + 20 * 1
+            + Fraction("18.05") * (1 + Fraction("106.7") + Fraction("13.5") + Fraction("13.5") + Fraction("106.7"))
+        )
+        assert closed_form == PAPER_THROUGHPUT
+
+    def test_e9_symbolic_expression_equals_paper_closed_form(self, symbolic_analysis, symbolic_protocol):
+        """With the 5%-loss frequencies substituted, the symbolic throughput equals
+        the paper's printed expression as a *function* of the remaining time symbols."""
+        _net, _constraints, symbols = symbolic_protocol
+        throughput = symbolic_analysis.throughput("t2").value
+        with_frequencies = throughput.substitute(
+            {
+                symbols["f4"]: Fraction(19, 20),
+                symbols["f5"]: Fraction(1, 20),
+                symbols["f8"]: Fraction(19, 20),
+                symbols["f9"]: Fraction(1, 20),
+            }
+        )
+        E3, F1, F2, F3, F4, F6, F7, F8 = (
+            Polynomial.from_symbol(symbols[name]) for name in ("E3", "F1", "F2", "F3", "F4", "F6", "F7", "F8")
+        )
+        paper_expression = RatFunc(
+            Polynomial.constant(Fraction("18.05")),
+            (E3 + F3).scale(Fraction("1.95"))
+            + F1.scale(20)
+            + (F2 + F4 + F6 + F7 + F8).scale(Fraction("18.05")),
+        )
+        assert with_frequencies == paper_expression
+
+    def test_e10_cross_method_agreement(self, paper_analysis):
+        """Analytic, embedded-Markov-chain and simulated throughput agree."""
+        analytic = paper_analysis.throughput("t2").value
+        markov = paper_analysis.embedded_chain().throughput(paper_analysis.decision, "t2")
+        assert markov == analytic
+        result = simulate(simple_protocol_net(), horizon=150_000, seed=2024)
+        assert result.throughput("t2") == pytest.approx(float(analytic), rel=0.15)
+
+    def test_e11_loss_sweep_shape(self):
+        """Throughput decreases monotonically with the loss probability."""
+        values = []
+        for loss in (Fraction(0), Fraction(1, 20), Fraction(1, 10), Fraction(1, 4)):
+            net = simple_protocol_net(packet_loss_probability=loss, ack_loss_probability=loss)
+            values.append(PerformanceAnalysis(net).throughput("t2").value)
+        assert values == sorted(values, reverse=True)
+
+    def test_e12_timeout_sweep_validity_region(self, symbolic_analysis, symbolic_protocol):
+        """The symbolic expression is valid for every timeout satisfying constraint 1,
+        and matches a fresh numeric analysis at several such timeouts."""
+        _net, _constraints, symbols = symbolic_protocol
+        for timeout in (Fraction(300), Fraction(1000), Fraction(5000)):
+            bindings = paper_bindings()
+            bindings[symbols["E3"]] = timeout
+            symbolic_value = symbolic_analysis.throughput("t2").evaluate(bindings)
+            numeric_value = PerformanceAnalysis(simple_protocol_net(timeout=timeout)).throughput("t2").value
+            assert symbolic_value == numeric_value
+
+    def test_timeout_below_round_trip_violates_the_model_restriction(self):
+        """Outside the constraint-1 region the expression no longer applies:
+        with a timeout shorter than the packet delay the sender retransmits
+        while the previous copy is still in the medium, the medium transition
+        would have to fire twice simultaneously, and the library reports the
+        violation of the paper's single-firing restriction explicitly."""
+        from repro.exceptions import SafenessViolationError
+
+        net = simple_protocol_net(timeout=100)  # round trip is ~228 ms
+        with pytest.raises(SafenessViolationError):
+            PerformanceAnalysis(net)

@@ -1,0 +1,202 @@
+"""Tests for model I/O (JSON, PNML, DOT), visualization helpers and the CLI."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import NetDefinitionError
+from repro.petri.io import (
+    dumps,
+    load,
+    load_pnml,
+    loads,
+    net_from_pnml,
+    net_to_dot,
+    net_to_pnml,
+    parse_value,
+    save,
+    save_pnml,
+)
+from repro.protocols import simple_protocol_net, simple_protocol_symbolic
+from repro.reachability import decision_graph, timed_reachability_graph
+from repro.symbolic import LinExpr, time_symbol
+from repro.viz import (
+    ComparisonRow,
+    ExperimentReport,
+    decision_to_dot,
+    format_kv,
+    format_table,
+    indent,
+    reachability_to_dot,
+    save_decision_dot,
+    save_reachability_dot,
+    write_reports,
+)
+
+
+class TestJsonIo:
+    def test_round_trip_preserves_structure_and_timing(self, paper_net):
+        restored = loads(dumps(paper_net))
+        assert restored.place_order == paper_net.place_order
+        assert restored.transition_order == paper_net.transition_order
+        assert restored.initial_marking == paper_net.initial_marking
+        for name in paper_net.transition_order:
+            assert restored.transition(name).firing_time == paper_net.transition(name).firing_time
+            assert restored.transition(name).firing_frequency == paper_net.transition(name).firing_frequency
+
+    def test_round_trip_preserves_behaviour(self, paper_net, paper_trg):
+        restored = loads(dumps(paper_net))
+        assert timed_reachability_graph(restored).state_count == paper_trg.state_count
+
+    def test_symbolic_round_trip(self, symbolic_protocol):
+        net, _constraints, symbols = symbolic_protocol
+        restored = loads(dumps(net))
+        assert restored.is_symbolic
+        assert restored.transition("t3").enabling_time == LinExpr.from_symbol(symbols["E3"])
+
+    def test_file_round_trip(self, tmp_path, paper_net):
+        path = save(paper_net, tmp_path / "net.json")
+        assert load(path).transition_order == paper_net.transition_order
+
+    def test_parse_value_numbers_and_expressions(self):
+        assert parse_value("106.7") == Fraction(1067, 10)
+        assert parse_value("1067/10") == Fraction(1067, 10)
+        assert parse_value(3) == 3
+        expression = parse_value("E_t3 - F_t4 - 2*F_t6")
+        assert expression.coefficient(time_symbol("F_t6")) == -2
+
+    def test_parse_value_rejects_garbage(self):
+        with pytest.raises(NetDefinitionError):
+            parse_value("??")
+        with pytest.raises(NetDefinitionError):
+            parse_value("")
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            loads('{"name": "x", "places": []}')
+
+
+class TestPnml:
+    def test_round_trip(self, paper_net):
+        restored = net_from_pnml(net_to_pnml(paper_net))
+        assert set(restored.place_order) == set(paper_net.place_order)
+        assert set(restored.transition_order) == set(paper_net.transition_order)
+        assert restored.initial_marking == paper_net.initial_marking
+        assert restored.transition("t4").firing_time == Fraction("106.7")
+        assert restored.transition("t3").enabling_time == 1000
+        assert timed_reachability_graph(restored).state_count == 18
+
+    def test_file_round_trip(self, tmp_path, paper_net):
+        path = save_pnml(paper_net, tmp_path / "net.pnml")
+        assert load_pnml(path).initial_marking == paper_net.initial_marking
+
+    def test_invalid_document_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            net_from_pnml("<not-pnml/>")
+        with pytest.raises(NetDefinitionError):
+            net_from_pnml("garbage <<")
+
+
+class TestDotExports:
+    def test_net_dot_contains_every_node(self, paper_net):
+        dot = net_to_dot(paper_net, include_descriptions=True)
+        for name in list(paper_net.place_order) + list(paper_net.transition_order):
+            assert f'"{name}"' in dot
+        assert dot.startswith("digraph")
+
+    def test_reachability_dot(self, paper_trg, tmp_path):
+        dot = reachability_to_dot(paper_trg)
+        assert dot.count("->") == paper_trg.edge_count
+        assert "doublecircle" in dot  # decision nodes stand out
+        path = save_reachability_dot(paper_trg, tmp_path / "trg.dot")
+        assert path.read_text().startswith("digraph")
+
+    def test_decision_dot(self, paper_decision, tmp_path):
+        dot = decision_to_dot(paper_decision)
+        assert dot.count("->") == paper_decision.edge_count
+        path = save_decision_dot(paper_decision, tmp_path / "decision.dot")
+        assert "a1" in path.read_text()
+
+
+class TestVizHelpers:
+    def test_format_table_alignment(self):
+        table = format_table(("a", "bb"), [(1, 22), (333, 4)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+
+    def test_format_kv_and_indent(self):
+        block = format_kv([("key", 1), ("longer key", 2)])
+        assert "key       " in block
+        assert indent("x\ny", "> ") == "> x\n> y"
+
+    def test_experiment_report_markdown(self, tmp_path):
+        report = ExperimentReport("E1", "demo")
+        report.add("states", 18, 18)
+        report.add("delay", "120.2", "120.3", matches=False, note="off by 0.1")
+        report.note("free-form note")
+        markdown = report.to_markdown()
+        assert "| states | 18 | 18 | yes |" in markdown
+        assert not report.all_match
+        assert "paper" in report.to_text()
+        path = write_reports([report], tmp_path / "reports.md")
+        assert path.read_text().startswith("### E1")
+
+    def test_comparison_row_cells(self):
+        row = ComparisonRow("q", "1", "2", False, "note")
+        assert row.as_cells()[3] == "NO"
+
+
+class TestCli:
+    def test_models_command(self, capsys):
+        assert main(["models"]) == 0
+        assert "simple-protocol" in capsys.readouterr().out
+
+    def test_analyze_command(self, capsys):
+        assert main(["analyze", "--model", "simple-protocol", "--transition", "t2"]) == 0
+        output = capsys.readouterr().out
+        assert "0.00285185" in output
+
+    def test_reachability_command_with_table_and_dot(self, capsys, tmp_path):
+        dot_path = tmp_path / "graph.dot"
+        assert main(["reachability", "--table", "--dot", str(dot_path)]) == 0
+        output = capsys.readouterr().out
+        assert "states=18" in output
+        assert dot_path.exists()
+
+    def test_decision_command(self, capsys):
+        assert main(["decision"]) == 0
+        assert "1002" in capsys.readouterr().out
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "--model", "token-ring", "--horizon", "500"]) == 0
+        assert "transmit_0" in capsys.readouterr().out
+
+    def test_export_json_to_file_and_back(self, tmp_path, capsys):
+        target = tmp_path / "exported.json"
+        assert main(["export", "--format", "json", "--output", str(target)]) == 0
+        net = load(target)
+        assert len(net.transitions) == 9
+        assert main(["export", "--format", "pnml"]) == 0
+        assert "<pnml" in capsys.readouterr().out
+
+    def test_export_dot(self, capsys):
+        assert main(["export", "--format", "dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_paper_command(self, capsys):
+        assert main(["paper"]) == 0
+        output = capsys.readouterr().out
+        assert "exact match: True" in output
+        assert "1002" in output
+
+    def test_analyze_file_input(self, tmp_path, capsys):
+        path = save(simple_protocol_net(), tmp_path / "model.json")
+        assert main(["analyze", "--file", str(path), "--transition", "t2"]) == 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--model", "no-such-model"])

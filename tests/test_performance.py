@@ -1,0 +1,313 @@
+"""Tests for the performance-derivation layer: linear solver, traversal rates,
+metrics, the Markov cross-check, sensitivities and the high-level API.
+
+The headline assertions reproduce the paper's Section 4: the traversal-rate
+solution of Figure 8 and the closed-form throughput at 5 % loss.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import NotErgodicError, PerformanceError
+from repro.performance import (
+    PerformanceAnalysis,
+    PerformanceMetrics,
+    analyze,
+    elasticity,
+    embedded_chain_analysis,
+    evaluate_gradient,
+    finite_difference,
+    gradient,
+    partial_derivative,
+    solve_linear_system,
+    solve_stationary_weights,
+    traversal_rates,
+)
+from repro.protocols import (
+    PAPER_THROUGHPUT,
+    paper_bindings,
+    paper_throughput_expression_value,
+    producer_consumer_net,
+    simple_protocol_net,
+    token_ring_net,
+)
+from repro.symbolic import RatFunc, evaluate_value
+
+
+class TestLinearSolver:
+    def test_simple_system(self):
+        solution = solve_linear_system(
+            [[Fraction(2), Fraction(1)], [Fraction(1), Fraction(3)]],
+            [Fraction(5), Fraction(10)],
+        )
+        assert solution == [Fraction(1), Fraction(3)]
+
+    def test_singular_system_rejected(self):
+        with pytest.raises(PerformanceError):
+            solve_linear_system(
+                [[Fraction(1), Fraction(1)], [Fraction(2), Fraction(2)]],
+                [Fraction(1), Fraction(2)],
+            )
+
+    def test_dimension_checks(self):
+        with pytest.raises(PerformanceError):
+            solve_linear_system([[Fraction(1)]], [Fraction(1), Fraction(2)])
+        with pytest.raises(PerformanceError):
+            solve_linear_system([[Fraction(1), Fraction(2)]], [Fraction(1)])
+
+    def test_ratfunc_field(self):
+        one = RatFunc.one()
+        two = one + one
+        solution = solve_linear_system([[two]], [one], zero=RatFunc.zero(), one=one)
+        assert solution[0] == RatFunc.coerce(Fraction(1, 2))
+
+    def test_stationary_weights_two_state_chain(self):
+        # P = [[0, 1], [1, 0]] -> equal visit rates.
+        def probability(i, j):
+            return Fraction(1) if i != j else Fraction(0)
+
+        weights = solve_stationary_weights(probability, 2)
+        assert weights == [Fraction(1), Fraction(1)]
+
+    def test_stationary_weights_biased_chain(self):
+        # From 0: stay w.p. 1/2, go w.p. 1/2; from 1: always go to 0.
+        table = {(0, 0): Fraction(1, 2), (0, 1): Fraction(1, 2), (1, 0): Fraction(1)}
+
+        def probability(i, j):
+            return table.get((i, j), Fraction(0))
+
+        weights = solve_stationary_weights(probability, 2)
+        assert weights[1] / weights[0] == Fraction(1, 2)
+
+
+class TestTraversalRatesPaper:
+    def test_reference_anchor_rate_is_one(self, paper_decision):
+        rates = traversal_rates(paper_decision)
+        assert rates.rate_of_node(rates.reference_anchor) == 1
+
+    def test_figure8_relative_rates(self, paper_decision):
+        """With the successful-ack edge normalized to 1 (the paper's r2 = 1),
+        the loss edge has rate (1-P)/(P·A) and the ack-loss edge (1-A)/A."""
+        rates = traversal_rates(paper_decision)
+        success = [e for e in paper_decision.edges if e.delay == Fraction("122.2")][0]
+        normalized = rates.normalized_to_edge(success)
+        loss = [e for e in paper_decision.edges if e.delay == Fraction(1002)][0]
+        ack_loss = [e for e in paper_decision.edges if e.delay == Fraction("881.8")][0]
+        packet_ok = [e for e in paper_decision.edges if e.delay == Fraction("120.2")][0]
+        P = A = Fraction(19, 20)
+        assert normalized.rate_of_edge(success) == 1
+        assert normalized.rate_of_edge(loss) == (1 - P) / (P * A)
+        assert normalized.rate_of_edge(ack_loss) == (1 - A) / A
+        assert normalized.rate_of_edge(packet_ok) == 1 / A
+
+    def test_rates_satisfy_their_equations(self, paper_decision):
+        rates = traversal_rates(paper_decision)
+        for edge in paper_decision.edges:
+            incoming = sum(
+                rates.rate_of_edge(other) for other in paper_decision.incoming(edge.source)
+            )
+            assert rates.rate_of_edge(edge) == edge.probability * incoming
+
+    def test_equations_text_mentions_every_edge(self, paper_decision):
+        text = traversal_rates(paper_decision).equations_text()
+        for index in range(1, 5):
+            assert f"r{index}" in text
+
+    def test_normalizing_to_zero_rate_edge_rejected(self, paper_decision):
+        rates = traversal_rates(paper_decision)
+        with pytest.raises(PerformanceError):
+            # fabricate a rates object with a zero entry by normalizing twice
+            zeroed = rates.__class__(
+                decision_graph=rates.decision_graph,
+                node_rates=rates.node_rates,
+                edge_rates={**rates.edge_rates, 0: Fraction(0)},
+                reference_anchor=rates.reference_anchor,
+                symbolic=rates.symbolic,
+            )
+            zeroed.normalized_to_edge(0)
+
+
+class TestMetricsPaper:
+    def test_throughput_matches_paper_exactly(self, paper_analysis):
+        assert paper_analysis.throughput("t2").value == PAPER_THROUGHPUT
+
+    def test_throughput_general_formula(self):
+        for loss in (Fraction(0), Fraction(1, 10), Fraction(3, 10)):
+            net = simple_protocol_net(packet_loss_probability=loss, ack_loss_probability=loss)
+            measured = PerformanceAnalysis(net).throughput("t2").value
+            assert measured == paper_throughput_expression_value(packet_loss=loss, ack_loss=loss)
+
+    def test_send_rate_exceeds_delivery_rate(self, paper_analysis):
+        sends = paper_analysis.throughput("t1").value
+        delivered = paper_analysis.throughput("t2").value
+        assert sends > delivered  # retransmissions
+
+    def test_loss_rate_balance(self, paper_analysis):
+        # every sent packet is eventually delivered+acked, lost, or its ack is lost
+        sends = paper_analysis.throughput("t1").value
+        delivered = paper_analysis.throughput("t2").value
+        packet_lost = paper_analysis.throughput("t5").value
+        ack_lost = paper_analysis.throughput("t9").value
+        assert sends == delivered + packet_lost + ack_lost
+
+    def test_utilizations_are_probabilities_and_match_busy_time(self, paper_analysis):
+        for name in ("t1", "t3", "t4", "t6", "t8"):
+            utilization = paper_analysis.utilization(name).value
+            assert 0 <= utilization <= 1
+        # the medium carries a packet 106.7 ms out of every successful 120.2+... cycle
+        assert paper_analysis.utilization("t4").value == pytest.approx(0.3203, abs=1e-3)
+
+    def test_cycle_time(self, paper_analysis):
+        cycle = paper_analysis.cycle_time().value
+        shares = paper_analysis.metrics.edge_time_shares()
+        assert cycle == sum(shares.values())
+
+    def test_firings_per_cycle_counts(self, paper_analysis):
+        metrics = paper_analysis.metrics
+        assert metrics.firings_per_cycle("t2") == metrics.firings_per_cycle("t7")
+        assert metrics.firings_per_cycle("t1") > metrics.firings_per_cycle("t2")
+
+    def test_report_bundle(self, paper_analysis):
+        report = paper_analysis.report(["t1", "t2"])
+        assert set(report.throughput) == {"t1", "t2"}
+        assert report.cycle_time == paper_analysis.cycle_time().value
+
+    def test_token_ring_cycle_time(self):
+        analysis = PerformanceAnalysis(token_ring_net(4, hold_time=10, pass_time=2))
+        assert analysis.cycle_time().value == 4 * 12
+        assert analysis.throughput("transmit_0").value == Fraction(1, 48)
+
+    def test_producer_consumer_bottleneck(self):
+        analysis = PerformanceAnalysis(producer_consumer_net(production_time=5, consumption_time=8))
+        # the consumer (8 time units per item) is the bottleneck
+        assert analysis.throughput("finish_consume").value == Fraction(1, 8)
+        assert analysis.utilization("finish_consume").value == 1
+
+
+class TestMarkovCrossCheck:
+    def test_matches_traversal_method_on_paper_protocol(self, paper_analysis, paper_decision):
+        embedded = embedded_chain_analysis(paper_decision)
+        assert embedded.throughput(paper_decision, "t2") == PAPER_THROUGHPUT
+        assert sum(embedded.stationary.values()) == 1
+
+    def test_matches_on_swept_loss_rates(self):
+        for loss in (Fraction(1, 100), Fraction(1, 4)):
+            analysis = PerformanceAnalysis(simple_protocol_net(packet_loss_probability=loss))
+            embedded = analysis.embedded_chain()
+            assert embedded.throughput(analysis.decision, "t2") == analysis.throughput("t2").value
+
+    def test_mean_cycle_time_consistency(self, paper_analysis):
+        embedded = paper_analysis.embedded_chain()
+        # stationary-weighted sojourn equals cycle time divided by visits per cycle
+        visits = sum(paper_analysis.rates.node_rates.values())
+        assert embedded.mean_cycle_time == paper_analysis.cycle_time().value / visits
+
+
+class TestSymbolicPerformance:
+    def test_symbolic_throughput_specializes_to_paper_value(self, symbolic_analysis):
+        value = symbolic_analysis.throughput("t2").evaluate(paper_bindings())
+        assert value == PAPER_THROUGHPUT
+
+    def test_symbolic_expression_is_compact(self, symbolic_analysis):
+        expression = symbolic_analysis.throughput("t2").value
+        assert isinstance(expression, RatFunc)
+        assert len(expression.numerator.terms) == 1  # f4 * f8
+        assert len(expression.denominator.terms) == 15
+
+    def test_symbolic_matches_numeric_across_loss_rates(self, symbolic_analysis):
+        for loss in (Fraction(1, 50), Fraction(1, 5)):
+            bindings = paper_bindings(packet_loss=loss, ack_loss=loss)
+            symbolic_value = symbolic_analysis.throughput("t2").evaluate(bindings)
+            numeric = PerformanceAnalysis(
+                simple_protocol_net(packet_loss_probability=loss, ack_loss_probability=loss)
+            ).throughput("t2").value
+            assert symbolic_value == numeric
+
+    def test_specialized_analysis_round_trip(self, symbolic_analysis):
+        numeric = symbolic_analysis.specialized(paper_bindings())
+        assert numeric.state_count() == symbolic_analysis.state_count()
+        assert numeric.throughput("t2").value == PAPER_THROUGHPUT
+
+    def test_symbolic_cycle_time_positive_at_sample_point(self, symbolic_analysis, symbolic_protocol):
+        _net, constraints, _symbols = symbolic_protocol
+        point = constraints.sample_point()
+        # add frequency bindings (not constrained): all 1
+        for symbol in symbolic_analysis.throughput("t2").symbols():
+            point.setdefault(symbol, Fraction(1))
+        assert symbolic_analysis.cycle_time().evaluate(point) > 0
+
+
+class TestSensitivity:
+    def test_partial_derivative_signs(self, symbolic_analysis, symbolic_protocol):
+        _net, _constraints, symbols = symbolic_protocol
+        throughput = symbolic_analysis.throughput("t2").value
+        bindings = paper_bindings()
+        for time_symbol_name in ("F4", "F6", "E3"):
+            derivative = partial_derivative(throughput, symbols[time_symbol_name])
+            assert derivative.evaluate(bindings) < 0  # longer delays always hurt
+
+    def test_gradient_and_elasticity(self, symbolic_analysis, symbolic_protocol):
+        _net, _constraints, symbols = symbolic_protocol
+        throughput = symbolic_analysis.throughput("t2").value
+        bindings = paper_bindings()
+        grad = evaluate_gradient(throughput, bindings, [symbols["F4"], symbols["E3"]])
+        assert set(grad) == {symbols["F4"], symbols["E3"]}
+        packet_elasticity = elasticity(throughput, symbols["F4"]).evaluate(bindings)
+        timeout_elasticity = elasticity(throughput, symbols["E3"]).evaluate(bindings)
+        assert packet_elasticity < 0 and timeout_elasticity < 0
+        assert gradient(throughput, [symbols["F4"]])[symbols["F4"]].evaluate(bindings) == grad[symbols["F4"]]
+
+    def test_finite_difference_matches_exact_derivative(self, symbolic_analysis, symbolic_protocol):
+        _net, _constraints, symbols = symbolic_protocol
+        throughput = symbolic_analysis.throughput("t2").value
+        bindings = paper_bindings()
+        exact = partial_derivative(throughput, symbols["F4"]).evaluate(bindings)
+
+        def measure(value):
+            point = dict(bindings)
+            point[symbols["F4"]] = value
+            return throughput.evaluate(point)
+
+        approximate = finite_difference(measure, bindings[symbols["F4"]])
+        assert float(approximate) == pytest.approx(float(exact), rel=1e-4)
+
+
+class TestHighLevelApi:
+    def test_analyze_convenience(self, paper_net):
+        analysis = analyze(paper_net)
+        assert analysis.state_count() == 18
+
+    def test_symbolic_net_without_constraints_rejected(self, symbolic_protocol):
+        net, _constraints, _symbols = symbolic_protocol
+        with pytest.raises(PerformanceError):
+            PerformanceAnalysis(net)
+
+    def test_unknown_transition_rejected(self, paper_analysis):
+        from repro.exceptions import NetDefinitionError
+
+        with pytest.raises(NetDefinitionError):
+            paper_analysis.throughput("nope")
+
+    def test_absorbing_model_raises_not_ergodic(self):
+        from repro.petri import NetBuilder
+
+        builder = NetBuilder("absorbing")
+        builder.transition("step", inputs=["p"], outputs=["q"], firing_time=1)
+        builder.mark("p")
+        with pytest.raises(NotErgodicError):
+            PerformanceAnalysis(builder.build())
+
+    def test_expression_objects(self, paper_analysis):
+        expression = paper_analysis.throughput("t2")
+        assert not expression.is_symbolic
+        assert expression.symbols() == frozenset()
+        assert "throughput" in expression.render()
+        assert expression.evaluate_float() == pytest.approx(float(PAPER_THROUGHPUT))
+
+    def test_metrics_reuse_precomputed_rates(self, paper_decision):
+        rates = traversal_rates(paper_decision)
+        metrics = PerformanceMetrics(paper_decision, rates)
+        assert metrics.throughput("t2") == PAPER_THROUGHPUT

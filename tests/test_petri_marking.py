@@ -1,0 +1,124 @@
+"""Unit tests for markings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import MarkingError
+from repro.petri import Marking, Multiset
+
+PLACES = ("p1", "p2", "p3")
+
+
+def make(tokens):
+    return Marking(PLACES, tokens)
+
+
+class TestConstruction:
+    def test_simple(self):
+        marking = make({"p1": 2})
+        assert marking["p1"] == 2
+        assert marking["p2"] == 0
+
+    def test_unknown_place_rejected(self):
+        with pytest.raises(MarkingError):
+            make({"zzz": 1})
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(MarkingError):
+            make({"p1": -1})
+
+    def test_non_integer_tokens_rejected(self):
+        with pytest.raises(MarkingError):
+            make({"p1": 0.5})
+
+    def test_duplicate_place_order_rejected(self):
+        with pytest.raises(MarkingError):
+            Marking(("p1", "p1"), {})
+
+    def test_lookup_of_unknown_place_raises(self):
+        with pytest.raises(MarkingError):
+            make({})["zzz"]
+
+
+class TestQueries:
+    def test_total_tokens(self):
+        assert make({"p1": 2, "p3": 1}).total_tokens() == 3
+
+    def test_marked_places_in_place_order(self):
+        assert make({"p3": 1, "p1": 1}).marked_places() == ("p1", "p3")
+
+    def test_covers(self):
+        marking = make({"p1": 2, "p2": 1})
+        assert marking.covers(Multiset({"p1": 1, "p2": 1}))
+        assert not marking.covers(Multiset({"p3": 1}))
+
+    def test_is_safe(self):
+        assert make({"p1": 1, "p2": 1}).is_safe()
+        assert not make({"p1": 2}).is_safe()
+
+
+class TestTokenFlow:
+    def test_remove_then_add_round_trips(self):
+        marking = make({"p1": 2, "p2": 1})
+        bag = Multiset({"p1": 1})
+        assert marking.remove(bag).add(bag) == marking
+
+    def test_remove_more_than_present_raises(self):
+        with pytest.raises(MarkingError):
+            make({"p1": 1}).remove(Multiset({"p1": 2}))
+
+    def test_add_unknown_place_raises(self):
+        with pytest.raises(MarkingError):
+            make({}).add(Multiset({"zzz": 1}))
+
+
+class TestConversions:
+    def test_vector_round_trip(self):
+        marking = make({"p1": 1, "p3": 2})
+        assert marking.to_vector() == (1, 0, 2)
+        assert Marking.from_vector(PLACES, (1, 0, 2)) == marking
+
+    def test_from_vector_wrong_length(self):
+        with pytest.raises(MarkingError):
+            Marking.from_vector(PLACES, (1, 0))
+
+    def test_to_dict_is_sparse(self):
+        assert make({"p1": 1}).to_dict() == {"p1": 1}
+
+    def test_with_place_order_superset(self):
+        marking = make({"p1": 1})
+        extended = marking.with_place_order(("p1", "p2", "p3", "p4"))
+        assert extended["p1"] == 1
+        assert extended.to_vector() == (1, 0, 0, 0)
+
+
+class TestIdentity:
+    def test_equality_ignores_place_order_identity(self):
+        assert make({"p1": 1}) == Marking(("p3", "p1", "p2"), {"p1": 1})
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(make({"p1": 1})) == hash(Marking(("p2", "p1"), {"p1": 1}))
+
+    def test_format_row(self):
+        assert make({"p1": 1, "p3": 2}).format_row() == "1 0 2"
+
+
+@given(st.dictionaries(st.sampled_from(PLACES), st.integers(min_value=0, max_value=4)))
+def test_vector_round_trip_property(tokens):
+    marking = make(tokens)
+    assert Marking.from_vector(PLACES, marking.to_vector()) == marking
+
+
+@given(
+    st.dictionaries(st.sampled_from(PLACES), st.integers(min_value=0, max_value=4)),
+    st.dictionaries(st.sampled_from(PLACES), st.integers(min_value=0, max_value=2)),
+)
+def test_add_increases_every_count(tokens, extra):
+    marking = make(tokens)
+    bag = Multiset(extra)
+    added = marking.add(bag)
+    for place in PLACES:
+        assert added[place] == marking[place] + bag[place]

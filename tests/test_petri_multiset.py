@@ -1,0 +1,161 @@
+"""Unit and property-based tests for the multiset (bag) primitive."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.petri import Multiset
+from repro.petri.multiset import EMPTY_MULTISET
+
+keys = st.sampled_from(["p1", "p2", "p3", "p4", "p5"])
+multisets = st.dictionaries(keys, st.integers(min_value=0, max_value=5)).map(Multiset)
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        bag = Multiset({"p1": 2, "p2": 1})
+        assert bag["p1"] == 2
+        assert bag["p2"] == 1
+
+    def test_from_iterable_counts_occurrences(self):
+        assert Multiset(["p1", "p1", "p2"]) == Multiset({"p1": 2, "p2": 1})
+
+    def test_from_pairs(self):
+        assert Multiset([("p1", 3)], pairs=True) == Multiset({"p1": 3})
+
+    def test_zero_multiplicities_are_dropped(self):
+        bag = Multiset({"p1": 0, "p2": 1})
+        assert "p1" not in bag
+        assert len(bag) == 1
+
+    def test_missing_key_has_zero_multiplicity(self):
+        assert Multiset({"p1": 1})["p9"] == 0
+
+    def test_negative_multiplicity_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset({"p1": -1})
+
+    def test_non_integer_multiplicity_rejected(self):
+        with pytest.raises(TypeError):
+            Multiset({"p1": 1.5})
+
+    def test_boolean_multiplicity_rejected(self):
+        with pytest.raises(TypeError):
+            Multiset({"p1": True})
+
+    def test_copy_constructor(self):
+        bag = Multiset({"p1": 2})
+        assert Multiset(bag) == bag
+
+
+class TestQueries:
+    def test_total_counts_multiplicity(self):
+        assert Multiset({"p1": 2, "p2": 3}).total() == 5
+
+    def test_support(self):
+        assert Multiset({"p1": 2, "p2": 1}).support() == frozenset({"p1", "p2"})
+
+    def test_is_empty(self):
+        assert EMPTY_MULTISET.is_empty()
+        assert not Multiset({"p1": 1}).is_empty()
+
+    def test_covers_is_the_enabling_test(self):
+        marking = Multiset({"p1": 2, "p2": 1})
+        assert marking.covers(Multiset({"p1": 1}))
+        assert marking.covers(Multiset({"p1": 2, "p2": 1}))
+        assert not marking.covers(Multiset({"p1": 3}))
+        assert not marking.covers(Multiset({"p3": 1}))
+
+    def test_intersects(self):
+        assert Multiset({"p1": 1}).intersects(Multiset({"p1": 2, "p2": 1}))
+        assert not Multiset({"p1": 1}).intersects(Multiset({"p2": 1}))
+
+
+class TestAlgebra:
+    def test_add(self):
+        assert Multiset({"p1": 1}) + Multiset({"p1": 2, "p2": 1}) == Multiset({"p1": 3, "p2": 1})
+
+    def test_subtract(self):
+        assert Multiset({"p1": 3, "p2": 1}) - Multiset({"p1": 1, "p2": 1}) == Multiset({"p1": 2})
+
+    def test_subtract_below_zero_raises(self):
+        with pytest.raises(ValueError):
+            Multiset({"p1": 1}).subtract(Multiset({"p1": 2}))
+
+    def test_saturating_subtract_clamps(self):
+        result = Multiset({"p1": 1, "p2": 2}).saturating_subtract(Multiset({"p1": 5}))
+        assert result == Multiset({"p2": 2})
+
+    def test_scale(self):
+        assert Multiset({"p1": 2}) * 3 == Multiset({"p1": 6})
+        assert 0 * Multiset({"p1": 2}) == EMPTY_MULTISET
+
+    def test_scale_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Multiset({"p1": 1}).scale(-1)
+
+    def test_union_is_max(self):
+        assert Multiset({"p1": 1, "p2": 3}).union({"p1": 2}) == Multiset({"p1": 2, "p2": 3})
+
+    def test_intersection_is_min(self):
+        assert Multiset({"p1": 1, "p2": 3}).intersection({"p2": 2, "p3": 1}) == Multiset({"p2": 2})
+
+    def test_ordering_operators(self):
+        small = Multiset({"p1": 1})
+        large = Multiset({"p1": 2, "p2": 1})
+        assert small <= large
+        assert large >= small
+        assert small < large
+        assert large > small
+        assert not large <= small
+
+
+class TestEqualityHash:
+    def test_equal_bags_hash_equal(self):
+        assert hash(Multiset({"p1": 2})) == hash(Multiset({"p1": 2}))
+
+    def test_equality_with_plain_dict(self):
+        assert Multiset({"p1": 2}) == {"p1": 2}
+        assert Multiset({"p1": 2}) == {"p1": 2, "p2": 0}
+
+    def test_repr_is_deterministic(self):
+        assert repr(Multiset({"p2": 1, "p1": 2})) == repr(Multiset({"p1": 2, "p2": 1}))
+
+
+class TestProperties:
+    @given(multisets, multisets)
+    def test_addition_commutes(self, left, right):
+        assert left + right == right + left
+
+    @given(multisets, multisets, multisets)
+    def test_addition_associates(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(multisets, multisets)
+    def test_subtraction_inverts_addition(self, a, b):
+        assert (a + b) - b == a
+
+    @given(multisets, multisets)
+    def test_sum_covers_both_operands(self, a, b):
+        total = a + b
+        assert total.covers(a)
+        assert total.covers(b)
+
+    @given(multisets)
+    def test_empty_is_identity(self, bag):
+        assert bag + EMPTY_MULTISET == bag
+        assert bag - EMPTY_MULTISET == bag
+
+    @given(multisets, multisets)
+    def test_union_covers_intersection(self, a, b):
+        assert a.union(b).covers(a.intersection(b))
+
+    @given(multisets)
+    def test_total_is_sum_of_multiplicities(self, bag):
+        assert bag.total() == sum(bag[key] for key in bag)
+
+    @given(multisets, multisets)
+    def test_covers_iff_saturating_subtract_empty(self, a, b):
+        assert a.covers(b) == b.saturating_subtract(a).is_empty()

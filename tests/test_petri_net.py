@@ -1,0 +1,296 @@
+"""Unit tests for the Timed Petri Net model classes, builder, conflicts and validation."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ConflictSetError, NetDefinitionError
+from repro.petri import (
+    Multiset,
+    NetBuilder,
+    Place,
+    TimedPetriNet,
+    Transition,
+    assert_valid,
+    classify,
+    partition_into_conflict_sets,
+    validate_net,
+    validate_user_partition,
+)
+from repro.symbolic import LinExpr, time_symbol
+
+
+def two_transition_net():
+    builder = NetBuilder("tiny")
+    builder.transition("a", inputs=["p"], outputs=["q"], firing_time=2)
+    builder.transition("b", inputs=["q"], outputs=["p"], firing_time=3)
+    builder.mark("p")
+    return builder.build()
+
+
+class TestPlaceTransition:
+    def test_place_requires_name(self):
+        with pytest.raises(NetDefinitionError):
+            Place("")
+
+    def test_place_capacity_must_be_positive(self):
+        with pytest.raises(NetDefinitionError):
+            Place("p", capacity=0)
+
+    def test_transition_times_are_exact(self):
+        transition = Transition("t", Multiset({"p": 1}), Multiset(), firing_time=106.7)
+        assert transition.firing_time == Fraction("106.7")
+
+    def test_negative_firing_time_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            Transition("t", Multiset(), Multiset(), firing_time=-1)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            Transition("t", Multiset(), Multiset(), firing_frequency=-0.5)
+
+    def test_has_enabling_delay(self):
+        timed = Transition("t", Multiset({"p": 1}), Multiset(), enabling_time=5)
+        assert timed.has_enabling_delay
+        assert not Transition("u", Multiset({"p": 1}), Multiset()).has_enabling_delay
+
+    def test_is_immediate(self):
+        assert Transition("t", Multiset({"p": 1}), Multiset()).is_immediate
+        assert not Transition("u", Multiset({"p": 1}), Multiset(), firing_time=1).is_immediate
+
+    def test_symbolic_detection(self):
+        symbol = time_symbol("F_x")
+        transition = Transition("t", Multiset({"p": 1}), Multiset(), firing_time=LinExpr.from_symbol(symbol))
+        assert transition.is_symbolic
+
+
+class TestNetConstruction:
+    def test_duplicate_place_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            TimedPetriNet("n", ["p", "p"], [], {})
+
+    def test_duplicate_transition_rejected(self):
+        t = Transition("t", Multiset({"p": 1}), Multiset())
+        with pytest.raises(NetDefinitionError):
+            TimedPetriNet("n", ["p"], [t, t], {})
+
+    def test_arc_to_unknown_place_rejected(self):
+        t = Transition("t", Multiset({"zzz": 1}), Multiset())
+        with pytest.raises(NetDefinitionError):
+            TimedPetriNet("n", ["p"], [t], {})
+
+    def test_name_clash_between_place_and_transition(self):
+        t = Transition("p", Multiset(), Multiset({"p": 1}))
+        with pytest.raises(NetDefinitionError):
+            TimedPetriNet("n", ["p"], [t], {})
+
+    def test_all_zero_frequencies_in_choice_rejected(self):
+        a = Transition("a", Multiset({"p": 1}), Multiset(), firing_frequency=0)
+        b = Transition("b", Multiset({"p": 1}), Multiset(), firing_frequency=0)
+        with pytest.raises(NetDefinitionError):
+            TimedPetriNet("n", ["p"], [a, b], {"p": 1})
+        # but allowed when the check is disabled explicitly
+        TimedPetriNet("n", ["p"], [a, b], {"p": 1}, conflict_frequencies_required=False)
+
+    def test_structural_queries(self, paper_net):
+        assert paper_net.postset_of_place("p4") == ("t4", "t5")
+        assert paper_net.preset_of_place("p1") == ("t3", "t7")
+        assert paper_net.is_sink_transition("t5")
+        assert not paper_net.is_source_transition("t1")
+
+    def test_enabled_transitions_in_initial_marking(self, paper_net):
+        assert paper_net.enabled_transitions(paper_net.initial_marking) == ("t1",)
+
+    def test_fire_untimed_moves_tokens(self):
+        net = two_transition_net()
+        after = net.fire_untimed(net.initial_marking, "a")
+        assert after.to_dict() == {"q": 1}
+
+    def test_fire_untimed_requires_enabling(self):
+        net = two_transition_net()
+        with pytest.raises(NetDefinitionError):
+            net.fire_untimed(net.initial_marking, "b")
+
+    def test_timing_table_matches_declarations(self, paper_net):
+        table = dict((row[0], (row[1], row[2])) for row in paper_net.timing_table())
+        assert table["t3"] == (Fraction(1000), Fraction(1))
+        assert table["t4"] == (Fraction(0), Fraction("106.7"))
+
+    def test_summary_mentions_conflict_sets(self, paper_net):
+        assert "conflict sets" in paper_net.summary()
+
+    def test_contains(self, paper_net):
+        assert "p1" in paper_net
+        assert "t1" in paper_net
+        assert "zzz" not in paper_net
+
+
+class TestNetRewriting:
+    def test_with_transition_times(self, paper_net):
+        modified = paper_net.with_transition_times(firing={"t1": 2})
+        assert modified.transition("t1").firing_time == Fraction(2)
+        assert paper_net.transition("t1").firing_time == Fraction(1)
+
+    def test_with_initial_marking(self, paper_net):
+        modified = paper_net.with_initial_marking({"p1": 1, "p8": 1, "p4": 1})
+        assert modified.initial_marking["p4"] == 1
+
+    def test_bind_specializes_symbols(self, symbolic_protocol, paper_parameter_bindings, paper_net):
+        symbolic_net, _constraints, _symbols = symbolic_protocol
+        bound = symbolic_net.bind(paper_parameter_bindings)
+        assert not bound.is_symbolic
+        for name in paper_net.transition_order:
+            assert bound.transition(name).firing_time == paper_net.transition(name).firing_time
+
+    def test_unknown_transition_in_override_rejected(self, paper_net):
+        with pytest.raises(NetDefinitionError):
+            paper_net.with_transition_times(firing={"zzz": 2})
+
+
+class TestConflictSets:
+    def test_paper_partition(self, paper_net):
+        groups = sorted(cs.transition_names for cs in paper_net.conflict_sets)
+        assert ("t4", "t5") in groups
+        assert ("t8", "t9") in groups
+        assert ("t2", "t3") in groups
+
+    def test_conflict_set_of(self, paper_net):
+        assert paper_net.conflict_set_of("t4") is paper_net.conflict_set_of("t5")
+        assert paper_net.conflict_set_of("t1") is not paper_net.conflict_set_of("t4")
+
+    def test_probabilities_follow_frequencies(self, paper_net):
+        conflict_set = paper_net.conflict_set_of("t4")
+        probabilities = conflict_set.firing_probabilities(["t4", "t5"])
+        assert probabilities["t4"] == Fraction(19, 20)
+        assert probabilities["t5"] == Fraction(1, 20)
+
+    def test_single_firable_member_has_probability_one(self, paper_net):
+        conflict_set = paper_net.conflict_set_of("t2")
+        assert conflict_set.firing_probabilities(["t2"]) == {"t2": Fraction(1)}
+
+    def test_zero_frequency_member_excluded_when_alternative_exists(self, paper_net):
+        conflict_set = paper_net.conflict_set_of("t2")
+        probabilities = conflict_set.firing_probabilities(["t2", "t3"])
+        assert probabilities == {"t3": Fraction(1)}
+
+    def test_unknown_member_rejected(self, paper_net):
+        with pytest.raises(ConflictSetError):
+            paper_net.conflict_set_of("t4").firing_probabilities(["t1"])
+
+    def test_transitive_closure_merges_chains(self):
+        a = Transition("a", Multiset({"p": 1}), Multiset())
+        b = Transition("b", Multiset({"p": 1, "q": 1}), Multiset())
+        c = Transition("c", Multiset({"q": 1}), Multiset())
+        sets = partition_into_conflict_sets([a, b, c])
+        assert len(sets) == 1
+        assert sets[0].transition_names == ("a", "b", "c")
+
+    def test_validate_user_partition_accepts_match(self, paper_net):
+        validate_user_partition(
+            [("t4", "t5"), ("t8", "t9"), ("t2", "t3")], paper_net.conflict_sets
+        )
+
+    def test_validate_user_partition_rejects_mismatch(self, paper_net):
+        with pytest.raises(ConflictSetError):
+            validate_user_partition([("t4", "t8")], paper_net.conflict_sets)
+
+
+class TestBuilder:
+    def test_places_created_on_demand(self):
+        net = two_transition_net()
+        assert set(net.place_order) == {"p", "q"}
+
+    def test_strict_places_requires_declarations(self):
+        builder = NetBuilder("strict", strict_places=True)
+        with pytest.raises(NetDefinitionError):
+            builder.transition("t", inputs=["p"], outputs=[])
+
+    def test_duplicate_transition_rejected(self):
+        builder = NetBuilder("dup")
+        builder.transition("t", inputs=["p"], outputs=[])
+        with pytest.raises(NetDefinitionError):
+            builder.transition("t", inputs=["p"], outputs=[])
+
+    def test_mark_accumulates(self):
+        builder = NetBuilder("marks")
+        builder.transition("t", inputs=["p"], outputs=[])
+        builder.mark("p").mark("p", 2)
+        assert builder.build(conflict_frequencies_required=False).initial_marking["p"] == 3
+
+    def test_initial_marking_replaces(self):
+        builder = NetBuilder("marks")
+        builder.transition("t", inputs=["p"], outputs=["q"])
+        builder.mark("p", 5)
+        builder.initial_marking({"q": 1})
+        net = builder.build()
+        assert net.initial_marking.to_dict() == {"q": 1}
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(NetDefinitionError):
+            NetBuilder("empty").build()
+
+    def test_weighted_arcs_via_mapping(self):
+        builder = NetBuilder("weighted")
+        builder.transition("t", inputs={"p": 2}, outputs={"q": 3})
+        builder.mark("p", 2)
+        net = builder.build()
+        assert net.transition("t").inputs["p"] == 2
+        assert net.transition("t").outputs["q"] == 3
+
+
+class TestValidation:
+    def test_paper_net_is_valid(self, paper_net):
+        diagnostics = assert_valid(paper_net)
+        codes = {d.code for d in diagnostics}
+        assert "sink-transition" in codes  # the loss transitions
+
+    def test_isolated_place_is_flagged(self):
+        builder = NetBuilder("iso")
+        builder.place("lonely")
+        builder.transition("t", inputs=["p"], outputs=["q"], firing_time=1)
+        builder.mark("p")
+        diagnostics = validate_net(builder.build())
+        assert any(d.code == "isolated-place" and d.subject == "lonely" for d in diagnostics)
+
+    def test_empty_initial_marking_is_flagged(self):
+        builder = NetBuilder("unmarked")
+        builder.transition("t", inputs=["p"], outputs=["q"], firing_time=1)
+        diagnostics = validate_net(builder.build())
+        assert any(d.code == "empty-initial-marking" for d in diagnostics)
+
+    def test_immediate_cycle_is_flagged(self):
+        builder = NetBuilder("spin")
+        builder.transition("t1", inputs=["p"], outputs=["q"])
+        builder.transition("t2", inputs=["q"], outputs=["p"])
+        builder.mark("p")
+        diagnostics = validate_net(builder.build())
+        assert any(d.code == "immediate-cycle" for d in diagnostics)
+
+    def test_capacity_violation_is_an_error(self):
+        builder = NetBuilder("cap")
+        builder.place("p", capacity=1, tokens=2)
+        builder.transition("t", inputs=["p"], outputs=[])
+        with pytest.raises(NetDefinitionError):
+            assert_valid(builder.build())
+
+    def test_mixed_enabling_times_warning(self, paper_net):
+        diagnostics = validate_net(paper_net)
+        assert any(d.code == "mixed-enabling-times" for d in diagnostics)
+
+
+class TestClassification:
+    def test_paper_net_is_asymmetric_choice(self, paper_net):
+        result = classify(paper_net)
+        assert not result.is_free_choice
+        assert not result.is_state_machine
+        assert result.is_asymmetric_choice
+        assert result.most_specific_class() == "asymmetric choice"
+
+    def test_token_ring_is_marked_graph(self):
+        from repro.protocols import token_ring_net
+
+        result = classify(token_ring_net(3))
+        assert result.is_marked_graph
+        assert result.is_state_machine  # every transition also has one input and one output

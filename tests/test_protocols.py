@@ -1,0 +1,208 @@
+"""Tests for the protocol/workload model zoo."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.performance import PerformanceAnalysis
+from repro.protocols import (
+    PAPER_DECISION_DELAYS,
+    PAPER_STATE_COUNT,
+    PAPER_THROUGHPUT,
+    SimpleProtocolParameters,
+    alternating_bit_net,
+    model_catalog,
+    paper_bindings,
+    paper_throughput_expression_value,
+    pipelined_stop_and_wait_net,
+    producer_consumer_net,
+    protocol_symbols,
+    section4_constraints,
+    simple_protocol_net,
+    simple_protocol_symbolic,
+    token_ring_net,
+)
+from repro.protocols.alternating_bit import message_accept_transitions
+from repro.reachability import timed_reachability_graph
+
+
+class TestSimpleProtocolModel:
+    def test_structure(self, paper_net):
+        assert len(paper_net.places) == 8
+        assert len(paper_net.transitions) == 9
+        assert paper_net.initial_marking.to_dict() == {"p1": 1, "p8": 1}
+
+    def test_defaults_match_figure_1b(self, paper_net):
+        assert paper_net.transition("t3").enabling_time == 1000
+        assert paper_net.transition("t4").firing_time == Fraction("106.7")
+        assert paper_net.transition("t6").firing_time == Fraction("13.5")
+        assert paper_net.transition("t4").firing_frequency == Fraction(19, 20)
+        assert paper_net.transition("t5").firing_frequency == Fraction(1, 20)
+
+    def test_parameter_overrides(self):
+        net = simple_protocol_net(packet_loss_probability=0.2, timeout=500)
+        assert net.transition("t5").firing_frequency == Fraction(1, 5)
+        assert net.transition("t3").enabling_time == 500
+
+    def test_parameters_object(self):
+        parameters = SimpleProtocolParameters(packet_loss_probability=Fraction(1, 10))
+        net = simple_protocol_net(parameters)
+        assert net.transition("t5").firing_frequency == Fraction(1, 10)
+        with pytest.raises(TypeError):
+            simple_protocol_net(parameters, timeout=10)
+
+    def test_invalid_loss_probability(self):
+        with pytest.raises(ValueError):
+            simple_protocol_net(packet_loss_probability=1.5)
+
+    def test_loss_delay_defaults_to_delivery_delay(self):
+        parameters = SimpleProtocolParameters(packet_delay=50).resolved()
+        assert parameters.packet_loss_delay == 50
+        assert parameters.ack_loss_delay == parameters.ack_delay
+
+    def test_paper_constants_are_consistent(self):
+        assert float(PAPER_THROUGHPUT) == pytest.approx(0.0028518522, rel=1e-6)
+        assert PAPER_THROUGHPUT == paper_throughput_expression_value()
+        assert set(PAPER_DECISION_DELAYS) == {"packet_lost", "packet_delivered", "ack_delivered", "ack_lost"}
+
+    def test_zero_loss_protocol(self):
+        net = simple_protocol_net(packet_loss_probability=0, ack_loss_probability=0)
+        analysis = PerformanceAnalysis(net)
+        # without losses the cycle is exactly the round trip: 1+106.7+13.5+106.7+1+13.5
+        assert analysis.cycle_time().value == Fraction("242.4")
+        assert analysis.throughput("t2").value == 1 / Fraction("242.4")
+        # and the timeout never fires
+        assert analysis.throughput("t3").value == 0
+
+
+class TestSimpleProtocolSymbolic:
+    def test_symbols_and_constraints(self):
+        symbols = protocol_symbols()
+        assert symbols["E3"].name == "E_t3"
+        constraints = section4_constraints(symbols)
+        assert constraints.labels() == ("1", "2", "3", "4")
+        assert constraints.is_consistent()
+
+    def test_symbolic_net_is_symbolic(self, symbolic_protocol):
+        net, _constraints, _symbols = symbolic_protocol
+        assert net.is_symbolic
+        assert net.frequency_symbols()
+        assert net.time_symbols()
+
+    def test_bindings_specialize_to_paper_net(self, symbolic_protocol, paper_net):
+        net, _constraints, _symbols = symbolic_protocol
+        bound = net.bind(paper_bindings())
+        graph = timed_reachability_graph(bound)
+        assert graph.state_count == PAPER_STATE_COUNT
+
+    def test_separate_loss_symbol_variant(self):
+        net, constraints, symbols = simple_protocol_symbolic(apply_equal_loss_delays=False)
+        assert net.transition("t5").firing_time == symbols["F5"]
+        assert constraints.is_consistent()
+
+
+class TestAlternatingBit:
+    def test_structure(self):
+        net = alternating_bit_net()
+        assert len(net.places) == 14
+        assert len(net.transitions) == 20
+        assert set(message_accept_transitions()) == {"accept0", "accept1"}
+
+    def test_reachability_is_roughly_double_the_simple_protocol(self):
+        graph = timed_reachability_graph(alternating_bit_net())
+        assert graph.state_count == 52
+        assert not graph.dead_nodes()
+
+    def test_throughput_matches_equivalent_simple_protocol(self):
+        """The alternating bit adds robustness, not speed.
+
+        The AB sender accepts an acknowledgement and immediately sends the
+        next message (it has no separate 13.5 ms "prepare next message"
+        stage), so its message throughput equals the simple protocol's with
+        ``next_message_time = 0`` — an exact cross-model consistency check.
+        """
+        analysis = PerformanceAnalysis(alternating_bit_net())
+        total = analysis.throughput("accept0").value + analysis.throughput("accept1").value
+        equivalent = PerformanceAnalysis(simple_protocol_net(next_message_time=0))
+        assert total == equivalent.throughput("t2").value
+        # and it is within ~5 % of the paper's protocol (which has the extra stage)
+        assert float(total) == pytest.approx(float(PAPER_THROUGHPUT), rel=0.05)
+
+    def test_bit_symmetry(self):
+        analysis = PerformanceAnalysis(alternating_bit_net())
+        assert analysis.throughput("accept0").value == analysis.throughput("accept1").value
+        assert analysis.throughput("send0").value == analysis.throughput("send1").value
+
+    def test_duplicates_track_lost_acknowledgements(self):
+        """Every lost acknowledgement causes exactly one duplicate
+        retransmission that the receiver re-acknowledges; stale
+        acknowledgements never occur when the timeout exceeds the round trip."""
+        analysis = PerformanceAnalysis(alternating_bit_net())
+        assert analysis.throughput("duplicate0").value == analysis.throughput("lose_ack0").value
+        assert analysis.throughput("duplicate1").value == analysis.throughput("lose_ack1").value
+        assert analysis.throughput("duplicate0").value > 0
+        for name in ("stale_ack0", "stale_ack1"):
+            assert analysis.throughput(name).value == 0
+
+    def test_loss_probability_override(self):
+        analysis = PerformanceAnalysis(alternating_bit_net(loss_probability=0))
+        assert analysis.throughput("timeout0").value == 0
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            alternating_bit_net(loss_probability=2)
+
+
+class TestWorkloads:
+    def test_producer_consumer_parameters(self):
+        net = producer_consumer_net(buffer_size=2, loss_probability=Fraction(1, 4))
+        assert net.initial_marking["buffer_slots"] == 2
+        assert "drop" in net.transitions
+        with pytest.raises(ValueError):
+            producer_consumer_net(buffer_size=0)
+
+    def test_producer_consumer_lossless_has_no_drop_transition(self):
+        assert "drop" not in producer_consumer_net().transitions
+
+    def test_producer_consumer_with_loss_throughput(self):
+        # With 50% drop probability and a fast consumer, the delivered rate is
+        # half the producer's effective rate.
+        analysis = PerformanceAnalysis(
+            producer_consumer_net(
+                production_time=5, transfer_time=1, consumption_time=1, loss_probability=Fraction(1, 2)
+            )
+        )
+        produced = analysis.throughput("produce").value
+        consumed = analysis.throughput("finish_consume").value
+        assert consumed == produced / 2
+
+    def test_token_ring_scaling(self):
+        sizes = {}
+        for stations in (2, 3, 4):
+            graph = timed_reachability_graph(token_ring_net(stations))
+            sizes[stations] = graph.state_count
+        assert sizes[2] < sizes[3] < sizes[4]
+        assert sizes[4] == 16  # 4 stations * (transmit + pass) * 2 phases
+
+    def test_token_ring_requires_two_stations(self):
+        with pytest.raises(ValueError):
+            token_ring_net(1)
+
+    def test_pipelined_single_channel(self):
+        analysis = PerformanceAnalysis(pipelined_stop_and_wait_net(1))
+        assert analysis.throughput("c0_got_ack").value > 0
+
+    def test_pipelined_two_channels_share_the_receiver(self):
+        analysis = PerformanceAnalysis(pipelined_stop_and_wait_net(2), max_states=5000)
+        assert analysis.throughput("c0_got_ack").value == analysis.throughput("c1_got_ack").value
+
+    def test_pipelined_requires_a_channel(self):
+        with pytest.raises(ValueError):
+            pipelined_stop_and_wait_net(0)
+
+    def test_catalog_constructs_every_model(self):
+        for name, constructor in model_catalog().items():
+            net = constructor()
+            assert net.transition_order, name

@@ -1,0 +1,222 @@
+"""Tests for timed states, the scalar algebras and the Figure-3 successor procedure."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import InsufficientConstraintsError, ReachabilityError, SafenessViolationError
+from repro.petri import Marking, NetBuilder
+from repro.reachability import (
+    SuccessorGenerator,
+    TimedState,
+    numeric_algebras,
+    symbolic_algebras,
+)
+from repro.reachability.successors import STEP_ADVANCE, STEP_FIRE
+from repro.symbolic import Constraint, ConstraintSet, LinExpr, as_expr, time_symbol
+
+PLACES = ("p", "q", "r")
+
+
+def state(tokens, ret=None, rft=None):
+    return TimedState(Marking(PLACES, tokens), ret or {}, rft or {})
+
+
+class TestTimedState:
+    def test_zero_entries_are_dropped(self):
+        s = state({"p": 1}, ret={"t": Fraction(0)}, rft={"u": LinExpr.zero()})
+        assert not s.remaining_enabling
+        assert not s.remaining_firing
+
+    def test_equality_and_hash(self):
+        a = state({"p": 1}, ret={"t": Fraction(3)})
+        b = state({"p": 1}, ret={"t": Fraction(3)})
+        c = state({"p": 1}, ret={"t": Fraction(4)})
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_pending_entries(self):
+        s = state({"p": 1}, ret={"t": Fraction(3)}, rft={"u": Fraction(5)})
+        assert s.pending_entries() == {("RET", "t"): Fraction(3), ("RFT", "u"): Fraction(5)}
+        assert s.has_pending_time()
+
+    def test_is_symbolic(self):
+        x = time_symbol("x")
+        assert state({"p": 1}, ret={"t": as_expr(x)}).is_symbolic()
+        assert not state({"p": 1}, ret={"t": Fraction(1)}).is_symbolic()
+
+    def test_table_row(self):
+        s = state({"p": 1, "r": 2}, ret={"a": Fraction(1000)}, rft={"b": Fraction("13.5")})
+        row = s.table_row(PLACES, ("a", "b"))
+        assert row == ("1", "0", "2", "1000", "0", "0", "13.5")
+
+    def test_describe_mentions_clocks(self):
+        s = state({"p": 1}, ret={"t": Fraction(3)})
+        assert "RET" in s.describe()
+
+
+class TestNumericAlgebra:
+    def test_minimum_and_ties(self):
+        time_algebra, _ = numeric_algebras()
+        selection = time_algebra.minimum({"a": Fraction(5), "b": Fraction(3), "c": Fraction(3)})
+        assert selection.value == 3
+        assert set(selection.keys) == {"b", "c"}
+        assert selection.used_constraints == ()
+
+    def test_subtract_guards_negative(self):
+        time_algebra, _ = numeric_algebras()
+        with pytest.raises(ReachabilityError):
+            time_algebra.subtract(Fraction(1), Fraction(2))
+
+    def test_probabilities(self, paper_net):
+        _, probability_algebra = numeric_algebras()
+        conflict_set = paper_net.conflict_set_of("t4")
+        probabilities = probability_algebra.branch_probabilities(conflict_set, ("t4", "t5"))
+        assert probabilities["t4"] + probabilities["t5"] == 1
+
+
+class TestSymbolicAlgebra:
+    def test_minimum_uses_constraints(self):
+        a, b = time_symbol("a"), time_symbol("b")
+        constraints = ConstraintSet([Constraint.greater(a, b, label="only")])
+        time_algebra, _ = symbolic_algebras(constraints)
+        selection = time_algebra.minimum({"x": as_expr(a), "y": as_expr(b)})
+        assert selection.value == as_expr(b)
+        assert selection.keys == ("y",)
+        assert selection.used_constraints == ("only",)
+
+    def test_minimum_without_constraints_raises(self):
+        a, b = time_symbol("a2"), time_symbol("b2")
+        time_algebra, _ = symbolic_algebras(ConstraintSet([]))
+        with pytest.raises(InsufficientConstraintsError):
+            time_algebra.minimum({"x": as_expr(a), "y": as_expr(b)})
+
+    def test_symbolic_probabilities_single_firable(self, symbolic_protocol):
+        net, constraints, _symbols = symbolic_protocol
+        _, probability_algebra = symbolic_algebras(constraints)
+        conflict_set = net.conflict_set_of("t2")
+        assert probability_algebra.branch_probabilities(conflict_set, ("t2",)) == {"t2": probability_algebra.one()}
+
+    def test_symbolic_probabilities_ratio(self, symbolic_protocol):
+        net, constraints, symbols = symbolic_protocol
+        _, probability_algebra = symbolic_algebras(constraints)
+        conflict_set = net.conflict_set_of("t4")
+        probabilities = probability_algebra.branch_probabilities(conflict_set, ("t4", "t5"))
+        total = probabilities["t4"] + probabilities["t5"]
+        assert total == 1
+
+
+def sequential_net():
+    """p --a(2)--> q --b(3)--> r; a single deterministic chain."""
+    builder = NetBuilder("seq")
+    builder.transition("a", inputs=["p"], outputs=["q"], firing_time=2)
+    builder.transition("b", inputs=["q"], outputs=["r"], firing_time=3)
+    builder.mark("p")
+    return builder.build()
+
+
+class TestSuccessorProcedure:
+    def make_generator(self, net, **kwargs):
+        time_algebra, probability_algebra = numeric_algebras()
+        return SuccessorGenerator(net, time_algebra, probability_algebra, **kwargs)
+
+    def test_initial_state_sets_enabling_clocks(self, paper_net):
+        generator = self.make_generator(paper_net)
+        initial = generator.initial_state()
+        assert initial.marking.to_dict() == {"p1": 1, "p8": 1}
+        assert initial.remaining_enabling == {}  # t1 has E=0
+
+    def test_fire_step_consumes_inputs_and_sets_rft(self):
+        net = sequential_net()
+        generator = self.make_generator(net)
+        [edge] = generator.successors(generator.initial_state())
+        assert edge.kind == STEP_FIRE
+        assert edge.fired == ("a",)
+        assert edge.delay == 0
+        assert edge.probability == 1
+        assert edge.target.marking.to_dict() == {}
+        assert edge.target.rft("a") == 2
+
+    def test_advance_step_completes_firings(self):
+        net = sequential_net()
+        generator = self.make_generator(net)
+        fire_edge = generator.successors(generator.initial_state())[0]
+        [advance] = generator.successors(fire_edge.target)
+        assert advance.kind == STEP_ADVANCE
+        assert advance.delay == 2
+        assert advance.completed == ("a",)
+        assert advance.target.marking.to_dict() == {"q": 1}
+
+    def test_dead_state_has_no_successor(self):
+        net = sequential_net()
+        generator = self.make_generator(net)
+        current = generator.initial_state()
+        for _ in range(4):
+            successors = generator.successors(current)
+            current = successors[0].target
+        assert generator.is_dead(current)
+        assert generator.successors(current) == []
+
+    def test_decision_state_generates_one_edge_per_choice(self, paper_net):
+        generator = self.make_generator(paper_net)
+        current = generator.initial_state()
+        # fire t1, elapse 1 -> state 3 where t4/t5 are both firable.
+        current = generator.successors(current)[0].target
+        current = generator.successors(current)[0].target
+        edges = generator.successors(current)
+        assert len(edges) == 2
+        assert {edge.fired[0] for edge in edges} == {"t4", "t5"}
+        assert sum(edge.probability for edge in edges) == 1
+
+    def test_probability_of_priority_conflict(self, paper_net):
+        # When both t2 (freq 0) and t3 (freq 1) were firable, only t3 fires.
+        generator = self.make_generator(paper_net)
+        conflict_set = paper_net.conflict_set_of("t2")
+        _, probability_algebra = numeric_algebras()
+        assert probability_algebra.branch_probabilities(conflict_set, ("t2", "t3")) == {"t3": Fraction(1)}
+
+    def test_enabling_time_counts_down(self, paper_net):
+        generator = self.make_generator(paper_net)
+        state3 = generator.successors(
+            generator.successors(generator.initial_state())[0].target
+        )[0].target
+        # in state 3 the timeout has just been armed
+        assert state3.ret("t3") == 1000
+
+    def test_immediate_transition_fires_instantaneously(self):
+        builder = NetBuilder("imm")
+        builder.transition("now", inputs=["p"], outputs=["q"], firing_time=0)
+        builder.transition("later", inputs=["q"], outputs=["r"], firing_time=7)
+        builder.mark("p")
+        generator = self.make_generator(builder.build())
+        [edge] = generator.successors(generator.initial_state())
+        assert edge.completed == ("now",)
+        assert edge.target.marking.to_dict() == {"q": 1}
+
+    def test_overlap_policy_error(self):
+        # A transition whose output immediately re-enables it while it is
+        # still firing violates the paper's restriction.
+        builder = NetBuilder("overlap")
+        builder.place("p", tokens=2)
+        builder.transition("t", inputs=["p"], outputs=[], firing_time=5)
+        net = builder.build()
+        generator = self.make_generator(net)
+        first = generator.successors(generator.initial_state())[0]
+        with pytest.raises(SafenessViolationError):
+            generator.successors(first.target)
+
+    def test_overlap_policy_skip(self):
+        builder = NetBuilder("overlap")
+        builder.place("p", tokens=2)
+        builder.transition("t", inputs=["p"], outputs=[], firing_time=5)
+        net = builder.build()
+        generator = self.make_generator(net, overlap_policy="skip")
+        first = generator.successors(generator.initial_state())[0]
+        [advance] = generator.successors(first.target)
+        assert advance.kind == STEP_ADVANCE
+
+    def test_unknown_overlap_policy_rejected(self, paper_net):
+        with pytest.raises(ValueError):
+            self.make_generator(paper_net, overlap_policy="whatever")

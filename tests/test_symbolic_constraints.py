@@ -1,0 +1,228 @@
+"""Tests for Fourier-Motzkin feasibility, constraint sets and the symbolic comparator."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InconsistentConstraintsError, InsufficientConstraintsError
+from repro.symbolic import (
+    Constraint,
+    ConstraintSet,
+    LinExpr,
+    SymbolicComparator,
+    as_expr,
+    is_feasible,
+    time_symbol,
+)
+
+A = time_symbol("A")
+B = time_symbol("B")
+C = time_symbol("C")
+
+
+def ineq(coefficients, constant=0, strict=False):
+    return ({symbol: Fraction(value) for symbol, value in coefficients.items()}, Fraction(constant), strict)
+
+
+class TestFourierMotzkin:
+    def test_trivially_feasible(self):
+        assert is_feasible([])
+        assert is_feasible([ineq({A: 1})])  # A >= 0
+
+    def test_infeasible_pair(self):
+        # A >= 1 and -A >= 0  (i.e. A <= 0)
+        assert not is_feasible([ineq({A: 1}, -1), ineq({A: -1})])
+
+    def test_strict_vs_nonstrict(self):
+        # A >= 0 and -A >= 0 is feasible (A = 0); A > 0 and -A >= 0 is not.
+        assert is_feasible([ineq({A: 1}), ineq({A: -1})])
+        assert not is_feasible([ineq({A: 1}, 0, True), ineq({A: -1})])
+
+    def test_chained_inequalities(self):
+        # A >= B, B >= C, C >= A + 1 is infeasible.
+        rows = [
+            ineq({A: 1, B: -1}),
+            ineq({B: 1, C: -1}),
+            ineq({C: 1, A: -1}, -1),
+        ]
+        assert not is_feasible(rows)
+
+    def test_constant_rows(self):
+        assert is_feasible([(dict(), Fraction(1), False)])
+        assert not is_feasible([(dict(), Fraction(-1), False)])
+        assert not is_feasible([(dict(), Fraction(0), True)])
+
+    @settings(max_examples=30)
+    @given(st.integers(-5, 5), st.integers(-5, 5))
+    def test_interval_feasibility(self, low, high):
+        # low <= A <= high is feasible iff low <= high.
+        rows = [ineq({A: 1}, -low), ineq({A: -1}, high)]
+        assert is_feasible(rows) == (low <= high)
+
+
+class TestConstraintSet:
+    def test_labels_default_to_positions(self):
+        constraints = ConstraintSet([Constraint.greater(A, B), Constraint.equal(B, C)])
+        assert constraints.labels() == ("1", "2")
+
+    def test_consistency(self):
+        consistent = ConstraintSet([Constraint.greater(A, B)])
+        assert consistent.is_consistent()
+        consistent.assert_consistent()
+        contradictory = ConstraintSet([Constraint.greater(A, B), Constraint.greater(B, A)])
+        assert not contradictory.is_consistent()
+        with pytest.raises(InconsistentConstraintsError):
+            contradictory.assert_consistent()
+
+    def test_entailment_uses_implicit_nonnegativity(self):
+        constraints = ConstraintSet([Constraint.greater(A, B)])
+        # A > B and B >= 0 (implicit) entail A > 0.
+        assert constraints.entails(Constraint.greater(as_expr(A), LinExpr.zero()))
+
+    def test_entailment_without_implicit_nonnegativity(self):
+        constraints = ConstraintSet([Constraint.greater(A, B)], implicit_nonnegative=False)
+        assert not constraints.entails(Constraint.greater(as_expr(A), LinExpr.zero()))
+
+    def test_entails_with_support_finds_minimal_subset(self):
+        constraints = ConstraintSet(
+            [
+                Constraint.greater(A, B, label="big"),
+                Constraint.equal(C, B, label="eq"),
+                Constraint.greater_equal(B, LinExpr.zero(), label="unused"),
+            ]
+        )
+        holds, support = constraints.entails_with_support(Constraint.greater(A, C))
+        assert holds
+        assert set(support) == {"big", "eq"}
+
+    def test_entails_with_support_reports_failure(self):
+        constraints = ConstraintSet([Constraint.greater(A, B)])
+        holds, support = constraints.entails_with_support(Constraint.greater(B, A))
+        assert not holds and support == ()
+
+    def test_equality_entailment(self):
+        constraints = ConstraintSet([Constraint.equal(A, B)])
+        assert constraints.entails(Constraint.equal(B, A))
+        assert constraints.entails(Constraint.greater_equal(A, B))
+        assert not constraints.entails(Constraint.greater(A, B))
+
+    def test_with_extra_does_not_mutate(self):
+        base = ConstraintSet([Constraint.greater(A, B)])
+        extended = base.with_extra(Constraint.greater(B, C))
+        assert len(base) == 1 and len(extended) == 2
+
+    def test_sample_point_satisfies_constraints(self):
+        constraints = ConstraintSet(
+            [Constraint.greater(A, B), Constraint.greater(B, C), Constraint.greater(C, LinExpr.constant(1))]
+        )
+        point = constraints.sample_point()
+        assert constraints.satisfied_by(point)
+        assert point[A] > point[B] > point[C] > 1
+
+    def test_sample_point_rejects_inconsistent_sets(self):
+        constraints = ConstraintSet([Constraint.greater(A, B), Constraint.greater(B, A)])
+        with pytest.raises(InconsistentConstraintsError):
+            constraints.sample_point()
+
+    def test_trivially_true_constraint(self):
+        assert Constraint.greater_equal(LinExpr.constant(1), LinExpr.zero()).is_trivially_true()
+        assert not Constraint.greater(A, B).is_trivially_true()
+
+
+class TestComparator:
+    @pytest.fixture()
+    def comparator(self):
+        constraints = ConstraintSet(
+            [
+                Constraint.greater(A, as_expr(B) + C, label="1"),
+                Constraint.equal(C, B, label="2"),
+            ]
+        )
+        return SymbolicComparator(constraints)
+
+    def test_sign_classification(self, comparator):
+        assert comparator.sign(LinExpr.zero()) == "zero"
+        assert comparator.sign(as_expr(A) - B) == "positive"
+        assert comparator.sign(as_expr(B) - A) == "negative"
+        assert comparator.is_positive(as_expr(A) - B - C)
+        assert comparator.is_zero(as_expr(C) - B)
+
+    def test_sign_of_undetermined_expression_raises(self, comparator):
+        with pytest.raises(InsufficientConstraintsError) as error:
+            comparator.sign(as_expr(B) - 5)
+        assert error.value.expressions
+
+    def test_pairwise_comparisons(self, comparator):
+        assert comparator.compare(as_expr(B), as_expr(A)) == "<"
+        assert comparator.compare(as_expr(A), as_expr(B)) == ">"
+        assert comparator.compare(as_expr(B), as_expr(C)) == "=="
+        assert comparator.compare(as_expr(B), LinExpr.constant(3)) is None
+
+    def test_minimum_with_support(self, comparator):
+        result = comparator.minimum_of({"a": as_expr(A), "b": as_expr(B)})
+        assert result.minimum == as_expr(B)
+        assert result.minimal_keys == ("b",)
+        assert "1" in result.used_constraints
+
+    def test_minimum_reports_ties(self, comparator):
+        result = comparator.minimum_of({"b": as_expr(B), "c": as_expr(C), "a": as_expr(A)})
+        assert set(result.minimal_keys) == {"b", "c"}
+
+    def test_minimum_requires_resolvable_order(self):
+        comparator = SymbolicComparator(ConstraintSet([]))
+        with pytest.raises(InsufficientConstraintsError):
+            comparator.minimum_of({"a": as_expr(A), "b": as_expr(B)})
+
+    def test_minimum_of_empty_rejected(self, comparator):
+        with pytest.raises(ValueError):
+            comparator.minimum_of({})
+
+    def test_constant_fast_path(self):
+        comparator = SymbolicComparator(ConstraintSet([]))
+        result = comparator.minimum_of({"x": LinExpr.constant(3), "y": LinExpr.constant(5)})
+        assert result.minimum == LinExpr.constant(3)
+        assert result.used_constraints == ()
+
+    def test_assert_positive(self, comparator):
+        assert comparator.assert_positive(as_expr(A) - B) == ("1",)
+        with pytest.raises(InsufficientConstraintsError):
+            SymbolicComparator(ConstraintSet([])).assert_positive(as_expr(A) - B)
+
+    def test_queries_are_cached(self, comparator):
+        before = comparator.cache_size()
+        comparator.is_positive(as_expr(A) - B)
+        middle = comparator.cache_size()
+        comparator.is_positive(as_expr(A) - B)
+        assert comparator.cache_size() == middle >= before
+
+
+class TestPaperConstraints:
+    """The comparisons of the paper's Figure 7, expressed directly."""
+
+    @pytest.fixture()
+    def paper_comparator(self, symbolic_protocol):
+        _net, constraints, _symbols = symbolic_protocol
+        return SymbolicComparator(constraints), _symbols
+
+    def test_state4_uses_constraint_1(self, paper_comparator):
+        comparator, symbols = paper_comparator
+        result = comparator.minimum_of({"t3": as_expr(symbols["E3"]), "t4": as_expr(symbols["F4"])})
+        assert result.minimal_keys == ("t4",)
+        assert result.used_constraints == ("1",)
+
+    def test_state5_uses_constraints_1_and_3(self, paper_comparator):
+        comparator, symbols = paper_comparator
+        result = comparator.minimum_of({"t3": as_expr(symbols["E3"]), "t5": as_expr(symbols["F5"])})
+        assert result.minimal_keys == ("t5",)
+        assert set(result.used_constraints) == {"1", "3"}
+
+    def test_state13_uses_constraints_1_and_4(self, paper_comparator):
+        comparator, symbols = paper_comparator
+        remaining = as_expr(symbols["E3"]) - symbols["F4"] - symbols["F6"]
+        result = comparator.minimum_of({"t3": remaining, "t9": as_expr(symbols["F9"])})
+        assert result.minimal_keys == ("t9",)
+        assert set(result.used_constraints) == {"1", "4"}

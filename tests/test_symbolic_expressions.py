@@ -1,0 +1,399 @@
+"""Tests for symbols, linear expressions, polynomials, rational functions and GCD."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ExpressionDomainError
+from repro.symbolic import (
+    LinExpr,
+    Polynomial,
+    RatFunc,
+    Symbol,
+    as_expr,
+    as_fraction,
+    as_time,
+    frequency_symbol,
+    is_symbolic,
+    time_symbol,
+)
+from repro.symbolic.gcd import cancel_common_factor, polynomial_gcd
+
+X = time_symbol("X")
+Y = time_symbol("Y")
+Z = time_symbol("Z")
+F = frequency_symbol("f")
+
+
+# ---------------------------------------------------------------------------
+# Symbols
+# ---------------------------------------------------------------------------
+
+
+class TestSymbols:
+    def test_interning(self):
+        assert Symbol("X", "time") is Symbol("X", "time")
+        assert Symbol("X", "time") is not Symbol("X", "frequency")
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Symbol("X", "weird")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Symbol("", "time")
+
+    def test_nonnegativity_flag(self):
+        assert time_symbol("T").is_nonnegative
+        assert frequency_symbol("f").is_nonnegative
+        assert not Symbol("g", "generic").is_nonnegative
+
+    def test_ordering_is_deterministic(self):
+        assert sorted([Symbol("b", "time"), Symbol("a", "time")])[0].name == "a"
+
+
+# ---------------------------------------------------------------------------
+# as_fraction / as_time coercions
+# ---------------------------------------------------------------------------
+
+
+class TestCoercions:
+    def test_float_uses_decimal_repr(self):
+        assert as_fraction(106.7) == Fraction(1067, 10)
+        assert as_fraction(13.5) == Fraction(27, 2)
+
+    def test_string_fraction(self):
+        assert as_fraction("1067/10") == Fraction(1067, 10)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ExpressionDomainError):
+            as_fraction(float("nan"))
+
+    def test_as_time_keeps_symbols(self):
+        assert as_time(X) == LinExpr.from_symbol(X)
+        assert as_time(5) == Fraction(5)
+        assert as_time(LinExpr.constant(3)) == Fraction(3)
+
+    def test_is_symbolic(self):
+        assert is_symbolic(LinExpr.from_symbol(X))
+        assert not is_symbolic(LinExpr.constant(4))
+        assert not is_symbolic(Fraction(4))
+
+
+# ---------------------------------------------------------------------------
+# LinExpr
+# ---------------------------------------------------------------------------
+
+
+class TestLinExpr:
+    def test_arithmetic(self):
+        expression = as_expr(X) + 2 * as_expr(Y) - 3
+        assert expression.coefficient(X) == 1
+        assert expression.coefficient(Y) == 2
+        assert expression.constant_term == -3
+
+    def test_cancellation(self):
+        assert (as_expr(X) - as_expr(X)).is_zero()
+
+    def test_scalar_division(self):
+        assert (as_expr(X) * 4 / 2).coefficient(X) == 2
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(ExpressionDomainError):
+            as_expr(X) / 0
+
+    def test_evaluate(self):
+        expression = as_expr(X) - as_expr(Y) + 1
+        assert expression.evaluate({X: 10, Y: 3}) == 8
+
+    def test_evaluate_missing_binding(self):
+        with pytest.raises(ExpressionDomainError):
+            as_expr(X).evaluate({})
+
+    def test_substitute_with_expression(self):
+        expression = as_expr(X) + as_expr(Y)
+        substituted = expression.substitute({X: as_expr(Y) + 1})
+        assert substituted == 2 * as_expr(Y) + 1
+
+    def test_constant_value_of_symbolic_raises(self):
+        with pytest.raises(ExpressionDomainError):
+            as_expr(X).constant_value()
+
+    def test_equality_with_numbers_and_symbols(self):
+        assert LinExpr.constant(3) == 3
+        assert as_expr(X) == X
+        assert as_expr(X) != as_expr(Y)
+
+    def test_str_rendering(self):
+        assert str(as_expr(X) - as_expr(Y)) in ("X - Y", "-Y + X")
+        assert str(LinExpr.zero()) == "0"
+        assert "106.7" in str(LinExpr.constant(Fraction("106.7")))
+
+    def test_hashable_and_usable_as_dict_key(self):
+        mapping = {as_expr(X) - as_expr(Y): "value"}
+        assert mapping[as_expr(X) - as_expr(Y)] == "value"
+
+
+coefficients = st.integers(min_value=-5, max_value=5)
+
+
+@st.composite
+def linexprs(draw):
+    terms = {
+        symbol: draw(coefficients)
+        for symbol in draw(st.sets(st.sampled_from([X, Y, Z]), max_size=3))
+    }
+    return LinExpr(terms, draw(coefficients))
+
+
+class TestLinExprProperties:
+    @given(linexprs(), linexprs())
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(linexprs(), linexprs(), linexprs())
+    def test_addition_associates(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(linexprs())
+    def test_subtraction_gives_zero(self, a):
+        assert (a - a).is_zero()
+
+    @given(linexprs(), st.integers(min_value=-4, max_value=4), st.integers(min_value=-4, max_value=4))
+    def test_scaling_distributes(self, a, m, n):
+        assert a * (m + n) == a * m + a * n
+
+    @given(linexprs(), linexprs(), st.dictionaries(st.sampled_from([X, Y, Z]), coefficients))
+    def test_evaluation_is_linear(self, a, b, bindings):
+        bindings = {X: 0, Y: 0, Z: 0, **bindings}
+        assert (a + b).evaluate(bindings) == a.evaluate(bindings) + b.evaluate(bindings)
+
+
+# ---------------------------------------------------------------------------
+# Polynomial
+# ---------------------------------------------------------------------------
+
+
+class TestPolynomial:
+    def test_construction_and_degree(self):
+        poly = Polynomial.from_symbol(X, 2) + Polynomial.from_symbol(Y) + 1
+        assert poly.degree() == 2
+        assert Polynomial.zero().degree() == -1
+        assert Polynomial.constant(5).degree() == 0
+
+    def test_multiplication_expands(self):
+        product = (Polynomial.from_symbol(X) + 1) * (Polynomial.from_symbol(X) - 1)
+        assert product == Polynomial.from_symbol(X, 2) - 1
+
+    def test_power(self):
+        square = (Polynomial.from_symbol(X) + Polynomial.from_symbol(Y)) ** 2
+        expected = (
+            Polynomial.from_symbol(X, 2)
+            + Polynomial.from_symbol(Y, 2)
+            + Polynomial.from_symbol(X) * Polynomial.from_symbol(Y) * 2
+        )
+        assert square == expected
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ExpressionDomainError):
+            Polynomial.from_symbol(X) ** -1
+
+    def test_exact_division_succeeds(self):
+        x, y = Polynomial.from_symbol(X), Polynomial.from_symbol(Y)
+        product = (x + y) * (x + 2 * y)
+        assert product.exact_divide(x + y) == x + 2 * y
+
+    def test_exact_division_fails_cleanly(self):
+        x, y = Polynomial.from_symbol(X), Polynomial.from_symbol(Y)
+        assert (x + y).exact_divide(x + 2 * y) is None
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(ExpressionDomainError):
+            Polynomial.from_symbol(X).exact_divide(Polynomial.zero())
+
+    def test_from_linexpr_round_trip(self):
+        expression = 2 * as_expr(X) - as_expr(Y) + 5
+        assert Polynomial.from_linexpr(expression).as_linexpr() == expression
+
+    def test_as_linexpr_rejects_quadratics(self):
+        with pytest.raises(ExpressionDomainError):
+            Polynomial.from_symbol(X, 2).as_linexpr()
+
+    def test_evaluate_and_substitute(self):
+        poly = Polynomial.from_symbol(X) * Polynomial.from_symbol(Y) + 1
+        assert poly.evaluate({X: 3, Y: 4}) == 13
+        substituted = poly.substitute({X: Polynomial.from_symbol(Y)})
+        assert substituted == Polynomial.from_symbol(Y, 2) + 1
+
+    def test_content_and_primitive(self):
+        poly = Polynomial.from_symbol(X).scale(4) + Polynomial.from_symbol(Y).scale(6)
+        content, monomial, primitive = poly.primitive_part()
+        assert content == 2
+        assert monomial == ()
+        assert primitive == Polynomial.from_symbol(X).scale(2) + Polynomial.from_symbol(Y).scale(3)
+
+
+@st.composite
+def polynomials(draw):
+    x, y = Polynomial.from_symbol(X), Polynomial.from_symbol(Y)
+    basis = [Polynomial.constant(1), x, y, x * y, x * x]
+    coefficients_list = draw(st.lists(st.integers(-3, 3), min_size=len(basis), max_size=len(basis)))
+    total = Polynomial.zero()
+    for coefficient, base in zip(coefficients_list, basis):
+        total = total + base.scale(coefficient)
+    return total
+
+
+class TestPolynomialProperties:
+    @settings(max_examples=40)
+    @given(polynomials(), polynomials())
+    def test_multiplication_commutes(self, a, b):
+        assert a * b == b * a
+
+    @settings(max_examples=40)
+    @given(polynomials(), polynomials(), polynomials())
+    def test_distributivity(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @settings(max_examples=40)
+    @given(polynomials(), polynomials())
+    def test_product_divisible_by_factors(self, a, b):
+        if a.is_zero() or b.is_zero():
+            return
+        assert (a * b).exact_divide(a) == b
+
+    @settings(max_examples=40)
+    @given(polynomials(), st.dictionaries(st.sampled_from([X, Y]), st.integers(-3, 3)))
+    def test_evaluation_is_ring_homomorphism(self, a, bindings):
+        bindings = {X: 1, Y: 1, **bindings}
+        b = Polynomial.from_symbol(X) + 2
+        assert (a * b).evaluate(bindings) == a.evaluate(bindings) * b.evaluate(bindings)
+        assert (a + b).evaluate(bindings) == a.evaluate(bindings) + b.evaluate(bindings)
+
+
+# ---------------------------------------------------------------------------
+# GCD and RatFunc
+# ---------------------------------------------------------------------------
+
+
+class TestGcd:
+    def test_simple_common_factor(self):
+        x, y, f = Polynomial.from_symbol(X), Polynomial.from_symbol(Y), Polynomial.from_symbol(F)
+        a = (x + y) * f
+        b = (x + y) * (x + 2 * y)
+        assert polynomial_gcd(a, b) == x + y
+
+    def test_coprime_polynomials(self):
+        x, y = Polynomial.from_symbol(X), Polynomial.from_symbol(Y)
+        assert polynomial_gcd(x + 1, y + 1) == Polynomial.one()
+
+    def test_gcd_with_zero(self):
+        x = Polynomial.from_symbol(X)
+        assert polynomial_gcd(Polynomial.zero(), x + 1) == x + 1
+
+    def test_gcd_of_constants_is_one(self):
+        assert polynomial_gcd(Polynomial.constant(4), Polynomial.constant(6)) == Polynomial.one()
+
+    def test_cancel_common_factor(self):
+        x, y, z = (Polynomial.from_symbol(s) for s in (X, Y, Z))
+        numerator, denominator = cancel_common_factor((x + y) * z, (x + y) * (x + 2 * y))
+        assert numerator == z
+        assert denominator == x + 2 * y
+
+    @settings(max_examples=30, deadline=None)
+    @given(polynomials(), polynomials(), polynomials())
+    def test_gcd_divides_both(self, a, b, c):
+        left, right = a * c, b * c
+        if left.is_zero() or right.is_zero():
+            return
+        divisor = polynomial_gcd(left, right)
+        assert left.exact_divide(divisor) is not None
+        assert right.exact_divide(divisor) is not None
+        # the common factor c must divide the gcd
+        if not c.is_zero():
+            assert divisor.exact_divide(c) is not None or c.is_constant()
+
+
+class TestRatFunc:
+    def test_probability_expression(self):
+        f4, f5 = Polynomial.from_symbol(frequency_symbol("f4")), Polynomial.from_symbol(frequency_symbol("f5"))
+        probability = RatFunc(f4, f4 + f5)
+        assert probability.evaluate({frequency_symbol("f4"): Fraction(19, 20), frequency_symbol("f5"): Fraction(1, 20)}) == Fraction(19, 20)
+
+    def test_cancellation_on_construction(self):
+        x, y = Polynomial.from_symbol(X), Polynomial.from_symbol(Y)
+        ratio = RatFunc((x + y) * x, (x + y) * y)
+        assert ratio == RatFunc(x, y)
+        assert ratio.numerator == x
+        assert ratio.denominator == y
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ExpressionDomainError):
+            RatFunc(1, 0)
+
+    def test_field_arithmetic(self):
+        x, y = Polynomial.from_symbol(X), Polynomial.from_symbol(Y)
+        half = RatFunc(x, x + y)
+        other = RatFunc(y, x + y)
+        assert half + other == RatFunc.one()
+        assert half * (x + y) == RatFunc(x)
+        assert (half / other) == RatFunc(x, y)
+        assert -half + half == RatFunc.zero()
+
+    def test_sum_of_probabilities_is_one(self):
+        f4, f5 = frequency_symbol("f4"), frequency_symbol("f5")
+        p = RatFunc(Polynomial.from_symbol(f4), Polynomial.from_symbol(f4) + Polynomial.from_symbol(f5))
+        q = RatFunc(Polynomial.from_symbol(f5), Polynomial.from_symbol(f4) + Polynomial.from_symbol(f5))
+        assert p + q == 1
+
+    def test_reciprocal(self):
+        x = Polynomial.from_symbol(X)
+        assert RatFunc(x, x + 1).reciprocal() == RatFunc(x + 1, x)
+        with pytest.raises(ExpressionDomainError):
+            RatFunc.zero().reciprocal()
+
+    def test_substitute_numbers(self):
+        x, y = Polynomial.from_symbol(X), Polynomial.from_symbol(Y)
+        ratio = RatFunc(x, y)
+        assert ratio.substitute({X: 6, Y: 3}) == 2
+
+    def test_substitute_ratfunc(self):
+        x, y = Polynomial.from_symbol(X), Polynomial.from_symbol(Y)
+        ratio = RatFunc(x, x + 1)
+        nested = ratio.substitute({X: RatFunc(1, y)})
+        assert nested == RatFunc(Polynomial.one(), y + 1)
+
+    def test_partial_derivative_quotient_rule(self):
+        x = Polynomial.from_symbol(X)
+        ratio = RatFunc(x, x + 1)  # derivative = 1/(x+1)^2
+        derivative = ratio.partial_derivative(X)
+        assert derivative == RatFunc(Polynomial.one(), (x + 1) * (x + 1))
+
+    def test_evaluate_zero_denominator_rejected(self):
+        x, y = Polynomial.from_symbol(X), Polynomial.from_symbol(Y)
+        with pytest.raises(ExpressionDomainError):
+            RatFunc(x, y).evaluate({X: 1, Y: 0})
+
+    def test_constant_value(self):
+        assert RatFunc(Polynomial.constant(3), Polynomial.constant(6)).constant_value() == Fraction(1, 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(polynomials(), polynomials(), polynomials())
+    def test_addition_matches_evaluation(self, a, b, c):
+        if c.is_zero():
+            return
+        left = RatFunc(a, c)
+        right = RatFunc(b, c)
+        total = left + right
+        bindings = {X: Fraction(3), Y: Fraction(5)}
+        if c.evaluate(bindings) == 0:
+            return
+        assert total.evaluate(bindings) == left.evaluate(bindings) + right.evaluate(bindings)
