@@ -47,12 +47,15 @@ from .petri import Marking, Multiset, NetBuilder, Place, TimedPetriNet, Transiti
 from .protocols import (
     PAPER_THROUGHPUT,
     alternating_bit_net,
+    go_back_n_net,
     model_catalog,
     paper_bindings,
+    pipelined_stop_and_wait_net,
     producer_consumer_net,
     section4_constraints,
     simple_protocol_net,
     simple_protocol_symbolic,
+    sliding_window_net,
     token_ring_net,
 )
 from .reachability import (
@@ -115,7 +118,10 @@ __all__ = [
     "decision_graph",
     "model_catalog",
     "paper_bindings",
+    "go_back_n_net",
+    "pipelined_stop_and_wait_net",
     "producer_consumer_net",
+    "sliding_window_net",
     "section4_constraints",
     "simple_protocol_net",
     "simple_protocol_symbolic",

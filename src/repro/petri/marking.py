@@ -34,13 +34,13 @@ class Marking(Mapping):
         zero tokens.  Counts must be non-negative integers.
     """
 
-    __slots__ = ("_order", "_tokens", "_hash")
+    __slots__ = ("_order", "_tokens", "_known", "_hash")
 
     def __init__(self, place_order: Sequence[str], tokens: Mapping[str, int] | None = None):
         order = tuple(place_order)
-        if len(set(order)) != len(order):
+        known = frozenset(order)
+        if len(known) != len(order):
             raise MarkingError("place order contains duplicate place names")
-        known = set(order)
         data: Dict[str, int] = {}
         for place, count in (tokens or {}).items():
             if place not in known:
@@ -53,14 +53,33 @@ class Marking(Mapping):
                 data[place] = count
         self._order: Tuple[str, ...] = order
         self._tokens: Dict[str, int] = data
+        self._known: frozenset = known
         self._hash: int | None = None
+
+    @classmethod
+    def _trusted(cls, place_order: Tuple[str, ...], known: frozenset, tokens: Dict[str, int]) -> "Marking":
+        """Internal constructor that skips validation.
+
+        For callers (the compiled reachability engine) that guarantee the
+        invariants by construction: ``tokens`` holds only strictly positive
+        int counts for places of ``place_order``, and ``known`` is the
+        frozenset of ``place_order``.
+        """
+        marking = object.__new__(cls)
+        marking._order = place_order
+        marking._tokens = tokens
+        marking._known = known
+        marking._hash = None
+        return marking
 
     # ------------------------------------------------------------------
     # Mapping interface
     # ------------------------------------------------------------------
 
     def __getitem__(self, place: str) -> int:
-        if place not in self._order:
+        # Membership against the precomputed frozenset keeps token lookups
+        # O(1); scanning the place-order tuple made this O(P) per access.
+        if place not in self._known:
             raise MarkingError(f"unknown place {place!r}")
         return self._tokens.get(place, 0)
 
@@ -123,7 +142,7 @@ class Marking(Mapping):
         """Return the marking obtained by depositing the tokens of ``bag``."""
         tokens = dict(self._tokens)
         for place, count in bag.items():
-            if place not in self._order:
+            if place not in self._known:
                 raise MarkingError(f"output bag mentions unknown place {place!r}")
             tokens[place] = tokens.get(place, 0) + count
         return Marking(self._order, tokens)

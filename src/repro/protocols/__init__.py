@@ -4,8 +4,9 @@
   (numeric and symbolic flavours, Section-4 constraints, paper constants),
 * :mod:`repro.protocols.alternating_bit` — the sequenced extension the paper
   mentions,
-* :mod:`repro.protocols.workloads` — producer/consumer, token ring and a
-  pipelined stop-and-wait used for scaling experiments.
+* :mod:`repro.protocols.workloads` — producer/consumer, token ring,
+  pipelined stop-and-wait, sliding-window and go-back-N models used for
+  scaling experiments and for stressing the compiled reachability engine.
 """
 
 from typing import Callable, Dict
@@ -34,7 +35,13 @@ from .simple_protocol import (
     simple_protocol_net,
     simple_protocol_symbolic,
 )
-from .workloads import pipelined_stop_and_wait_net, producer_consumer_net, token_ring_net
+from .workloads import (
+    go_back_n_net,
+    pipelined_stop_and_wait_net,
+    producer_consumer_net,
+    sliding_window_net,
+    token_ring_net,
+)
 
 
 def model_catalog() -> Dict[str, Callable[[], TimedPetriNet]]:
@@ -49,6 +56,8 @@ def model_catalog() -> Dict[str, Callable[[], TimedPetriNet]]:
         "producer-consumer": producer_consumer_net,
         "token-ring": token_ring_net,
         "pipelined-stop-and-wait": pipelined_stop_and_wait_net,
+        "sliding-window": sliding_window_net,
+        "go-back-n": go_back_n_net,
     }
 
 
@@ -68,8 +77,10 @@ __all__ = [
     "PAPER_TIMEOUT",
     "SimpleProtocolParameters",
     "alternating_bit_net",
+    "go_back_n_net",
     "message_accept_transitions",
     "model_catalog",
+    "sliding_window_net",
     "paper_bindings",
     "paper_throughput_expression_value",
     "pipelined_stop_and_wait_net",

@@ -1,4 +1,4 @@
-"""Additional workload models: producer/consumer, token ring, pipelined stop-and-wait.
+"""Additional workload models: producer/consumer, token ring, windowed protocols.
 
 These models exercise the library beyond the paper's running example:
 
@@ -12,6 +12,13 @@ These models exercise the library beyond the paper's running example:
   channels sharing one receiver, a small step toward the sliding-window
   protocols the paper's introduction motivates; used to show how interleaved
   timers blow up the state space.
+* :func:`sliding_window_net` — a ``window_size``-frame sliding-window sender
+  over per-slot lossy media with a shared receiver; the number of concurrent
+  timers (and thus the state space) grows with the window, which is the
+  stress workload of the compiled reachability engine.
+* :func:`go_back_n_net` — a go-back-N-style variant of the sliding window:
+  frames are sent strictly in sequence order and the receiver only accepts
+  the next expected frame, so out-of-order deliveries queue at the receiver.
 """
 
 from __future__ import annotations
@@ -216,4 +223,200 @@ def pipelined_stop_and_wait_net(
             frequency=1,
             description=f"channel {channel}: retransmission timeout",
         )
+    return builder.build()
+
+
+def _check_window_parameters(window_size: int, loss_probability: ExprLike):
+    """Shared validation of the windowed-protocol builders."""
+    if window_size < 1:
+        raise ValueError("window_size must be at least 1")
+    loss = as_fraction(loss_probability)
+    if not 0 <= loss <= 1:
+        raise ValueError("loss probability must lie in [0, 1]")
+    return loss
+
+
+def _declare_slot_places(builder: NetBuilder, prefix: str, slot: int) -> None:
+    """The per-slot places shared by the windowed protocols."""
+    builder.place(prefix + "slot_free", f"window slot {slot} available", tokens=1)
+    builder.place(prefix + "in_medium", f"slot {slot}: frame in the medium")
+    builder.place(prefix + "at_receiver", f"slot {slot}: frame delivered")
+    builder.place(prefix + "ack_in_medium", f"slot {slot}: acknowledgement in transit")
+
+
+def _add_slot_medium(
+    builder: NetBuilder,
+    prefix: str,
+    slot: int,
+    *,
+    packet_delay: ExprLike,
+    send_time: ExprLike,
+    loss,
+    timeout: ExprLike,
+) -> None:
+    """The per-slot medium: delivery, and with loss a timeout/retransmit path."""
+    builder.transition(
+        prefix + "deliver",
+        inputs=[prefix + "in_medium"],
+        outputs=[prefix + "at_receiver"],
+        firing_time=packet_delay,
+        frequency=1 - loss,
+        description=f"slot {slot}: medium delivers the frame",
+    )
+    if loss > 0:
+        builder.place(prefix + "lost", f"slot {slot}: frame lost, timer running")
+        builder.transition(
+            prefix + "lose",
+            inputs=[prefix + "in_medium"],
+            outputs=[prefix + "lost"],
+            firing_time=packet_delay,
+            frequency=loss,
+            description=f"slot {slot}: medium loses the frame",
+        )
+        builder.transition(
+            prefix + "resend",
+            inputs=[prefix + "lost"],
+            outputs=[prefix + "in_medium"],
+            enabling_time=timeout,
+            firing_time=send_time,
+            description=f"slot {slot}: retransmission timeout fires",
+        )
+
+
+def _add_slot_ack_return(builder: NetBuilder, prefix: str, slot: int, *, ack_delay: ExprLike) -> None:
+    """The per-slot returning acknowledgement that frees the window slot."""
+    builder.transition(
+        prefix + "ack_return",
+        inputs=[prefix + "ack_in_medium"],
+        outputs=[prefix + "slot_free"],
+        firing_time=ack_delay,
+        description=f"slot {slot}: acknowledgement frees the slot",
+    )
+
+
+def sliding_window_net(
+    window_size: int = 2,
+    *,
+    send_time: ExprLike = 1,
+    packet_delay: ExprLike = 4,
+    receiver_time: ExprLike = 1,
+    ack_delay: ExprLike = 4,
+    loss_probability: ExprLike = 0,
+    timeout: ExprLike = 12,
+) -> TimedPetriNet:
+    """A sliding-window sender with ``window_size`` frames in flight.
+
+    One sender serializes transmissions (every ``send_`` transition holds the
+    shared ``sender_ready`` token for ``send_time``), but up to
+    ``window_size`` frames travel concurrently, each through its own slot of
+    the medium; a shared receiver acknowledges them one at a time and the
+    returning acknowledgement frees the slot.  With ``loss_probability > 0``
+    a frame can be lost in the medium, in which case a per-slot timeout
+    retransmits it.
+
+    All ``send_<i>`` transitions share ``sender_ready`` and therefore form a
+    single conflict set: whenever several slots are free the sender picks one
+    uniformly, which makes the model rich in decision states.  The number of
+    concurrently running timers grows with the window, so the timed
+    reachability graph grows steeply with ``window_size`` — this is the
+    stress workload for the compiled reachability engine.  Delays default to
+    small commensurable integers so the graph stays finite (see
+    :func:`pipelined_stop_and_wait_net` for why that matters).
+    """
+    loss = _check_window_parameters(window_size, loss_probability)
+
+    builder = NetBuilder(f"sliding-window-{window_size}")
+    builder.place("sender_ready", "sender free to transmit the next frame", tokens=1)
+    builder.place("receiver_ready", "shared receiver ready", tokens=1)
+    for slot in range(window_size):
+        prefix = f"w{slot}_"
+        _declare_slot_places(builder, prefix, slot)
+        builder.transition(
+            prefix + "send",
+            inputs=["sender_ready", prefix + "slot_free"],
+            outputs=["sender_ready", prefix + "in_medium"],
+            firing_time=send_time,
+            description=f"slot {slot}: transmit a frame",
+        )
+        _add_slot_medium(
+            builder, prefix, slot,
+            packet_delay=packet_delay, send_time=send_time, loss=loss, timeout=timeout,
+        )
+        builder.transition(
+            prefix + "ack",
+            inputs=[prefix + "at_receiver", "receiver_ready"],
+            outputs=[prefix + "ack_in_medium", "receiver_ready"],
+            firing_time=receiver_time,
+            description=f"slot {slot}: receiver acknowledges the frame",
+        )
+        _add_slot_ack_return(builder, prefix, slot, ack_delay=ack_delay)
+    return builder.build()
+
+
+def go_back_n_net(
+    window_size: int = 2,
+    *,
+    send_time: ExprLike = 1,
+    packet_delay: ExprLike = 4,
+    receiver_time: ExprLike = 1,
+    ack_delay: ExprLike = 4,
+    loss_probability: ExprLike = 0,
+    timeout: ExprLike = 12,
+) -> TimedPetriNet:
+    """A go-back-N-style windowed sender with an in-order receiver.
+
+    Structurally a :func:`sliding_window_net`, with the two ordering
+    disciplines that characterize go-back-N:
+
+    * the sender transmits frames strictly in sequence order — a
+      ``send_turn`` token cycles through the slots, so slot ``i+1`` cannot be
+      (re)filled before slot ``i`` was sent, and
+    * the receiver only accepts the next expected frame — an ``expect`` token
+      cycles through the slots, so a frame that arrives out of order waits at
+      the receiver until its turn.
+
+    With ``loss_probability > 0`` a lost frame is retransmitted by a per-slot
+    timeout while later frames queue at the in-order receiver, reproducing
+    the head-of-line blocking that limits go-back-N throughput.  Like the
+    other scaling workloads it defaults to small commensurable integer delays
+    so the timed reachability graph closes.
+    """
+    loss = _check_window_parameters(window_size, loss_probability)
+
+    builder = NetBuilder(f"go-back-n-{window_size}")
+    builder.place("receiver_ready", "shared receiver ready", tokens=1)
+    for slot in range(window_size):
+        builder.place(
+            f"g{slot}_send_turn",
+            f"sender's next frame is slot {slot}",
+            tokens=1 if slot == 0 else 0,
+        )
+        builder.place(
+            f"g{slot}_expect",
+            f"receiver expects the frame of slot {slot}",
+            tokens=1 if slot == 0 else 0,
+        )
+    for slot in range(window_size):
+        prefix = f"g{slot}_"
+        nxt = f"g{(slot + 1) % window_size}_"
+        _declare_slot_places(builder, prefix, slot)
+        builder.transition(
+            prefix + "send",
+            inputs=[prefix + "send_turn", prefix + "slot_free"],
+            outputs=[nxt + "send_turn", prefix + "in_medium"],
+            firing_time=send_time,
+            description=f"slot {slot}: transmit the next in-sequence frame",
+        )
+        _add_slot_medium(
+            builder, prefix, slot,
+            packet_delay=packet_delay, send_time=send_time, loss=loss, timeout=timeout,
+        )
+        builder.transition(
+            prefix + "accept",
+            inputs=[prefix + "at_receiver", prefix + "expect", "receiver_ready"],
+            outputs=[prefix + "ack_in_medium", nxt + "expect", "receiver_ready"],
+            firing_time=receiver_time,
+            description=f"slot {slot}: receiver accepts the in-order frame",
+        )
+        _add_slot_ack_return(builder, prefix, slot, ack_delay=ack_delay)
     return builder.build()

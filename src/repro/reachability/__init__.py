@@ -30,8 +30,11 @@ from .analysis import (
     timed_deadlocks,
     vanishing_states,
 )
+from .compiled import CompiledNet, CompiledSuccessorEngine, build_compiled_graph
 from .decision import DecisionEdge, DecisionGraph, decision_graph
 from .graph import (
+    ENGINE_COMPILED,
+    ENGINE_REFERENCE,
     TimedEdge,
     TimedNode,
     TimedReachabilityGraph,
@@ -49,9 +52,14 @@ from .successors import (
 )
 
 __all__ = [
+    "CompiledNet",
+    "CompiledSuccessorEngine",
     "DecisionEdge",
     "DecisionGraph",
+    "ENGINE_COMPILED",
+    "ENGINE_REFERENCE",
     "MinimumSelection",
+    "build_compiled_graph",
     "NumericProbabilityAlgebra",
     "NumericTimeAlgebra",
     "OVERLAP_ERROR",

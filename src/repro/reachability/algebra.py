@@ -189,6 +189,10 @@ class NumericProbabilityAlgebra:
         """Probability 1."""
         return Fraction(1)
 
+    def uniform(self, count: int) -> Fraction:
+        """The uniform share ``1/count``."""
+        return Fraction(1, count)
+
     def multiply(self, left: ProbabilityScalar, right: ProbabilityScalar) -> Fraction:
         """Product of two probabilities."""
         return Fraction(left) * Fraction(right)
@@ -219,6 +223,10 @@ class SymbolicProbabilityAlgebra:
     def one(self) -> RatFunc:
         """Probability 1."""
         return RatFunc.one()
+
+    def uniform(self, count: int) -> RatFunc:
+        """The uniform share ``1/count``."""
+        return RatFunc.coerce(Fraction(1, count))
 
     def multiply(self, left: ProbabilityScalar, right: ProbabilityScalar) -> RatFunc:
         """Product of two probabilities."""

@@ -33,8 +33,16 @@ from .algebra import (
     numeric_algebras,
     symbolic_algebras,
 )
+from .compiled import build_compiled_graph
 from .state import TimedState
 from .successors import OVERLAP_ERROR, STEP_ADVANCE, STEP_FIRE, SuccessorGenerator
+
+#: Engine selection for the public graph builders.  The compiled engine is
+#: the default; the reference engine keeps the readable, paper-shaped
+#: implementation available for differential testing and debugging.
+ENGINE_COMPILED = "compiled"
+ENGINE_REFERENCE = "reference"
+_ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE)
 
 
 @dataclass(frozen=True)
@@ -240,7 +248,12 @@ class TimedReachabilityGraph:
         """Edge rows: (source, target, delay, probability, fired/completed)."""
         rows = []
         for edge in self.edges:
-            action = "+".join(edge.fired) if edge.fired else ("!" + "+".join(edge.completed) if edge.completed else "")
+            # A fire edge can both start firings and complete instantaneous
+            # transitions; render both parts (e.g. "t1+t2!t3") instead of
+            # silently dropping the completions.
+            action = "+".join(edge.fired)
+            if edge.completed:
+                action += "!" + "+".join(edge.completed)
             rows.append(
                 (
                     str(edge.source + 1),
@@ -325,23 +338,47 @@ def _build(
     return graph
 
 
+def _check_engine(engine: str) -> None:
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {', '.join(map(repr, _ENGINES))}"
+        )
+
+
 def timed_reachability_graph(
     net: TimedPetriNet,
     *,
     max_states: int = 100_000,
     overlap_policy: str = OVERLAP_ERROR,
+    engine: str = ENGINE_COMPILED,
 ) -> TimedReachabilityGraph:
     """Build the numeric timed reachability graph of a net (Section 2 / Figure 4).
 
     Every enabling time, firing time and firing frequency of the net must be
     numeric; use :func:`symbolic_timed_reachability_graph` otherwise.
+
+    ``engine`` selects the construction backend: ``"compiled"`` (default)
+    runs the integer-indexed engine of :mod:`repro.reachability.compiled`,
+    ``"reference"`` the readable name-based procedure.  Both produce
+    identical graphs.
     """
     if net.is_symbolic:
         raise ValueError(
             "net has symbolic annotations; use symbolic_timed_reachability_graph() "
             "with the declared timing constraints"
         )
+    _check_engine(engine)
     time_algebra, probability_algebra = numeric_algebras()
+    if engine == ENGINE_COMPILED:
+        return build_compiled_graph(
+            net,
+            time_algebra,
+            probability_algebra,
+            symbolic=False,
+            constraints=None,
+            max_states=max_states,
+            overlap_policy=overlap_policy,
+        )
     generator = SuccessorGenerator(
         net, time_algebra, probability_algebra, overlap_policy=overlap_policy
     )
@@ -354,6 +391,7 @@ def symbolic_timed_reachability_graph(
     *,
     max_states: int = 100_000,
     overlap_policy: str = OVERLAP_ERROR,
+    engine: str = ENGINE_COMPILED,
 ) -> TimedReachabilityGraph:
     """Build the symbolic timed reachability graph of a net (Section 3 / Figure 6).
 
@@ -362,11 +400,26 @@ def symbolic_timed_reachability_graph(
     decision, otherwise
     :class:`~repro.exceptions.InsufficientConstraintsError` is raised with
     the expressions that could not be ordered.
+
+    ``engine`` selects the construction backend exactly as in
+    :func:`timed_reachability_graph`; the symbolic algebra (comparator,
+    constraint bookkeeping) is shared by both backends.
     """
     if not isinstance(constraints, ConstraintSet):
         constraints = ConstraintSet(list(constraints))
     constraints.assert_consistent()
+    _check_engine(engine)
     time_algebra, probability_algebra = symbolic_algebras(constraints)
+    if engine == ENGINE_COMPILED:
+        return build_compiled_graph(
+            net,
+            time_algebra,
+            probability_algebra,
+            symbolic=True,
+            constraints=constraints,
+            max_states=max_states,
+            overlap_policy=overlap_policy,
+        )
     generator = SuccessorGenerator(
         net, time_algebra, probability_algebra, overlap_policy=overlap_policy
     )

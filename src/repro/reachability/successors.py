@@ -199,9 +199,10 @@ class SuccessorGenerator:
             ]
             if not choices:
                 # Degenerate: every firable member has probability zero; keep
-                # the graph well-formed by choosing uniformly.
-                share = self.probability.one()
-                choices = [(by_conflict_set[key][0], share)]
+                # the graph well-formed by choosing genuinely uniformly — one
+                # edge per firable member, each with probability 1/n.
+                share = self.probability.uniform(len(by_conflict_set[key]))
+                choices = [(name, share) for name in by_conflict_set[key]]
             per_set_choices.append(choices)
 
         edges: List[SuccessorEdge] = []

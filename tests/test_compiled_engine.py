@@ -1,0 +1,295 @@
+"""Differential and regression tests for the compiled reachability engine.
+
+The compiled engine (:mod:`repro.reachability.compiled`) must reproduce the
+reference successor procedure **bit for bit**: same node order, same edge
+order, same delays, probabilities, fired/completed transition labels and
+used-constraint labels.  These tests enforce that equivalence on every
+bundled workload, cover the ``engine`` selection knob, the ``max_states``
+bound and the overlap policies, and pin down the hot-path bugfixes that
+shipped with the engine (uniform zero-frequency fallback, lossless
+``edge_table`` rendering, O(1) marking lookups).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import MarkingError, SafenessViolationError, UnboundedNetError
+from repro.petri.builder import NetBuilder
+from repro.petri.marking import Marking
+from repro.protocols import (
+    alternating_bit_net,
+    go_back_n_net,
+    pipelined_stop_and_wait_net,
+    producer_consumer_net,
+    simple_protocol_net,
+    simple_protocol_symbolic,
+    sliding_window_net,
+    token_ring_net,
+)
+from repro.reachability import (
+    OVERLAP_SKIP,
+    CompiledSuccessorEngine,
+    SuccessorGenerator,
+    symbolic_timed_reachability_graph,
+    timed_reachability_graph,
+)
+from repro.reachability.algebra import NumericProbabilityAlgebra, numeric_algebras
+
+NUMERIC_WORKLOADS = [
+    ("paper-protocol", simple_protocol_net),
+    ("alternating-bit", alternating_bit_net),
+    ("producer-consumer", lambda: producer_consumer_net(loss_probability=Fraction(1, 5))),
+    ("token-ring", lambda: token_ring_net(5)),
+    ("pipelined-stop-and-wait", lambda: pipelined_stop_and_wait_net(2)),
+    ("sliding-window", lambda: sliding_window_net(2, loss_probability=Fraction(1, 10))),
+    ("go-back-n", lambda: go_back_n_net(2, loss_probability=Fraction(1, 10))),
+]
+
+
+def edge_payloads(graph):
+    """Everything observable on an edge, for exact comparison."""
+    return [
+        (
+            edge.source,
+            edge.target,
+            edge.delay,
+            edge.probability,
+            edge.fired,
+            edge.completed,
+            edge.kind,
+            edge.used_constraints,
+        )
+        for edge in graph.edges
+    ]
+
+
+def assert_identical(compiled, reference):
+    assert compiled.state_count == reference.state_count
+    assert compiled.edge_count == reference.edge_count
+    assert compiled.initial_index == reference.initial_index
+    assert [node.state for node in compiled.nodes] == [node.state for node in reference.nodes]
+    assert edge_payloads(compiled) == edge_payloads(reference)
+    assert compiled.state_table() == reference.state_table()
+    assert compiled.edge_table() == reference.edge_table()
+    assert sorted(compiled.index_of.values()) == sorted(reference.index_of.values())
+
+
+class TestDifferentialEquivalence:
+    @pytest.mark.parametrize("label,constructor", NUMERIC_WORKLOADS, ids=[w[0] for w in NUMERIC_WORKLOADS])
+    def test_numeric_workloads(self, label, constructor):
+        net = constructor()
+        compiled = timed_reachability_graph(net, max_states=20_000, engine="compiled")
+        reference = timed_reachability_graph(net, max_states=20_000, engine="reference")
+        assert_identical(compiled, reference)
+
+    def test_symbolic_paper_net_including_used_constraints(self):
+        net, constraints, _symbols = simple_protocol_symbolic()
+        compiled = symbolic_timed_reachability_graph(net, constraints, engine="compiled")
+        reference = symbolic_timed_reachability_graph(net, constraints, engine="reference")
+        assert_identical(compiled, reference)
+        # The Figure-7 bookkeeping must survive the compilation verbatim.
+        assert compiled.used_constraint_labels() == reference.used_constraint_labels()
+        assert compiled.constraint_usage() == reference.constraint_usage()
+        assert any(compiled.used_constraint_labels())
+
+    def test_compiled_is_the_default_engine(self):
+        default = timed_reachability_graph(simple_protocol_net())
+        explicit = timed_reachability_graph(simple_protocol_net(), engine="compiled")
+        assert [n.state for n in default.nodes] == [n.state for n in explicit.nodes]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            timed_reachability_graph(simple_protocol_net(), engine="turbo")
+        net, constraints, _symbols = simple_protocol_symbolic()
+        with pytest.raises(ValueError, match="unknown engine"):
+            symbolic_timed_reachability_graph(net, constraints, engine="turbo")
+
+
+def overlapping_net():
+    """A net where a transition becomes firable while it is already firing.
+
+    ``t_long`` starts a 3-tick firing; ``t_feed`` completes after 1 tick and
+    re-marks ``t_long``'s input place, so ``t_long`` is enabled again while
+    its own firing is still in progress — the situation the paper's model
+    restriction rules out.
+    """
+    builder = NetBuilder("overlap")
+    builder.place("a", tokens=1)
+    builder.place("c", tokens=1)
+    builder.transition("t_long", inputs=["a"], outputs=[], firing_time=3)
+    builder.transition("t_feed", inputs=["c"], outputs=["a"], firing_time=1)
+    return builder.build()
+
+
+class TestOverlapPolicies:
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    def test_overlap_error_raises(self, engine):
+        with pytest.raises(SafenessViolationError, match="already firing"):
+            timed_reachability_graph(overlapping_net(), engine=engine)
+
+    def test_overlap_skip_graphs_identical(self):
+        compiled = timed_reachability_graph(
+            overlapping_net(), overlap_policy=OVERLAP_SKIP, engine="compiled"
+        )
+        reference = timed_reachability_graph(
+            overlapping_net(), overlap_policy=OVERLAP_SKIP, engine="reference"
+        )
+        assert_identical(compiled, reference)
+        # The skipped overlap means the long transition simply keeps firing.
+        assert compiled.state_count > 1
+
+
+class TestMaxStatesBound:
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    def test_raises_exactly_at_the_limit(self, engine):
+        net = token_ring_net(3)
+        exact = timed_reachability_graph(net, engine=engine).state_count
+        assert exact == 12
+        # The full graph fits exactly: no error at the true size...
+        graph = timed_reachability_graph(net, max_states=exact, engine=engine)
+        assert graph.state_count == exact
+        # ...and one state less trips the bound.
+        with pytest.raises(UnboundedNetError, match=str(exact - 1)):
+            timed_reachability_graph(net, max_states=exact - 1, engine=engine)
+
+
+class _AllZeroProbabilities(NumericProbabilityAlgebra):
+    """Probability algebra whose branch probabilities are always zero.
+
+    Models a (possibly user-supplied) algebra that returns raw, unfiltered
+    probability maps — the degenerate case the fire step's fallback guards.
+    """
+
+    def branch_probabilities(self, conflict_set, firable):
+        return {name: Fraction(0) for name in firable}
+
+
+def two_way_choice_net():
+    builder = NetBuilder("choice")
+    builder.place("p", tokens=1)
+    builder.transition("a", inputs=["p"], outputs=[], firing_time=1, frequency=1)
+    builder.transition("b", inputs=["p"], outputs=[], firing_time=2, frequency=1)
+    return builder.build()
+
+
+class TestUniformZeroFrequencyFallback:
+    """Regression: the all-zero fallback must be genuinely uniform.
+
+    It used to give the whole probability mass to the first firable member;
+    now every firable member gets its own edge with probability ``1/n``.
+    """
+
+    def test_reference_generator_splits_uniformly(self):
+        net = two_way_choice_net()
+        time_algebra, _ = numeric_algebras()
+        generator = SuccessorGenerator(net, time_algebra, _AllZeroProbabilities())
+        edges = generator.successors(generator.initial_state())
+        assert [(edge.fired, edge.probability) for edge in edges] == [
+            (("a",), Fraction(1, 2)),
+            (("b",), Fraction(1, 2)),
+        ]
+
+    def test_compiled_engine_splits_uniformly(self):
+        net = two_way_choice_net()
+        time_algebra, _ = numeric_algebras()
+        engine = CompiledSuccessorEngine(net, time_algebra, _AllZeroProbabilities())
+        edges = engine.successors(engine.initial_state())
+        assert [(edge.fired, edge.probability) for edge in edges] == [
+            (("a",), Fraction(1, 2)),
+            (("b",), Fraction(1, 2)),
+        ]
+
+
+def fire_and_complete_net():
+    """A selector that starts a timed firing and completes an instantaneous one."""
+    builder = NetBuilder("fire-and-complete")
+    builder.place("a", tokens=1)
+    builder.place("c", tokens=1)
+    builder.transition("t1", inputs=["a"], outputs=["b"], firing_time=2)
+    builder.transition("t2", inputs=["c"], outputs=["d"], firing_time=0)
+    return builder.build()
+
+
+class TestEdgeTableRendering:
+    """Regression: fire edges used to drop their ``!completed`` suffix."""
+
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    def test_fire_edge_renders_completions(self, engine):
+        graph = timed_reachability_graph(fire_and_complete_net(), engine=engine)
+        actions = [row[4] for row in graph.edge_table()]
+        assert "t1+t2!t2" in actions
+
+    def test_advance_edge_still_renders_completions(self):
+        graph = timed_reachability_graph(fire_and_complete_net())
+        actions = [row[4] for row in graph.edge_table()]
+        assert "!t1" in actions
+
+
+class TestMarkingLookup:
+    """Regression companions for the O(1) ``Marking.__getitem__``."""
+
+    def test_known_place_lookup(self):
+        marking = Marking(("p1", "p2", "p3"), {"p2": 2})
+        assert marking["p1"] == 0
+        assert marking["p2"] == 2
+
+    def test_unknown_place_still_raises(self):
+        marking = Marking(("p1", "p2"), {"p1": 1})
+        with pytest.raises(MarkingError, match="unknown place"):
+            marking["p9"]
+
+    def test_add_rejects_unknown_places(self):
+        marking = Marking(("p1",), {"p1": 1})
+        from repro.petri.multiset import Multiset
+
+        with pytest.raises(MarkingError, match="unknown place"):
+            marking.add(Multiset(["zz"]))
+
+    def test_trusted_constructor_matches_validated(self):
+        order = ("p1", "p2")
+        trusted = Marking._trusted(order, frozenset(order), {"p2": 1})
+        assert trusted == Marking(order, {"p2": 1})
+        assert hash(trusted) == hash(Marking(order, {"p2": 1}))
+        assert trusted["p1"] == 0 and trusted["p2"] == 1
+
+
+class TestWindowWorkloads:
+    def test_sliding_window_grows_with_window(self):
+        small = timed_reachability_graph(sliding_window_net(1))
+        large = timed_reachability_graph(sliding_window_net(3))
+        assert large.state_count > small.state_count
+        assert not large.dead_nodes()
+
+    def test_go_back_n_sends_in_order(self):
+        graph = timed_reachability_graph(go_back_n_net(2))
+        fired = [edge.fired for edge in graph.edges if edge.fired]
+        sends = [
+            [name for name in names if name.endswith("_send")]
+            for names in fired
+            if any(name.endswith("_send") for name in names)
+        ]
+        # The send-turn token serializes transmissions: the very first send
+        # is slot 0's, and no selector ever starts two sends at once.
+        assert sends and sends[0] == ["g0_send"]
+        assert all(len(names) == 1 for names in sends)
+        # Without loss the windowed pipeline is fully deterministic.
+        assert not graph.decision_nodes()
+
+    def test_lossy_windows_have_decision_states(self):
+        graph = timed_reachability_graph(sliding_window_net(2, loss_probability=Fraction(1, 10)))
+        assert graph.decision_nodes()
+        graph = timed_reachability_graph(go_back_n_net(2, loss_probability=Fraction(1, 10)))
+        assert graph.decision_nodes()
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            sliding_window_net(0)
+        with pytest.raises(ValueError):
+            go_back_n_net(0)
+        with pytest.raises(ValueError):
+            sliding_window_net(2, loss_probability=2)
+        with pytest.raises(ValueError):
+            go_back_n_net(2, loss_probability=-1)

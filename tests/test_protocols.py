@@ -13,12 +13,14 @@ from repro.protocols import (
     PAPER_THROUGHPUT,
     SimpleProtocolParameters,
     alternating_bit_net,
+    go_back_n_net,
     model_catalog,
     paper_bindings,
     paper_throughput_expression_value,
     pipelined_stop_and_wait_net,
     producer_consumer_net,
     protocol_symbols,
+    sliding_window_net,
     section4_constraints,
     simple_protocol_net,
     simple_protocol_symbolic,
@@ -201,6 +203,36 @@ class TestWorkloads:
     def test_pipelined_requires_a_channel(self):
         with pytest.raises(ValueError):
             pipelined_stop_and_wait_net(0)
+
+    def test_sliding_window_lossless_structure(self):
+        net = sliding_window_net(2)
+        assert "w0_send" in net.transitions and "w1_send" in net.transitions
+        assert "w0_lose" not in net.transitions
+        # All sends share the sender and therefore form one conflict set.
+        assert net.conflict_set_of("w0_send") == net.conflict_set_of("w1_send")
+
+    def test_sliding_window_lossy_adds_timeout_path(self):
+        net = sliding_window_net(2, loss_probability=Fraction(1, 10))
+        assert "w0_lose" in net.transitions and "w0_resend" in net.transitions
+        graph = timed_reachability_graph(net)
+        assert graph.decision_nodes()
+        assert not graph.dead_nodes()
+
+    def test_go_back_n_throughput(self):
+        analysis = PerformanceAnalysis(go_back_n_net(2))
+        # All slots cycle at the same rate — the pipeline is in-order.
+        assert analysis.throughput("g0_ack_return").value > 0
+        assert (
+            analysis.throughput("g0_ack_return").value
+            == analysis.throughput("g1_ack_return").value
+        )
+
+    def test_go_back_n_receiver_is_in_order(self):
+        net = go_back_n_net(3)
+        # The accept transitions chain the expect token through the slots.
+        accept = net.transition("g1_accept")
+        assert "g1_expect" in accept.inputs
+        assert "g2_expect" in accept.outputs
 
     def test_catalog_constructs_every_model(self):
         for name, constructor in model_catalog().items():
