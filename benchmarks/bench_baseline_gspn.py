@@ -6,16 +6,41 @@ both on the same protocol and reports how far the exponential approximation
 drifts from the deterministic result — the gap is the paper's motivation in
 one number (an exponential timeout with mean 1001 ms fires "early" so often
 that spurious retransmissions dominate).
+
+It also compares the two marking-graph exploration engines of
+:class:`~repro.stochastic.gspn.GSPNAnalysis`: the compiled integer-vector
+backend on the shared :mod:`repro.engine` tables (the default) against the
+readable reference exploration, with ``sliding_window_net(3)`` as the
+acceptance headline (the compiled engine must be at least 2x faster).
 """
 
 from __future__ import annotations
 
-from repro.protocols import PAPER_THROUGHPUT, producer_consumer_net, simple_protocol_net
+from fractions import Fraction
+
+from repro.protocols import (
+    PAPER_THROUGHPUT,
+    producer_consumer_net,
+    simple_protocol_net,
+    sliding_window_net,
+)
 from repro.performance import PerformanceAnalysis
 from repro.stochastic import GSPNAnalysis
-from repro.viz import ExperimentReport
+from repro.viz import ExperimentReport, format_table
 
-from conftest import emit
+from conftest import best_timed, emit, soft_or_fail
+
+#: Workloads for the compiled-vs-reference marking-graph comparison; each
+#: entry is (label, net constructor, GSPNAnalysis keyword arguments).
+GSPN_ENGINE_MODELS = [
+    ("sliding window, 3 frames", lambda: sliding_window_net(3), {}),
+    (
+        "sliding window, 4 frames, lossy",
+        lambda: sliding_window_net(4, loss_probability=Fraction(1, 10)),
+        {},
+    ),
+    ("paper protocol (2 tokens/place)", simple_protocol_net, {"place_capacity": 2}),
+]
 
 
 def solve_gspn():
@@ -57,3 +82,57 @@ def test_gspn_baseline(benchmark, paper_analysis):
         "closely."
     )
     emit(report)
+
+
+def best_explore_time(net, engine, kwargs):
+    """Best-of-N wall-clock of the marking-graph exploration only.
+
+    The stationary solve is shared linear algebra; the engine comparison is
+    about the graph construction.
+    """
+    analysis = GSPNAnalysis(net, engine=engine, **kwargs)
+    best, (markings, _edges, _vanishing) = best_timed(analysis._explore)
+    return best, len(markings)
+
+
+def test_gspn_engine_markings_per_second():
+    """Compiled vs. reference GSPN marking-graph throughput (markings/second)."""
+    rows = []
+    speedups = {}
+    for label, constructor, kwargs in GSPN_ENGINE_MODELS:
+        net = constructor()
+        reference_time, reference_count = best_explore_time(net, "reference", kwargs)
+        compiled_time, compiled_count = best_explore_time(net, "compiled", kwargs)
+        assert compiled_count == reference_count, label
+        speedups[label] = reference_time / compiled_time
+        rows.append(
+            (
+                label,
+                compiled_count,
+                f"{compiled_count / reference_time:,.0f}",
+                f"{compiled_count / compiled_time:,.0f}",
+                f"{speedups[label]:.2f}x",
+            )
+        )
+
+    print()
+    print(
+        format_table(
+            ("model (GSPN)", "markings", "reference markings/s", "compiled markings/s", "speedup"),
+            rows,
+            align_right=False,
+        )
+    )
+
+    # Acceptance headline: >= 2x on sliding_window_net(3) (typically 6-10x),
+    # and no workload may regress below the reference engine.  Wall-clock
+    # ratios are noisy on shared runners, so REPRO_BENCH_SOFT downgrades a
+    # miss to a warning.
+    headline = GSPN_ENGINE_MODELS[0][0]
+    problems = []
+    if speedups[headline] < 2.0:
+        problems.append(f"sliding-window GSPN speedup regressed: {speedups[headline]:.2f}x < 2x")
+    for label, speedup in speedups.items():
+        if speedup < 1.0:
+            problems.append(f"{label}: compiled GSPN exploration slower than reference ({speedup:.2f}x)")
+    soft_or_fail(problems)

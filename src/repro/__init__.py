@@ -63,6 +63,7 @@ from .reachability import (
     TimedReachabilityGraph,
     TimedState,
     decision_graph,
+    supports_decision_collapse,
     symbolic_timed_reachability_graph,
     timed_reachability_graph,
 )
@@ -116,6 +117,7 @@ __all__ = [
     "alternating_bit_net",
     "analyze",
     "decision_graph",
+    "supports_decision_collapse",
     "model_catalog",
     "paper_bindings",
     "go_back_n_net",

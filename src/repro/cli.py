@@ -22,6 +22,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from .exceptions import PerformanceError
 from .performance import PerformanceAnalysis
 from .petri.io import jsonio, pnml
 from .petri.io.dot import net_to_dot
@@ -65,7 +66,16 @@ def _command_models(_arguments) -> int:
 
 def _command_analyze(arguments) -> int:
     net = _load_model(arguments)
-    analysis = PerformanceAnalysis(net)
+    try:
+        # decision_graph() pre-checks collapse support and raises with the
+        # supports_decision_collapse() diagnosis; catching it here avoids
+        # building the reachability graph twice just to pre-check.
+        analysis = PerformanceAnalysis(net)
+    except PerformanceError as error:
+        print(net.summary())
+        print()
+        print(f"cannot analyze: {error}")
+        return 1
     print(net.summary())
     print()
     print(f"timed reachability graph: {analysis.reachability.state_count} states, "
@@ -99,7 +109,11 @@ def _command_reachability(arguments) -> int:
 
 def _command_decision(arguments) -> int:
     net = _load_model(arguments)
-    graph = decision_graph(timed_reachability_graph(net))
+    try:
+        graph = decision_graph(timed_reachability_graph(net))
+    except PerformanceError as error:
+        print(f"cannot collapse: {error}")
+        return 1
     print(graph)
     print(format_table(("edge", "from", "to", "probability", "delay"), graph.edge_table(), align_right=False))
     return 0

@@ -1,0 +1,59 @@
+"""The shared compiled-engine core: integer-indexed net tables and builders.
+
+Every graph construction in this library walks the same hot loop: test which
+transitions a marking enables, fire one, and deduplicate the successor.  The
+readable implementations (:mod:`repro.reachability.successors`,
+:mod:`repro.petri.untimed`, :mod:`repro.stochastic.gspn`) resolve arcs by
+place *name* and rescan the full transition list per marking — the exact
+bottleneck the paper's successor procedure exists to avoid.
+
+This package factors the integer-indexing core that
+:mod:`repro.reachability.compiled` introduced for the timed construction into
+a reusable module:
+
+* :class:`~repro.engine.tables.NetTables` — place/transition integer ids,
+  input/output arc lists, per-transition token deltas, conflict-set group
+  indices, and *incremental* enabled-set maintenance over plain ``int``
+  tuples (only transitions consuming from a place whose count changed are
+  re-tested);
+* :func:`~repro.engine.untimed.compiled_reachability_graph` and
+  :func:`~repro.engine.untimed.compiled_coverability_graph` — compiled BFS
+  backends for the untimed semantics, including Karp–Miller ω-acceleration
+  directly on the integer vectors;
+* :func:`~repro.engine.gspn.compiled_marking_graph` — the compiled
+  exploration behind :class:`repro.stochastic.gspn.GSPNAnalysis`.
+
+Each public builder that uses this engine keeps an ``engine="reference"``
+escape hatch and is required (by ``tests/test_engine_diff.py`` and
+``tests/engine_diff.py``) to produce **bit-identical** graphs to the readable
+implementation: same node order, same edge order, same labels, rates and
+weights.
+"""
+
+from .gspn import compiled_marking_graph
+from .tables import NetTables
+from .untimed import compiled_coverability_graph, compiled_reachability_graph
+
+#: Engine selection values shared by every builder with a compiled backend.
+ENGINE_COMPILED = "compiled"
+ENGINE_REFERENCE = "reference"
+ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE)
+
+
+def check_engine(engine: str) -> None:
+    """Validate an ``engine=`` argument, raising ``ValueError`` otherwise."""
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {', '.join(map(repr, ENGINES))}"
+        )
+
+__all__ = [
+    "ENGINE_COMPILED",
+    "ENGINE_REFERENCE",
+    "ENGINES",
+    "NetTables",
+    "check_engine",
+    "compiled_coverability_graph",
+    "compiled_marking_graph",
+    "compiled_reachability_graph",
+]

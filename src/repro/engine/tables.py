@@ -1,0 +1,190 @@
+"""Integer-indexed structural tables of a Timed Petri Net.
+
+:class:`NetTables` compiles the *structure* of a
+:class:`~repro.petri.net.TimedPetriNet` — arcs, conflict sets, the
+consumer relation — into dense integer tables once, so that every graph
+construction (timed, untimed, coverability, GSPN marking graph) can run its
+hot loop over plain ``tuple[int, ...]`` token vectors:
+
+* places and transitions become integer indices; markings become dense
+  token vectors,
+* input/output bags become precomputed ``(place_index, count)`` lists and
+  the atomic firing rule becomes a precomputed per-transition *delta* list
+  (a handful of integer adds instead of two Marking copies with
+  re-validation),
+* the enabled-transition set is maintained **incrementally**: a successor
+  vector only re-tests the transitions consuming from places whose token
+  count changed, and enabled sets are memoized per vector,
+* conflict sets are resolved to group indices (numbered in the iteration
+  order of the reference fire step) for the timed engine's branching step.
+
+The timing- and probability-dependent tables of the timed construction live
+in :class:`repro.reachability.compiled.CompiledNet`, which extends this
+class with the algebra-aware columns (enabling/firing values and zero
+tests, memoized branch probabilities).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..petri.marking import Marking
+from ..petri.net import TimedPetriNet
+
+
+class NetTables:
+    """Dense integer-indexed tables of a net's structure.
+
+    The compilation is purely structural (no timing, no probabilities), so a
+    single instance can serve numeric and symbolic nets alike; it costs
+    ``O(P + T + arcs)`` and is rebuilt per construction — negligible next to
+    any graph exploration.
+    """
+
+    def __init__(self, net: TimedPetriNet):
+        self.net = net
+        self.place_names: Tuple[str, ...] = net.place_order
+        self.known_places: frozenset = frozenset(net.place_order)
+        self.transition_names: Tuple[str, ...] = net.transition_order
+        self.place_index: Dict[str, int] = {name: i for i, name in enumerate(self.place_names)}
+        self.transition_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.transition_names)
+        }
+
+        self.inputs: List[Tuple[Tuple[int, int], ...]] = []
+        self.outputs: List[Tuple[Tuple[int, int], ...]] = []
+        #: Net token change of an *atomic* (untimed) firing, as a sparse
+        #: ``(place_index, delta)`` list; places whose count does not change
+        #: (input weight == output weight) are omitted, because they cannot
+        #: affect any transition's enabling status either.
+        self.deltas: List[Tuple[Tuple[int, int], ...]] = []
+        #: The place indices of :attr:`deltas`, ready to feed
+        #: :meth:`derive_enabled` without re-deriving them per firing.
+        self.delta_places: List[Tuple[int, ...]] = []
+        consumers: List[List[int]] = [[] for _ in self.place_names]
+        for index, name in enumerate(self.transition_names):
+            transition = net.transition(name)
+            input_arcs = tuple(
+                (self.place_index[place], count) for place, count in transition.inputs.items()
+            )
+            output_arcs = tuple(
+                (self.place_index[place], count) for place, count in transition.outputs.items()
+            )
+            self.inputs.append(input_arcs)
+            self.outputs.append(output_arcs)
+            delta: Dict[int, int] = {}
+            for place_idx, count in input_arcs:
+                delta[place_idx] = delta.get(place_idx, 0) - count
+            for place_idx, count in output_arcs:
+                delta[place_idx] = delta.get(place_idx, 0) + count
+            sparse = tuple((place_idx, change) for place_idx, change in delta.items() if change)
+            self.deltas.append(sparse)
+            self.delta_places.append(tuple(place_idx for place_idx, _change in sparse))
+            for place_idx, _count in input_arcs:
+                consumers[place_idx].append(index)
+        self.consumers_of_place: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(indices) for indices in consumers
+        )
+
+        # Conflict groups, numbered in the iteration order of the reference
+        # fire step (sorted by the set's transition-name tuple).
+        ordered_sets = sorted(net.conflict_sets, key=lambda cs: cs.transition_names)
+        self.conflict_set_objects = tuple(ordered_sets)
+        self.group_of: List[int] = [0] * len(self.transition_names)
+        for group, conflict_set in enumerate(ordered_sets):
+            for name in conflict_set.transition_names:
+                self.group_of[self.transition_index[name]] = group
+
+        # Memoized enabled sets, shared across the whole construction.
+        self._enabled_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Vector conversions
+    # ------------------------------------------------------------------
+
+    def initial_vector(self) -> Tuple[int, ...]:
+        """The initial marking as a dense token vector."""
+        return self.net.initial_marking.to_vector()
+
+    def to_marking(self, vec: Sequence[int]) -> Marking:
+        """Materialize the public :class:`Marking` of a token vector.
+
+        Uses the trusted constructor: the vector is non-negative and aligned
+        with the place order by construction, so validation is skipped.
+        """
+        return Marking._trusted(
+            self.place_names,
+            self.known_places,
+            {self.place_names[i]: count for i, count in enumerate(vec) if count},
+        )
+
+    # ------------------------------------------------------------------
+    # Enabling
+    # ------------------------------------------------------------------
+
+    def covers(self, vec: Sequence[int], transition: int) -> bool:
+        """Enabling test on a token vector."""
+        for place_idx, count in self.inputs[transition]:
+            if vec[place_idx] < count:
+                return False
+        return True
+
+    def enabled_transitions(self, vec: Tuple[int, ...]) -> Tuple[int, ...]:
+        """All enabled transition indices of a marking vector (memoized)."""
+        cached = self._enabled_cache.get(vec)
+        if cached is None:
+            cached = tuple(
+                index for index in range(len(self.transition_names)) if self.covers(vec, index)
+            )
+            self._enabled_cache[vec] = cached
+        return cached
+
+    def derive_enabled(
+        self,
+        parent_enabled: Tuple[int, ...],
+        vec: Tuple[int, ...],
+        touched_places: Iterable[int],
+    ) -> Tuple[int, ...]:
+        """Enabled set of ``vec``, updated incrementally from the parent's.
+
+        Only transitions consuming from a touched place can change their
+        enabling status, so everything else carries over unchanged.
+        """
+        cached = self._enabled_cache.get(vec)
+        if cached is not None:
+            return cached
+        enabled = set(parent_enabled)
+        for place_idx in touched_places:
+            for transition in self.consumers_of_place[place_idx]:
+                if self.covers(vec, transition):
+                    enabled.add(transition)
+                else:
+                    enabled.discard(transition)
+        result = tuple(sorted(enabled))
+        self._enabled_cache[vec] = result
+        return result
+
+    def candidate_new_enabled(self, touched_places: Iterable[int]) -> List[int]:
+        """Transitions whose enabling status may have flipped, in index order."""
+        candidates = set()
+        for place_idx in touched_places:
+            candidates.update(self.consumers_of_place[place_idx])
+        return sorted(candidates)
+
+    # ------------------------------------------------------------------
+    # Atomic firing (untimed rule)
+    # ------------------------------------------------------------------
+
+    def fire_atomic(self, vec: Sequence[int], transition: int) -> Tuple[int, ...]:
+        """Atomic firing: apply the transition's precomputed token delta.
+
+        The caller must have checked :meth:`covers`; the places whose count
+        changed are ``self.delta_places[transition]``.
+        """
+        new_vec = list(vec)
+        for place_idx, change in self.deltas[transition]:
+            new_vec[place_idx] += change
+        return tuple(new_vec)
+
+
+__all__ = ["NetTables"]

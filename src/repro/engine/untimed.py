@@ -1,0 +1,154 @@
+"""Compiled builders for the untimed semantics: reachability and coverability.
+
+Both builders mirror their readable counterparts in
+:mod:`repro.petri.untimed` **bit for bit** — same FIFO exploration order,
+same node numbering, same edge list, same ``max_states``/``max_nodes``
+failure semantics — but run over integer token vectors from
+:class:`~repro.engine.tables.NetTables` instead of :class:`Marking` objects:
+
+* the reachability BFS deduplicates on plain tuples, maintains the enabled
+  set incrementally (only consumers of changed places are re-tested) and
+  materializes one :class:`Marking` per *unique* node;
+* the Karp–Miller construction keeps its work vectors as integers (with
+  ``ω`` as the shared infinity marker) and applies the acceleration rule
+  directly on them, materializing the float-vector
+  :class:`~repro.petri.untimed.CoverabilityNode` only when a node is
+  interned.
+
+The readable implementations remain available through the public builders'
+``engine="reference"`` escape hatch and the differential harness in
+``tests/engine_diff.py`` enforces the equivalence on every bundled workload.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from ..exceptions import UnboundedNetError
+from ..petri.net import TimedPetriNet
+from .tables import NetTables
+
+
+def compiled_reachability_graph(net: TimedPetriNet, *, max_states: int):
+    """Compiled counterpart of :func:`repro.petri.untimed.reachability_graph`."""
+    # Imported here to avoid a circular import (petri.untimed imports this
+    # module from inside its builder functions).
+    from ..petri.untimed import UntimedReachabilityGraph
+
+    tables = NetTables(net)
+    graph = UntimedReachabilityGraph(net)
+    names = tables.transition_names
+
+    index_of_vec: Dict[Tuple[int, ...], int] = {}
+    vec_of: List[Tuple[int, ...]] = []
+    enabled_of: List[Tuple[int, ...]] = []
+
+    def intern(vec: Tuple[int, ...], enabled: Tuple[int, ...]) -> Tuple[int, bool]:
+        existing = index_of_vec.get(vec)
+        if existing is not None:
+            return existing, False
+        index, _ = graph._add_marking(tables.to_marking(vec))
+        index_of_vec[vec] = index
+        vec_of.append(vec)
+        enabled_of.append(enabled)
+        return index, True
+
+    initial_vec = tables.initial_vector()
+    intern(initial_vec, tables.enabled_transitions(initial_vec))
+    cursor = 0
+    while cursor < len(vec_of):
+        index = cursor
+        cursor += 1
+        vec = vec_of[index]
+        parent_enabled = enabled_of[index]
+        for transition in parent_enabled:
+            successor_vec = tables.fire_atomic(vec, transition)
+            enabled = tables.derive_enabled(
+                parent_enabled, successor_vec, tables.delta_places[transition]
+            )
+            successor_index, is_new = intern(successor_vec, enabled)
+            graph._add_edge(index, successor_index, names[transition])
+            if is_new and graph.state_count > max_states:
+                raise UnboundedNetError(
+                    f"untimed reachability exceeded {max_states} markings; the net "
+                    "is unbounded or the bound is too small"
+                )
+    return graph
+
+
+def compiled_coverability_graph(net: TimedPetriNet, *, max_nodes: int):
+    """Compiled counterpart of :func:`repro.petri.untimed.coverability_graph`.
+
+    The work vectors stay integer-valued (``ω`` is the shared ``OMEGA``
+    infinity, which compares correctly against any int), so the acceleration
+    rule — replace components that strictly grew over some ancestor by ``ω``
+    — runs on plain tuples with no name resolution.
+    """
+    from ..petri.untimed import OMEGA, CoverabilityGraph, CoverabilityNode, UntimedEdge
+
+    tables = NetTables(net)
+    graph = CoverabilityGraph(net)
+    names = tables.transition_names
+    transition_count = len(names)
+
+    index_of_vec: Dict[tuple, int] = {}
+    vec_of: List[tuple] = []
+
+    def intern(vec: tuple) -> Tuple[int, bool]:
+        existing = index_of_vec.get(vec)
+        if existing is not None:
+            return existing, False
+        # Materialize the float vector only for unique nodes, so the public
+        # graph is indistinguishable from the reference construction.
+        index, _ = graph._add_node(CoverabilityNode(tuple(float(v) for v in vec)))
+        index_of_vec[vec] = index
+        vec_of.append(vec)
+        return index, True
+
+    root_index, _ = intern(tables.initial_vector())
+    # Each work item remembers the ancestor chain (indices) for acceleration.
+    work: deque = deque([(root_index, (root_index,))])
+    while work:
+        index, ancestors = work.popleft()
+        vec = vec_of[index]
+        for transition in range(transition_count):
+            if not tables.covers(vec, transition):
+                continue
+            successor = list(vec)
+            for place_idx, count in tables.inputs[transition]:
+                if successor[place_idx] != OMEGA:
+                    successor[place_idx] -= count
+            for place_idx, count in tables.outputs[transition]:
+                if successor[place_idx] != OMEGA:
+                    successor[place_idx] += count
+            # Acceleration: compare against every ancestor on the path,
+            # re-evaluating after each ω-promotion exactly like the
+            # reference construction does.
+            for ancestor_index in ancestors:
+                ancestor = vec_of[ancestor_index]
+                covers = True
+                strictly = False
+                for cand, anc in zip(successor, ancestor):
+                    if cand < anc:
+                        covers = False
+                        break
+                    if cand > anc:
+                        strictly = True
+                if covers and strictly:
+                    successor = [
+                        OMEGA if cand > anc else cand
+                        for cand, anc in zip(successor, ancestor)
+                    ]
+            successor_index, is_new = intern(tuple(successor))
+            graph.edges.append(UntimedEdge(index, successor_index, names[transition]))
+            if is_new:
+                if graph.node_count > max_nodes:
+                    raise UnboundedNetError(
+                        f"coverability construction exceeded {max_nodes} nodes"
+                    )
+                work.append((successor_index, ancestors + (successor_index,)))
+    return graph
+
+
+__all__ = ["compiled_coverability_graph", "compiled_reachability_graph"]

@@ -12,6 +12,13 @@ This module provides both:
 
 Both return light-weight graph objects with deterministic node numbering so
 they can be asserted against in tests and rendered by :mod:`repro.viz`.
+
+Both builders accept an ``engine`` argument: ``"compiled"`` (the default)
+runs the integer-indexed backend of :mod:`repro.engine.untimed`,
+``"reference"`` the readable marking-based constructions in this module.
+The two are required to produce bit-identical graphs — same node numbering,
+same edge list — which ``tests/engine_diff.py`` enforces differentially on
+every bundled workload.
 """
 
 from __future__ import annotations
@@ -118,14 +125,29 @@ class UntimedReachabilityGraph:
         )
 
 
-def reachability_graph(net: TimedPetriNet, *, max_states: int = 100_000) -> UntimedReachabilityGraph:
+def reachability_graph(
+    net: TimedPetriNet, *, max_states: int = 100_000, engine: str = "compiled"
+) -> UntimedReachabilityGraph:
     """Enumerate every marking reachable with the atomic firing rule.
 
     Raises :class:`~repro.exceptions.UnboundedNetError` when more than
     ``max_states`` markings are generated, which for an unbounded net happens
     after finitely many steps (use :func:`coverability_graph` to *decide*
     boundedness first).
+
+    ``engine`` selects the construction backend: ``"compiled"`` (default)
+    runs the integer-vector BFS of
+    :func:`repro.engine.untimed.compiled_reachability_graph`, ``"reference"``
+    the readable marking-based enumeration below.  Both produce identical
+    graphs.
     """
+    # Imported lazily: repro.engine imports this module's graph classes.
+    from ..engine import ENGINE_COMPILED, check_engine
+    from ..engine.untimed import compiled_reachability_graph
+
+    check_engine(engine)
+    if engine == ENGINE_COMPILED:
+        return compiled_reachability_graph(net, max_states=max_states)
     graph = UntimedReachabilityGraph(net)
     initial_index, _ = graph._add_marking(net.initial_marking)
     frontier = deque([initial_index])
@@ -236,7 +258,9 @@ def _fire_vector(net: TimedPetriNet, vector: Sequence[float], transition_name: s
     return result
 
 
-def coverability_graph(net: TimedPetriNet, *, max_nodes: int = 50_000) -> CoverabilityGraph:
+def coverability_graph(
+    net: TimedPetriNet, *, max_nodes: int = 50_000, engine: str = "compiled"
+) -> CoverabilityGraph:
     """Build the Karp–Miller coverability graph (always terminates).
 
     The acceleration step replaces components that strictly grow along a path
@@ -244,7 +268,17 @@ def coverability_graph(net: TimedPetriNet, *, max_nodes: int = 50_000) -> Covera
     pathological nets; reaching it raises
     :class:`~repro.exceptions.UnboundedNetError` because the construction is
     guaranteed finite only with unlimited memory.
+
+    ``engine`` selects the construction backend exactly as in
+    :func:`reachability_graph`; the compiled backend applies the
+    ω-acceleration directly on integer vectors.
     """
+    from ..engine import ENGINE_COMPILED, check_engine
+    from ..engine.untimed import compiled_coverability_graph
+
+    check_engine(engine)
+    if engine == ENGINE_COMPILED:
+        return compiled_coverability_graph(net, max_nodes=max_nodes)
     graph = CoverabilityGraph(net)
     root = CoverabilityNode(tuple(float(v) for v in net.initial_marking.to_vector()))
     root_index, _ = graph._add_node(root)

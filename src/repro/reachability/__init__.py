@@ -31,7 +31,13 @@ from .analysis import (
     vanishing_states,
 )
 from .compiled import CompiledNet, CompiledSuccessorEngine, build_compiled_graph
-from .decision import DecisionEdge, DecisionGraph, decision_graph
+from .decision import (
+    CollapseSupport,
+    DecisionEdge,
+    DecisionGraph,
+    decision_graph,
+    supports_decision_collapse,
+)
 from .graph import (
     ENGINE_COMPILED,
     ENGINE_REFERENCE,
@@ -52,6 +58,7 @@ from .successors import (
 )
 
 __all__ = [
+    "CollapseSupport",
     "CompiledNet",
     "CompiledSuccessorEngine",
     "DecisionEdge",
@@ -82,6 +89,7 @@ __all__ = [
     "recurrent_states",
     "strongly_connected_components",
     "summarize",
+    "supports_decision_collapse",
     "symbolic_algebras",
     "symbolic_timed_reachability_graph",
     "tangible_states",

@@ -10,8 +10,9 @@ reachability construction, and it dominates the cost of the scaling
 workloads (token rings, sliding windows, interfering timers).
 
 This module compiles a :class:`~repro.petri.net.TimedPetriNet` into dense
-integer-indexed tables once, then runs the *same* procedure over tuple
-encoded states:
+integer-indexed tables once — the structural part lives in the shared
+:class:`repro.engine.tables.NetTables`, which the untimed and GSPN builders
+reuse — then runs the *same* procedure over tuple encoded states:
 
 * places and transitions become integer indices; markings become plain
   ``tuple[int, ...]`` token vectors,
@@ -46,10 +47,10 @@ readable implementation.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from ..engine.tables import NetTables
 from ..exceptions import SafenessViolationError, UnboundedNetError
-from ..petri.marking import Marking
 from ..petri.net import TimedPetriNet
 from ..symbolic.constraints import ConstraintSet
 from .algebra import ProbabilityScalar, TimeScalar
@@ -126,120 +127,36 @@ class _CompiledEdge:
         self.used_constraints = used_constraints
 
 
-class CompiledNet:
+class CompiledNet(NetTables):
     """Integer-indexed tables of a net, specialized for one algebra pair.
 
-    The compilation is algebra-dependent because zero tests on enabling and
-    firing times go through the time algebra (a symbolic enabling time may be
+    The structural tables (arcs, deltas, consumer relation, conflict groups,
+    incremental enabled-set maintenance) come from the shared
+    :class:`~repro.engine.tables.NetTables`; this subclass adds the columns
+    that depend on the algebras, because zero tests on enabling and firing
+    times go through the time algebra (a symbolic enabling time may be
     provably zero only under the declared constraints).
     """
 
     def __init__(self, net: TimedPetriNet, time_algebra, probability_algebra):
-        self.net = net
+        super().__init__(net)
         self.time = time_algebra
         self.probability = probability_algebra
 
-        self.place_names: Tuple[str, ...] = net.place_order
-        self.known_places: frozenset = frozenset(net.place_order)
-        self.transition_names: Tuple[str, ...] = net.transition_order
-        self.place_index: Dict[str, int] = {name: i for i, name in enumerate(self.place_names)}
-        self.transition_index: Dict[str, int] = {
-            name: i for i, name in enumerate(self.transition_names)
-        }
-
-        transition_count = len(self.transition_names)
-        self.inputs: List[Tuple[Tuple[int, int], ...]] = []
-        self.outputs: List[Tuple[Tuple[int, int], ...]] = []
         self.enabling_zero: List[bool] = []
         self.enabling_value: List[TimeScalar] = []
         self.firing_zero: List[bool] = []
         self.firing_value: List[TimeScalar] = []
-        consumers: List[List[int]] = [[] for _ in self.place_names]
-        for index, name in enumerate(self.transition_names):
+        for name in self.transition_names:
             transition = net.transition(name)
-            input_arcs = tuple(
-                (self.place_index[place], count) for place, count in transition.inputs.items()
-            )
-            self.inputs.append(input_arcs)
-            self.outputs.append(
-                tuple((self.place_index[place], count) for place, count in transition.outputs.items())
-            )
-            for place_idx, _count in input_arcs:
-                consumers[place_idx].append(index)
             self.enabling_zero.append(time_algebra.is_zero(transition.enabling_time))
             self.enabling_value.append(time_algebra.coerce(transition.enabling_time))
             self.firing_zero.append(time_algebra.is_zero(transition.firing_time))
             self.firing_value.append(time_algebra.coerce(transition.firing_time))
-        self.consumers_of_place: Tuple[Tuple[int, ...], ...] = tuple(
-            tuple(indices) for indices in consumers
-        )
-
-        # Conflict groups, numbered in the iteration order of the reference
-        # fire step (sorted by the set's transition-name tuple).
-        ordered_sets = sorted(net.conflict_sets, key=lambda cs: cs.transition_names)
-        self.conflict_set_objects = tuple(ordered_sets)
-        self.group_of: List[int] = [0] * transition_count
-        for group, conflict_set in enumerate(ordered_sets):
-            for name in conflict_set.transition_names:
-                self.group_of[self.transition_index[name]] = group
 
         # Memo tables shared across the whole construction.
         self._choice_cache: Dict[Tuple[int, Tuple[int, ...]], Tuple[Tuple[int, ProbabilityScalar], ...]] = {}
-        self._enabled_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
         self._advance_cache: Dict[tuple, tuple] = {}
-
-    # ------------------------------------------------------------------
-    # Enabling
-    # ------------------------------------------------------------------
-
-    def covers(self, vec: Sequence[int], transition: int) -> bool:
-        """Enabling test on a token vector."""
-        for place_idx, count in self.inputs[transition]:
-            if vec[place_idx] < count:
-                return False
-        return True
-
-    def enabled_transitions(self, vec: Tuple[int, ...]) -> Tuple[int, ...]:
-        """All enabled transition indices of a marking vector (memoized)."""
-        cached = self._enabled_cache.get(vec)
-        if cached is None:
-            cached = tuple(
-                index for index in range(len(self.transition_names)) if self.covers(vec, index)
-            )
-            self._enabled_cache[vec] = cached
-        return cached
-
-    def derive_enabled(
-        self,
-        parent: _CompiledState,
-        vec: Tuple[int, ...],
-        touched_places,
-    ) -> Tuple[int, ...]:
-        """Enabled set of ``vec``, updated incrementally from the parent state.
-
-        Only transitions consuming from a touched place can change their
-        enabling status, so everything else carries over unchanged.
-        """
-        cached = self._enabled_cache.get(vec)
-        if cached is not None:
-            return cached
-        enabled = set(parent.enabled)
-        for place_idx in touched_places:
-            for transition in self.consumers_of_place[place_idx]:
-                if self.covers(vec, transition):
-                    enabled.add(transition)
-                else:
-                    enabled.discard(transition)
-        result = tuple(sorted(enabled))
-        self._enabled_cache[vec] = result
-        return result
-
-    def candidate_new_enabled(self, touched_places) -> List[int]:
-        """Transitions whose enabling status may have flipped, in index order."""
-        candidates = set()
-        for place_idx in touched_places:
-            candidates.update(self.consumers_of_place[place_idx])
-        return sorted(candidates)
 
     # ------------------------------------------------------------------
     # Branch probabilities
@@ -305,7 +222,7 @@ class CompiledSuccessorEngine:
     def initial_state(self) -> _CompiledState:
         """Compiled counterpart of ``SuccessorGenerator.initial_state``."""
         compiled = self.compiled
-        vec = self.net.initial_marking.to_vector()
+        vec = compiled.initial_vector()
         enabled = compiled.enabled_transitions(vec)
         ret = tuple(
             (index, compiled.enabling_value[index])
@@ -317,13 +234,8 @@ class CompiledSuccessorEngine:
     def to_timed_state(self, state: _CompiledState) -> TimedState:
         """Materialize the public :class:`TimedState` of a compiled state."""
         compiled = self.compiled
-        marking = Marking._trusted(
-            compiled.place_names,
-            compiled.known_places,
-            {compiled.place_names[i]: count for i, count in enumerate(state.vec) if count},
-        )
         return TimedState(
-            marking,
+            compiled.to_marking(state.vec),
             {compiled.transition_names[index]: value for index, value in state.ret},
             {compiled.transition_names[index]: value for index, value in state.rft},
         )
@@ -446,7 +358,7 @@ class CompiledSuccessorEngine:
             new_vec,
             tuple(new_ret),
             tuple(new_rft),
-            compiled.derive_enabled(state, new_vec, touched),
+            compiled.derive_enabled(state.enabled, new_vec, touched),
         )
         return _CompiledEdge(
             target=target,
@@ -563,7 +475,7 @@ class CompiledSuccessorEngine:
             new_vec,
             tuple(new_ret),
             tuple(new_rft),
-            compiled.derive_enabled(state, new_vec, touched),
+            compiled.derive_enabled(state.enabled, new_vec, touched),
         )
         return _CompiledEdge(
             target=target,

@@ -21,6 +21,17 @@ Degenerate shapes are handled explicitly:
 * a path that reaches a **dead state** produces an edge with ``target=None``;
   performance analysis refuses such graphs with
   :class:`~repro.exceptions.NotErgodicError` because no steady state exists.
+
+One shape is genuinely out of scope: a **decision-free cycle off the anchor
+path** — a cycle that contains no decision node but is entered from one.
+The lossless :func:`~repro.protocols.workloads.sliding_window_net` is the
+canonical example: the sender makes choices while filling the window, but
+once every frame is in flight the slots cycle deterministically forever, so
+the collapsed path never returns to an anchor.  Use
+:func:`supports_decision_collapse` to pre-check a model;
+:func:`decision_graph` performs the same check up front and raises a
+diagnostic :class:`~repro.exceptions.PerformanceError` naming the offending
+cycle instead of failing mid-collapse.
 """
 
 from __future__ import annotations
@@ -170,6 +181,116 @@ class DecisionGraph:
 
 
 # ---------------------------------------------------------------------------
+# Collapse support
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CollapseSupport:
+    """The result of :func:`supports_decision_collapse` — truthy when supported.
+
+    Attributes
+    ----------
+    supported:
+        True when the decision-graph collapse terminates on the model.
+    reason:
+        Human-readable diagnosis when unsupported, ``None`` otherwise.
+    anchors:
+        The anchor (decision) node indices the collapse would use.
+    cycle:
+        The node indices of the first anchor-free cycle found (empty when
+        supported), in traversal order.
+    """
+
+    supported: bool
+    reason: Optional[str]
+    anchors: Tuple[int, ...]
+    cycle: Tuple[int, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.supported
+
+
+def _collapse_anchors(trg: TimedReachabilityGraph) -> List[int]:
+    """The anchor set the collapse uses: decision nodes, or the fallback."""
+    anchors = trg.decision_nodes()
+    if not anchors:
+        fallback = _fallback_anchor(trg)
+        anchors = [fallback] if fallback is not None else []
+    return anchors
+
+
+def _anchor_free_cycle(
+    trg: TimedReachabilityGraph, anchors: Sequence[int]
+) -> Optional[Tuple[int, ...]]:
+    """First decision-free cycle reachable from an anchor but containing none.
+
+    Non-anchor nodes have at most one successor, so following the successor
+    chain from every anchor's out-edges visits each non-anchor node at most
+    once overall (nodes proven to terminate are memoized), making the check
+    linear in the graph size.  Returns the cycle's node indices, or ``None``
+    when every collapsed path ends at an anchor or a dead state.
+    """
+    anchor_set = set(anchors)
+    resolved: set = set()
+    for anchor in anchors:
+        for first_edge in trg.successors(anchor):
+            chain: List[int] = []
+            position: Dict[int, int] = {}
+            current = first_edge.target
+            while current not in anchor_set and current not in resolved:
+                revisit = position.get(current)
+                if revisit is not None:
+                    return tuple(chain[revisit:])
+                position[current] = len(chain)
+                chain.append(current)
+                successors = trg.successors(current)
+                if not successors:
+                    break
+                current = successors[0].target
+            resolved.update(chain)
+    return None
+
+
+def supports_decision_collapse(model, **graph_kwargs) -> CollapseSupport:
+    """Pre-check whether the decision-graph collapse terminates on a model.
+
+    ``model`` is either an already-built :class:`TimedReachabilityGraph` or a
+    (numeric) :class:`~repro.petri.net.TimedPetriNet`, in which case the
+    timed reachability graph is built first (``graph_kwargs`` — e.g.
+    ``max_states`` or ``engine`` — are forwarded to
+    :func:`~repro.reachability.graph.timed_reachability_graph`).
+
+    The unsupported shape is a decision-free cycle entered from a decision
+    node: once the model commits to it, no further choice is ever made, so
+    no edge back to an anchor exists and the collapse cannot terminate.  The
+    returned :class:`CollapseSupport` is truthy/falsy and carries the
+    offending cycle for diagnosis.
+    """
+    if isinstance(model, TimedReachabilityGraph):
+        trg = model
+    else:
+        # Imported lazily to keep this module free of a builder dependency.
+        from .graph import timed_reachability_graph
+
+        trg = timed_reachability_graph(model, **graph_kwargs)
+    anchors = _collapse_anchors(trg)
+    cycle = _anchor_free_cycle(trg, anchors)
+    if cycle is None:
+        return CollapseSupport(True, None, tuple(anchors))
+    states = ", ".join(str(index + 1) for index in cycle)
+    reason = (
+        f"the timed reachability graph contains a decision-free cycle through "
+        f"state(s) {states} that is reachable from a decision node but contains "
+        "none; once the model commits to this cycle it never makes another "
+        "choice, so the decision-graph collapse cannot terminate (the lossless "
+        "sliding-window net is the canonical example: with every frame in "
+        "flight the slots cycle deterministically forever)"
+    )
+    return CollapseSupport(False, reason, tuple(anchors), cycle)
+
+
+# ---------------------------------------------------------------------------
 # Construction
 # ---------------------------------------------------------------------------
 
@@ -205,14 +326,18 @@ def decision_graph(trg: TimedReachabilityGraph) -> DecisionGraph:
     Raises
     ------
     PerformanceError
-        When a collapsed path runs into a cycle that contains no anchor
-        (which cannot happen if anchors are exactly the decision nodes, but
-        guards against inconsistent inputs).
+        When the model contains a decision-free cycle off the anchor path —
+        diagnosed up front by :func:`supports_decision_collapse`, so the
+        error names the offending cycle instead of surfacing mid-collapse —
+        or when a collapsed path hits a node with several successors that is
+        not an anchor (inconsistent inputs).
     """
-    anchors = trg.decision_nodes()
-    if not anchors:
-        fallback = _fallback_anchor(trg)
-        anchors = [fallback] if fallback is not None else []
+    support = supports_decision_collapse(trg)
+    if not support:
+        raise PerformanceError(
+            support.reason + "; use supports_decision_collapse() to pre-check models"
+        )
+    anchors = list(support.anchors)
     anchor_set = set(anchors)
 
     edges: List[DecisionEdge] = []

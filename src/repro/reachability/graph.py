@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from ..engine import ENGINE_COMPILED, ENGINE_REFERENCE, check_engine
 from ..exceptions import UnboundedNetError
 from ..petri.net import TimedPetriNet
 from ..symbolic.constraints import ConstraintSet
@@ -37,12 +38,10 @@ from .compiled import build_compiled_graph
 from .state import TimedState
 from .successors import OVERLAP_ERROR, STEP_ADVANCE, STEP_FIRE, SuccessorGenerator
 
-#: Engine selection for the public graph builders.  The compiled engine is
-#: the default; the reference engine keeps the readable, paper-shaped
-#: implementation available for differential testing and debugging.
-ENGINE_COMPILED = "compiled"
-ENGINE_REFERENCE = "reference"
-_ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE)
+# Engine selection for the public graph builders is shared with the untimed
+# and GSPN builders through :mod:`repro.engine`.  The compiled engine is the
+# default; the reference engine keeps the readable, paper-shaped
+# implementation available for differential testing and debugging.
 
 
 @dataclass(frozen=True)
@@ -338,13 +337,6 @@ def _build(
     return graph
 
 
-def _check_engine(engine: str) -> None:
-    if engine not in _ENGINES:
-        raise ValueError(
-            f"unknown engine {engine!r}; expected one of {', '.join(map(repr, _ENGINES))}"
-        )
-
-
 def timed_reachability_graph(
     net: TimedPetriNet,
     *,
@@ -367,7 +359,7 @@ def timed_reachability_graph(
             "net has symbolic annotations; use symbolic_timed_reachability_graph() "
             "with the declared timing constraints"
         )
-    _check_engine(engine)
+    check_engine(engine)
     time_algebra, probability_algebra = numeric_algebras()
     if engine == ENGINE_COMPILED:
         return build_compiled_graph(
@@ -408,7 +400,7 @@ def symbolic_timed_reachability_graph(
     if not isinstance(constraints, ConstraintSet):
         constraints = ConstraintSet(list(constraints))
     constraints.assert_consistent()
-    _check_engine(engine)
+    check_engine(engine)
     time_algebra, probability_algebra = symbolic_algebras(constraints)
     if engine == ENGINE_COMPILED:
         return build_compiled_graph(

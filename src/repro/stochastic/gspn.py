@@ -30,6 +30,8 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from ..engine import ENGINE_COMPILED, check_engine
+from ..engine.gspn import compiled_marking_graph
 from ..exceptions import NotErgodicError, PerformanceError, UnboundedNetError
 from ..petri.marking import Marking
 from ..petri.net import TimedPetriNet
@@ -82,6 +84,13 @@ class GSPNAnalysis:
         are bounded under deterministic timing may need a small truncation
         here; the benchmark that uses this baseline reports the truncation
         level alongside the results.
+    engine:
+        Marking-graph construction backend: ``"compiled"`` (default) runs
+        the integer-vector exploration of
+        :func:`repro.engine.gspn.compiled_marking_graph`, ``"reference"``
+        the readable marking-based exploration in this module.  Both produce
+        bit-identical marking graphs and therefore identical stationary
+        results.
     """
 
     def __init__(
@@ -91,12 +100,15 @@ class GSPNAnalysis:
         rates: Optional[Mapping[str, float]] = None,
         max_states: int = 50_000,
         place_capacity: Optional[int] = None,
+        engine: str = ENGINE_COMPILED,
     ):
         if net.is_symbolic:
             raise PerformanceError("GSPN analysis requires a numeric net; bind symbols first")
+        check_engine(engine)
         self.net = net
         self.max_states = max_states
         self.place_capacity = place_capacity
+        self.engine = engine
         self._rates: Dict[str, float] = {}
         self._immediate: Dict[str, bool] = {}
         self._weights: Dict[str, float] = {}
@@ -120,6 +132,23 @@ class GSPNAnalysis:
     # ------------------------------------------------------------------
 
     def _explore(self):
+        """Build the marking graph: ``(markings, edges, vanishing)``.
+
+        Dispatches on the ``engine`` selected at construction; both backends
+        return bit-identical results (see ``tests/engine_diff.py``).
+        """
+        if self.engine == ENGINE_COMPILED:
+            return compiled_marking_graph(
+                self.net,
+                immediate=self._immediate,
+                weights=self._weights,
+                rates=self._rates,
+                max_states=self.max_states,
+                place_capacity=self.place_capacity,
+            )
+        return self._explore_reference()
+
+    def _explore_reference(self):
         markings: List[Marking] = []
         index_of: Dict[Marking, int] = {}
         edges: List[Tuple[int, int, str, float, bool]] = []  # src, dst, transition, rate/weight, immediate

@@ -1,0 +1,186 @@
+"""Shared differential-test harness: reference vs compiled engine builders.
+
+Every graph builder with a compiled backend keeps an ``engine="reference"``
+escape hatch and must produce **bit-identical** graphs through both engines:
+same node order, same edge order, same delays/probabilities/labels, same
+rates and weights.  This module centralizes
+
+* the workload registry (every bundled numeric model — the three protocol
+  nets plus the producer/consumer, token-ring, sliding-window and go-back-N
+  workloads — and the symbolic paper net), and
+* the pairwise builders and exact graph-equality assertions for all four
+  graph families (timed, untimed reachability, coverability, GSPN marking
+  graph),
+
+so ``tests/test_engine_diff.py``, ``tests/test_engine_random.py`` and
+``tests/test_compiled_engine.py`` share one comparison instead of each
+growing its own copy.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.petri import coverability_graph, reachability_graph
+from repro.protocols import (
+    alternating_bit_net,
+    go_back_n_net,
+    pipelined_stop_and_wait_net,
+    producer_consumer_net,
+    simple_protocol_net,
+    simple_protocol_symbolic,
+    sliding_window_net,
+    token_ring_net,
+)
+from repro.reachability import symbolic_timed_reachability_graph, timed_reachability_graph
+from repro.stochastic import GSPNAnalysis
+
+#: Every bundled numeric workload: the three protocol nets (paper protocol,
+#: alternating bit, pipelined stop-and-wait) plus the scaling models.
+NUMERIC_WORKLOADS = [
+    ("paper-protocol", simple_protocol_net),
+    ("alternating-bit", alternating_bit_net),
+    ("pipelined-stop-and-wait", lambda: pipelined_stop_and_wait_net(2)),
+    ("producer-consumer", lambda: producer_consumer_net(loss_probability=Fraction(1, 5))),
+    ("token-ring", lambda: token_ring_net(5)),
+    ("sliding-window", lambda: sliding_window_net(2, loss_probability=Fraction(1, 10))),
+    ("sliding-window-lossless", lambda: sliding_window_net(3)),
+    ("go-back-n", lambda: go_back_n_net(2, loss_probability=Fraction(1, 10))),
+]
+
+WORKLOAD_IDS = [label for label, _constructor in NUMERIC_WORKLOADS]
+
+#: Workloads whose *untimed* graph is unbounded (the untimed firing rule
+#: lets timeouts flood the medium); both engines must fail identically on
+#: them instead of producing a graph.
+UNBOUNDED_UNTIMED = frozenset(
+    {"paper-protocol", "alternating-bit", "pipelined-stop-and-wait"}
+)
+
+
+def symbolic_workload():
+    """The symbolic paper net with its Section-4 constraints."""
+    net, constraints, _symbols = simple_protocol_symbolic()
+    return net, constraints
+
+
+# ---------------------------------------------------------------------------
+# Pairwise builders
+# ---------------------------------------------------------------------------
+
+
+def build_timed_pair(net, **kwargs):
+    """(compiled, reference) numeric timed reachability graphs."""
+    return (
+        timed_reachability_graph(net, engine="compiled", **kwargs),
+        timed_reachability_graph(net, engine="reference", **kwargs),
+    )
+
+
+def build_symbolic_timed_pair(net, constraints, **kwargs):
+    """(compiled, reference) symbolic timed reachability graphs."""
+    return (
+        symbolic_timed_reachability_graph(net, constraints, engine="compiled", **kwargs),
+        symbolic_timed_reachability_graph(net, constraints, engine="reference", **kwargs),
+    )
+
+
+def build_untimed_pair(net, **kwargs):
+    """(compiled, reference) untimed reachability graphs."""
+    return (
+        reachability_graph(net, engine="compiled", **kwargs),
+        reachability_graph(net, engine="reference", **kwargs),
+    )
+
+
+def build_coverability_pair(net, **kwargs):
+    """(compiled, reference) Karp–Miller coverability graphs."""
+    return (
+        coverability_graph(net, engine="compiled", **kwargs),
+        coverability_graph(net, engine="reference", **kwargs),
+    )
+
+
+def build_gspn_pair(net, **kwargs):
+    """(compiled, reference) GSPN analyses (not yet solved)."""
+    return (
+        GSPNAnalysis(net, engine="compiled", **kwargs),
+        GSPNAnalysis(net, engine="reference", **kwargs),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exact-equality assertions
+# ---------------------------------------------------------------------------
+
+
+def timed_edge_payloads(graph):
+    """Everything observable on a timed edge, for exact comparison."""
+    return [
+        (
+            edge.source,
+            edge.target,
+            edge.delay,
+            edge.probability,
+            edge.fired,
+            edge.completed,
+            edge.kind,
+            edge.used_constraints,
+        )
+        for edge in graph.edges
+    ]
+
+
+def assert_timed_graphs_identical(compiled, reference):
+    """Bit-identical timed reachability graphs (numeric or symbolic)."""
+    assert compiled.state_count == reference.state_count
+    assert compiled.edge_count == reference.edge_count
+    assert compiled.initial_index == reference.initial_index
+    assert [node.state for node in compiled.nodes] == [node.state for node in reference.nodes]
+    assert timed_edge_payloads(compiled) == timed_edge_payloads(reference)
+    assert compiled.state_table() == reference.state_table()
+    assert compiled.edge_table() == reference.edge_table()
+    assert sorted(compiled.index_of.values()) == sorted(reference.index_of.values())
+
+
+def assert_untimed_graphs_identical(compiled, reference):
+    """Bit-identical untimed reachability graphs."""
+    assert compiled.state_count == reference.state_count
+    assert compiled.edge_count == reference.edge_count
+    assert compiled.markings == reference.markings
+    assert compiled.edges == reference.edges
+    assert compiled.index_of == reference.index_of
+    for index in range(compiled.state_count):
+        assert compiled.successors(index) == reference.successors(index)
+    assert compiled.max_tokens_per_place() == reference.max_tokens_per_place()
+    assert compiled.dead_markings() == reference.dead_markings()
+    assert compiled.fired_transitions() == reference.fired_transitions()
+
+
+def assert_coverability_graphs_identical(compiled, reference):
+    """Bit-identical Karp–Miller coverability graphs."""
+    assert compiled.node_count == reference.node_count
+    assert [node.vector for node in compiled.nodes] == [node.vector for node in reference.nodes]
+    assert compiled.edges == reference.edges
+    assert compiled.index_of == reference.index_of
+    assert compiled.is_bounded() == reference.is_bounded()
+    assert compiled.unbounded_places() == reference.unbounded_places()
+
+
+def assert_gspn_explorations_identical(compiled_analysis, reference_analysis):
+    """Bit-identical GSPN marking graphs (markings, edges, vanishing set)."""
+    compiled_markings, compiled_edges, compiled_vanishing = compiled_analysis._explore()
+    reference_markings, reference_edges, reference_vanishing = reference_analysis._explore()
+    assert compiled_markings == reference_markings
+    assert compiled_edges == reference_edges
+    assert compiled_vanishing == reference_vanishing
+
+
+def assert_gspn_results_identical(compiled_result, reference_result):
+    """Bit-identical stationary GSPN results (same exploration → same CTMC)."""
+    assert compiled_result.tangible_markings == reference_result.tangible_markings
+    assert np.array_equal(compiled_result.stationary, reference_result.stationary)
+    assert compiled_result.throughput == reference_result.throughput
+    assert compiled_result.utilization == reference_result.utilization

@@ -7,7 +7,9 @@ used-constraint labels.  These tests enforce that equivalence on every
 bundled workload, cover the ``engine`` selection knob, the ``max_states``
 bound and the overlap policies, and pin down the hot-path bugfixes that
 shipped with the engine (uniform zero-frequency fallback, lossless
-``edge_table`` rendering, O(1) marking lookups).
+``edge_table`` rendering, O(1) marking lookups).  The workload registry and
+graph-equality assertions live in the shared harness :mod:`engine_diff`,
+which the untimed/GSPN differential tests reuse.
 """
 
 from __future__ import annotations
@@ -16,14 +18,18 @@ from fractions import Fraction
 
 import pytest
 
+from engine_diff import (
+    NUMERIC_WORKLOADS,
+    WORKLOAD_IDS,
+    assert_timed_graphs_identical,
+    build_symbolic_timed_pair,
+    build_timed_pair,
+)
 from repro.exceptions import MarkingError, SafenessViolationError, UnboundedNetError
 from repro.petri.builder import NetBuilder
 from repro.petri.marking import Marking
 from repro.protocols import (
-    alternating_bit_net,
     go_back_n_net,
-    pipelined_stop_and_wait_net,
-    producer_consumer_net,
     simple_protocol_net,
     simple_protocol_symbolic,
     sliding_window_net,
@@ -38,58 +44,17 @@ from repro.reachability import (
 )
 from repro.reachability.algebra import NumericProbabilityAlgebra, numeric_algebras
 
-NUMERIC_WORKLOADS = [
-    ("paper-protocol", simple_protocol_net),
-    ("alternating-bit", alternating_bit_net),
-    ("producer-consumer", lambda: producer_consumer_net(loss_probability=Fraction(1, 5))),
-    ("token-ring", lambda: token_ring_net(5)),
-    ("pipelined-stop-and-wait", lambda: pipelined_stop_and_wait_net(2)),
-    ("sliding-window", lambda: sliding_window_net(2, loss_probability=Fraction(1, 10))),
-    ("go-back-n", lambda: go_back_n_net(2, loss_probability=Fraction(1, 10))),
-]
-
-
-def edge_payloads(graph):
-    """Everything observable on an edge, for exact comparison."""
-    return [
-        (
-            edge.source,
-            edge.target,
-            edge.delay,
-            edge.probability,
-            edge.fired,
-            edge.completed,
-            edge.kind,
-            edge.used_constraints,
-        )
-        for edge in graph.edges
-    ]
-
-
-def assert_identical(compiled, reference):
-    assert compiled.state_count == reference.state_count
-    assert compiled.edge_count == reference.edge_count
-    assert compiled.initial_index == reference.initial_index
-    assert [node.state for node in compiled.nodes] == [node.state for node in reference.nodes]
-    assert edge_payloads(compiled) == edge_payloads(reference)
-    assert compiled.state_table() == reference.state_table()
-    assert compiled.edge_table() == reference.edge_table()
-    assert sorted(compiled.index_of.values()) == sorted(reference.index_of.values())
-
 
 class TestDifferentialEquivalence:
-    @pytest.mark.parametrize("label,constructor", NUMERIC_WORKLOADS, ids=[w[0] for w in NUMERIC_WORKLOADS])
+    @pytest.mark.parametrize("label,constructor", NUMERIC_WORKLOADS, ids=WORKLOAD_IDS)
     def test_numeric_workloads(self, label, constructor):
-        net = constructor()
-        compiled = timed_reachability_graph(net, max_states=20_000, engine="compiled")
-        reference = timed_reachability_graph(net, max_states=20_000, engine="reference")
-        assert_identical(compiled, reference)
+        compiled, reference = build_timed_pair(constructor(), max_states=20_000)
+        assert_timed_graphs_identical(compiled, reference)
 
     def test_symbolic_paper_net_including_used_constraints(self):
         net, constraints, _symbols = simple_protocol_symbolic()
-        compiled = symbolic_timed_reachability_graph(net, constraints, engine="compiled")
-        reference = symbolic_timed_reachability_graph(net, constraints, engine="reference")
-        assert_identical(compiled, reference)
+        compiled, reference = build_symbolic_timed_pair(net, constraints)
+        assert_timed_graphs_identical(compiled, reference)
         # The Figure-7 bookkeeping must survive the compilation verbatim.
         assert compiled.used_constraint_labels() == reference.used_constraint_labels()
         assert compiled.constraint_usage() == reference.constraint_usage()
@@ -131,13 +96,8 @@ class TestOverlapPolicies:
             timed_reachability_graph(overlapping_net(), engine=engine)
 
     def test_overlap_skip_graphs_identical(self):
-        compiled = timed_reachability_graph(
-            overlapping_net(), overlap_policy=OVERLAP_SKIP, engine="compiled"
-        )
-        reference = timed_reachability_graph(
-            overlapping_net(), overlap_policy=OVERLAP_SKIP, engine="reference"
-        )
-        assert_identical(compiled, reference)
+        compiled, reference = build_timed_pair(overlapping_net(), overlap_policy=OVERLAP_SKIP)
+        assert_timed_graphs_identical(compiled, reference)
         # The skipped overlap means the long transition simply keeps firing.
         assert compiled.state_count > 1
 

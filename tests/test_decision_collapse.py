@@ -1,0 +1,117 @@
+"""Tests for the decision-graph collapse rejection path.
+
+The collapse cannot terminate on models with a decision-free cycle off the
+anchor path — the lossless sliding-window net the ROADMAP flags is the
+canonical case: the sender makes choices while filling the window, but once
+every frame is in flight the slots cycle deterministically forever.  The
+:func:`supports_decision_collapse` predicate diagnoses this up front, and
+:func:`decision_graph` raises the same diagnosis instead of failing
+mid-collapse.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import PerformanceError
+from repro.petri.builder import NetBuilder
+from repro.protocols import (
+    go_back_n_net,
+    simple_protocol_net,
+    sliding_window_net,
+    token_ring_net,
+)
+from repro.reachability import (
+    CollapseSupport,
+    decision_graph,
+    supports_decision_collapse,
+    timed_reachability_graph,
+)
+
+
+class TestSupportsDecisionCollapse:
+    def test_lossless_sliding_window_rejected(self):
+        support = supports_decision_collapse(sliding_window_net(2))
+        assert isinstance(support, CollapseSupport)
+        assert not support
+        assert not support.supported
+        assert support.cycle, "the offending cycle must be named"
+        assert "decision-free cycle" in support.reason
+        # The model *does* have decision nodes — the cycle is off their path.
+        assert support.anchors
+
+    def test_accepts_prebuilt_graph(self):
+        trg = timed_reachability_graph(sliding_window_net(2))
+        support = supports_decision_collapse(trg)
+        assert not support
+        # The named cycle really is decision-free: one successor per node.
+        for index in support.cycle:
+            assert len(trg.successors(index)) == 1
+        # ... and closes on itself.
+        last_edge = trg.successors(support.cycle[-1])[0]
+        assert last_edge.target == support.cycle[0]
+
+    def test_graph_kwargs_forwarded(self):
+        support = supports_decision_collapse(sliding_window_net(2), engine="reference")
+        assert not support and support.cycle
+
+    @pytest.mark.parametrize(
+        "constructor",
+        [
+            simple_protocol_net,
+            lambda: token_ring_net(3),
+            lambda: sliding_window_net(1),
+            lambda: go_back_n_net(2),
+            lambda: sliding_window_net(2, loss_probability=Fraction(1, 10)),
+            lambda: go_back_n_net(2, loss_probability=Fraction(1, 10)),
+        ],
+        ids=[
+            "paper-protocol",
+            "token-ring",
+            "sliding-window-1",
+            "go-back-n-lossless",
+            "sliding-window-lossy",
+            "go-back-n-lossy",
+        ],
+    )
+    def test_supported_models(self, constructor):
+        support = supports_decision_collapse(constructor())
+        assert support
+        assert support.reason is None
+        assert support.cycle == ()
+
+    def test_supported_model_still_collapses(self):
+        trg = timed_reachability_graph(simple_protocol_net())
+        assert supports_decision_collapse(trg)
+        assert decision_graph(trg).edge_count > 0
+
+    def test_absorbing_path_is_supported(self):
+        # A deterministic net that dead-ends: the fallback anchor exposes the
+        # absorbing path, no cycle is involved, so the collapse is supported.
+        builder = NetBuilder("absorbing")
+        builder.place("a", tokens=1)
+        builder.transition("t1", inputs=["a"], outputs=["b"], firing_time=1)
+        builder.transition("t2", inputs=["b"], outputs=[], firing_time=1)
+        net = builder.build()
+        support = supports_decision_collapse(net)
+        assert support
+        graph = decision_graph(timed_reachability_graph(net))
+        assert graph.has_absorbing_edge()
+
+
+class TestDecisionGraphRejection:
+    def test_raises_diagnostic_before_collapsing(self):
+        trg = timed_reachability_graph(sliding_window_net(2))
+        with pytest.raises(PerformanceError, match="decision-free cycle") as error:
+            decision_graph(trg)
+        message = str(error.value)
+        assert "supports_decision_collapse" in message
+        # The diagnosis names concrete 1-based state numbers.
+        support = supports_decision_collapse(trg)
+        assert str(support.cycle[0] + 1) in message
+
+    def test_window_three_also_diagnosed(self):
+        with pytest.raises(PerformanceError, match="decision-free cycle"):
+            decision_graph(timed_reachability_graph(sliding_window_net(3)))

@@ -1,0 +1,157 @@
+"""Differential smoke gate: every compiled builder vs its reference engine.
+
+Runs every bundled workload (numeric and symbolic) through all four graph
+families — timed reachability, untimed reachability, Karp–Miller
+coverability and the GSPN marking graph — with ``engine="compiled"`` and
+``engine="reference"`` and asserts the graphs are bit-identical via the
+shared harness in :mod:`engine_diff`.  Workloads that are unbounded under a
+semantics must fail identically through both engines.
+
+CI runs this module (plus the randomized companion
+``test_engine_random.py``) as a named differential gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from engine_diff import (
+    NUMERIC_WORKLOADS,
+    UNBOUNDED_UNTIMED,
+    WORKLOAD_IDS,
+    assert_coverability_graphs_identical,
+    assert_gspn_explorations_identical,
+    assert_gspn_results_identical,
+    assert_timed_graphs_identical,
+    assert_untimed_graphs_identical,
+    build_coverability_pair,
+    build_gspn_pair,
+    build_symbolic_timed_pair,
+    build_timed_pair,
+    build_untimed_pair,
+    symbolic_workload,
+)
+from repro.exceptions import UnboundedNetError
+from repro.petri import coverability_graph, reachability_graph
+from repro.protocols import simple_protocol_net, sliding_window_net
+from repro.stochastic import GSPNAnalysis
+
+#: Per-workload GSPN settings: the timeout-racing protocol nets are
+#: unbounded under exponential delays without truncation.
+GSPN_SETTINGS = {
+    "paper-protocol": {"place_capacity": 2},
+    "alternating-bit": None,  # unbounded even truncated at 2 tokens/place
+    "pipelined-stop-and-wait": {"place_capacity": 2, "solve": False},  # big CTMC; diff the exploration
+}
+
+
+class TestTimedDifferential:
+    """The timed construction, re-checked here so the gate covers all four families."""
+
+    def test_paper_protocol(self):
+        compiled, reference = build_timed_pair(simple_protocol_net())
+        assert_timed_graphs_identical(compiled, reference)
+
+    def test_symbolic_paper_net(self):
+        net, constraints = symbolic_workload()
+        compiled, reference = build_symbolic_timed_pair(net, constraints)
+        assert_timed_graphs_identical(compiled, reference)
+        assert compiled.constraint_usage() == reference.constraint_usage()
+
+
+class TestUntimedReachabilityDifferential:
+    @pytest.mark.parametrize("label,constructor", NUMERIC_WORKLOADS, ids=WORKLOAD_IDS)
+    def test_workload(self, label, constructor):
+        net = constructor()
+        if label in UNBOUNDED_UNTIMED:
+            for engine in ("compiled", "reference"):
+                with pytest.raises(UnboundedNetError, match="untimed reachability exceeded"):
+                    reachability_graph(net, max_states=500, engine=engine)
+        else:
+            compiled, reference = build_untimed_pair(net, max_states=30_000)
+            assert_untimed_graphs_identical(compiled, reference)
+
+    def test_symbolic_net_fails_identically(self):
+        # The untimed rule ignores timing, so the symbolic paper net runs
+        # through both engines — and is unbounded exactly like the numeric one.
+        net, _constraints = symbolic_workload()
+        for engine in ("compiled", "reference"):
+            with pytest.raises(UnboundedNetError, match="untimed reachability exceeded"):
+                reachability_graph(net, max_states=500, engine=engine)
+
+    def test_compiled_is_the_default_engine(self):
+        net = sliding_window_net(2)
+        default = reachability_graph(net)
+        explicit = reachability_graph(net, engine="compiled")
+        assert_untimed_graphs_identical(default, explicit)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            reachability_graph(sliding_window_net(2), engine="turbo")
+
+
+class TestCoverabilityDifferential:
+    @pytest.mark.parametrize("label,constructor", NUMERIC_WORKLOADS, ids=WORKLOAD_IDS)
+    def test_workload(self, label, constructor):
+        compiled, reference = build_coverability_pair(constructor(), max_nodes=20_000)
+        assert_coverability_graphs_identical(compiled, reference)
+        # The unbounded untimed workloads are exactly the ones Karp–Miller
+        # must flag with an ω component.
+        assert compiled.is_bounded() == (label not in UNBOUNDED_UNTIMED)
+
+    def test_symbolic_net(self):
+        net, _constraints = symbolic_workload()
+        compiled, reference = build_coverability_pair(net)
+        assert_coverability_graphs_identical(compiled, reference)
+        assert not compiled.is_bounded()
+
+    def test_max_nodes_fails_identically(self):
+        net = simple_protocol_net()
+        for engine in ("compiled", "reference"):
+            with pytest.raises(UnboundedNetError, match="coverability construction exceeded"):
+                coverability_graph(net, max_nodes=5, engine=engine)
+
+    def test_compiled_is_the_default_engine(self):
+        default = coverability_graph(simple_protocol_net())
+        explicit = coverability_graph(simple_protocol_net(), engine="compiled")
+        assert_coverability_graphs_identical(default, explicit)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            coverability_graph(simple_protocol_net(), engine="turbo")
+
+
+class TestGSPNDifferential:
+    @pytest.mark.parametrize("label,constructor", NUMERIC_WORKLOADS, ids=WORKLOAD_IDS)
+    def test_workload(self, label, constructor):
+        net = constructor()
+        settings = GSPN_SETTINGS.get(label, {})
+        if settings is None:
+            for engine in ("compiled", "reference"):
+                with pytest.raises(UnboundedNetError, match="GSPN marking graph exceeded"):
+                    GSPNAnalysis(net, max_states=500, place_capacity=2, engine=engine)._explore()
+            return
+        settings = dict(settings)
+        solve = settings.pop("solve", True)
+        compiled, reference = build_gspn_pair(net, **settings)
+        assert_gspn_explorations_identical(compiled, reference)
+        if solve:
+            assert_gspn_results_identical(compiled.solve(), reference.solve())
+
+    def test_compiled_is_the_default_engine(self):
+        default = GSPNAnalysis(simple_protocol_net(), place_capacity=2)
+        explicit = GSPNAnalysis(simple_protocol_net(), place_capacity=2, engine="compiled")
+        assert default.engine == "compiled"
+        assert_gspn_explorations_identical(default, explicit)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            GSPNAnalysis(simple_protocol_net(), engine="turbo")
+
+    def test_explicit_rates_respected_by_both_engines(self):
+        net = simple_protocol_net()
+        compiled, reference = build_gspn_pair(
+            net, place_capacity=2, rates={"t2": 0.5}
+        )
+        assert_gspn_explorations_identical(compiled, reference)
+        assert_gspn_results_identical(compiled.solve(), reference.solve())

@@ -1,0 +1,146 @@
+"""Property-style randomized differential tests for the compiled engine.
+
+Small random nets (seeded, via :class:`NetBuilder`) are pushed through the
+compiled and reference backends of every untimed builder; the two must agree
+exactly — including on *failure*: a net that is unbounded for the reference
+enumeration must be unbounded for the compiled one at the same bound.
+
+On top of the differential check, bounded graphs are validated against the
+structure theory of :mod:`repro.petri.invariants`: every P-invariant's
+weighted token count is conserved across every reachable marking (token
+conservation is what ``y·C = 0`` *means*), and coverability must classify
+the net bounded exactly when the enumeration closed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from engine_diff import (
+    assert_coverability_graphs_identical,
+    assert_gspn_explorations_identical,
+    assert_untimed_graphs_identical,
+    build_coverability_pair,
+    build_gspn_pair,
+    build_untimed_pair,
+)
+from repro.exceptions import UnboundedNetError
+from repro.petri import coverability_graph, place_invariants, reachability_graph
+from repro.petri.builder import NetBuilder
+from repro.stochastic import GSPNAnalysis
+
+#: Enough seeds to hit sources/sinks, conflicts, weights > 1, immediate
+#: transitions and unbounded token pumps, while staying fast.
+SEEDS = list(range(40))
+
+MAX_STATES = 2_000
+MAX_NODES = 2_000
+
+
+def random_net(seed: int):
+    """A small seeded random net.
+
+    Every transition consumes at least one token (no always-enabled
+    sources, which would make *every* net trivially unbounded), but output
+    bags may outweigh inputs, so a fair share of the nets are unbounded —
+    exercising the failure paths as well as the graphs.
+    """
+    rng = random.Random(seed)
+    builder = NetBuilder(f"random-{seed}")
+    place_count = rng.randint(3, 7)
+    places = [f"p{i}" for i in range(place_count)]
+    for place in places:
+        builder.place(place, tokens=rng.choice([0, 0, 1, 1, 2]))
+    transition_count = rng.randint(3, 8)
+    for t in range(transition_count):
+        inputs = {
+            place: rng.choice([1, 1, 1, 2])
+            for place in rng.sample(places, rng.randint(1, min(3, place_count)))
+        }
+        outputs = {
+            place: rng.choice([1, 1, 2])
+            for place in rng.sample(places, rng.randint(0, min(3, place_count)))
+        }
+        builder.transition(
+            f"t{t}",
+            inputs=inputs,
+            outputs=outputs,
+            enabling_time=rng.choice([0, 0, 1, 2]),
+            firing_time=rng.choice([0, 1, 2, 3]),
+            frequency=rng.randint(1, 3),
+        )
+    return builder.build()
+
+
+def assert_p_invariants_conserved(net, graph):
+    """Every P-invariant's weighted token count is constant over the graph."""
+    invariants = place_invariants(net)
+    initial = net.initial_marking.to_dict()
+    for invariant in invariants:
+        conserved = invariant.weighted_sum(initial)
+        for marking in graph.markings:
+            assert invariant.weighted_sum(marking.to_dict()) == conserved, (
+                f"P-invariant {invariant!r} violated in {marking!r}"
+            )
+
+
+class TestRandomizedUntimedDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_reachability_agrees(self, seed):
+        net = random_net(seed)
+        try:
+            reference = reachability_graph(net, max_states=MAX_STATES, engine="reference")
+        except UnboundedNetError:
+            with pytest.raises(UnboundedNetError):
+                reachability_graph(net, max_states=MAX_STATES, engine="compiled")
+            return
+        compiled = reachability_graph(net, max_states=MAX_STATES, engine="compiled")
+        assert_untimed_graphs_identical(compiled, reference)
+        assert_p_invariants_conserved(net, compiled)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_coverability_agrees(self, seed):
+        net = random_net(seed)
+        try:
+            compiled, reference = build_coverability_pair(net, max_nodes=MAX_NODES)
+        except UnboundedNetError:
+            # Pathological blow-up: both engines must hit the same valve.
+            for engine in ("compiled", "reference"):
+                with pytest.raises(UnboundedNetError):
+                    coverability_graph(net, max_nodes=MAX_NODES, engine=engine)
+            return
+        assert_coverability_graphs_identical(compiled, reference)
+        # Karp–Miller decides boundedness; it must agree with enumeration.
+        if compiled.is_bounded():
+            graph = reachability_graph(net, max_states=MAX_STATES)
+            assert graph.state_count <= MAX_STATES
+            assert_p_invariants_conserved(net, graph)
+        else:
+            with pytest.raises(UnboundedNetError):
+                reachability_graph(net, max_states=MAX_STATES)
+
+
+class TestRandomizedGSPNDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_marking_graph_agrees(self, seed):
+        net = random_net(seed)
+        try:
+            reference = GSPNAnalysis(net, max_states=MAX_STATES, engine="reference")
+            reference_exploration = reference._explore()
+        except UnboundedNetError:
+            with pytest.raises(UnboundedNetError):
+                GSPNAnalysis(net, max_states=MAX_STATES, engine="compiled")._explore()
+            return
+        compiled = GSPNAnalysis(net, max_states=MAX_STATES, engine="compiled")
+        assert compiled._explore() == reference_exploration
+
+    @pytest.mark.parametrize("seed", SEEDS[:10])
+    def test_truncated_marking_graph_agrees(self, seed):
+        # place_capacity truncation bounds every exploration (at most 3^P
+        # markings), so the unbounded nets exercise the capacity path
+        # differentially too.
+        net = random_net(seed)
+        compiled, reference = build_gspn_pair(net, max_states=10_000, place_capacity=2)
+        assert_gspn_explorations_identical(compiled, reference)

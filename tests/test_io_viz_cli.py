@@ -171,6 +171,16 @@ class TestCli:
         assert main(["decision"]) == 0
         assert "1002" in capsys.readouterr().out
 
+    def test_analyze_reports_unsupported_collapse(self, capsys):
+        # The lossless sliding window has a decision-free cycle off the
+        # anchor path; the CLI must diagnose it instead of crashing.
+        assert main(["analyze", "--model", "sliding-window"]) == 1
+        assert "decision-free cycle" in capsys.readouterr().out
+
+    def test_decision_reports_unsupported_collapse(self, capsys):
+        assert main(["decision", "--model", "sliding-window"]) == 1
+        assert "decision-free cycle" in capsys.readouterr().out
+
     def test_simulate_command(self, capsys):
         assert main(["simulate", "--model", "token-ring", "--horizon", "500"]) == 0
         assert "transmit_0" in capsys.readouterr().out
