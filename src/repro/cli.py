@@ -7,6 +7,9 @@ Subcommands mirror the analysis pipeline of the paper:
   utilizations) of a bundled model or a JSON net file,
 * ``reachability`` — build and print the timed reachability graph
   (optionally the full Figure-4b style state table),
+* ``untimed`` — build the untimed reachability graph and report boundedness
+  and deadlock facts; ``--engine parallel --workers N`` runs the
+  frontier-sharded multiprocess construction,
 * ``decision`` — print the decision-graph edges (Figure-5 style),
 * ``simulate`` — run the discrete-event simulator and compare against the
   analytic throughput,
@@ -22,8 +25,10 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .exceptions import PerformanceError
+from .engine import ENGINE_PARALLEL, ENGINES
+from .exceptions import PerformanceError, UnboundedNetError
 from .performance import PerformanceAnalysis
+from .petri import reachability_graph as untimed_reachability_graph
 from .petri.io import jsonio, pnml
 from .petri.io.dot import net_to_dot
 from .protocols import (
@@ -104,6 +109,39 @@ def _command_reachability(arguments) -> int:
     if arguments.dot:
         Path(arguments.dot).write_text(reachability_to_dot(graph), encoding="utf-8")
         print(f"DOT written to {arguments.dot}")
+    return 0
+
+
+def _command_untimed(arguments) -> int:
+    net = _load_model(arguments)
+    if arguments.workers is not None and arguments.engine != ENGINE_PARALLEL:
+        raise SystemExit("--workers requires --engine parallel")
+    try:
+        graph = untimed_reachability_graph(
+            net,
+            max_states=arguments.max_states,
+            engine=arguments.engine,
+            workers=arguments.workers,
+        )
+    except ValueError as error:
+        # e.g. a non-positive --workers count; argparse already guaranteed
+        # the engine name, so surface the builder's message cleanly.
+        raise SystemExit(str(error))
+    except UnboundedNetError as error:
+        print(f"cannot enumerate: {error}")
+        return 1
+    print(graph)
+    rows = [
+        ("engine", arguments.engine
+         + (f" ({arguments.workers or 'auto'} workers)" if arguments.engine == ENGINE_PARALLEL else "")),
+        ("markings", graph.state_count),
+        ("edges", graph.edge_count),
+        ("bound (max tokens/place)", graph.bound()),
+        ("safe (1-bounded)", graph.is_safe()),
+        ("deadlock-free", graph.is_deadlock_free()),
+        ("dead markings", len(graph.dead_markings())),
+    ]
+    print(format_kv(rows))
     return 0
 
 
@@ -203,6 +241,30 @@ def build_parser() -> argparse.ArgumentParser:
     reachability.add_argument("--table", action="store_true", help="print the full state table")
     reachability.add_argument("--dot", help="write the graph as Graphviz DOT to this path")
     reachability.set_defaults(handler=_command_reachability)
+
+    untimed = subparsers.add_parser(
+        "untimed", help="build the untimed reachability graph (boundedness, deadlocks)"
+    )
+    _add_model_arguments(untimed)
+    untimed.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="compiled",
+        help="construction backend; 'parallel' shards the BFS across processes",
+    )
+    untimed.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --engine parallel (default: one per CPU)",
+    )
+    untimed.add_argument(
+        "--max-states",
+        type=int,
+        default=100_000,
+        help="abort if the enumeration exceeds this many markings",
+    )
+    untimed.set_defaults(handler=_command_untimed)
 
     decision = subparsers.add_parser("decision", help="print the decision graph")
     _add_model_arguments(decision)

@@ -21,7 +21,11 @@ a reusable module:
   backends for the untimed semantics, including Karp–Miller ω-acceleration
   directly on the integer vectors;
 * :func:`~repro.engine.gspn.compiled_marking_graph` — the compiled
-  exploration behind :class:`repro.stochastic.gspn.GSPNAnalysis`.
+  exploration behind :class:`repro.stochastic.gspn.GSPNAnalysis`;
+* :mod:`repro.engine.parallel` — frontier-sharded **multiprocess** BFS for
+  the untimed reachability and GSPN marking-graph constructions
+  (``engine="parallel"``, ``workers=N``), whose deterministic merge
+  renumbers cross-process discoveries into the exact sequential FIFO order.
 
 Each public builder that uses this engine keeps an ``engine="reference"``
 escape hatch and is required (by ``tests/test_engine_diff.py`` and
@@ -30,30 +34,66 @@ implementation: same node order, same edge order, same labels, rates and
 weights.
 """
 
+from typing import Optional, Sequence
+
 from .gspn import compiled_marking_graph
+from .parallel import parallel_marking_graph, parallel_reachability_graph, resolve_workers
 from .tables import NetTables
 from .untimed import compiled_coverability_graph, compiled_reachability_graph
 
 #: Engine selection values shared by every builder with a compiled backend.
 ENGINE_COMPILED = "compiled"
 ENGINE_REFERENCE = "reference"
-ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE)
+ENGINE_PARALLEL = "parallel"
+ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE, ENGINE_PARALLEL)
+#: The single-process engines every builder supports; builders without a
+#: frontier-sharded backend (timed reachability, coverability) pass this as
+#: ``supported=`` so an ``engine="parallel"`` request fails with a precise
+#: message instead of a silent fallback.
+SEQUENTIAL_ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE)
 
 
-def check_engine(engine: str) -> None:
-    """Validate an ``engine=`` argument, raising ``ValueError`` otherwise."""
+#: Call-site hint appended when a builder without a sharded backend rejects
+#: ``engine="parallel"``.
+PARALLEL_UNSUPPORTED_REASON = (
+    "the parallel engine shards untimed reachability and GSPN "
+    "marking-graph constructions only"
+)
+
+
+def check_engine(
+    engine: str, *, supported: Optional[Sequence[str]] = None, reason: str = ""
+) -> None:
+    """Validate an ``engine=`` argument, raising ``ValueError`` otherwise.
+
+    ``supported`` restricts the accepted values for builders that do not
+    implement every engine (the default accepts all of :data:`ENGINES`);
+    ``reason`` is an optional caller-supplied explanation appended to the
+    rejection message.
+    """
     if engine not in ENGINES:
         raise ValueError(
             f"unknown engine {engine!r}; expected one of {', '.join(map(repr, ENGINES))}"
         )
+    if supported is not None and engine not in supported:
+        raise ValueError(
+            f"engine {engine!r} is not supported by this builder; expected one of "
+            f"{', '.join(map(repr, supported))}" + (f" ({reason})" if reason else "")
+        )
 
 __all__ = [
     "ENGINE_COMPILED",
+    "ENGINE_PARALLEL",
     "ENGINE_REFERENCE",
     "ENGINES",
+    "PARALLEL_UNSUPPORTED_REASON",
+    "SEQUENTIAL_ENGINES",
     "NetTables",
     "check_engine",
     "compiled_coverability_graph",
     "compiled_marking_graph",
     "compiled_reachability_graph",
+    "parallel_marking_graph",
+    "parallel_reachability_graph",
+    "resolve_workers",
 ]

@@ -1,0 +1,455 @@
+"""Frontier-sharded multiprocess BFS over the compiled integer-tuple states.
+
+The compiled builders of :mod:`repro.engine.untimed` and
+:mod:`repro.engine.gspn` run their hot loop over plain ``tuple[int, ...]``
+token vectors — values that pickle cheaply and hash deterministically across
+processes.  This module exploits exactly that property to construct untimed
+reachability and GSPN marking graphs across **worker processes**:
+
+* every worker *owns* a disjoint shard of the state space
+  (``shard = hash(vector) % workers``; tuple-of-int hashing is not salted by
+  ``PYTHONHASHSEED``, so all processes agree on the owner of a vector),
+* per BFS level, each worker expands its local frontier with the existing
+  :class:`~repro.engine.tables.NetTables` fire/enable kernels — successor
+  enabled sets are derived *incrementally* from the parent's, exactly like
+  the sequential compiled engine — and exchanges cross-shard successor
+  batches directly with the owning peers,
+* owners deduplicate incoming batches against their shard, adopt the shipped
+  enabled set of every *new* state, and report the new states together with
+  per-edge target resolutions to the coordinator,
+* the coordinator runs a **deterministic merge**: new states are renumbered
+  by their first-discovery key ``(parent_index, edge_slot)`` — the exact
+  FIFO order of the sequential builder — and the edge streams are k-way
+  merged back into the sequential emission order.
+
+The result is **bit-identical** to both the compiled and the reference
+engines (same node numbering, same edge list, same vanishing sets), which
+``tests/engine_diff.py`` enforces as a third ``engine="parallel"`` value of
+the differential harness.
+
+Why this shape: the coordinator only touches work that is inherently serial
+(interning the winner order, materializing one :class:`Marking` per unique
+state, appending the edge list), while the per-edge firing, enabled-set
+computation and deduplication hashing — the dominant costs of the compiled
+hot loop — run sharded across cores.  Sharding pays off on graphs with at
+least tens of thousands of states; below that the per-level queue round
+trips dominate and ``engine="compiled"`` remains the right default.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import os
+import queue as queue_module
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..exceptions import UnboundedNetError
+from ..petri.net import TimedPetriNet
+from .tables import NetTables
+
+#: Discovery key of the initial state; smaller than any real ``(parent, slot)``.
+_SEED_KEY = (-1, -1)
+
+#: Mode tags understood by the worker loop.
+_MODE_UNTIMED = "untimed"
+_MODE_GSPN = "gspn"
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers=`` argument (``None`` means one per CPU, min 2).
+
+    The parallel engine is only selected explicitly, so defaulting to the
+    machine's CPU count (but at least two workers, the smallest sharded
+    configuration) matches the caller's intent; any positive integer is
+    accepted, including 1 (a degenerate but valid single-shard run).
+    """
+    if workers is None:
+        return max(2, os.cpu_count() or 1)
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+        raise ValueError(f"workers must be a positive integer, got {workers!r}")
+    return workers
+
+
+def _shard_of(vec: Tuple[int, ...], workers: int) -> int:
+    # Tuple-of-int hashing is deterministic across processes (hash
+    # randomization only salts str/bytes), so expanders and owners agree.
+    return hash(vec) % workers
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
+def _chosen_transitions(mode: tuple, enabled: Tuple[int, ...]) -> Sequence[int]:
+    """The transitions a state actually expands, per the mode's firing rule."""
+    if mode[0] == _MODE_GSPN:
+        is_immediate = mode[1]
+        immediate_enabled = [t for t in enabled if is_immediate[t]]
+        return immediate_enabled if immediate_enabled else enabled
+    return enabled
+
+
+def _worker_main(
+    worker_id: int,
+    workers: int,
+    tables: NetTables,
+    mode: tuple,
+    task_queue,
+    inboxes,
+    result_queue,
+) -> None:
+    """One shard owner: expand, exchange, deduplicate, report — per level.
+
+    ``mode`` is ``("untimed",)`` or ``("gspn", is_immediate, place_capacity)``.
+    """
+    inbox = inboxes[worker_id]
+    place_capacity = mode[2] if mode[0] == _MODE_GSPN else None
+    is_immediate = mode[1] if mode[0] == _MODE_GSPN else None
+    index_of: Dict[Tuple[int, ...], int] = {}
+    #: New states of the previous round, awaiting their global indices
+    #: (kept in the discovery-key order they were reported in).
+    pending: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+    try:
+        while True:
+            message = task_queue.get()
+            if message[0] == "stop":
+                break
+            _kind, round_no, assigned, seed_vec = message
+
+            # 1. Promote last round's new states into this round's frontier.
+            frontier = []
+            for (vec, enabled), index in zip(pending, assigned):
+                index_of[vec] = index
+                frontier.append((index, vec, enabled))
+            pending = []
+
+            # 2. Expand the frontier, batching successors by owner shard.
+            #    ``slot`` numbers the edges actually emitted by a parent, in
+            #    the reference emission order — the unit of the deterministic
+            #    renumbering downstream.  The successor's enabled set is
+            #    derived *incrementally* from the parent's (only consumers of
+            #    changed places are re-tested, memoized per vector) and
+            #    shipped with the entry, so owners never fall back to a full
+            #    transition rescan.
+            outboxes: List[list] = [[] for _ in range(workers)]
+            for index, vec, enabled in frontier:
+                slot = 0
+                for transition in _chosen_transitions(mode, enabled):
+                    successor = tables.fire_atomic(vec, transition)
+                    if place_capacity is not None and any(
+                        count > place_capacity for count in successor
+                    ):
+                        continue
+                    successor_enabled = tables.derive_enabled(
+                        enabled, successor, tables.delta_places[transition]
+                    )
+                    outboxes[_shard_of(successor, workers)].append(
+                        (index, slot, transition, successor, successor_enabled)
+                    )
+                    slot += 1
+            for peer in range(workers):
+                if peer != worker_id:
+                    inboxes[peer].put((round_no, outboxes[peer]))
+
+            # 3. Collect this round's entries: local, the seed (round 0 only,
+            #    owner only), and one batch from every peer.
+            entries = outboxes[worker_id]
+            if seed_vec is not None:
+                entries.append((_SEED_KEY[0], _SEED_KEY[1], -1, seed_vec, None))
+            for _ in range(workers - 1):
+                peer_round, peer_entries = inbox.get()
+                if peer_round != round_no:
+                    raise RuntimeError(
+                        f"worker {worker_id}: level skew (got round {peer_round}, "
+                        f"expected {round_no})"
+                    )
+                entries.extend(peer_entries)
+
+            # 4. Owner-side dedup.  A new state's discovery key is the
+            #    smallest (parent_index, slot) edge reaching it, which is the
+            #    position where the sequential FIFO builder first interns it.
+            new_keys: List[Tuple[int, int]] = []
+            new_pending: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+            pos_of: Dict[Tuple[int, ...], int] = {}
+            resolutions: List[Tuple[int, int, int, int]] = []
+            for parent, slot, transition, vec, enabled in entries:
+                known = index_of.get(vec)
+                if known is not None:
+                    ref = known  # already interned: refs >= 0 are global indices
+                else:
+                    pos = pos_of.get(vec)
+                    if pos is None:
+                        pos = len(new_keys)
+                        pos_of[vec] = pos
+                        new_keys.append((parent, slot))
+                        if enabled is None:
+                            # Only the seed entry arrives without a derived
+                            # enabled set (it has no parent to derive from).
+                            enabled = tables.enabled_transitions(vec)
+                        new_pending.append((vec, enabled))
+                    elif (parent, slot) < new_keys[pos]:
+                        new_keys[pos] = (parent, slot)
+                    ref = -pos - 1  # new this round: refs < 0 index the new list
+                if parent >= 0:
+                    resolutions.append((parent, slot, transition, ref))
+
+            # 5. Reorder the new states by discovery key so the coordinator
+            #    can k-way merge sorted per-shard streams, remapping the
+            #    negative refs accordingly.
+            order = sorted(range(len(new_keys)), key=new_keys.__getitem__)
+            rank = [0] * len(order)
+            for new_rank, pos in enumerate(order):
+                rank[pos] = new_rank
+            pending = [new_pending[pos] for pos in order]
+            if any(new_rank != pos for new_rank, pos in enumerate(order)):
+                resolutions = [
+                    (parent, slot, transition, ref if ref >= 0 else -rank[-ref - 1] - 1)
+                    for parent, slot, transition, ref in resolutions
+                ]
+            resolutions.sort(key=lambda item: (item[0], item[1]))
+
+            records = []
+            for vec, enabled in pending:
+                if is_immediate is None:
+                    extra = None
+                else:
+                    extra = any(is_immediate[t] for t in enabled)
+                records.append((vec, extra))
+            keys = [new_keys[pos] for pos in order]
+            result_queue.put(("level", worker_id, round_no, keys, records, resolutions))
+    except Exception as error:  # pragma: no cover - defensive; surfaced by coordinator
+        result_queue.put(("error", worker_id, f"{type(error).__name__}: {error}"))
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+def _get_result(result_queue, processes):
+    """Fetch one worker result, failing fast when a worker process died.
+
+    A worker that dies before reporting (killed, import failure under the
+    ``spawn`` start method, ...) would otherwise leave the coordinator
+    blocked on the result queue forever; polling with a short timeout lets
+    the coordinator notice the corpse and raise instead.
+    """
+    while True:
+        try:
+            return result_queue.get(timeout=1.0)
+        except queue_module.Empty:
+            # "stop" has not been sent yet, so every worker must still be
+            # alive while results are being collected — any exit is abnormal.
+            dead = [p for p in processes if not p.is_alive()]
+            if dead:
+                # A dying worker may have reported its actual error just as
+                # the timeout fired; prefer that diagnostic if it is there.
+                try:
+                    return result_queue.get(timeout=0.1)
+                except queue_module.Empty:
+                    pass
+                raise RuntimeError(
+                    "parallel engine worker process(es) died without reporting: "
+                    + ", ".join(f"pid={p.pid} exitcode={p.exitcode}" for p in dead)
+                )
+
+
+def _run_sharded_bfs(
+    tables: NetTables,
+    mode: tuple,
+    workers: int,
+    on_new_state: Callable[[Tuple[int, ...], object], None],
+    on_edge: Callable[[int, int, int], None],
+) -> None:
+    """Drive the level-synchronized worker protocol and merge deterministically.
+
+    ``on_new_state(vec, extra)`` is called once per unique state in the exact
+    sequential numbering order (it must intern the state and enforce any
+    ``max_states`` bound); ``on_edge(source, target, transition)`` once per
+    edge in the exact sequential emission order.
+    """
+    context = multiprocessing.get_context()
+    task_queues = [context.Queue() for _ in range(workers)]
+    inboxes = [context.Queue() for _ in range(workers)]
+    result_queue = context.Queue()
+    processes = [
+        context.Process(
+            target=_worker_main,
+            args=(w, workers, tables, mode, task_queues[w], inboxes, result_queue),
+            daemon=True,
+        )
+        for w in range(workers)
+    ]
+    for process in processes:
+        process.start()
+
+    try:
+        initial_vec = tables.initial_vector()
+        seed_owner = _shard_of(initial_vec, workers)
+        assignments: List[List[int]] = [[] for _ in range(workers)]
+        next_index = 0
+        round_no = 0
+        while True:
+            for w in range(workers):
+                seed = initial_vec if (round_no == 0 and w == seed_owner) else None
+                task_queues[w].put(("round", round_no, assignments[w], seed))
+
+            results: List[Optional[tuple]] = [None] * workers
+            for _ in range(workers):
+                message = _get_result(result_queue, processes)
+                if message[0] == "error":
+                    raise RuntimeError(
+                        f"parallel engine worker {message[1]} failed: {message[2]}"
+                    )
+                _tag, worker_id, reported_round, keys, records, resolutions = message
+                if reported_round != round_no:
+                    raise RuntimeError(
+                        f"parallel engine coordinator: level skew from worker "
+                        f"{worker_id} (round {reported_round} != {round_no})"
+                    )
+                results[worker_id] = (keys, records, resolutions)
+
+            # Deterministic renumbering: k-way merge of the per-shard new
+            # states by first-discovery key.  Keys are globally unique (one
+            # edge has one target), so the order is total.
+            merge_heap = []
+            for worker_id, (keys, records, _res) in enumerate(results):
+                if keys:
+                    merge_heap.append((keys[0], worker_id, 0))
+            assignments = [[] for _ in range(workers)]
+            heapq.heapify(merge_heap)
+            while merge_heap:
+                key, worker_id, pos = heapq.heappop(merge_heap)
+                keys, records, _res = results[worker_id]
+                vec, extra = records[pos]
+                on_new_state(vec, extra)
+                assignments[worker_id].append(next_index)
+                next_index += 1
+                if pos + 1 < len(keys):
+                    heapq.heappush(merge_heap, (keys[pos + 1], worker_id, pos + 1))
+
+            # Edge merge: the per-shard resolution streams are sorted by
+            # (parent, slot), and those pairs are globally unique, so a k-way
+            # merge reproduces the sequential edge emission order exactly.
+            edge_streams = [
+                iter(resolutions) for _keys, _records, resolutions in results
+            ]
+            edge_heap = []
+            for worker_id, stream in enumerate(edge_streams):
+                first = next(stream, None)
+                if first is not None:
+                    edge_heap.append(((first[0], first[1]), worker_id, first))
+            heapq.heapify(edge_heap)
+            while edge_heap:
+                _key, worker_id, (parent, slot, transition, ref) = heapq.heappop(edge_heap)
+                target = ref if ref >= 0 else assignments[worker_id][-ref - 1]
+                on_edge(parent, target, transition)
+                following = next(edge_streams[worker_id], None)
+                if following is not None:
+                    heapq.heappush(
+                        edge_heap, ((following[0], following[1]), worker_id, following)
+                    )
+
+            if not any(assignments):
+                break
+            round_no += 1
+    finally:
+        for queue in task_queues:
+            try:
+                queue.put(("stop",))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for process in processes:
+            process.join(timeout=2)
+        for process in processes:
+            if process.is_alive():  # pragma: no cover - only on worker failure
+                process.terminate()
+                process.join(timeout=1)
+
+
+# ---------------------------------------------------------------------------
+# Public builders
+# ---------------------------------------------------------------------------
+
+
+def parallel_reachability_graph(
+    net: TimedPetriNet, *, max_states: int, workers: Optional[int] = None
+):
+    """Multiprocess counterpart of :func:`repro.engine.untimed.compiled_reachability_graph`.
+
+    Produces a graph bit-identical to both sequential engines: same FIFO node
+    numbering, same edge list, same ``max_states`` failure semantics.
+    """
+    from ..petri.untimed import UntimedReachabilityGraph
+
+    workers = resolve_workers(workers)
+    tables = NetTables(net)
+    graph = UntimedReachabilityGraph(net)
+    names = tables.transition_names
+
+    def on_new_state(vec: Tuple[int, ...], _extra) -> None:
+        graph._add_marking(tables.to_marking(vec))
+        if graph.state_count > max_states:
+            raise UnboundedNetError(
+                f"untimed reachability exceeded {max_states} markings; the net "
+                "is unbounded or the bound is too small"
+            )
+
+    def on_edge(source: int, target: int, transition: int) -> None:
+        graph._add_edge(source, target, names[transition])
+
+    _run_sharded_bfs(tables, (_MODE_UNTIMED,), workers, on_new_state, on_edge)
+    return graph
+
+
+def parallel_marking_graph(
+    net: TimedPetriNet,
+    *,
+    immediate,
+    weights,
+    rates,
+    max_states: int,
+    place_capacity: Optional[int],
+    workers: Optional[int] = None,
+):
+    """Multiprocess counterpart of :func:`repro.engine.gspn.compiled_marking_graph`.
+
+    Returns ``(markings, edges, vanishing)`` exactly as the sequential
+    explorations emit them (same order, same payloads, same vanishing set).
+    """
+    workers = resolve_workers(workers)
+    tables = NetTables(net)
+    names = tables.transition_names
+    is_immediate = tuple(immediate[name] for name in names)
+    weight_of = tuple(weights[name] for name in names)
+    rate_of = tuple(rates[name] for name in names)
+
+    markings: List = []
+    edges: List[Tuple[int, int, str, float, bool]] = []
+    vanishing: Set[int] = set()
+
+    def on_new_state(vec: Tuple[int, ...], extra) -> None:
+        if extra:
+            vanishing.add(len(markings))
+        markings.append(tables.to_marking(vec))
+        if len(markings) > max_states:
+            raise UnboundedNetError(f"GSPN marking graph exceeded {max_states} markings")
+
+    def on_edge(source: int, target: int, transition: int) -> None:
+        if is_immediate[transition]:
+            edges.append((source, target, names[transition], weight_of[transition], True))
+        else:
+            edges.append((source, target, names[transition], rate_of[transition], False))
+
+    mode = (_MODE_GSPN, is_immediate, place_capacity)
+    _run_sharded_bfs(tables, mode, workers, on_new_state, on_edge)
+    return markings, edges, vanishing
+
+
+__all__ = [
+    "parallel_marking_graph",
+    "parallel_reachability_graph",
+    "resolve_workers",
+]

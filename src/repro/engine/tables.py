@@ -99,6 +99,25 @@ class NetTables:
         self._enabled_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
+    # Pickling (multiprocess engine support)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the structural tables without the memoized enabled sets.
+
+        The parallel engine ships one :class:`NetTables` to every worker
+        process (explicitly under ``spawn``, copy-on-write under ``fork``);
+        the enabled-set memo is a per-process working set that would only
+        bloat the payload, so each process restarts with an empty cache.
+        """
+        state = dict(self.__dict__)
+        state["_enabled_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    # ------------------------------------------------------------------
     # Vector conversions
     # ------------------------------------------------------------------
 

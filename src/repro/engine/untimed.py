@@ -94,8 +94,14 @@ def compiled_coverability_graph(net: TimedPetriNet, *, max_nodes: int):
 
     index_of_vec: Dict[tuple, int] = {}
     vec_of: List[tuple] = []
+    #: BFS-tree parent of every node (-1 for the root).  The acceleration
+    #: rule needs the ancestor chain of the path a node was queued on; a
+    #: parent-index chain reconstructs it in O(depth) per expansion instead
+    #: of copying an O(depth) ancestor tuple into every work item (which
+    #: cost O(n * depth) memory in total on deep graphs).
+    parent_of: List[int] = []
 
-    def intern(vec: tuple) -> Tuple[int, bool]:
+    def intern(vec: tuple, parent: int) -> Tuple[int, bool]:
         existing = index_of_vec.get(vec)
         if existing is not None:
             return existing, False
@@ -104,13 +110,21 @@ def compiled_coverability_graph(net: TimedPetriNet, *, max_nodes: int):
         index, _ = graph._add_node(CoverabilityNode(tuple(float(v) for v in vec)))
         index_of_vec[vec] = index
         vec_of.append(vec)
+        parent_of.append(parent)
         return index, True
 
-    root_index, _ = intern(tables.initial_vector())
-    # Each work item remembers the ancestor chain (indices) for acceleration.
-    work: deque = deque([(root_index, (root_index,))])
+    root_index, _ = intern(tables.initial_vector(), -1)
+    work: deque = deque([root_index])
     while work:
-        index, ancestors = work.popleft()
+        index = work.popleft()
+        # Walk the parent chain and reverse it: the same root-first ancestor
+        # order the ancestor-tuple work items used to carry.
+        ancestors = []
+        node = index
+        while node >= 0:
+            ancestors.append(node)
+            node = parent_of[node]
+        ancestors.reverse()
         vec = vec_of[index]
         for transition in range(transition_count):
             if not tables.covers(vec, transition):
@@ -140,14 +154,14 @@ def compiled_coverability_graph(net: TimedPetriNet, *, max_nodes: int):
                         OMEGA if cand > anc else cand
                         for cand, anc in zip(successor, ancestor)
                     ]
-            successor_index, is_new = intern(tuple(successor))
+            successor_index, is_new = intern(tuple(successor), index)
             graph.edges.append(UntimedEdge(index, successor_index, names[transition]))
             if is_new:
                 if graph.node_count > max_nodes:
                     raise UnboundedNetError(
                         f"coverability construction exceeded {max_nodes} nodes"
                     )
-                work.append((successor_index, ancestors + (successor_index,)))
+                work.append(successor_index)
     return graph
 
 

@@ -15,10 +15,12 @@ they can be asserted against in tests and rendered by :mod:`repro.viz`.
 
 Both builders accept an ``engine`` argument: ``"compiled"`` (the default)
 runs the integer-indexed backend of :mod:`repro.engine.untimed`,
-``"reference"`` the readable marking-based constructions in this module.
-The two are required to produce bit-identical graphs — same node numbering,
-same edge list — which ``tests/engine_diff.py`` enforces differentially on
-every bundled workload.
+``"reference"`` the readable marking-based constructions in this module,
+and :func:`reachability_graph` additionally accepts ``"parallel"`` — the
+frontier-sharded multiprocess BFS of :mod:`repro.engine.parallel` with a
+``workers=`` knob.  All engines are required to produce bit-identical
+graphs — same node numbering, same edge list — which
+``tests/engine_diff.py`` enforces differentially on every bundled workload.
 """
 
 from __future__ import annotations
@@ -126,7 +128,11 @@ class UntimedReachabilityGraph:
 
 
 def reachability_graph(
-    net: TimedPetriNet, *, max_states: int = 100_000, engine: str = "compiled"
+    net: TimedPetriNet,
+    *,
+    max_states: int = 100_000,
+    engine: str = "compiled",
+    workers: Optional[int] = None,
 ) -> UntimedReachabilityGraph:
     """Enumerate every marking reachable with the atomic firing rule.
 
@@ -138,14 +144,22 @@ def reachability_graph(
     ``engine`` selects the construction backend: ``"compiled"`` (default)
     runs the integer-vector BFS of
     :func:`repro.engine.untimed.compiled_reachability_graph`, ``"reference"``
-    the readable marking-based enumeration below.  Both produce identical
-    graphs.
+    the readable marking-based enumeration below, and ``"parallel"`` the
+    frontier-sharded multiprocess BFS of
+    :func:`repro.engine.parallel.parallel_reachability_graph` across
+    ``workers`` processes (default: one per CPU).  All three produce
+    identical graphs.
     """
     # Imported lazily: repro.engine imports this module's graph classes.
-    from ..engine import ENGINE_COMPILED, check_engine
+    from ..engine import ENGINE_COMPILED, ENGINE_PARALLEL, check_engine
+    from ..engine.parallel import parallel_reachability_graph
     from ..engine.untimed import compiled_reachability_graph
 
     check_engine(engine)
+    if engine == ENGINE_PARALLEL:
+        return parallel_reachability_graph(net, max_states=max_states, workers=workers)
+    if workers is not None:
+        raise ValueError("workers= is only meaningful with engine='parallel'")
     if engine == ENGINE_COMPILED:
         return compiled_reachability_graph(net, max_states=max_states)
     graph = UntimedReachabilityGraph(net)
@@ -270,13 +284,21 @@ def coverability_graph(
     guaranteed finite only with unlimited memory.
 
     ``engine`` selects the construction backend exactly as in
-    :func:`reachability_graph`; the compiled backend applies the
+    :func:`reachability_graph`, except that the Karp–Miller construction has
+    no sharded backend (the acceleration rule inspects the BFS-tree ancestor
+    chain, which a frontier-sharded exploration does not preserve), so
+    ``engine="parallel"`` is rejected; the compiled backend applies the
     ω-acceleration directly on integer vectors.
     """
-    from ..engine import ENGINE_COMPILED, check_engine
+    from ..engine import (
+        ENGINE_COMPILED,
+        PARALLEL_UNSUPPORTED_REASON,
+        SEQUENTIAL_ENGINES,
+        check_engine,
+    )
     from ..engine.untimed import compiled_coverability_graph
 
-    check_engine(engine)
+    check_engine(engine, supported=SEQUENTIAL_ENGINES, reason=PARALLEL_UNSUPPORTED_REASON)
     if engine == ENGINE_COMPILED:
         return compiled_coverability_graph(net, max_nodes=max_nodes)
     graph = CoverabilityGraph(net)

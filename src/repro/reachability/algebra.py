@@ -180,6 +180,77 @@ class SymbolicTimeAlgebra:
 # ---------------------------------------------------------------------------
 
 
+class _BranchProbabilityCache:
+    """Cross-construction memo of derived branch probabilities.
+
+    The paper's probability rule depends only on the *frequencies* of the
+    firable conflict-set members, not on their names, so the derivation is
+    keyed on the frequency tuple (in firable order) and the result stored
+    positionally (``None`` marks members filtered out by the zero rule).
+    Structurally repeated decision states — e.g. the per-slot deliver/lose
+    choice of every sliding-window slot, across repeated graph builds —
+    therefore share a single derivation: the symbolic quotients
+    (:class:`RatFunc` normalization runs polynomial GCDs) are the expensive
+    case, and the exact-``Fraction`` arithmetic of the numeric rule recurs
+    just as often.
+
+    The cache is module-global (it survives across graph constructions by
+    design) and bounded by the number of distinct frequency tuples a model
+    family uses, which is tiny in practice.  ``hits``/``misses`` feed the
+    window-workload benchmark's cache report.
+    """
+
+    __slots__ = ("_table", "hits", "misses")
+
+    def __init__(self):
+        self._table: Dict[tuple, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple):
+        shares = self._table.get(key)
+        if shares is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return shares
+
+    def store(self, key: tuple, shares: tuple) -> None:
+        self._table[key] = shares
+
+    def clear(self) -> None:
+        self._table.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, float]:
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self._table),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+
+_NUMERIC_BRANCH_CACHE = _BranchProbabilityCache()
+_SYMBOLIC_BRANCH_CACHE = _BranchProbabilityCache()
+
+
+def branch_cache_stats() -> Dict[str, Dict[str, float]]:
+    """Hit/miss statistics of the shared branch-probability caches."""
+    return {
+        "numeric": _NUMERIC_BRANCH_CACHE.stats(),
+        "symbolic": _SYMBOLIC_BRANCH_CACHE.stats(),
+    }
+
+
+def clear_branch_caches() -> None:
+    """Reset the shared branch-probability caches (tests and benchmarks)."""
+    _NUMERIC_BRANCH_CACHE.clear()
+    _SYMBOLIC_BRANCH_CACHE.clear()
+
+
 class NumericProbabilityAlgebra:
     """Branching probabilities as exact rationals (frequencies are numbers)."""
 
@@ -204,8 +275,24 @@ class NumericProbabilityAlgebra:
     def branch_probabilities(
         self, conflict_set: ConflictSet, firable: Tuple[str, ...]
     ) -> Dict[str, Fraction]:
-        """The paper's probability rule via :meth:`ConflictSet.firing_probabilities`."""
-        return conflict_set.firing_probabilities(list(firable))
+        """The paper's probability rule via :meth:`ConflictSet.firing_probabilities`.
+
+        Derivations are shared across constructions through the
+        frequency-tuple cache; entry order (and thus edge order downstream)
+        matches the uncached rule exactly.
+        """
+        firable = tuple(firable)
+        if not firable or conflict_set.is_symbolic:
+            # Delegate so the canonical empty/symbolic handling (and its
+            # errors) stay with the conflict set.
+            return conflict_set.firing_probabilities(list(firable))
+        key = tuple(conflict_set.frequency(name) for name in firable)
+        shares = _NUMERIC_BRANCH_CACHE.get(key)
+        if shares is None:
+            resolved = conflict_set.firing_probabilities(list(firable))
+            shares = tuple(resolved.get(name) for name in firable)
+            _NUMERIC_BRANCH_CACHE.store(key, shares)
+        return {name: share for name, share in zip(firable, shares) if share is not None}
 
 
 class SymbolicProbabilityAlgebra:
@@ -239,31 +326,39 @@ class SymbolicProbabilityAlgebra:
     def branch_probabilities(
         self, conflict_set: ConflictSet, firable: Tuple[str, ...]
     ) -> Dict[str, RatFunc]:
-        """Symbolic version of the paper's probability rule."""
+        """Symbolic version of the paper's probability rule.
+
+        The :class:`RatFunc` quotients are derived once per frequency tuple
+        and shared across graph constructions through the module cache —
+        repeated builds of the same (or structurally repetitive) model stop
+        re-running the polynomial GCD normalization.
+        """
         firable = tuple(firable)
         if not firable:
             return {}
         if len(firable) == 1:
             return {firable[0]: RatFunc.one()}
 
-        def frequency_of(name: str) -> RatFunc:
-            return RatFunc.coerce(conflict_set.frequency(name))
-
-        frequencies = {name: frequency_of(name) for name in firable}
-        # Numeric zeros are priority markers: they never fire while another
-        # firable member has a (numeric or symbolic) positive frequency.
-        participating = {
-            name: value
-            for name, value in frequencies.items()
-            if not value.is_zero()
-        }
-        if not participating:
-            share = RatFunc.coerce(Fraction(1, len(firable)))
-            return {name: share for name in firable}
-        total = RatFunc.zero()
-        for value in participating.values():
-            total = total + value
-        return {name: value / total for name, value in participating.items()}
+        key = tuple(conflict_set.frequency(name) for name in firable)
+        shares = _SYMBOLIC_BRANCH_CACHE.get(key)
+        if shares is None:
+            frequencies = [RatFunc.coerce(value) for value in key]
+            # Numeric zeros are priority markers: they never fire while
+            # another firable member has a (numeric or symbolic) positive
+            # frequency.
+            participating = [value for value in frequencies if not value.is_zero()]
+            if not participating:
+                uniform = RatFunc.coerce(Fraction(1, len(firable)))
+                shares = tuple(uniform for _ in firable)
+            else:
+                total = RatFunc.zero()
+                for value in participating:
+                    total = total + value
+                shares = tuple(
+                    None if value.is_zero() else value / total for value in frequencies
+                )
+            _SYMBOLIC_BRANCH_CACHE.store(key, shares)
+        return {name: share for name, share in zip(firable, shares) if share is not None}
 
 
 def numeric_algebras() -> Tuple[NumericTimeAlgebra, NumericProbabilityAlgebra]:
@@ -286,6 +381,8 @@ __all__ = [
     "SymbolicProbabilityAlgebra",
     "SymbolicTimeAlgebra",
     "TimeScalar",
+    "branch_cache_stats",
+    "clear_branch_caches",
     "numeric_algebras",
     "symbolic_algebras",
 ]

@@ -24,7 +24,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from ..engine import ENGINE_COMPILED, ENGINE_REFERENCE, check_engine
+from ..engine import (
+    ENGINE_COMPILED,
+    ENGINE_REFERENCE,
+    PARALLEL_UNSUPPORTED_REASON,
+    SEQUENTIAL_ENGINES,
+    check_engine,
+)
 from ..exceptions import UnboundedNetError
 from ..petri.net import TimedPetriNet
 from ..symbolic.constraints import ConstraintSet
@@ -41,7 +47,12 @@ from .successors import OVERLAP_ERROR, STEP_ADVANCE, STEP_FIRE, SuccessorGenerat
 # Engine selection for the public graph builders is shared with the untimed
 # and GSPN builders through :mod:`repro.engine`.  The compiled engine is the
 # default; the reference engine keeps the readable, paper-shaped
-# implementation available for differential testing and debugging.
+# implementation available for differential testing and debugging.  The
+# frontier-sharded ``engine="parallel"`` backend only covers the untimed and
+# GSPN constructions for now — timed states carry clock vectors whose
+# successor step runs through the (symbolic) scalar algebras, which do not
+# ship across processes — so the timed builders reject it with a precise
+# error instead of silently falling back.
 
 
 @dataclass(frozen=True)
@@ -352,14 +363,15 @@ def timed_reachability_graph(
     ``engine`` selects the construction backend: ``"compiled"`` (default)
     runs the integer-indexed engine of :mod:`repro.reachability.compiled`,
     ``"reference"`` the readable name-based procedure.  Both produce
-    identical graphs.
+    identical graphs.  The frontier-sharded ``"parallel"`` engine of the
+    untimed/GSPN builders is rejected here (timed states do not shard).
     """
     if net.is_symbolic:
         raise ValueError(
             "net has symbolic annotations; use symbolic_timed_reachability_graph() "
             "with the declared timing constraints"
         )
-    check_engine(engine)
+    check_engine(engine, supported=SEQUENTIAL_ENGINES, reason=PARALLEL_UNSUPPORTED_REASON)
     time_algebra, probability_algebra = numeric_algebras()
     if engine == ENGINE_COMPILED:
         return build_compiled_graph(
@@ -394,13 +406,14 @@ def symbolic_timed_reachability_graph(
     the expressions that could not be ordered.
 
     ``engine`` selects the construction backend exactly as in
-    :func:`timed_reachability_graph`; the symbolic algebra (comparator,
-    constraint bookkeeping) is shared by both backends.
+    :func:`timed_reachability_graph` (``"parallel"`` is likewise rejected);
+    the symbolic algebra (comparator, constraint bookkeeping) is shared by
+    both backends.
     """
     if not isinstance(constraints, ConstraintSet):
         constraints = ConstraintSet(list(constraints))
     constraints.assert_consistent()
-    check_engine(engine)
+    check_engine(engine, supported=SEQUENTIAL_ENGINES, reason=PARALLEL_UNSUPPORTED_REASON)
     time_algebra, probability_algebra = symbolic_algebras(constraints)
     if engine == ENGINE_COMPILED:
         return build_compiled_graph(

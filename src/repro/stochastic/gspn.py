@@ -30,8 +30,9 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..engine import ENGINE_COMPILED, check_engine
+from ..engine import ENGINE_COMPILED, ENGINE_PARALLEL, check_engine
 from ..engine.gspn import compiled_marking_graph
+from ..engine.parallel import parallel_marking_graph
 from ..exceptions import NotErgodicError, PerformanceError, UnboundedNetError
 from ..petri.marking import Marking
 from ..petri.net import TimedPetriNet
@@ -88,9 +89,14 @@ class GSPNAnalysis:
         Marking-graph construction backend: ``"compiled"`` (default) runs
         the integer-vector exploration of
         :func:`repro.engine.gspn.compiled_marking_graph`, ``"reference"``
-        the readable marking-based exploration in this module.  Both produce
-        bit-identical marking graphs and therefore identical stationary
-        results.
+        the readable marking-based exploration in this module, and
+        ``"parallel"`` the frontier-sharded multiprocess exploration of
+        :func:`repro.engine.parallel.parallel_marking_graph`.  All backends
+        produce bit-identical marking graphs and therefore identical
+        stationary results.
+    workers:
+        Worker-process count for ``engine="parallel"`` (default: one per
+        CPU); rejected for the single-process engines.
     """
 
     def __init__(
@@ -101,14 +107,18 @@ class GSPNAnalysis:
         max_states: int = 50_000,
         place_capacity: Optional[int] = None,
         engine: str = ENGINE_COMPILED,
+        workers: Optional[int] = None,
     ):
         if net.is_symbolic:
             raise PerformanceError("GSPN analysis requires a numeric net; bind symbols first")
         check_engine(engine)
+        if workers is not None and engine != ENGINE_PARALLEL:
+            raise ValueError("workers= is only meaningful with engine='parallel'")
         self.net = net
         self.max_states = max_states
         self.place_capacity = place_capacity
         self.engine = engine
+        self.workers = workers
         self._rates: Dict[str, float] = {}
         self._immediate: Dict[str, bool] = {}
         self._weights: Dict[str, float] = {}
@@ -145,6 +155,16 @@ class GSPNAnalysis:
                 rates=self._rates,
                 max_states=self.max_states,
                 place_capacity=self.place_capacity,
+            )
+        if self.engine == ENGINE_PARALLEL:
+            return parallel_marking_graph(
+                self.net,
+                immediate=self._immediate,
+                weights=self._weights,
+                rates=self._rates,
+                max_states=self.max_states,
+                place_capacity=self.place_capacity,
+                workers=self.workers,
             )
         return self._explore_reference()
 

@@ -191,18 +191,19 @@ class SymbolicComparator:
 
         used: List[str] = []
         winner: Optional[LinExpr] = None
-        unresolved: List[LinExpr] = []
+        #: Per failed candidate, the first expression it could not be proven
+        #: ``<=`` against — the raw material for the failure diagnosis.
+        blocked: List[Tuple[LinExpr, LinExpr]] = []
         for candidate in distinct:
             is_minimal = True
             candidate_support: List[str] = []
-            unresolved = []
             for other in distinct:
                 if other is candidate or other == candidate:
                     continue
                 holds, support = self.less_equal(candidate, other)
                 if not holds:
                     is_minimal = False
-                    unresolved.append(other)
+                    blocked.append((candidate, other))
                     break
                 candidate_support.extend(support)
             if is_minimal:
@@ -210,11 +211,35 @@ class SymbolicComparator:
                 used.extend(candidate_support)
                 break
         if winner is None:
-            pair = (distinct[0], unresolved[0] if unresolved else distinct[-1])
+            # A blocking pair is only a useful hint when it is *genuinely*
+            # undecidable: ``candidate <= other`` failing is also what happens
+            # when the reverse order is provable (the candidate simply is not
+            # the minimum).  Keep the pairs where neither direction is
+            # provable — the missing constraints the designer must supply.
+            # At least one exists whenever no winner does (a fully decided
+            # comparison relation is a total preorder and therefore has a
+            # minimum), but fall back to the raw blocking pairs defensively.
+            undecidable: List[Tuple[LinExpr, LinExpr]] = []
+            for candidate, other in blocked:
+                if (other, candidate) in undecidable:
+                    continue  # the mirrored pair is the same missing fact
+                if (
+                    not self.less_equal(candidate, other)[0]
+                    and not self.less_equal(other, candidate)[0]
+                ):
+                    undecidable.append((candidate, other))
+            pairs = undecidable or blocked
+            expressions: List[LinExpr] = []
+            for candidate, other in pairs:
+                for expression in (candidate, other):
+                    if expression not in expressions:
+                        expressions.append(expression)
+            detail = "; ".join(f"{a} vs {b}" for a, b in pairs)
             raise InsufficientConstraintsError(
                 "the declared timing constraints do not determine which of the "
-                f"expressions {', '.join(str(e) for e in distinct)} is smallest",
-                expressions=pair,
+                f"expressions {', '.join(str(e) for e in distinct)} is smallest "
+                f"(unresolved: {detail})",
+                expressions=tuple(expressions),
             )
 
         minimal_keys: List[Hashable] = []

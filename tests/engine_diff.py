@@ -1,14 +1,18 @@
-"""Shared differential-test harness: reference vs compiled engine builders.
+"""Shared differential-test harness: reference vs compiled vs parallel engines.
 
 Every graph builder with a compiled backend keeps an ``engine="reference"``
-escape hatch and must produce **bit-identical** graphs through both engines:
+escape hatch and must produce **bit-identical** graphs through every engine:
 same node order, same edge order, same delays/probabilities/labels, same
-rates and weights.  This module centralizes
+rates and weights.  The untimed reachability and GSPN builders additionally
+accept ``engine="parallel"`` (the frontier-sharded multiprocess BFS of
+:mod:`repro.engine.parallel`), which is held to the same bit-identical
+standard — the deterministic merge must renumber cross-process discoveries
+into the exact sequential FIFO order.  This module centralizes
 
 * the workload registry (every bundled numeric model — the three protocol
   nets plus the producer/consumer, token-ring, sliding-window and go-back-N
-  workloads — and the symbolic paper net), and
-* the pairwise builders and exact graph-equality assertions for all four
+  workloads — the timed window models, and the symbolic paper net), and
+* the engine builders and exact graph-equality assertions for all four
   graph families (timed, untimed reachability, coverability, GSPN marking
   graph),
 
@@ -53,11 +57,32 @@ NUMERIC_WORKLOADS = [
 WORKLOAD_IDS = [label for label, _constructor in NUMERIC_WORKLOADS]
 
 #: Workloads whose *untimed* graph is unbounded (the untimed firing rule
-#: lets timeouts flood the medium); both engines must fail identically on
+#: lets timeouts flood the medium); every engine must fail identically on
 #: them instead of producing a graph.
 UNBOUNDED_UNTIMED = frozenset(
     {"paper-protocol", "alternating-bit", "pipelined-stop-and-wait"}
 )
+
+#: Workloads for the *timed* differential check.  The lossy window models
+#: matter here: their per-slot timers produce the decision-heavy graphs the
+#: compiled timed engine memoizes hardest (branch probabilities, advance
+#: steps), so the timed parity gate must cover them and not just the paper
+#: protocol.
+TIMED_WORKLOADS = [
+    ("paper-protocol", simple_protocol_net),
+    (
+        "sliding-window-3-lossy",
+        lambda: sliding_window_net(3, loss_probability=Fraction(1, 10)),
+    ),
+    ("go-back-n-3-lossy", lambda: go_back_n_net(3, loss_probability=Fraction(1, 10))),
+]
+
+TIMED_WORKLOAD_IDS = [label for label, _constructor in TIMED_WORKLOADS]
+
+#: Worker count used by the harness' parallel builds: two processes is the
+#: smallest configuration that actually exercises cross-shard batching and
+#: the deterministic merge.
+PARALLEL_WORKERS = 2
 
 
 def symbolic_workload():
@@ -95,6 +120,11 @@ def build_untimed_pair(net, **kwargs):
     )
 
 
+def build_untimed_parallel(net, *, workers=PARALLEL_WORKERS, **kwargs):
+    """The frontier-sharded untimed reachability graph (third engine value)."""
+    return reachability_graph(net, engine="parallel", workers=workers, **kwargs)
+
+
 def build_coverability_pair(net, **kwargs):
     """(compiled, reference) Karp–Miller coverability graphs."""
     return (
@@ -109,6 +139,11 @@ def build_gspn_pair(net, **kwargs):
         GSPNAnalysis(net, engine="compiled", **kwargs),
         GSPNAnalysis(net, engine="reference", **kwargs),
     )
+
+
+def build_gspn_parallel(net, *, workers=PARALLEL_WORKERS, **kwargs):
+    """The frontier-sharded GSPN analysis (third engine value, not yet solved)."""
+    return GSPNAnalysis(net, engine="parallel", workers=workers, **kwargs)
 
 
 # ---------------------------------------------------------------------------

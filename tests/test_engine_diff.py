@@ -1,11 +1,14 @@
-"""Differential smoke gate: every compiled builder vs its reference engine.
+"""Differential smoke gate: every compiled builder vs its other engines.
 
 Runs every bundled workload (numeric and symbolic) through all four graph
 families — timed reachability, untimed reachability, Karp–Miller
 coverability and the GSPN marking graph — with ``engine="compiled"`` and
 ``engine="reference"`` and asserts the graphs are bit-identical via the
-shared harness in :mod:`engine_diff`.  Workloads that are unbounded under a
-semantics must fail identically through both engines.
+shared harness in :mod:`engine_diff`.  The untimed and GSPN families are
+additionally built with the third engine value, ``engine="parallel"``
+(``workers=2``), gating the multiprocess construction's deterministic merge
+on cross-process bit-identity.  Workloads that are unbounded under a
+semantics must fail identically through every engine.
 
 CI runs this module (plus the randomized companion
 ``test_engine_random.py``) as a named differential gate.
@@ -17,6 +20,8 @@ import pytest
 
 from engine_diff import (
     NUMERIC_WORKLOADS,
+    TIMED_WORKLOAD_IDS,
+    TIMED_WORKLOADS,
     UNBOUNDED_UNTIMED,
     WORKLOAD_IDS,
     assert_coverability_graphs_identical,
@@ -26,14 +31,17 @@ from engine_diff import (
     assert_untimed_graphs_identical,
     build_coverability_pair,
     build_gspn_pair,
+    build_gspn_parallel,
     build_symbolic_timed_pair,
     build_timed_pair,
     build_untimed_pair,
+    build_untimed_parallel,
     symbolic_workload,
 )
 from repro.exceptions import UnboundedNetError
 from repro.petri import coverability_graph, reachability_graph
 from repro.protocols import simple_protocol_net, sliding_window_net
+from repro.reachability import timed_reachability_graph
 from repro.stochastic import GSPNAnalysis
 
 #: Per-workload GSPN settings: the timeout-racing protocol nets are
@@ -48,8 +56,9 @@ GSPN_SETTINGS = {
 class TestTimedDifferential:
     """The timed construction, re-checked here so the gate covers all four families."""
 
-    def test_paper_protocol(self):
-        compiled, reference = build_timed_pair(simple_protocol_net())
+    @pytest.mark.parametrize("label,constructor", TIMED_WORKLOADS, ids=TIMED_WORKLOAD_IDS)
+    def test_workload(self, label, constructor):
+        compiled, reference = build_timed_pair(constructor())
         assert_timed_graphs_identical(compiled, reference)
 
     def test_symbolic_paper_net(self):
@@ -57,6 +66,13 @@ class TestTimedDifferential:
         compiled, reference = build_symbolic_timed_pair(net, constraints)
         assert_timed_graphs_identical(compiled, reference)
         assert compiled.constraint_usage() == reference.constraint_usage()
+
+    def test_parallel_engine_rejected(self):
+        # The frontier-sharded engine only covers the untimed and GSPN
+        # constructions; the timed builder must say so instead of silently
+        # falling back to a single process.
+        with pytest.raises(ValueError, match="not supported by this builder"):
+            timed_reachability_graph(simple_protocol_net(), engine="parallel")
 
 
 class TestUntimedReachabilityDifferential:
@@ -119,6 +135,60 @@ class TestCoverabilityDifferential:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
             coverability_graph(simple_protocol_net(), engine="turbo")
+
+
+class TestParallelDifferential:
+    """The frontier-sharded multiprocess engine vs the reference engine.
+
+    ``workers=2`` is the smallest sharded configuration: it exercises
+    cross-shard successor batches and the coordinator's deterministic
+    renumbering, which must reproduce the sequential FIFO order bit for bit.
+    """
+
+    @pytest.mark.parametrize("label,constructor", NUMERIC_WORKLOADS, ids=WORKLOAD_IDS)
+    def test_untimed_workload(self, label, constructor):
+        net = constructor()
+        if label in UNBOUNDED_UNTIMED:
+            with pytest.raises(UnboundedNetError, match="untimed reachability exceeded"):
+                build_untimed_parallel(net, max_states=500)
+        else:
+            parallel = build_untimed_parallel(net, max_states=30_000)
+            _compiled, reference = build_untimed_pair(net, max_states=30_000)
+            assert_untimed_graphs_identical(parallel, reference)
+
+    @pytest.mark.parametrize("label,constructor", NUMERIC_WORKLOADS, ids=WORKLOAD_IDS)
+    def test_gspn_workload(self, label, constructor):
+        net = constructor()
+        settings = GSPN_SETTINGS.get(label, {})
+        if settings is None:
+            with pytest.raises(UnboundedNetError, match="GSPN marking graph exceeded"):
+                build_gspn_parallel(net, max_states=500, place_capacity=2)._explore()
+            return
+        settings = dict(settings)
+        settings.pop("solve", None)
+        parallel = build_gspn_parallel(net, **settings)
+        reference = GSPNAnalysis(net, engine="reference", **settings)
+        assert_gspn_explorations_identical(parallel, reference)
+
+    def test_single_worker_degenerate_but_identical(self):
+        net = sliding_window_net(2)
+        parallel = build_untimed_parallel(net, workers=1)
+        reference = reachability_graph(net, engine="reference")
+        assert_untimed_graphs_identical(parallel, reference)
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ValueError, match="workers must be a positive integer"):
+            reachability_graph(sliding_window_net(2), engine="parallel", workers=0)
+
+    def test_workers_rejected_for_sequential_engines(self):
+        with pytest.raises(ValueError, match="only meaningful with engine='parallel'"):
+            reachability_graph(sliding_window_net(2), engine="compiled", workers=2)
+        with pytest.raises(ValueError, match="only meaningful with engine='parallel'"):
+            GSPNAnalysis(simple_protocol_net(), place_capacity=2, workers=2)
+
+    def test_coverability_rejects_parallel(self):
+        with pytest.raises(ValueError, match="not supported by this builder"):
+            coverability_graph(simple_protocol_net(), engine="parallel")
 
 
 class TestGSPNDifferential:

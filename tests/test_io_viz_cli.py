@@ -171,6 +171,33 @@ class TestCli:
         assert main(["decision"]) == 0
         assert "1002" in capsys.readouterr().out
 
+    def test_untimed_command(self, capsys):
+        assert main(["untimed", "--model", "sliding-window"]) == 0
+        output = capsys.readouterr().out
+        assert "markings" in output
+        assert "deadlock-free" in output
+
+    def test_untimed_command_parallel_engine(self, capsys):
+        assert main(
+            ["untimed", "--model", "sliding-window", "--engine", "parallel", "--workers", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "parallel (2 workers)" in output
+
+    def test_untimed_command_reports_unbounded(self, capsys):
+        assert main(["untimed", "--model", "simple-protocol", "--max-states", "500"]) == 1
+        assert "untimed reachability exceeded" in capsys.readouterr().out
+
+    def test_untimed_workers_require_parallel_engine(self):
+        with pytest.raises(SystemExit, match="--workers requires --engine parallel"):
+            main(["untimed", "--model", "sliding-window", "--workers", "2"])
+
+    def test_untimed_invalid_worker_count_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="workers must be a positive integer"):
+            main(
+                ["untimed", "--model", "sliding-window", "--engine", "parallel", "--workers", "0"]
+            )
+
     def test_analyze_reports_unsupported_collapse(self, capsys):
         # The lossless sliding window has a decision-free cycle off the
         # anchor path; the CLI must diagnose it instead of crashing.

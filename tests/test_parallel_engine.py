@@ -1,0 +1,189 @@
+"""Unit tests for the frontier-sharded multiprocess engine and its satellites.
+
+The cross-engine bit-identity of the parallel builders is gated by
+``test_engine_diff.py`` (via the shared harness); this module covers the
+subsystem's own machinery — worker resolution, tables pickling, worker-count
+scaling, the GSPN end-to-end solve — plus the hot-path fixes that ride along
+in the same change: the coverability parent-index chain and the shared
+branch-probability cache.
+"""
+
+from __future__ import annotations
+
+import pickle
+from fractions import Fraction
+
+import pytest
+
+from engine_diff import (
+    assert_gspn_results_identical,
+    assert_untimed_graphs_identical,
+    build_untimed_parallel,
+)
+from repro.engine import NetTables
+from repro.engine.parallel import resolve_workers
+from repro.exceptions import UnboundedNetError
+from repro.petri import coverability_graph, reachability_graph
+from repro.protocols import (
+    go_back_n_net,
+    simple_protocol_net,
+    sliding_window_net,
+)
+from repro.reachability import timed_reachability_graph
+from repro.reachability.algebra import branch_cache_stats, clear_branch_caches
+from repro.stochastic import GSPNAnalysis
+
+
+class TestResolveWorkers:
+    def test_explicit_counts_accepted(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+
+    def test_default_is_at_least_two(self):
+        # None means "one per CPU, but never less than the smallest sharded
+        # configuration" — a single-worker default would never exercise
+        # cross-shard batches.
+        assert resolve_workers(None) >= 2
+
+    @pytest.mark.parametrize("bogus", [0, -1, 2.5, True, "two"])
+    def test_invalid_counts_rejected(self, bogus):
+        with pytest.raises(ValueError, match="workers must be a positive integer"):
+            resolve_workers(bogus)
+
+
+class TestNetTablesPickling:
+    def test_round_trip_preserves_tables(self):
+        net = sliding_window_net(2, loss_probability=Fraction(1, 10))
+        tables = NetTables(net)
+        vec = tables.initial_vector()
+        tables.enabled_transitions(vec)  # populate the memo that must be dropped
+        clone = pickle.loads(pickle.dumps(tables))
+        assert clone.place_names == tables.place_names
+        assert clone.transition_names == tables.transition_names
+        assert clone.inputs == tables.inputs
+        assert clone.outputs == tables.outputs
+        assert clone.deltas == tables.deltas
+        assert clone.consumers_of_place == tables.consumers_of_place
+        assert clone.group_of == tables.group_of
+
+    def test_enabled_memo_not_shipped(self):
+        net = sliding_window_net(2)
+        tables = NetTables(net)
+        tables.enabled_transitions(tables.initial_vector())
+        assert tables._enabled_cache
+        clone = pickle.loads(pickle.dumps(tables))
+        assert clone._enabled_cache == {}
+        # ... and the clone still computes the same enabled sets.
+        vec = clone.initial_vector()
+        assert clone.enabled_transitions(vec) == tables.enabled_transitions(vec)
+
+    def test_fire_after_round_trip(self):
+        net = go_back_n_net(2, loss_probability=Fraction(1, 10))
+        tables = NetTables(net)
+        clone = pickle.loads(pickle.dumps(tables))
+        vec = tables.initial_vector()
+        for transition in tables.enabled_transitions(vec):
+            assert clone.fire_atomic(vec, transition) == tables.fire_atomic(vec, transition)
+
+
+class TestParallelEngine:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_worker_counts_all_bit_identical(self, workers):
+        net = go_back_n_net(2, loss_probability=Fraction(1, 10))
+        parallel = build_untimed_parallel(net, workers=workers)
+        reference = reachability_graph(net, engine="reference")
+        assert_untimed_graphs_identical(parallel, reference)
+
+    def test_gspn_solve_matches_reference_end_to_end(self):
+        net = sliding_window_net(2, loss_probability=Fraction(1, 10))
+        parallel = GSPNAnalysis(net, engine="parallel", workers=2)
+        reference = GSPNAnalysis(net, engine="reference")
+        assert_gspn_results_identical(parallel.solve(), reference.solve())
+
+    def test_max_states_failure_matches_sequential_engines(self):
+        net = simple_protocol_net()
+        for engine, kwargs in (
+            ("reference", {}),
+            ("compiled", {}),
+            ("parallel", {"workers": 2}),
+        ):
+            with pytest.raises(UnboundedNetError, match="untimed reachability exceeded 500"):
+                reachability_graph(net, max_states=500, engine=engine, **kwargs)
+
+    def test_workers_spanning_more_shards_than_states(self):
+        # More workers than reachable states: most shards stay empty, the
+        # protocol must still terminate and renumber correctly.
+        net = sliding_window_net(1)
+        parallel = build_untimed_parallel(net, workers=5)
+        reference = reachability_graph(net, engine="reference")
+        assert_untimed_graphs_identical(parallel, reference)
+
+
+class TestCoverabilityParentChain:
+    """The parent-index chain must reproduce the ancestor-tuple semantics."""
+
+    def test_deep_graph_matches_reference(self):
+        # go-back-N serializes sends, so its coverability exploration is deep
+        # relative to its width — the shape the O(n·depth) ancestor tuples
+        # were worst at.
+        net = go_back_n_net(3, loss_probability=Fraction(1, 10))
+        compiled = coverability_graph(net, engine="compiled")
+        reference = coverability_graph(net, engine="reference")
+        assert [n.vector for n in compiled.nodes] == [n.vector for n in reference.nodes]
+        assert compiled.edges == reference.edges
+
+    def test_unbounded_net_still_accelerates(self):
+        compiled = coverability_graph(simple_protocol_net(), engine="compiled")
+        reference = coverability_graph(simple_protocol_net(), engine="reference")
+        assert not compiled.is_bounded()
+        assert compiled.unbounded_places() == reference.unbounded_places()
+        assert [n.vector for n in compiled.nodes] == [n.vector for n in reference.nodes]
+
+
+class TestBranchProbabilityCache:
+    """The cross-construction cache keyed on conflict-set frequency tuples."""
+
+    def setup_method(self):
+        clear_branch_caches()
+
+    def teardown_method(self):
+        clear_branch_caches()
+
+    def test_repeated_numeric_builds_hit_the_cache(self):
+        build = lambda: timed_reachability_graph(
+            sliding_window_net(2, loss_probability=Fraction(1, 10))
+        )
+        first = build()
+        after_first = branch_cache_stats()["numeric"]
+        second = build()
+        after_second = branch_cache_stats()["numeric"]
+        # The window slots share frequency tuples, so even the first build
+        # hits; the second build derives nothing new.
+        assert after_second["size"] == after_first["size"]
+        assert after_second["hits"] > after_first["hits"]
+        # Sharing the derivation must not change the graph.
+        assert [e.probability for e in second.edges] == [e.probability for e in first.edges]
+
+    def test_repeated_symbolic_builds_share_ratfunc_quotients(self):
+        from repro.protocols import simple_protocol_symbolic
+        from repro.reachability import symbolic_timed_reachability_graph
+
+        net, constraints, _symbols = simple_protocol_symbolic()
+        first = symbolic_timed_reachability_graph(net, constraints)
+        after_first = branch_cache_stats()["symbolic"]
+        assert after_first["size"] > 0
+        net2, constraints2, _symbols2 = simple_protocol_symbolic()
+        second = symbolic_timed_reachability_graph(net2, constraints2)
+        after_second = branch_cache_stats()["symbolic"]
+        assert after_second["size"] == after_first["size"]
+        assert after_second["hits"] > after_first["hits"]
+        assert [e.probability for e in second.edges] == [e.probability for e in first.edges]
+
+    def test_clear_resets_counters(self):
+        timed_reachability_graph(sliding_window_net(2, loss_probability=Fraction(1, 10)))
+        clear_branch_caches()
+        stats = branch_cache_stats()
+        for flavour in ("numeric", "symbolic"):
+            assert stats[flavour]["size"] == 0
+            assert stats[flavour]["hits"] == 0
+            assert stats[flavour]["misses"] == 0

@@ -177,6 +177,32 @@ class TestComparator:
         with pytest.raises(InsufficientConstraintsError):
             comparator.minimum_of({"a": as_expr(A), "b": as_expr(B)})
 
+    def test_minimum_failure_reports_genuinely_undecidable_pair(self):
+        # C is provably >= both A and B, but A vs B is left open: the failure
+        # hint must name (A, B) — the actually missing constraint — and not a
+        # pair involving C, whose ordering against either is provable.  (The
+        # old diagnosis paired `distinct[0]` with the *last* candidate's
+        # blocker, here yielding the vacuous pair (A, A).)
+        comparator = SymbolicComparator(
+            ConstraintSet(
+                [
+                    Constraint.greater_equal(C, A, label="1"),
+                    Constraint.greater_equal(C, B, label="2"),
+                ]
+            )
+        )
+        with pytest.raises(InsufficientConstraintsError) as error:
+            comparator.minimum_of({"a": as_expr(A), "b": as_expr(B), "c": as_expr(C)})
+        reported = error.value.expressions
+        assert len(reported) >= 2
+        # Every reported expression belongs to an undecidable pair; in
+        # particular the first two really cannot be ordered either way.
+        first, second = reported[0], reported[1]
+        assert first != second
+        assert not comparator.less_equal(first, second)[0]
+        assert not comparator.less_equal(second, first)[0]
+        assert {first, second} == {as_expr(A), as_expr(B)}
+
     def test_minimum_of_empty_rejected(self, comparator):
         with pytest.raises(ValueError):
             comparator.minimum_of({})
