@@ -9,9 +9,12 @@ to see the tables; the printed blocks are the source of EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import time
 import warnings
+from pathlib import Path
 
 import pytest
 
@@ -68,6 +71,48 @@ def best_timed(build, repetitions: int = 5):
         if best is None or elapsed < best:
             best = elapsed
     return best, result
+
+
+#: Machine-readable benchmark rows collected by :func:`record_bench` during
+#: the run and written as JSON at session end when ``REPRO_BENCH_JSON`` names
+#: an output path.  CI uploads the file as an artifact so the states/second
+#: trajectory of every engine is tracked across PRs.
+_BENCH_RECORDS: list = []
+
+
+def record_bench(workload: str, engine: str, workers, states: int, seconds: float) -> None:
+    """Collect one engine-throughput measurement for the JSON report.
+
+    ``workers`` is ``None`` for single-process engines; ``seconds`` is the
+    best-of-N wall-clock the printed tables report, so the JSON numbers match
+    the human-readable output exactly.
+    """
+    _BENCH_RECORDS.append(
+        {
+            "workload": workload,
+            "engine": engine,
+            "workers": workers,
+            "states": states,
+            "seconds": seconds,
+            "states_per_second": (states / seconds) if seconds else None,
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the collected benchmark rows when REPRO_BENCH_JSON is set."""
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path or not _BENCH_RECORDS:
+        return
+    payload = {
+        "schema": "repro-bench/1",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "soft_mode": bool(os.environ.get("REPRO_BENCH_SOFT")),
+        "records": _BENCH_RECORDS,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
 def soft_or_fail(problems) -> None:

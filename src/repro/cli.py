@@ -6,7 +6,8 @@ Subcommands mirror the analysis pipeline of the paper:
 * ``analyze`` — end-to-end performance analysis (throughput, cycle time,
   utilizations) of a bundled model or a JSON net file,
 * ``reachability`` — build and print the timed reachability graph
-  (optionally the full Figure-4b style state table),
+  (optionally the full Figure-4b style state table); ``--engine parallel
+  --workers N`` runs the frontier-sharded multiprocess timed construction,
 * ``untimed`` — build the untimed reachability graph and report boundedness
   and deadlock facts; ``--engine parallel --workers N`` runs the
   frontier-sharded multiprocess construction,
@@ -102,8 +103,25 @@ def _command_analyze(arguments) -> int:
 
 def _command_reachability(arguments) -> int:
     net = _load_model(arguments)
-    graph = timed_reachability_graph(net)
+    if arguments.workers is not None and arguments.engine != ENGINE_PARALLEL:
+        raise SystemExit("--workers requires --engine parallel")
+    try:
+        graph = timed_reachability_graph(
+            net,
+            max_states=arguments.max_states,
+            engine=arguments.engine,
+            workers=arguments.workers,
+        )
+    except ValueError as error:
+        # e.g. a non-positive --workers count; argparse already guaranteed
+        # the engine name, so surface the builder's message cleanly.
+        raise SystemExit(str(error))
+    except UnboundedNetError as error:
+        print(f"cannot enumerate: {error}")
+        return 1
     print(graph)
+    if arguments.engine == ENGINE_PARALLEL:
+        print(f"engine: parallel ({arguments.workers or 'auto'} workers)")
     if arguments.table:
         print(format_table(graph.state_table_header(), graph.state_table(), align_right=False))
     if arguments.dot:
@@ -238,6 +256,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     reachability = subparsers.add_parser("reachability", help="build the timed reachability graph")
     _add_model_arguments(reachability)
+    reachability.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="compiled",
+        help="construction backend; 'parallel' shards the timed BFS across processes",
+    )
+    reachability.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --engine parallel (default: one per CPU)",
+    )
+    reachability.add_argument(
+        "--max-states",
+        type=int,
+        default=100_000,
+        help="abort if the construction exceeds this many timed states",
+    )
     reachability.add_argument("--table", action="store_true", help="print the full state table")
     reachability.add_argument("--dot", help="write the graph as Graphviz DOT to this path")
     reachability.set_defaults(handler=_command_reachability)

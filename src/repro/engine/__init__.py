@@ -23,9 +23,11 @@ a reusable module:
 * :func:`~repro.engine.gspn.compiled_marking_graph` — the compiled
   exploration behind :class:`repro.stochastic.gspn.GSPNAnalysis`;
 * :mod:`repro.engine.parallel` — frontier-sharded **multiprocess** BFS for
-  the untimed reachability and GSPN marking-graph constructions
-  (``engine="parallel"``, ``workers=N``), whose deterministic merge
-  renumbers cross-process discoveries into the exact sequential FIFO order.
+  the untimed reachability, GSPN marking-graph and *timed* reachability
+  constructions (``engine="parallel"``, ``workers=N``; the timed backend
+  covers both the numeric and the symbolic algebras), whose deterministic
+  merge renumbers cross-process discoveries into the exact sequential FIFO
+  order.
 
 Each public builder that uses this engine keeps an ``engine="reference"``
 escape hatch and is required (by ``tests/test_engine_diff.py`` and
@@ -37,7 +39,12 @@ weights.
 from typing import Optional, Sequence
 
 from .gspn import compiled_marking_graph
-from .parallel import parallel_marking_graph, parallel_reachability_graph, resolve_workers
+from .parallel import (
+    parallel_marking_graph,
+    parallel_reachability_graph,
+    parallel_timed_reachability_graph,
+    resolve_workers,
+)
 from .tables import NetTables
 from .untimed import compiled_coverability_graph, compiled_reachability_graph
 
@@ -47,7 +54,7 @@ ENGINE_REFERENCE = "reference"
 ENGINE_PARALLEL = "parallel"
 ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE, ENGINE_PARALLEL)
 #: The single-process engines every builder supports; builders without a
-#: frontier-sharded backend (timed reachability, coverability) pass this as
+#: frontier-sharded backend (only Karp–Miller coverability now) pass this as
 #: ``supported=`` so an ``engine="parallel"`` request fails with a precise
 #: message instead of a silent fallback.
 SEQUENTIAL_ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE)
@@ -56,8 +63,9 @@ SEQUENTIAL_ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE)
 #: Call-site hint appended when a builder without a sharded backend rejects
 #: ``engine="parallel"``.
 PARALLEL_UNSUPPORTED_REASON = (
-    "the parallel engine shards untimed reachability and GSPN "
-    "marking-graph constructions only"
+    "the parallel engine shards the untimed-reachability, GSPN marking-graph "
+    "and timed-reachability constructions; the Karp–Miller coverability "
+    "builder is still sequential"
 )
 
 
@@ -95,5 +103,6 @@ __all__ = [
     "compiled_reachability_graph",
     "parallel_marking_graph",
     "parallel_reachability_graph",
+    "parallel_timed_reachability_graph",
     "resolve_workers",
 ]

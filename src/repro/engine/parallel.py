@@ -1,39 +1,55 @@
-"""Frontier-sharded multiprocess BFS over the compiled integer-tuple states.
+"""Frontier-sharded multiprocess BFS over the compiled states.
 
-The compiled builders of :mod:`repro.engine.untimed` and
-:mod:`repro.engine.gspn` run their hot loop over plain ``tuple[int, ...]``
-token vectors — values that pickle cheaply and hash deterministically across
-processes.  This module exploits exactly that property to construct untimed
-reachability and GSPN marking graphs across **worker processes**:
+The compiled builders of :mod:`repro.engine.untimed`, :mod:`repro.engine.gspn`
+and :mod:`repro.reachability.compiled` run their hot loops over cheap,
+deterministic-hashing state encodings: plain ``tuple[int, ...]`` token
+vectors for the untimed and GSPN semantics, and
+:class:`~repro.reachability.compiled._CompiledState` (a token vector plus
+``(transition, clock)`` tuples) for the timed semantics.  This module
+exploits exactly that property to construct all three graph families across
+**worker processes**:
 
 * every worker *owns* a disjoint shard of the state space
   (``shard = hash(vector) % workers``; tuple-of-int hashing is not salted by
-  ``PYTHONHASHSEED``, so all processes agree on the owner of a vector),
+  ``PYTHONHASHSEED``, so all processes agree on the owner of a vector —
+  timed states shard by their *marking* vector, so the states that must
+  dedup against each other always meet at the same owner),
 * per BFS level, each worker expands its local frontier with the existing
-  :class:`~repro.engine.tables.NetTables` fire/enable kernels — successor
-  enabled sets are derived *incrementally* from the parent's, exactly like
-  the sequential compiled engine — and exchanges cross-shard successor
-  batches directly with the owning peers,
-* owners deduplicate incoming batches against their shard, adopt the shipped
-  enabled set of every *new* state, and report the new states together with
-  per-edge target resolutions to the coordinator,
+  compiled kernels — :class:`~repro.engine.tables.NetTables` fire/enable for
+  the untimed semantics, the full Figure-3
+  :class:`~repro.reachability.compiled.CompiledSuccessorEngine` for the
+  timed one — and exchanges cross-shard successor batches directly with the
+  owning peers,
+* owners deduplicate incoming batches against their shard and report the new
+  states together with per-edge target resolutions to the coordinator,
 * the coordinator runs a **deterministic merge**: new states are renumbered
   by their first-discovery key ``(parent_index, edge_slot)`` — the exact
   FIFO order of the sequential builder — and the edge streams are k-way
   merged back into the sequential emission order.
 
 The result is **bit-identical** to both the compiled and the reference
-engines (same node numbering, same edge list, same vanishing sets), which
+engines (same node numbering, same edge list, same payloads), which
 ``tests/engine_diff.py`` enforces as a third ``engine="parallel"`` value of
-the differential harness.
+the differential harness — on the untimed, GSPN *and* timed (numeric and
+symbolic) workloads.
+
+Shipping timed work across processes leans on two pickling layers added for
+this engine: compiled states and tables re-derive their process-local caches
+on unpickle (:meth:`NetTables.__getstate__` drops the memo tables,
+``_CompiledState.__reduce__`` ships only the defining tuple), and symbolic
+scalar values (``LinExpr``/``Polynomial``/``RatFunc``) **re-intern** on
+unpickle through the hash-consing tables of :mod:`repro.symbolic`, so a
+clock expression arriving from a peer process dedups against locally derived
+ones by identity.
 
 Why this shape: the coordinator only touches work that is inherently serial
-(interning the winner order, materializing one :class:`Marking` per unique
-state, appending the edge list), while the per-edge firing, enabled-set
-computation and deduplication hashing — the dominant costs of the compiled
-hot loop — run sharded across cores.  Sharding pays off on graphs with at
-least tens of thousands of states; below that the per-level queue round
-trips dominate and ``engine="compiled"`` remains the right default.
+(interning the winner order, materializing one public state per unique
+discovery, appending the edge list), while the per-edge firing, clock
+arithmetic, enabled-set computation and deduplication hashing — the dominant
+costs of the compiled hot loops — run sharded across cores.  Sharding pays
+off on graphs with at least tens of thousands of states; below that the
+per-level queue round trips dominate and ``engine="compiled"`` remains the
+right default.
 """
 
 from __future__ import annotations
@@ -41,6 +57,7 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import os
+import pickle
 import queue as queue_module
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -54,6 +71,7 @@ _SEED_KEY = (-1, -1)
 #: Mode tags understood by the worker loop.
 _MODE_UNTIMED = "untimed"
 _MODE_GSPN = "gspn"
+_MODE_TIMED = "timed"
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -78,7 +96,7 @@ def _shard_of(vec: Tuple[int, ...], workers: int) -> int:
 
 
 # ---------------------------------------------------------------------------
-# Worker process
+# Mode expanders: the per-semantics part of the worker loop
 # ---------------------------------------------------------------------------
 
 
@@ -91,62 +109,157 @@ def _chosen_transitions(mode: tuple, enabled: Tuple[int, ...]) -> Sequence[int]:
     return enabled
 
 
+class _VectorExpander:
+    """Untimed/GSPN semantics: items are ``(vec, enabled)`` pairs.
+
+    ``mode`` is ``("untimed",)`` or ``("gspn", is_immediate, place_capacity)``.
+    Edge data is the fired transition's index; the successor's enabled set is
+    derived *incrementally* from the parent's (only consumers of changed
+    places are re-tested, memoized per vector) and shipped with the entry, so
+    owners never fall back to a full transition rescan.
+    """
+
+    def __init__(self, tables: NetTables, mode: tuple):
+        self.tables = tables
+        self.mode = mode
+        self.place_capacity = mode[2] if mode[0] == _MODE_GSPN else None
+        self.is_immediate = mode[1] if mode[0] == _MODE_GSPN else None
+
+    def identity(self, item):
+        return item[0]
+
+    def shard_vec(self, item):
+        return item[0]
+
+    def expand(self, item):
+        vec, enabled = item
+        tables = self.tables
+        place_capacity = self.place_capacity
+        for transition in _chosen_transitions(self.mode, enabled):
+            successor = tables.fire_atomic(vec, transition)
+            if place_capacity is not None and any(
+                count > place_capacity for count in successor
+            ):
+                continue
+            successor_enabled = tables.derive_enabled(
+                enabled, successor, tables.delta_places[transition]
+            )
+            yield transition, (successor, successor_enabled)
+
+    def adopt(self, item):
+        vec, enabled = item
+        if enabled is None:
+            # Only the seed entry arrives without a derived enabled set (it
+            # has no parent to derive from).
+            return (vec, self.tables.enabled_transitions(vec))
+        return item
+
+    def record(self, item):
+        vec, enabled = item
+        if self.is_immediate is None:
+            extra = None
+        else:
+            extra = any(self.is_immediate[t] for t in enabled)
+        return (vec, extra)
+
+
+class _TimedExpander:
+    """Timed semantics: items are full ``_CompiledState`` values.
+
+    ``mode`` is ``("timed", overlap_policy)`` and ``tables`` is a pickled
+    :class:`~repro.reachability.compiled.CompiledNet` (structural tables plus
+    the algebra columns; memo tables restart empty per process).  Edge data
+    is the complete successor payload of the Figure-3 procedure — delay,
+    probability, fired/completed transitions, step kind and used constraint
+    labels — computed worker-side with exact arithmetic, so it is identical
+    to the sequential engines' output.
+    """
+
+    def __init__(self, tables, mode: tuple):
+        from ..reachability.compiled import CompiledSuccessorEngine
+
+        self.engine = CompiledSuccessorEngine.from_tables(
+            tables, overlap_policy=mode[1]
+        )
+
+    def identity(self, item):
+        return item
+
+    def shard_vec(self, item):
+        return item.vec
+
+    def expand(self, item):
+        for edge in self.engine.successors(item):
+            yield (
+                (
+                    edge.delay,
+                    edge.probability,
+                    edge.fired,
+                    edge.completed,
+                    edge.kind,
+                    edge.used_constraints,
+                ),
+                edge.target,
+            )
+
+    def adopt(self, item):
+        return item
+
+    def record(self, item):
+        return item
+
+
+def _make_expander(tables, mode: tuple):
+    if mode[0] == _MODE_TIMED:
+        return _TimedExpander(tables, mode)
+    return _VectorExpander(tables, mode)
+
+
+# ---------------------------------------------------------------------------
+# Worker process
+# ---------------------------------------------------------------------------
+
+
 def _worker_main(
     worker_id: int,
     workers: int,
-    tables: NetTables,
+    tables,
     mode: tuple,
     task_queue,
     inboxes,
     result_queue,
 ) -> None:
-    """One shard owner: expand, exchange, deduplicate, report — per level.
-
-    ``mode`` is ``("untimed",)`` or ``("gspn", is_immediate, place_capacity)``.
-    """
+    """One shard owner: expand, exchange, deduplicate, report — per level."""
     inbox = inboxes[worker_id]
-    place_capacity = mode[2] if mode[0] == _MODE_GSPN else None
-    is_immediate = mode[1] if mode[0] == _MODE_GSPN else None
-    index_of: Dict[Tuple[int, ...], int] = {}
+    expander = _make_expander(tables, mode)
+    index_of: Dict[object, int] = {}
     #: New states of the previous round, awaiting their global indices
     #: (kept in the discovery-key order they were reported in).
-    pending: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+    pending: List[object] = []
     try:
         while True:
             message = task_queue.get()
             if message[0] == "stop":
                 break
-            _kind, round_no, assigned, seed_vec = message
+            _kind, round_no, assigned, seed_item = message
 
             # 1. Promote last round's new states into this round's frontier.
             frontier = []
-            for (vec, enabled), index in zip(pending, assigned):
-                index_of[vec] = index
-                frontier.append((index, vec, enabled))
+            for item, index in zip(pending, assigned):
+                index_of[expander.identity(item)] = index
+                frontier.append((index, item))
             pending = []
 
             # 2. Expand the frontier, batching successors by owner shard.
             #    ``slot`` numbers the edges actually emitted by a parent, in
             #    the reference emission order — the unit of the deterministic
-            #    renumbering downstream.  The successor's enabled set is
-            #    derived *incrementally* from the parent's (only consumers of
-            #    changed places are re-tested, memoized per vector) and
-            #    shipped with the entry, so owners never fall back to a full
-            #    transition rescan.
+            #    renumbering downstream.
             outboxes: List[list] = [[] for _ in range(workers)]
-            for index, vec, enabled in frontier:
+            for index, item in frontier:
                 slot = 0
-                for transition in _chosen_transitions(mode, enabled):
-                    successor = tables.fire_atomic(vec, transition)
-                    if place_capacity is not None and any(
-                        count > place_capacity for count in successor
-                    ):
-                        continue
-                    successor_enabled = tables.derive_enabled(
-                        enabled, successor, tables.delta_places[transition]
-                    )
-                    outboxes[_shard_of(successor, workers)].append(
-                        (index, slot, transition, successor, successor_enabled)
+                for data, successor in expander.expand(item):
+                    outboxes[_shard_of(expander.shard_vec(successor), workers)].append(
+                        (index, slot, data, successor)
                     )
                     slot += 1
             for peer in range(workers):
@@ -156,8 +269,8 @@ def _worker_main(
             # 3. Collect this round's entries: local, the seed (round 0 only,
             #    owner only), and one batch from every peer.
             entries = outboxes[worker_id]
-            if seed_vec is not None:
-                entries.append((_SEED_KEY[0], _SEED_KEY[1], -1, seed_vec, None))
+            if seed_item is not None:
+                entries.append((_SEED_KEY[0], _SEED_KEY[1], None, seed_item))
             for _ in range(workers - 1):
                 peer_round, peer_entries = inbox.get()
                 if peer_round != round_no:
@@ -171,29 +284,26 @@ def _worker_main(
             #    smallest (parent_index, slot) edge reaching it, which is the
             #    position where the sequential FIFO builder first interns it.
             new_keys: List[Tuple[int, int]] = []
-            new_pending: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
-            pos_of: Dict[Tuple[int, ...], int] = {}
-            resolutions: List[Tuple[int, int, int, int]] = []
-            for parent, slot, transition, vec, enabled in entries:
-                known = index_of.get(vec)
+            new_pending: List[object] = []
+            pos_of: Dict[object, int] = {}
+            resolutions: List[Tuple[int, int, object, int]] = []
+            for parent, slot, data, item in entries:
+                identity = expander.identity(item)
+                known = index_of.get(identity)
                 if known is not None:
                     ref = known  # already interned: refs >= 0 are global indices
                 else:
-                    pos = pos_of.get(vec)
+                    pos = pos_of.get(identity)
                     if pos is None:
                         pos = len(new_keys)
-                        pos_of[vec] = pos
+                        pos_of[identity] = pos
                         new_keys.append((parent, slot))
-                        if enabled is None:
-                            # Only the seed entry arrives without a derived
-                            # enabled set (it has no parent to derive from).
-                            enabled = tables.enabled_transitions(vec)
-                        new_pending.append((vec, enabled))
+                        new_pending.append(expander.adopt(item))
                     elif (parent, slot) < new_keys[pos]:
                         new_keys[pos] = (parent, slot)
                     ref = -pos - 1  # new this round: refs < 0 index the new list
                 if parent >= 0:
-                    resolutions.append((parent, slot, transition, ref))
+                    resolutions.append((parent, slot, data, ref))
 
             # 5. Reorder the new states by discovery key so the coordinator
             #    can k-way merge sorted per-shard streams, remapping the
@@ -205,22 +315,27 @@ def _worker_main(
             pending = [new_pending[pos] for pos in order]
             if any(new_rank != pos for new_rank, pos in enumerate(order)):
                 resolutions = [
-                    (parent, slot, transition, ref if ref >= 0 else -rank[-ref - 1] - 1)
-                    for parent, slot, transition, ref in resolutions
+                    (parent, slot, data, ref if ref >= 0 else -rank[-ref - 1] - 1)
+                    for parent, slot, data, ref in resolutions
                 ]
-            resolutions.sort(key=lambda item: (item[0], item[1]))
+            resolutions.sort(key=lambda entry: (entry[0], entry[1]))
 
-            records = []
-            for vec, enabled in pending:
-                if is_immediate is None:
-                    extra = None
-                else:
-                    extra = any(is_immediate[t] for t in enabled)
-                records.append((vec, extra))
+            records = [expander.record(item) for item in pending]
             keys = [new_keys[pos] for pos in order]
             result_queue.put(("level", worker_id, round_no, keys, records, resolutions))
-    except Exception as error:  # pragma: no cover - defensive; surfaced by coordinator
-        result_queue.put(("error", worker_id, f"{type(error).__name__}: {error}"))
+    except Exception as error:
+        # Ship the typed exception when it pickles (so e.g. a symbolic
+        # InsufficientConstraintsError surfaces with the same type as in the
+        # sequential engines); fall back to a rendered message otherwise.
+        try:
+            pickle.dumps(error)
+            shipped: object = error
+        except Exception:
+            shipped = f"{type(error).__name__}: {error}"
+        try:
+            result_queue.put(("error", worker_id, shipped))
+        except Exception:  # pragma: no cover - queue already broken
+            pass
 
 
 # ---------------------------------------------------------------------------
@@ -257,18 +372,20 @@ def _get_result(result_queue, processes):
 
 
 def _run_sharded_bfs(
-    tables: NetTables,
+    tables,
     mode: tuple,
     workers: int,
-    on_new_state: Callable[[Tuple[int, ...], object], None],
-    on_edge: Callable[[int, int, int], None],
+    seed_item,
+    seed_vec: Tuple[int, ...],
+    on_new_state: Callable[[object], None],
+    on_edge: Callable[[int, int, object], None],
 ) -> None:
     """Drive the level-synchronized worker protocol and merge deterministically.
 
-    ``on_new_state(vec, extra)`` is called once per unique state in the exact
+    ``on_new_state(record)`` is called once per unique state in the exact
     sequential numbering order (it must intern the state and enforce any
-    ``max_states`` bound); ``on_edge(source, target, transition)`` once per
-    edge in the exact sequential emission order.
+    ``max_states`` bound); ``on_edge(source, target, data)`` once per edge in
+    the exact sequential emission order, with the mode-specific edge data.
     """
     context = multiprocessing.get_context()
     task_queues = [context.Queue() for _ in range(workers)]
@@ -286,22 +403,24 @@ def _run_sharded_bfs(
         process.start()
 
     try:
-        initial_vec = tables.initial_vector()
-        seed_owner = _shard_of(initial_vec, workers)
+        seed_owner = _shard_of(seed_vec, workers)
         assignments: List[List[int]] = [[] for _ in range(workers)]
         next_index = 0
         round_no = 0
         while True:
             for w in range(workers):
-                seed = initial_vec if (round_no == 0 and w == seed_owner) else None
+                seed = seed_item if (round_no == 0 and w == seed_owner) else None
                 task_queues[w].put(("round", round_no, assignments[w], seed))
 
             results: List[Optional[tuple]] = [None] * workers
             for _ in range(workers):
                 message = _get_result(result_queue, processes)
                 if message[0] == "error":
+                    detail = message[2]
+                    if isinstance(detail, BaseException):
+                        raise detail
                     raise RuntimeError(
-                        f"parallel engine worker {message[1]} failed: {message[2]}"
+                        f"parallel engine worker {message[1]} failed: {detail}"
                     )
                 _tag, worker_id, reported_round, keys, records, resolutions = message
                 if reported_round != round_no:
@@ -323,8 +442,7 @@ def _run_sharded_bfs(
             while merge_heap:
                 key, worker_id, pos = heapq.heappop(merge_heap)
                 keys, records, _res = results[worker_id]
-                vec, extra = records[pos]
-                on_new_state(vec, extra)
+                on_new_state(records[pos])
                 assignments[worker_id].append(next_index)
                 next_index += 1
                 if pos + 1 < len(keys):
@@ -343,9 +461,9 @@ def _run_sharded_bfs(
                     edge_heap.append(((first[0], first[1]), worker_id, first))
             heapq.heapify(edge_heap)
             while edge_heap:
-                _key, worker_id, (parent, slot, transition, ref) = heapq.heappop(edge_heap)
+                _key, worker_id, (parent, slot, data, ref) = heapq.heappop(edge_heap)
                 target = ref if ref >= 0 else assignments[worker_id][-ref - 1]
-                on_edge(parent, target, transition)
+                on_edge(parent, target, data)
                 following = next(edge_streams[worker_id], None)
                 if following is not None:
                     heapq.heappush(
@@ -389,7 +507,8 @@ def parallel_reachability_graph(
     graph = UntimedReachabilityGraph(net)
     names = tables.transition_names
 
-    def on_new_state(vec: Tuple[int, ...], _extra) -> None:
+    def on_new_state(record) -> None:
+        vec, _extra = record
         graph._add_marking(tables.to_marking(vec))
         if graph.state_count > max_states:
             raise UnboundedNetError(
@@ -400,7 +519,16 @@ def parallel_reachability_graph(
     def on_edge(source: int, target: int, transition: int) -> None:
         graph._add_edge(source, target, names[transition])
 
-    _run_sharded_bfs(tables, (_MODE_UNTIMED,), workers, on_new_state, on_edge)
+    initial_vec = tables.initial_vector()
+    _run_sharded_bfs(
+        tables,
+        (_MODE_UNTIMED,),
+        workers,
+        (initial_vec, None),
+        initial_vec,
+        on_new_state,
+        on_edge,
+    )
     return graph
 
 
@@ -430,7 +558,8 @@ def parallel_marking_graph(
     edges: List[Tuple[int, int, str, float, bool]] = []
     vanishing: Set[int] = set()
 
-    def on_new_state(vec: Tuple[int, ...], extra) -> None:
+    def on_new_state(record) -> None:
+        vec, extra = record
         if extra:
             vanishing.add(len(markings))
         markings.append(tables.to_marking(vec))
@@ -444,12 +573,74 @@ def parallel_marking_graph(
             edges.append((source, target, names[transition], rate_of[transition], False))
 
     mode = (_MODE_GSPN, is_immediate, place_capacity)
-    _run_sharded_bfs(tables, mode, workers, on_new_state, on_edge)
+    initial_vec = tables.initial_vector()
+    _run_sharded_bfs(
+        tables, mode, workers, (initial_vec, None), initial_vec, on_new_state, on_edge
+    )
     return markings, edges, vanishing
+
+
+def parallel_timed_reachability_graph(
+    net: TimedPetriNet,
+    time_algebra,
+    probability_algebra,
+    *,
+    symbolic: bool,
+    constraints,
+    max_states: int,
+    overlap_policy: str,
+    workers: Optional[int] = None,
+):
+    """Multiprocess counterpart of :func:`repro.reachability.compiled.build_compiled_graph`.
+
+    Runs the Figure-3 successor procedure (numeric or symbolic algebras)
+    sharded across worker processes and produces a
+    :class:`~repro.reachability.graph.TimedReachabilityGraph` bit-identical
+    to both sequential engines: same node numbering, same edge payloads
+    (delays, probabilities, fired/completed labels, used-constraint labels),
+    same ``max_states`` failure semantics.  Worker-side failures that carry
+    semantics — a :class:`~repro.exceptions.SafenessViolationError` from the
+    overlap rule, an
+    :class:`~repro.exceptions.InsufficientConstraintsError` from the symbolic
+    comparator — are re-raised with their original type (though, unlike the
+    sequential engines, *which* offending state is reported first depends on
+    shard scheduling).
+    """
+    # Imported lazily: repro.engine.parallel is imported by repro.engine's
+    # package __init__, which the reachability modules themselves import.
+    from ..reachability.compiled import CompiledSuccessorEngine
+    from ..reachability.graph import TimedReachabilityGraph
+
+    workers = resolve_workers(workers)
+    engine = CompiledSuccessorEngine(
+        net, time_algebra, probability_algebra, overlap_policy=overlap_policy
+    )
+    graph = TimedReachabilityGraph(net, symbolic=symbolic, constraints=constraints)
+
+    def on_new_state(record) -> None:
+        graph._add_state(engine.to_timed_state(record))
+        if graph.state_count > max_states:
+            raise UnboundedNetError(
+                f"timed reachability graph exceeded {max_states} states; "
+                "the net may be unbounded under the timed semantics or the "
+                "bound is too small"
+            )
+
+    def on_edge(source: int, target: int, data) -> None:
+        graph._add_edge(source, target, *data)
+
+    initial = engine.initial_state()
+    graph.initial_index = 0  # the seed merges first (its key precedes all)
+    mode = (_MODE_TIMED, overlap_policy)
+    _run_sharded_bfs(
+        engine.compiled, mode, workers, initial, initial.vec, on_new_state, on_edge
+    )
+    return graph
 
 
 __all__ = [
     "parallel_marking_graph",
     "parallel_reachability_graph",
+    "parallel_timed_reachability_graph",
     "resolve_workers",
 ]

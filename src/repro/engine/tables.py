@@ -102,16 +102,23 @@ class NetTables:
     # Pickling (multiprocess engine support)
     # ------------------------------------------------------------------
 
+    #: Per-process memo attributes replaced by empty dicts when pickling.
+    #: Subclasses that add memo tables (e.g. the timed engine's
+    #: :class:`~repro.reachability.compiled.CompiledNet`) extend this tuple
+    #: so their working sets are likewise not shipped to worker processes.
+    _TRANSIENT_CACHES: Tuple[str, ...] = ("_enabled_cache",)
+
     def __getstate__(self) -> dict:
-        """Pickle the structural tables without the memoized enabled sets.
+        """Pickle the structural tables without the memoized working sets.
 
         The parallel engine ships one :class:`NetTables` to every worker
         process (explicitly under ``spawn``, copy-on-write under ``fork``);
-        the enabled-set memo is a per-process working set that would only
-        bloat the payload, so each process restarts with an empty cache.
+        the memo tables are per-process working sets that would only bloat
+        the payload, so each process restarts with empty caches.
         """
         state = dict(self.__dict__)
-        state["_enabled_cache"] = {}
+        for name in self._TRANSIENT_CACHES:
+            state[name] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:

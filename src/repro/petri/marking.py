@@ -73,6 +73,18 @@ class Marking(Mapping):
         return marking
 
     # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+
+    def __reduce__(self):
+        # Rebuild through the trusted constructor so the cached hash is
+        # recomputed in the receiving process: it hashes place-name strings,
+        # whose hashes are salted per process by PYTHONHASHSEED, so a shipped
+        # cache value would be wrong under the multiprocessing ``spawn``
+        # start method.
+        return (Marking._trusted, (self._order, self._known, self._tokens))
+
+    # ------------------------------------------------------------------
     # Mapping interface
     # ------------------------------------------------------------------
 

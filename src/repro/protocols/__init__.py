@@ -5,8 +5,9 @@
 * :mod:`repro.protocols.alternating_bit` — the sequenced extension the paper
   mentions,
 * :mod:`repro.protocols.workloads` — producer/consumer, token ring,
-  pipelined stop-and-wait, sliding-window and go-back-N models used for
-  scaling experiments and for stressing the compiled reachability engine.
+  pipelined stop-and-wait, sliding-window, go-back-N and selective-repeat
+  models used for scaling experiments and for stressing the compiled
+  reachability engine.
 """
 
 from typing import Callable, Dict
@@ -39,6 +40,7 @@ from .workloads import (
     go_back_n_net,
     pipelined_stop_and_wait_net,
     producer_consumer_net,
+    selective_repeat_net,
     sliding_window_net,
     token_ring_net,
 )
@@ -58,6 +60,7 @@ def model_catalog() -> Dict[str, Callable[[], TimedPetriNet]]:
         "pipelined-stop-and-wait": pipelined_stop_and_wait_net,
         "sliding-window": sliding_window_net,
         "go-back-n": go_back_n_net,
+        "selective-repeat": selective_repeat_net,
     }
 
 
@@ -80,6 +83,7 @@ __all__ = [
     "go_back_n_net",
     "message_accept_transitions",
     "model_catalog",
+    "selective_repeat_net",
     "sliding_window_net",
     "paper_bindings",
     "paper_throughput_expression_value",

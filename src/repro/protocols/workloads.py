@@ -19,6 +19,11 @@ These models exercise the library beyond the paper's running example:
 * :func:`go_back_n_net` — a go-back-N-style variant of the sliding window:
   frames are sent strictly in sequence order and the receiver only accepts
   the next expected frame, so out-of-order deliveries queue at the receiver.
+* :func:`selective_repeat_net` — the full selective-repeat window variant:
+  frames are first sent in sequence order, only lost frames are
+  retransmitted (per-slot timeout), and the receiver acknowledges frames
+  *out of order* into per-slot reassembly buffer cells while an in-order
+  release stage hands them to the application.
 """
 
 from __future__ import annotations
@@ -348,6 +353,94 @@ def sliding_window_net(
             outputs=[prefix + "ack_in_medium", "receiver_ready"],
             firing_time=receiver_time,
             description=f"slot {slot}: receiver acknowledges the frame",
+        )
+        _add_slot_ack_return(builder, prefix, slot, ack_delay=ack_delay)
+    return builder.build()
+
+
+def selective_repeat_net(
+    window_size: int = 2,
+    *,
+    send_time: ExprLike = 1,
+    packet_delay: ExprLike = 4,
+    receiver_time: ExprLike = 1,
+    ack_delay: ExprLike = 4,
+    release_time: ExprLike = 1,
+    loss_probability: ExprLike = 0,
+    timeout: ExprLike = 12,
+) -> TimedPetriNet:
+    """A selective-repeat windowed sender with an out-of-order-buffering receiver.
+
+    The third window discipline of the zoo, completing the
+    :func:`sliding_window_net` / :func:`go_back_n_net` family:
+
+    * the sender transmits *new* frames strictly in sequence order (an
+      ``sr<i>_send_turn`` token cycles through the slots, as in go-back-N),
+      but a lost frame is retransmitted **selectively** by its own per-slot
+      timeout while later slots keep making progress,
+    * the receiver accepts and acknowledges frames **out of order**: an
+      arriving frame is acknowledged immediately (the returning
+      acknowledgement frees the window slot) and parked in its slot's
+      single-cell reassembly buffer (``sr<i>_buffer_free`` guards the cell,
+      so a slot cannot be re-filled at the receiver before its previous
+      frame was released),
+    * an in-order release stage hands buffered frames to the application:
+      an ``sr<i>_expect`` token cycles through the slots, so a frame that
+      arrived early waits in its buffer cell until its turn — the
+      resequencing delay that distinguishes selective repeat from go-back-N
+      without its head-of-line retransmissions.
+
+    Every slot's token population is conserved (one window token, one buffer
+    cell, the cycling turn/expect tokens), so the net stays bounded under the
+    untimed rule too — unlike the timeout-racing protocol nets.  Delays
+    default to small commensurable integers so the timed graph closes (see
+    :func:`pipelined_stop_and_wait_net` for why that matters).
+    """
+    loss = _check_window_parameters(window_size, loss_probability)
+
+    builder = NetBuilder(f"selective-repeat-{window_size}")
+    builder.place("receiver_ready", "shared receiver ready", tokens=1)
+    for slot in range(window_size):
+        builder.place(
+            f"sr{slot}_send_turn",
+            f"sender's next new frame is slot {slot}",
+            tokens=1 if slot == 0 else 0,
+        )
+        builder.place(
+            f"sr{slot}_expect",
+            f"application expects the frame of slot {slot}",
+            tokens=1 if slot == 0 else 0,
+        )
+    for slot in range(window_size):
+        prefix = f"sr{slot}_"
+        nxt = f"sr{(slot + 1) % window_size}_"
+        _declare_slot_places(builder, prefix, slot)
+        builder.place(prefix + "buffer_free", f"slot {slot}: reassembly buffer cell empty", tokens=1)
+        builder.place(prefix + "buffered", f"slot {slot}: frame parked awaiting in-order release")
+        builder.transition(
+            prefix + "send",
+            inputs=[prefix + "send_turn", prefix + "slot_free"],
+            outputs=[nxt + "send_turn", prefix + "in_medium"],
+            firing_time=send_time,
+            description=f"slot {slot}: transmit the next in-sequence frame",
+        )
+        _add_slot_medium(
+            builder, prefix, slot,
+            packet_delay=packet_delay, send_time=send_time, loss=loss, timeout=timeout,
+        )
+        builder.transition(
+            prefix + "accept",
+            inputs=[prefix + "at_receiver", prefix + "buffer_free", "receiver_ready"],
+            outputs=[prefix + "ack_in_medium", prefix + "buffered", "receiver_ready"],
+            firing_time=receiver_time,
+            description=f"slot {slot}: receiver buffers the frame and acknowledges it",
+        )
+        builder.transition(
+            prefix + "release",
+            inputs=[prefix + "buffered", prefix + "expect"],
+            outputs=[prefix + "buffer_free", nxt + "expect"],
+            firing_time=release_time,
+            description=f"slot {slot}: release the in-order frame to the application",
         )
         _add_slot_ack_return(builder, prefix, slot, ack_delay=ack_delay)
     return builder.build()

@@ -23,6 +23,7 @@ constraint bookkeeping           none                     labels of used constra
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Hashable, Mapping, Tuple, Union
@@ -180,8 +181,17 @@ class SymbolicTimeAlgebra:
 # ---------------------------------------------------------------------------
 
 
+#: Default LRU bound of each shared branch-probability cache.  Generous on
+#: purpose: a model family uses only a handful of distinct frequency tuples,
+#: so evictions should only ever happen in long-running services churning
+#: through many unrelated models — exactly the case where an unbounded
+#: module-global cache would otherwise grow memory without limit.  Override
+#: with :func:`set_branch_cache_limit`.
+DEFAULT_BRANCH_CACHE_LIMIT = 16_384
+
+
 class _BranchProbabilityCache:
-    """Cross-construction memo of derived branch probabilities.
+    """Cross-construction LRU memo of derived branch probabilities.
 
     The paper's probability rule depends only on the *frequencies* of the
     firable conflict-set members, not on their names, so the derivation is
@@ -195,17 +205,20 @@ class _BranchProbabilityCache:
     just as often.
 
     The cache is module-global (it survives across graph constructions by
-    design) and bounded by the number of distinct frequency tuples a model
-    family uses, which is tiny in practice.  ``hits``/``misses`` feed the
-    window-workload benchmark's cache report.
+    design) but **bounded**: least-recently-used entries are evicted beyond
+    ``max_size`` so long-running services cannot grow memory unboundedly.
+    ``hits``/``misses``/``evictions`` feed the window-workload benchmark's
+    cache report via :func:`branch_cache_stats`.
     """
 
-    __slots__ = ("_table", "hits", "misses")
+    __slots__ = ("_table", "max_size", "hits", "misses", "evictions")
 
-    def __init__(self):
-        self._table: Dict[tuple, tuple] = {}
+    def __init__(self, max_size: int = DEFAULT_BRANCH_CACHE_LIMIT):
+        self._table: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.max_size = max_size
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: tuple):
         shares = self._table.get(key)
@@ -213,22 +226,37 @@ class _BranchProbabilityCache:
             self.misses += 1
         else:
             self.hits += 1
+            self._table.move_to_end(key)
         return shares
 
     def store(self, key: tuple, shares: tuple) -> None:
         self._table[key] = shares
+        if len(self._table) > self.max_size:
+            self._table.popitem(last=False)
+            self.evictions += 1
+
+    def set_limit(self, max_size: int) -> None:
+        if not isinstance(max_size, int) or isinstance(max_size, bool) or max_size < 1:
+            raise ValueError(f"cache limit must be a positive integer, got {max_size!r}")
+        self.max_size = max_size
+        while len(self._table) > self.max_size:
+            self._table.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         self._table.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def stats(self) -> Dict[str, float]:
         lookups = self.hits + self.misses
         return {
             "size": len(self._table),
+            "max_size": self.max_size,
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "hit_rate": (self.hits / lookups) if lookups else 0.0,
         }
 
@@ -238,7 +266,7 @@ _SYMBOLIC_BRANCH_CACHE = _BranchProbabilityCache()
 
 
 def branch_cache_stats() -> Dict[str, Dict[str, float]]:
-    """Hit/miss statistics of the shared branch-probability caches."""
+    """Hit/miss/eviction statistics of the shared branch-probability caches."""
     return {
         "numeric": _NUMERIC_BRANCH_CACHE.stats(),
         "symbolic": _SYMBOLIC_BRANCH_CACHE.stats(),
@@ -249,6 +277,12 @@ def clear_branch_caches() -> None:
     """Reset the shared branch-probability caches (tests and benchmarks)."""
     _NUMERIC_BRANCH_CACHE.clear()
     _SYMBOLIC_BRANCH_CACHE.clear()
+
+
+def set_branch_cache_limit(max_size: int) -> None:
+    """Rebound both shared branch-probability caches (evicting LRU overflow)."""
+    _NUMERIC_BRANCH_CACHE.set_limit(max_size)
+    _SYMBOLIC_BRANCH_CACHE.set_limit(max_size)
 
 
 class NumericProbabilityAlgebra:
@@ -374,6 +408,7 @@ def symbolic_algebras(
 
 
 __all__ = [
+    "DEFAULT_BRANCH_CACHE_LIMIT",
     "MinimumSelection",
     "NumericProbabilityAlgebra",
     "NumericTimeAlgebra",
@@ -384,5 +419,6 @@ __all__ = [
     "branch_cache_stats",
     "clear_branch_caches",
     "numeric_algebras",
+    "set_branch_cache_limit",
     "symbolic_algebras",
 ]

@@ -107,9 +107,18 @@ class _CompiledState:
         return self._hash
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, _CompiledState):
             return NotImplemented
         return self.key == other.key
+
+    def __reduce__(self):
+        # Ship only the defining tuple; the receiving process rebuilds the
+        # derived key sets and computes its own hash (clock values may be
+        # symbolic expressions whose hashes are process-local — they re-intern
+        # on unpickle, so a shipped state dedups against local ones).
+        return (_CompiledState, (self.vec, self.ret, self.rft, self.enabled))
 
 
 class _CompiledEdge:
@@ -158,6 +167,11 @@ class CompiledNet(NetTables):
         self._choice_cache: Dict[Tuple[int, Tuple[int, ...]], Tuple[Tuple[int, ProbabilityScalar], ...]] = {}
         self._advance_cache: Dict[tuple, tuple] = {}
 
+    #: The memo tables above are per-process working sets; like the base
+    #: class's enabled-set memo they are not shipped to worker processes
+    #: (see :meth:`NetTables.__getstate__`).
+    _TRANSIENT_CACHES = NetTables._TRANSIENT_CACHES + ("_choice_cache", "_advance_cache")
+
     # ------------------------------------------------------------------
     # Branch probabilities
     # ------------------------------------------------------------------
@@ -204,16 +218,27 @@ class CompiledSuccessorEngine:
         *,
         overlap_policy: str = OVERLAP_ERROR,
     ):
+        self._bind(CompiledNet(net, time_algebra, probability_algebra), overlap_policy)
+
+    @classmethod
+    def from_tables(cls, compiled: CompiledNet, *, overlap_policy: str = OVERLAP_ERROR):
+        """Wrap already-compiled tables (the multiprocess engine ships one
+        pickled :class:`CompiledNet` per worker instead of recompiling)."""
+        engine = cls.__new__(cls)
+        engine._bind(compiled, overlap_policy)
+        return engine
+
+    def _bind(self, compiled: CompiledNet, overlap_policy: str) -> None:
         if overlap_policy not in (OVERLAP_ERROR, OVERLAP_SKIP):
             raise ValueError(f"unknown overlap policy {overlap_policy!r}")
-        self.compiled = CompiledNet(net, time_algebra, probability_algebra)
-        self.net = net
-        self.time = time_algebra
-        self.probability = probability_algebra
+        self.compiled = compiled
+        self.net = compiled.net
+        self.time = compiled.time
+        self.probability = compiled.probability
         self.overlap_policy = overlap_policy
         #: Numeric fast path: clock values are plain Fractions, so the
         #: minimum/subtraction can run inline instead of through the algebra.
-        self._numeric_time = not getattr(time_algebra, "symbolic", False)
+        self._numeric_time = not getattr(compiled.time, "symbolic", False)
 
     # ------------------------------------------------------------------
     # State conversion

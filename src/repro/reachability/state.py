@@ -152,6 +152,12 @@ class TimedState:
             )
         return self._hash
 
+    def __reduce__(self):
+        # Rebuild via the constructor so the cached hash is recomputed in the
+        # receiving process (it depends on per-process string-hash salting
+        # and, for symbolic entries, on interned-symbol identity).
+        return (TimedState, (self.marking, self._ret, self._rft))
+
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------

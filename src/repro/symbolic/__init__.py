@@ -3,6 +3,7 @@ timing constraints, and the constraint-driven comparator used by the symbolic
 timed reachability construction (Section 3 of the paper)."""
 
 from .comparator import (
+    DEFAULT_ENTAILMENT_CACHE_LIMIT,
     SIGN_NEGATIVE,
     SIGN_POSITIVE,
     SIGN_ZERO,
@@ -18,6 +19,7 @@ from .constraints import (
 )
 from .evaluate import Bindings, evaluate_float, evaluate_value
 from .fourier_motzkin import is_feasible
+from .interning import clear_intern_tables, intern_stats, set_intern_table_limit
 from .linexpr import LinExpr, TimeValue, as_expr, as_fraction, as_time, is_symbolic
 from .polynomial import Polynomial
 from .ratfunc import RatFunc, as_ratfunc
@@ -35,6 +37,7 @@ __all__ = [
     "Bindings",
     "Constraint",
     "ConstraintSet",
+    "DEFAULT_ENTAILMENT_CACHE_LIMIT",
     "LinExpr",
     "MinimumResult",
     "Polynomial",
@@ -52,14 +55,17 @@ __all__ = [
     "as_fraction",
     "as_ratfunc",
     "as_time",
+    "clear_intern_tables",
     "enabling_time_symbol",
     "evaluate_float",
     "evaluate_value",
     "firing_frequency_symbol",
     "firing_time_symbol",
     "frequency_symbol",
+    "intern_stats",
     "is_feasible",
     "is_symbolic",
     "rate_symbol",
+    "set_intern_table_limit",
     "time_symbol",
 ]

@@ -25,6 +25,7 @@ comparisons over and over.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
@@ -36,6 +37,13 @@ from .linexpr import ExprLike, LinExpr, as_expr
 SIGN_ZERO = "zero"
 SIGN_POSITIVE = "positive"
 SIGN_NEGATIVE = "negative"
+
+#: Default LRU bound of the per-comparator Fourier–Motzkin entailment cache.
+#: Generous on purpose — a symbolic TRG asks the same handful of comparisons
+#: over and over, so evictions should only ever happen in long-running
+#: services churning through many unrelated constraint systems.  Pass
+#: ``cache_limit=`` to :class:`SymbolicComparator` to tighten or widen it.
+DEFAULT_ENTAILMENT_CACHE_LIMIT = 65_536
 
 
 @dataclass(frozen=True)
@@ -63,9 +71,36 @@ class MinimumResult:
 class SymbolicComparator:
     """Decide orderings of linear time expressions under a constraint set."""
 
-    def __init__(self, constraints: ConstraintSet):
+    def __init__(self, constraints: ConstraintSet, *, cache_limit: Optional[int] = None):
         self.constraints = constraints
-        self._entailment_cache: Dict[Tuple[LinExpr, str], Tuple[bool, Tuple[str, ...]]] = {}
+        self._cache_limit = (
+            DEFAULT_ENTAILMENT_CACHE_LIMIT if cache_limit is None else cache_limit
+        )
+        if self._cache_limit < 1:
+            raise ValueError("cache_limit must be a positive integer")
+        self._entailment_cache: "OrderedDict[Tuple[LinExpr, str], Tuple[bool, Tuple[str, ...]]]" = (
+            OrderedDict()
+        )
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Pickling (the multiprocess timed engine ships comparators to workers)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # The entailment memo is a per-process working set: shipping it would
+        # bloat the payload with LinExpr keys, so workers restart cold.
+        state = dict(self.__dict__)
+        state["_entailment_cache"] = OrderedDict()
+        state["_cache_hits"] = 0
+        state["_cache_misses"] = 0
+        state["_cache_evictions"] = 0
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
     # Primitive entailment queries (cached)
@@ -73,10 +108,17 @@ class SymbolicComparator:
 
     def _entails(self, expression: LinExpr, relation: str) -> Tuple[bool, Tuple[str, ...]]:
         """Does the constraint set entail ``expression REL 0``?  Returns (holds, support)."""
+        # Interning the expression makes the cache probe an identity hit for
+        # every recurring query (and the cached-key hash is reused for free).
+        expression = expression.interned()
         key = (expression, relation)
-        cached = self._entailment_cache.get(key)
+        cache = self._entailment_cache
+        cached = cache.get(key)
         if cached is not None:
+            self._cache_hits += 1
+            cache.move_to_end(key)
             return cached
+        self._cache_misses += 1
         # Constant fast path avoids Fourier–Motzkin entirely.
         if expression.is_constant():
             value = expression.constant_value()
@@ -90,7 +132,10 @@ class SymbolicComparator:
         else:
             query = Constraint(expression, relation)
             result = self.constraints.entails_with_support(query)
-        self._entailment_cache[key] = result
+        cache[key] = result
+        if len(cache) > self._cache_limit:
+            cache.popitem(last=False)
+            self._cache_evictions += 1
         return result
 
     # ------------------------------------------------------------------
@@ -177,7 +222,7 @@ class SymbolicComparator:
             When ``entries`` is empty.
         """
         items: List[Tuple[Hashable, LinExpr]] = [
-            (key, as_expr(value))
+            (key, as_expr(value).interned())
             for key, value in (entries.items() if isinstance(entries, Mapping) else entries)
         ]
         if not items:
@@ -279,6 +324,18 @@ class SymbolicComparator:
     def cache_size(self) -> int:
         """Number of memoized entailment queries (for diagnostics and tests)."""
         return len(self._entailment_cache)
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss/eviction counters of the LRU-bounded entailment cache."""
+        lookups = self._cache_hits + self._cache_misses
+        return {
+            "size": len(self._entailment_cache),
+            "max_size": self._cache_limit,
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "evictions": self._cache_evictions,
+            "hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
+        }
 
 
 def _label_sort_key(label: str):

@@ -23,6 +23,7 @@ exactly ``1067/10`` rather than the binary-float approximation.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from fractions import Fraction
 from numbers import Rational
 from typing import Dict, Iterable, Mapping, Tuple, Union
@@ -67,7 +68,23 @@ class LinExpr:
     :class:`repro.symbolic.polynomial.Polynomial`).
     """
 
-    __slots__ = ("_terms", "_constant", "_hash")
+    __slots__ = ("_terms", "_constant", "_hash", "_canonical")
+
+    #: Hash-consing table of canonical instances keyed on the structural
+    #: ``(sorted terms, constant)`` key.  Interning is *advisory* — equality
+    #: stays structural — but interned instances make every dictionary probe
+    #: an identity hit (dict lookup checks ``is`` before ``==``) and carry a
+    #: cached hash, which is what the symbolic comparator's memo tables and
+    #: the multiprocess engine's cross-shard dedup lean on.  The table is
+    #: LRU-bounded (long-running services must not grow memory without
+    #: limit); evicting a canonical instance is harmless because interning
+    #: is advisory — the evicted instance stays valid wherever referenced and
+    #: later structurally equal expressions simply elect a new canonical.
+    _interned: "OrderedDict[tuple, LinExpr]" = OrderedDict()
+    _intern_limit: int = 65_536
+    _intern_hits: int = 0
+    _intern_misses: int = 0
+    _intern_evictions: int = 0
 
     def __init__(
         self,
@@ -89,6 +106,7 @@ class LinExpr:
         self._terms: Dict[Symbol, Fraction] = collected
         self._constant: Fraction = as_fraction(constant)
         self._hash: int | None = None
+        self._canonical: bool = False
 
     # ------------------------------------------------------------------
     # Constructors
@@ -108,6 +126,45 @@ class LinExpr:
     def zero(cls) -> "LinExpr":
         """The zero expression."""
         return _ZERO
+
+    # ------------------------------------------------------------------
+    # Hash consing
+    # ------------------------------------------------------------------
+
+    def interned(self) -> "LinExpr":
+        """The canonical instance structurally equal to this expression.
+
+        The first expression with a given ``(terms, constant)`` content
+        becomes the canonical instance; later structurally equal expressions
+        resolve to it.  Unpickling re-interns (see :meth:`__reduce__`), so
+        expressions shipped across processes dedup against local ones by
+        identity.  An already-canonical instance returns itself without
+        touching the table (the hot entailment path re-interns the same
+        canonical entries constantly).
+        """
+        if self._canonical:
+            LinExpr._intern_hits += 1
+            return self
+        key = (self.sorted_terms(), self._constant)
+        table = LinExpr._interned
+        canonical = table.get(key)
+        if canonical is None:
+            LinExpr._intern_misses += 1
+            table[key] = canonical = self
+            self._canonical = True
+            if len(table) > LinExpr._intern_limit:
+                table.popitem(last=False)
+                LinExpr._intern_evictions += 1
+        else:
+            LinExpr._intern_hits += 1
+            table.move_to_end(key)
+        return canonical
+
+    def __reduce__(self):
+        # Rebuild through the intern table: the unpickled expression is the
+        # canonical local instance (symbols re-intern the same way), and the
+        # process-local cached hash is never shipped.
+        return (_reintern_expr, (self.sorted_terms(), self._constant))
 
     # ------------------------------------------------------------------
     # Inspection
@@ -243,6 +300,8 @@ class LinExpr:
     # ------------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, LinExpr):
             return self._terms == other._terms and self._constant == other._constant
         if isinstance(other, Symbol):
@@ -299,6 +358,12 @@ class LinExpr:
 
     def __bool__(self) -> bool:
         return not self.is_zero()
+
+
+def _reintern_expr(terms, constant) -> LinExpr:
+    """Unpickling hook: rebuild an expression and resolve it to the canonical
+    local instance (module-level so pickle can import it by name)."""
+    return LinExpr(terms, constant).interned()
 
 
 _ZERO = LinExpr()

@@ -15,6 +15,7 @@ evaluation and substitution — and nothing more exotic.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from fractions import Fraction
 from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 
@@ -116,7 +117,16 @@ def _monomial_sort_key(monomial: Monomial) -> _MonomialKey:
 class Polynomial:
     """An immutable sparse multivariate polynomial with Fraction coefficients."""
 
-    __slots__ = ("_terms", "_hash")
+    __slots__ = ("_terms", "_hash", "_canonical")
+
+    #: Hash-consing table (see :meth:`LinExpr.interned` for the contract):
+    #: LRU-bounded canonical instances keyed on the graded-lex sorted term
+    #: tuple.
+    _interned: "OrderedDict[Tuple[Tuple[Monomial, Fraction], ...], Polynomial]" = OrderedDict()
+    _intern_limit: int = 65_536
+    _intern_hits: int = 0
+    _intern_misses: int = 0
+    _intern_evictions: int = 0
 
     def __init__(self, terms: Mapping[Monomial, NumberLike] | Iterable[Tuple[Monomial, NumberLike]] = ()):
         items = terms.items() if isinstance(terms, Mapping) else terms
@@ -132,6 +142,7 @@ class Polynomial:
                 collected.pop(monomial, None)
         self._terms: Dict[Monomial, Fraction] = collected
         self._hash: int | None = None
+        self._canonical: bool = False
 
     # ------------------------------------------------------------------
     # Constructors
@@ -181,6 +192,34 @@ class Polynomial:
     def one(cls) -> "Polynomial":
         """The unit polynomial."""
         return _ONE_POLY
+
+    # ------------------------------------------------------------------
+    # Hash consing
+    # ------------------------------------------------------------------
+
+    def interned(self) -> "Polynomial":
+        """The canonical instance structurally equal to this polynomial."""
+        if self._canonical:
+            Polynomial._intern_hits += 1
+            return self
+        key = self.sorted_terms()
+        table = Polynomial._interned
+        canonical = table.get(key)
+        if canonical is None:
+            Polynomial._intern_misses += 1
+            table[key] = canonical = self
+            self._canonical = True
+            if len(table) > Polynomial._intern_limit:
+                table.popitem(last=False)
+                Polynomial._intern_evictions += 1
+        else:
+            Polynomial._intern_hits += 1
+            table.move_to_end(key)
+        return canonical
+
+    def __reduce__(self):
+        # Re-intern on unpickle; never ship the process-local cached hash.
+        return (_reintern_polynomial, (self.sorted_terms(),))
 
     # ------------------------------------------------------------------
     # Inspection
@@ -411,6 +450,8 @@ class Polynomial:
     # ------------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, Polynomial):
             return self._terms == other._terms
         if isinstance(other, (LinExpr, Symbol)):
@@ -477,6 +518,11 @@ def _lcm(a: int, b: int) -> int:
     if a == 0 or b == 0:
         return 0
     return abs(a * b) // _gcd(a, b)
+
+
+def _reintern_polynomial(terms) -> Polynomial:
+    """Unpickling hook: rebuild and resolve to the canonical local instance."""
+    return Polynomial(terms).interned()
 
 
 _ZERO_POLY = Polynomial()

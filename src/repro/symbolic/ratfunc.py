@@ -24,6 +24,7 @@ Because normalization may not reach a canonical form for arbitrary inputs,
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from fractions import Fraction
 from typing import Mapping, Tuple, Union
 
@@ -38,7 +39,17 @@ RatFuncLike = Union["RatFunc", PolynomialLike]
 class RatFunc:
     """An immutable rational function ``numerator / denominator``."""
 
-    __slots__ = ("numerator", "denominator")
+    __slots__ = ("numerator", "denominator", "_hash", "_canonical")
+
+    #: Hash-consing table (see :meth:`LinExpr.interned` for the contract).
+    #: LRU-bounded; keyed on the *interned* numerator/denominator pair —
+    #: interning the two polynomials first makes the key's hash a pair of
+    #: cached hashes and its equality an identity check.
+    _interned: "OrderedDict[Tuple[Polynomial, Polynomial], RatFunc]" = OrderedDict()
+    _intern_limit: int = 65_536
+    _intern_hits: int = 0
+    _intern_misses: int = 0
+    _intern_evictions: int = 0
 
     def __init__(self, numerator: PolynomialLike, denominator: PolynomialLike = 1):
         num = Polynomial.coerce(numerator)
@@ -48,6 +59,8 @@ class RatFunc:
         num, den = self._normalize(num, den)
         self.numerator: Polynomial = num
         self.denominator: Polynomial = den
+        self._hash: int | None = None
+        self._canonical: bool = False
 
     # ------------------------------------------------------------------
     # Normalization
@@ -136,6 +149,43 @@ class RatFunc:
     def one(cls) -> "RatFunc":
         """The unit rational function."""
         return cls(1)
+
+    # ------------------------------------------------------------------
+    # Hash consing
+    # ------------------------------------------------------------------
+
+    def interned(self) -> "RatFunc":
+        """The canonical instance with this normalized numerator/denominator.
+
+        Note the interning key is the *normalized pair*, which is finer than
+        ``==`` (cross-multiplication): two quotients that normalization did
+        not bring to the same form stay distinct instances.  That is sound —
+        interning is an identity fast path, never an equality oracle.
+        """
+        if self._canonical:
+            RatFunc._intern_hits += 1
+            return self
+        key = (self.numerator.interned(), self.denominator.interned())
+        table = RatFunc._interned
+        canonical = table.get(key)
+        if canonical is None:
+            RatFunc._intern_misses += 1
+            self.numerator, self.denominator = key
+            table[key] = canonical = self
+            self._canonical = True
+            if len(table) > RatFunc._intern_limit:
+                table.popitem(last=False)
+                RatFunc._intern_evictions += 1
+        else:
+            RatFunc._intern_hits += 1
+            table.move_to_end(key)
+        return canonical
+
+    def __reduce__(self):
+        # The pair is already normalized, so reconstruction skips __init__
+        # (and its GCD-running normalization) and goes straight to the
+        # intern table; the process-local cached hash is never shipped.
+        return (_reintern_ratfunc, (self.numerator, self.denominator))
 
     # ------------------------------------------------------------------
     # Inspection
@@ -293,6 +343,8 @@ class RatFunc:
     # ------------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if isinstance(other, (RatFunc, Polynomial, LinExpr, Symbol, int, Fraction, float)) and not isinstance(
             other, bool
         ):
@@ -304,9 +356,12 @@ class RatFunc:
         # Constants hash consistently with their Fraction value; symbolic
         # functions hash on the normalized pair (sound because equal constants
         # normalize identically, and hash collisions are permitted otherwise).
-        if self.is_constant():
-            return hash(self.constant_value())
-        return hash((self.numerator, self.denominator))
+        if self._hash is None:
+            if self.is_constant():
+                self._hash = hash(self.constant_value())
+            else:
+                self._hash = hash((self.numerator, self.denominator))
+        return self._hash
 
     def __bool__(self) -> bool:
         return not self.is_zero()
@@ -324,6 +379,16 @@ class RatFunc:
 
     def __repr__(self) -> str:
         return f"RatFunc({self})"
+
+
+def _reintern_ratfunc(numerator: Polynomial, denominator: Polynomial) -> RatFunc:
+    """Unpickling hook: adopt an already-normalized pair and re-intern it."""
+    self = RatFunc.__new__(RatFunc)
+    self.numerator = numerator
+    self.denominator = denominator
+    self._hash = None
+    self._canonical = False
+    return self.interned()
 
 
 def as_ratfunc(value: RatFuncLike) -> RatFunc:

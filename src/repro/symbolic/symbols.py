@@ -49,6 +49,9 @@ class Symbol:
     __slots__ = ("name", "kind")
 
     _interned: Dict[Tuple[str, str], "Symbol"] = {}
+    #: Intern-table telemetry (reported by :func:`repro.symbolic.intern_stats`).
+    _intern_hits: int = 0
+    _intern_misses: int = 0
 
     def __new__(cls, name: str, kind: str = "generic") -> "Symbol":
         if not isinstance(name, str) or not name:
@@ -58,7 +61,9 @@ class Symbol:
         key = (name, kind)
         existing = cls._interned.get(key)
         if existing is not None:
+            cls._intern_hits += 1
             return existing
+        cls._intern_misses += 1
         symbol = super().__new__(cls)
         symbol.name = name
         symbol.kind = kind

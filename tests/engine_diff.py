@@ -3,15 +3,19 @@
 Every graph builder with a compiled backend keeps an ``engine="reference"``
 escape hatch and must produce **bit-identical** graphs through every engine:
 same node order, same edge order, same delays/probabilities/labels, same
-rates and weights.  The untimed reachability and GSPN builders additionally
-accept ``engine="parallel"`` (the frontier-sharded multiprocess BFS of
-:mod:`repro.engine.parallel`), which is held to the same bit-identical
-standard — the deterministic merge must renumber cross-process discoveries
-into the exact sequential FIFO order.  This module centralizes
+rates and weights.  The untimed reachability, GSPN and *timed* reachability
+builders (numeric and symbolic) additionally accept ``engine="parallel"``
+(the frontier-sharded multiprocess BFS of :mod:`repro.engine.parallel`),
+which is held to the same bit-identical standard — the deterministic merge
+must renumber cross-process discoveries into the exact sequential FIFO
+order, and for the timed construction the worker-computed edge payloads
+(delays, probabilities, used-constraint labels) must match the sequential
+arithmetic exactly.  This module centralizes
 
 * the workload registry (every bundled numeric model — the three protocol
-  nets plus the producer/consumer, token-ring, sliding-window and go-back-N
-  workloads — the timed window models, and the symbolic paper net), and
+  nets plus the producer/consumer, token-ring, sliding-window, go-back-N
+  and selective-repeat workloads — the timed window models, and the
+  symbolic paper net), and
 * the engine builders and exact graph-equality assertions for all four
   graph families (timed, untimed reachability, coverability, GSPN marking
   graph),
@@ -33,6 +37,7 @@ from repro.protocols import (
     go_back_n_net,
     pipelined_stop_and_wait_net,
     producer_consumer_net,
+    selective_repeat_net,
     simple_protocol_net,
     simple_protocol_symbolic,
     sliding_window_net,
@@ -52,6 +57,10 @@ NUMERIC_WORKLOADS = [
     ("sliding-window", lambda: sliding_window_net(2, loss_probability=Fraction(1, 10))),
     ("sliding-window-lossless", lambda: sliding_window_net(3)),
     ("go-back-n", lambda: go_back_n_net(2, loss_probability=Fraction(1, 10))),
+    (
+        "selective-repeat",
+        lambda: selective_repeat_net(2, loss_probability=Fraction(1, 10)),
+    ),
 ]
 
 WORKLOAD_IDS = [label for label, _constructor in NUMERIC_WORKLOADS]
@@ -75,6 +84,10 @@ TIMED_WORKLOADS = [
         lambda: sliding_window_net(3, loss_probability=Fraction(1, 10)),
     ),
     ("go-back-n-3-lossy", lambda: go_back_n_net(3, loss_probability=Fraction(1, 10))),
+    (
+        "selective-repeat-3-lossy",
+        lambda: selective_repeat_net(3, loss_probability=Fraction(1, 10)),
+    ),
 ]
 
 TIMED_WORKLOAD_IDS = [label for label, _constructor in TIMED_WORKLOADS]
@@ -109,6 +122,18 @@ def build_symbolic_timed_pair(net, constraints, **kwargs):
     return (
         symbolic_timed_reachability_graph(net, constraints, engine="compiled", **kwargs),
         symbolic_timed_reachability_graph(net, constraints, engine="reference", **kwargs),
+    )
+
+
+def build_timed_parallel(net, *, workers=PARALLEL_WORKERS, **kwargs):
+    """The frontier-sharded numeric timed reachability graph (third engine value)."""
+    return timed_reachability_graph(net, engine="parallel", workers=workers, **kwargs)
+
+
+def build_symbolic_timed_parallel(net, constraints, *, workers=PARALLEL_WORKERS, **kwargs):
+    """The frontier-sharded symbolic timed reachability graph (third engine value)."""
+    return symbolic_timed_reachability_graph(
+        net, constraints, engine="parallel", workers=workers, **kwargs
     )
 
 

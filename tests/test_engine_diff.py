@@ -4,11 +4,12 @@ Runs every bundled workload (numeric and symbolic) through all four graph
 families — timed reachability, untimed reachability, Karp–Miller
 coverability and the GSPN marking graph — with ``engine="compiled"`` and
 ``engine="reference"`` and asserts the graphs are bit-identical via the
-shared harness in :mod:`engine_diff`.  The untimed and GSPN families are
-additionally built with the third engine value, ``engine="parallel"``
-(``workers=2``), gating the multiprocess construction's deterministic merge
-on cross-process bit-identity.  Workloads that are unbounded under a
-semantics must fail identically through every engine.
+shared harness in :mod:`engine_diff`.  The untimed, GSPN and timed families
+(numeric *and* symbolic) are additionally built with the third engine value,
+``engine="parallel"`` (``workers=2``), gating the multiprocess
+construction's deterministic merge on cross-process bit-identity.  Workloads
+that are unbounded under a semantics must fail identically through every
+engine.
 
 CI runs this module (plus the randomized companion
 ``test_engine_random.py``) as a named differential gate.
@@ -33,7 +34,9 @@ from engine_diff import (
     build_gspn_pair,
     build_gspn_parallel,
     build_symbolic_timed_pair,
+    build_symbolic_timed_parallel,
     build_timed_pair,
+    build_timed_parallel,
     build_untimed_pair,
     build_untimed_parallel,
     symbolic_workload,
@@ -67,12 +70,37 @@ class TestTimedDifferential:
         assert_timed_graphs_identical(compiled, reference)
         assert compiled.constraint_usage() == reference.constraint_usage()
 
-    def test_parallel_engine_rejected(self):
-        # The frontier-sharded engine only covers the untimed and GSPN
-        # constructions; the timed builder must say so instead of silently
-        # falling back to a single process.
-        with pytest.raises(ValueError, match="not supported by this builder"):
-            timed_reachability_graph(simple_protocol_net(), engine="parallel")
+    @pytest.mark.parametrize("label,constructor", TIMED_WORKLOADS, ids=TIMED_WORKLOAD_IDS)
+    def test_parallel_workload(self, label, constructor):
+        # The cross-process determinism gate for the timed construction: the
+        # frontier-sharded engine must reproduce the sequential FIFO
+        # numbering *and* the worker-computed edge payloads (delays,
+        # probabilities, fired/completed labels) bit for bit.
+        net = constructor()
+        parallel = build_timed_parallel(net)
+        _compiled, reference = build_timed_pair(net)
+        assert_timed_graphs_identical(parallel, reference)
+
+    def test_symbolic_parallel(self):
+        # Symbolic clock expressions and RatFunc probabilities cross the
+        # process boundary through the hash-consing layer; the merged graph
+        # must carry identical expressions and used-constraint labels.
+        net, constraints = symbolic_workload()
+        parallel = build_symbolic_timed_parallel(net, constraints)
+        _compiled, reference = build_symbolic_timed_pair(net, constraints)
+        assert_timed_graphs_identical(parallel, reference)
+        assert parallel.constraint_usage() == reference.constraint_usage()
+        assert parallel.used_constraint_labels() == reference.used_constraint_labels()
+
+    def test_timed_max_states_fails_identically(self):
+        net = simple_protocol_net()
+        for engine, kwargs in (
+            ("reference", {}),
+            ("compiled", {}),
+            ("parallel", {"workers": 2}),
+        ):
+            with pytest.raises(UnboundedNetError, match="timed reachability graph exceeded 5 "):
+                timed_reachability_graph(net, max_states=5, engine=engine, **kwargs)
 
 
 class TestUntimedReachabilityDifferential:

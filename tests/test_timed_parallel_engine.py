@@ -1,0 +1,223 @@
+"""Unit tests for the frontier-sharded *timed* engine and its pickling layer.
+
+The cross-engine bit-identity of the timed parallel builds is gated by
+``test_engine_diff.py`` (via the shared harness); this module covers the
+subsystem's own machinery: pickling round-trips of timed compiled states and
+of the algebra-parameterized ``CompiledNet`` tables (the spawn-platform
+contract — memo tables must not ship), worker-count scaling, typed error
+propagation out of worker processes, and the CLI parity of the timed
+``reachability`` subcommand with ``untimed``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from fractions import Fraction
+
+import pytest
+
+from engine_diff import (
+    assert_timed_graphs_identical,
+    build_symbolic_timed_parallel,
+    build_timed_parallel,
+)
+from repro.cli import main as cli_main
+from repro.exceptions import InsufficientConstraintsError
+from repro.petri.builder import NetBuilder
+from repro.protocols import (
+    selective_repeat_net,
+    simple_protocol_net,
+    simple_protocol_symbolic,
+    sliding_window_net,
+)
+from repro.reachability import timed_reachability_graph
+from repro.reachability.algebra import numeric_algebras, symbolic_algebras
+from repro.reachability.compiled import CompiledSuccessorEngine, _CompiledState
+from repro.symbolic import time_symbol
+
+
+def _numeric_engine(net=None):
+    time_algebra, probability_algebra = numeric_algebras()
+    return CompiledSuccessorEngine(net or simple_protocol_net(), time_algebra, probability_algebra)
+
+
+def _symbolic_engine():
+    net, constraints, _symbols = simple_protocol_symbolic()
+    time_algebra, probability_algebra = symbolic_algebras(constraints)
+    return CompiledSuccessorEngine(net, time_algebra, probability_algebra)
+
+
+class TestCompiledStatePickling:
+    def test_numeric_round_trip_preserves_identity_semantics(self):
+        engine = _numeric_engine()
+        state = engine.initial_state()
+        # Walk a few steps so the state carries non-trivial RET/RFT entries.
+        for _ in range(3):
+            successors = engine.successors(state)
+            assert successors
+            state = successors[0].target
+        clone = pickle.loads(pickle.dumps(state))
+        assert isinstance(clone, _CompiledState)
+        assert clone == state
+        assert hash(clone) == hash(state)
+        assert clone.vec == state.vec
+        assert clone.ret == state.ret
+        assert clone.rft == state.rft
+        assert clone.enabled == state.enabled
+        # The derived key sets are rebuilt, not shipped.
+        assert clone.ret_keys == state.ret_keys
+        assert clone.rft_keys == state.rft_keys
+
+    def test_symbolic_round_trip_reinterns_clock_expressions(self):
+        engine = _symbolic_engine()
+        state = engine.initial_state()
+        for _ in range(3):
+            successors = engine.successors(state)
+            assert successors
+            state = successors[0].target
+        clone = pickle.loads(pickle.dumps(state))
+        assert clone == state
+        assert hash(clone) == hash(state)
+        # Clock expressions come back as the canonical interned instances, so
+        # a state shipped from a peer process dedups against local ones by
+        # identity, not just structural equality.
+        for (_, original), (_, shipped) in zip(state.ret, clone.ret):
+            assert shipped == original
+            assert shipped is original.interned()
+
+    def test_round_trip_expands_identically(self):
+        engine = _numeric_engine(sliding_window_net(2, loss_probability=Fraction(1, 10)))
+        state = engine.initial_state()
+        clone = pickle.loads(pickle.dumps(state))
+        original_edges = engine.successors(state)
+        cloned_edges = engine.successors(clone)
+        assert [e.target for e in original_edges] == [e.target for e in cloned_edges]
+        assert [e.probability for e in original_edges] == [e.probability for e in cloned_edges]
+
+
+class TestCompiledNetPickling:
+    """The spawn-platform contract: tables ship, per-process memos do not."""
+
+    def test_numeric_tables_drop_memo_caches(self):
+        engine = _numeric_engine(sliding_window_net(2, loss_probability=Fraction(1, 10)))
+        compiled = engine.compiled
+        # Populate every memo the timed construction maintains.
+        state = engine.initial_state()
+        for edge in engine.successors(state):
+            engine.successors(edge.target)
+        assert compiled._enabled_cache and compiled._choice_cache
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone._enabled_cache == {}
+        assert clone._choice_cache == {}
+        assert clone._advance_cache == {}
+        # ... while the structural and algebra columns survive.
+        assert clone.transition_names == compiled.transition_names
+        assert clone.enabling_value == compiled.enabling_value
+        assert clone.firing_value == compiled.firing_value
+        assert clone.group_of == compiled.group_of
+
+    def test_rebound_engine_reproduces_successors(self):
+        engine = _numeric_engine(sliding_window_net(2, loss_probability=Fraction(1, 10)))
+        clone_tables = pickle.loads(pickle.dumps(engine.compiled))
+        rebound = CompiledSuccessorEngine.from_tables(clone_tables)
+        state = engine.initial_state()
+        original = engine.successors(state)
+        replayed = rebound.successors(pickle.loads(pickle.dumps(state)))
+        assert [e.target for e in original] == [e.target for e in replayed]
+        assert [e.delay for e in original] == [e.delay for e in replayed]
+        assert [e.fired for e in original] == [e.fired for e in replayed]
+
+    def test_symbolic_tables_drop_comparator_cache(self):
+        engine = _symbolic_engine()
+        # Drive the comparator so its Fourier–Motzkin memo fills.
+        state = engine.initial_state()
+        for edge in engine.successors(state):
+            engine.successors(edge.target)
+        comparator = engine.time.comparator
+        assert comparator.cache_size() > 0
+        clone = pickle.loads(pickle.dumps(engine.compiled))
+        assert clone.time.comparator.cache_size() == 0
+        assert clone.time.comparator.cache_stats()["hits"] == 0
+        # The shipped comparator still resolves the same constraints.
+        assert clone.time.constraints.labels() == engine.time.constraints.labels()
+
+
+class TestTimedParallelEngine:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_worker_counts_all_bit_identical(self, workers):
+        net = selective_repeat_net(2, loss_probability=Fraction(1, 10))
+        parallel = build_timed_parallel(net, workers=workers)
+        reference = timed_reachability_graph(net, engine="reference")
+        assert_timed_graphs_identical(parallel, reference)
+
+    def test_workers_spanning_more_shards_than_states(self):
+        # More workers than reachable states: most shards stay empty, the
+        # protocol must still terminate and renumber correctly.
+        net = selective_repeat_net(1)
+        parallel = build_timed_parallel(net, workers=5)
+        reference = timed_reachability_graph(net, engine="reference")
+        assert_timed_graphs_identical(parallel, reference)
+
+    def test_workers_rejected_for_sequential_engines(self):
+        with pytest.raises(ValueError, match="only meaningful with engine='parallel'"):
+            timed_reachability_graph(simple_protocol_net(), engine="compiled", workers=2)
+
+    def test_insufficient_constraints_propagate_typed(self):
+        # Two concurrent symbolic timers with no ordering constraint: the
+        # worker's comparator failure must surface with its original type,
+        # exactly like the sequential engines.
+        from repro.reachability import symbolic_timed_reachability_graph
+
+        builder = NetBuilder("unordered-timers")
+        builder.place("p1", "timer 1 armed", tokens=1)
+        builder.place("p2", "timer 2 armed", tokens=1)
+        builder.transition("t1", inputs=["p1"], outputs=[], firing_time=time_symbol("A"))
+        builder.transition("t2", inputs=["p2"], outputs=[], firing_time=time_symbol("B"))
+        net = builder.build()
+        for kwargs in ({"engine": "compiled"}, {"engine": "parallel", "workers": 2}):
+            with pytest.raises(InsufficientConstraintsError):
+                symbolic_timed_reachability_graph(net, (), **kwargs)
+
+    def test_symbolic_probabilities_cross_processes_exactly(self):
+        # The paper net's branch probabilities are genuine RatFunc frequency
+        # quotients; the worker-derived quotients must merge back exactly.
+        from repro.reachability import symbolic_timed_reachability_graph
+
+        net, constraints, _symbols = simple_protocol_symbolic()
+        parallel = build_symbolic_timed_parallel(net, constraints, workers=3)
+        sequential = symbolic_timed_reachability_graph(net, constraints)
+        assert [e.probability for e in parallel.edges] == [
+            e.probability for e in sequential.edges
+        ]
+        assert [str(e.delay) for e in parallel.edges] == [
+            str(e.delay) for e in sequential.edges
+        ]
+
+
+class TestTimedCLIParity:
+    def test_reachability_command_parallel_engine(self, capsys):
+        exit_code = cli_main(
+            ["reachability", "--model", "selective-repeat", "--engine", "parallel", "--workers", "2"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "TimedReachabilityGraph" in output
+        assert "parallel (2 workers)" in output
+
+    def test_reachability_workers_require_parallel_engine(self):
+        with pytest.raises(SystemExit, match="--workers requires --engine parallel"):
+            cli_main(["reachability", "--model", "selective-repeat", "--workers", "2"])
+
+    def test_reachability_invalid_worker_count(self):
+        with pytest.raises(SystemExit, match="workers must be a positive integer"):
+            cli_main(
+                ["reachability", "--model", "selective-repeat", "--engine", "parallel", "--workers", "0"]
+            )
+
+    def test_reachability_max_states_reported(self, capsys):
+        exit_code = cli_main(
+            ["reachability", "--model", "selective-repeat", "--max-states", "5"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 1
+        assert "cannot enumerate" in output
