@@ -11,7 +11,13 @@ Subcommands mirror the analysis pipeline of the paper:
 * ``untimed`` — build the untimed reachability graph and report boundedness
   and deadlock facts; ``--engine parallel --workers N`` runs the
   frontier-sharded multiprocess construction,
-* ``decision`` — print the decision-graph edges (Figure-5 style),
+* ``decision`` — print the decision-graph edges (Figure-5 style), including
+  the folded committed-cycle rows of the generalized collapse (``--no-fold``
+  recovers the strict paper-shaped collapse and its rejection diagnosis),
+* ``performance`` — the full performance path for cyclic protocols: folded
+  committed cycles, terminal classes with settling probabilities, and the
+  closed-form cycle time / throughput / utilization table (this is the path
+  that answers lossless window models, which the strict collapse rejects),
 * ``simulate`` — run the discrete-event simulator and compare against the
   analytic throughput,
 * ``export`` — write a model as JSON, PNML or Graphviz DOT,
@@ -40,7 +46,13 @@ from .protocols import (
 )
 from .reachability import decision_graph, timed_reachability_graph
 from .simulation import simulate
-from .viz import format_kv, format_table, reachability_to_dot
+from .viz import (
+    format_decision_edges,
+    format_folded_cycles,
+    format_kv,
+    format_table,
+    reachability_to_dot,
+)
 
 
 def _load_model(arguments) -> "TimedPetriNet":  # noqa: F821 - forward name for docs
@@ -166,12 +178,66 @@ def _command_untimed(arguments) -> int:
 def _command_decision(arguments) -> int:
     net = _load_model(arguments)
     try:
-        graph = decision_graph(timed_reachability_graph(net))
+        graph = decision_graph(
+            timed_reachability_graph(net), fold_cycles=not arguments.no_fold
+        )
     except PerformanceError as error:
         print(f"cannot collapse: {error}")
         return 1
     print(graph)
-    print(format_table(("edge", "from", "to", "probability", "delay"), graph.edge_table(), align_right=False))
+    print(format_decision_edges(graph))
+    if graph.has_folded_cycles:
+        print()
+        print("folded committed cycles (resolved by cycle-time analysis):")
+        print(format_folded_cycles(graph))
+    return 0
+
+
+def _command_performance(arguments) -> int:
+    net = _load_model(arguments)
+    try:
+        analysis = PerformanceAnalysis(net)
+    except PerformanceError as error:
+        print(f"cannot analyze: {error}")
+        return 1
+    decision = analysis.decision
+    print(f"timed reachability graph: {analysis.reachability.state_count} states")
+    print(decision)
+    print()
+    print(format_decision_edges(decision))
+    if decision.has_folded_cycles:
+        print()
+        print("folded committed cycles (resolved by cycle-time analysis):")
+        print(format_folded_cycles(decision))
+    decomposition = analysis.decomposition
+    print()
+    if decomposition.is_ergodic:
+        print("terminal classes: 1 (ergodic)")
+    else:
+        print(f"terminal classes: {decomposition.class_count} "
+              "(measures below are settling-probability-weighted expectations)")
+        rows = [
+            (f"class {terminal.index + 1}",
+             ", ".join(str(anchor + 1) for anchor in terminal.anchors),
+             str(terminal.probability))
+            for terminal in decomposition.classes
+        ]
+        print(format_table(("class", "anchor states", "settling probability"), rows, align_right=False))
+    print()
+    transitions = [arguments.transition] if arguments.transition else list(net.transition_order)
+    rows = []
+    for name in transitions:
+        throughput = analysis.throughput(name)
+        utilization = analysis.utilization(name)
+        rows.append((name, str(throughput.value), f"{float(throughput.value):.6g}",
+                     f"{float(utilization.value):.6g}"))
+    print(format_table(
+        ("transition", "throughput (exact)", "throughput [1/ms]", "utilization"),
+        rows, align_right=False,
+    ))
+    print()
+    cycle_time = analysis.cycle_time()
+    print(f"cycle time: {cycle_time.value} ms = {float(cycle_time.value):.6g} ms")
     return 0
 
 
@@ -304,7 +370,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     decision = subparsers.add_parser("decision", help="print the decision graph")
     _add_model_arguments(decision)
+    decision.add_argument(
+        "--no-fold",
+        action="store_true",
+        help="strict paper-shaped collapse: reject committed cycles instead of "
+        "folding them by cycle-time analysis",
+    )
     decision.set_defaults(handler=_command_decision)
+
+    performance = subparsers.add_parser(
+        "performance",
+        help="performance expressions for cyclic protocols (folded committed "
+        "cycles, terminal classes, closed-form measures)",
+    )
+    _add_model_arguments(performance)
+    performance.add_argument("--transition", help="only report this transition")
+    performance.set_defaults(handler=_command_performance)
 
     simulate_parser = subparsers.add_parser("simulate", help="discrete-event simulation")
     _add_model_arguments(simulate_parser)

@@ -15,29 +15,49 @@ from .linear import solve_linear_system, solve_stationary_weights
 from .markov import EmbeddedChainResult, embedded_chain_analysis
 from .metrics import PerformanceMetrics, PerformanceReport
 from .sensitivity import (
+    SensitivityPoint,
     elasticity,
     evaluate_gradient,
     finite_difference,
     gradient,
     partial_derivative,
+    sensitivity_profile,
 )
-from .traversal import TraversalRates, traversal_rates
+from .traversal import (
+    ErgodicDecomposition,
+    TerminalClass,
+    TraversalRates,
+    absorption_probabilities,
+    entry_anchor,
+    ergodic_decomposition,
+    recurrent_anchors,
+    terminal_classes,
+    traversal_rates,
+)
 
 __all__ = [
     "EmbeddedChainResult",
+    "ErgodicDecomposition",
     "PerformanceAnalysis",
     "PerformanceExpression",
     "PerformanceMetrics",
     "PerformanceReport",
+    "TerminalClass",
     "TraversalRates",
+    "absorption_probabilities",
     "analyze",
     "elasticity",
     "embedded_chain_analysis",
+    "entry_anchor",
+    "ergodic_decomposition",
     "evaluate_gradient",
     "finite_difference",
     "gradient",
     "partial_derivative",
+    "recurrent_anchors",
+    "sensitivity_profile",
     "solve_linear_system",
     "solve_stationary_weights",
+    "terminal_classes",
     "traversal_rates",
 ]

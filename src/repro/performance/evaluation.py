@@ -33,7 +33,7 @@ from ..symbolic.symbols import Symbol
 from .expressions import PerformanceExpression
 from .markov import EmbeddedChainResult, embedded_chain_analysis
 from .metrics import PerformanceMetrics, PerformanceReport
-from .traversal import TraversalRates, traversal_rates
+from .traversal import TraversalRates
 
 
 class PerformanceAnalysis:
@@ -76,8 +76,13 @@ class PerformanceAnalysis:
         else:
             self.reachability = timed_reachability_graph(net, max_states=max_states)
         self.decision: DecisionGraph = decision_graph(self.reachability)
-        self.rates: TraversalRates = traversal_rates(self.decision)
-        self.metrics = PerformanceMetrics(self.decision, self.rates)
+        # PerformanceMetrics computes the ergodic decomposition itself:
+        # graphs with folded committed cycles can have several terminal
+        # classes, in which case the classical traversal_rates() call would
+        # refuse; the combined (absorption-weighted) rates take its place.
+        self.metrics = PerformanceMetrics(self.decision)
+        self.rates: TraversalRates = self.metrics.rates
+        self.decomposition = self.metrics.decomposition
 
     # ------------------------------------------------------------------
     # Headline quantities
@@ -87,6 +92,16 @@ class PerformanceAnalysis:
     def is_symbolic(self) -> bool:
         """Whether results are symbolic expressions rather than numbers."""
         return self.reachability.symbolic
+
+    @property
+    def folded_cycles(self):
+        """Committed cycles resolved by cycle-time folding (often empty)."""
+        return self.decision.folded_cycles
+
+    @property
+    def terminal_class_count(self) -> int:
+        """Number of terminal classes of the decision graph (1 when ergodic)."""
+        return self.decomposition.class_count
 
     def state_count(self) -> int:
         """Number of timed states (the size of Figure 4 / Figure 6)."""
@@ -138,9 +153,14 @@ class PerformanceAnalysis:
     # Cross-checks and specialization
     # ------------------------------------------------------------------
 
-    def embedded_chain(self) -> EmbeddedChainResult:
-        """Independent embedded-Markov-chain analysis (cross-validation path)."""
-        return embedded_chain_analysis(self.decision)
+    def embedded_chain(self, *, terminal_class: Optional[int] = None) -> EmbeddedChainResult:
+        """Independent embedded-Markov-chain analysis (cross-validation path).
+
+        ``terminal_class`` selects a bottom component when folded committed
+        cycles give the decision graph several (required then — the embedded
+        chain has no stationary distribution across classes).
+        """
+        return embedded_chain_analysis(self.decision, terminal_class=terminal_class)
 
     def evaluate_throughput(
         self, transition_name: str, bindings: Mapping[Symbol, object] | None = None

@@ -94,6 +94,66 @@ def solve_linear_system(
     return [row[size] for row in rows]
 
 
+def solve_linear_systems(
+    matrix: Sequence[Sequence[Scalar]],
+    rhs_columns: Sequence[Sequence[Scalar]],
+    *,
+    zero: Scalar = Fraction(0),
+    one: Scalar = Fraction(1),
+) -> List[List[Scalar]]:
+    """Solve ``matrix · x = rhs`` for several right-hand sides at once.
+
+    One Gauss–Jordan elimination of the shared coefficient matrix serves all
+    ``rhs_columns`` (the absorption equations solve one column per terminal
+    class over the same transient matrix).  Returns one solution vector per
+    column, in order.
+    """
+    size = len(matrix)
+    if not rhs_columns:
+        return []
+    if size == 0:
+        return [[] for _ in rhs_columns]
+    if any(len(row) != size for row in matrix):
+        raise PerformanceError("linear system matrix is not square")
+    if any(len(column) != size for column in rhs_columns):
+        raise PerformanceError("a linear system right-hand side has the wrong length")
+
+    width = len(rhs_columns)
+    rows: List[List[Scalar]] = [
+        list(row) + [column[index] for column in rhs_columns]
+        for index, row in enumerate(matrix)
+    ]
+
+    for column in range(size):
+        pivot_row: Optional[int] = None
+        for candidate in range(column, size):
+            if not _is_zero(rows[candidate][column]):
+                pivot_row = candidate
+                break
+        if pivot_row is None:
+            raise PerformanceError(
+                "the linear system is singular; no unique solution exists"
+            )
+        rows[column], rows[pivot_row] = rows[pivot_row], rows[column]
+        pivot = rows[column][column]
+        rows[column] = [value / pivot for value in rows[column]]
+        for other in range(size):
+            if other == column:
+                continue
+            factor = rows[other][column]
+            if _is_zero(factor):
+                continue
+            rows[other] = [
+                other_value - factor * pivot_value
+                for other_value, pivot_value in zip(rows[other], rows[column])
+            ]
+    del zero, one  # identities are only needed by callers building the system
+    return [
+        [rows[index][size + position] for index in range(size)]
+        for position in range(width)
+    ]
+
+
 def solve_stationary_weights(
     transition_probability: Callable[[int, int], Scalar],
     size: int,

@@ -29,7 +29,7 @@ from ..reachability.decision import DecisionGraph
 from ..symbolic.linexpr import LinExpr
 from ..symbolic.ratfunc import RatFunc
 from .linear import solve_linear_system
-from .traversal import recurrent_anchors
+from .traversal import recurrent_anchors, terminal_classes
 
 Scalar = Union[Fraction, RatFunc]
 
@@ -84,8 +84,15 @@ class EmbeddedChainResult:
         return total
 
 
-def embedded_chain_analysis(decision: DecisionGraph) -> EmbeddedChainResult:
+def embedded_chain_analysis(
+    decision: DecisionGraph, *, terminal_class: int | None = None
+) -> EmbeddedChainResult:
     """Solve the embedded chain ``pi = pi·P`` with normalization ``sum(pi) = 1``.
+
+    ``terminal_class`` selects one bottom component (an index into
+    :func:`~repro.performance.traversal.terminal_classes`) when folded
+    committed cycles give the decision graph several; by default the graph
+    must have a unique one.
 
     Raises :class:`~repro.exceptions.NotErgodicError` for graphs with
     absorbing edges, no anchors, or a singular stationary system.
@@ -97,7 +104,16 @@ def embedded_chain_analysis(decision: DecisionGraph) -> EmbeddedChainResult:
 
     symbolic = decision.trg.symbolic
     zero, one = _field(symbolic)
-    anchors = list(recurrent_anchors(decision))
+    if terminal_class is None:
+        anchors = list(recurrent_anchors(decision))
+    else:
+        classes = terminal_classes(decision)
+        if not 0 <= terminal_class < len(classes):
+            raise NotErgodicError(
+                f"terminal class index {terminal_class} out of range (the decision "
+                f"graph has {len(classes)})"
+            )
+        anchors = list(classes[terminal_class])
     position = {anchor: index for index, anchor in enumerate(anchors)}
     size = len(anchors)
 

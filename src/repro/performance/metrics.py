@@ -31,7 +31,12 @@ from ..reachability.decision import DecisionEdge, DecisionGraph
 from ..symbolic.linexpr import LinExpr
 from ..symbolic.ratfunc import RatFunc
 from ..symbolic.symbols import Symbol
-from .traversal import TraversalRates, traversal_rates
+from .linear import _is_zero
+from .traversal import (
+    ErgodicDecomposition,
+    TraversalRates,
+    ergodic_decomposition,
+)
 
 Scalar = Union[Fraction, RatFunc]
 
@@ -73,18 +78,61 @@ class PerformanceReport:
 class PerformanceMetrics:
     """Compute performance measures for a decision graph.
 
+    When the graph has a unique terminal class (every strict paper-shaped
+    model) this is the classical traversal-rate computation.  When folded
+    committed cycles give it several, each measure is the
+    settling-probability-weighted expectation of the per-class measure —
+    quantities linear in the rates come from the combined rates directly,
+    ratios (throughput, utilization, frequencies) are formed per class and
+    then weighted, which is the long-run expectation over the model's random
+    transient.
+
     Parameters
     ----------
     decision:
         The decision graph (numeric or symbolic).
     rates:
-        Pre-computed traversal rates; computed on demand when omitted.
+        Pre-computed traversal rates; when supplied they are used as-is (the
+        classical single-class computation).  When omitted, the ergodic
+        decomposition is computed and multi-class graphs are handled as
+        described above.
     """
 
     def __init__(self, decision: DecisionGraph, rates: Optional[TraversalRates] = None):
         self.decision = decision
-        self.rates = rates if rates is not None else traversal_rates(decision)
+        self.decomposition: Optional[ErgodicDecomposition] = None
+        if rates is not None:
+            self.rates = rates
+        else:
+            self.decomposition = ergodic_decomposition(decision)
+            self.rates = self.decomposition.combined_rates()
         self.symbolic = decision.trg.symbolic
+        self._class_metrics: Optional[list] = None
+
+    def _per_class(self) -> Optional[list]:
+        """Per-class (probability, metrics) pairs for ratio measures.
+
+        ``None`` when the classical single-chain computation applies — either
+        explicit rates were supplied or the graph has a unique terminal
+        class (then ``self.rates`` already *is* that class's solution).
+        """
+        if self.decomposition is None or self.decomposition.is_ergodic:
+            return None
+        if self._class_metrics is None:
+            self._class_metrics = [
+                (terminal.probability, PerformanceMetrics(self.decision, terminal.rates))
+                for terminal in self.decomposition.classes
+            ]
+        return self._class_metrics
+
+    def _expected(self, measure) -> Scalar:
+        """Settling-probability-weighted expectation of a per-class measure."""
+        total: Scalar = RatFunc.zero() if self.symbolic else Fraction(0)
+        for probability, metrics in self._per_class():
+            if _is_zero(probability):
+                continue
+            total = total + probability * measure(metrics)
+        return total
 
     # ------------------------------------------------------------------
     # Edge-level quantities
@@ -145,12 +193,20 @@ class PerformanceMetrics:
 
         For the paper's protocol, ``throughput("t2")`` — the rate at which
         acknowledgements are accepted by the sender — is the protocol
-        throughput in messages per millisecond.
+        throughput in messages per millisecond.  With several terminal
+        classes this is the expected long-run rate,
+        ``sum_k p_k · throughput_k``.
         """
+        per_class = self._per_class()
+        if per_class is not None:
+            return self._expected(lambda metrics: metrics.throughput(transition_name, count=count))
         return self.firings_per_cycle(transition_name, count=count) / self.cycle_time()
 
     def edge_traversal_frequency(self, edge: DecisionEdge | int) -> Scalar:
         """Traversals of an edge per unit time (``r_i`` / cycle time)."""
+        per_class = self._per_class()
+        if per_class is not None:
+            return self._expected(lambda metrics: metrics.edge_traversal_frequency(edge))
         return self.rates.rate_of_edge(edge) / self.cycle_time()
 
     def utilization(self, transition_name: str) -> Scalar:
@@ -158,8 +214,12 @@ class PerformanceMetrics:
 
         Computed edge by edge from the busy time the transition accumulates
         along each collapsed path; the result lies in [0, 1] for nets obeying
-        the paper's single-firing restriction.
+        the paper's single-firing restriction.  With several terminal
+        classes this is the expected long-run fraction.
         """
+        per_class = self._per_class()
+        if per_class is not None:
+            return self._expected(lambda metrics: metrics.utilization(transition_name))
         total: Scalar = RatFunc.zero() if self.symbolic else Fraction(0)
         for edge in self.decision.edges:
             busy = self.decision.busy_time(edge, transition_name)
@@ -169,6 +229,9 @@ class PerformanceMetrics:
 
     def anchor_visit_frequency(self, anchor: int) -> Scalar:
         """Visits of an anchor node per unit time."""
+        per_class = self._per_class()
+        if per_class is not None:
+            return self._expected(lambda metrics: metrics.anchor_visit_frequency(anchor))
         return self.rates.rate_of_node(anchor) / self.cycle_time()
 
     # ------------------------------------------------------------------

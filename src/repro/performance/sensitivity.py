@@ -12,8 +12,9 @@ produced by the simulator).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Dict, Mapping
+from typing import Callable, Dict, Mapping, Optional
 
 from ..symbolic.linexpr import LinExpr, NumberLike, as_fraction
 from ..symbolic.polynomial import Polynomial
@@ -62,6 +63,54 @@ def evaluate_gradient(
     return {
         symbol: ratfunc.partial_derivative(symbol).evaluate(bindings) for symbol in chosen
     }
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Sensitivity of a performance expression to one symbol at one point.
+
+    ``value`` is the expression's value at the binding point, ``derivative``
+    the exact partial derivative there, and ``elasticity`` the normalized
+    sensitivity (``None`` when the expression's value is zero at the point,
+    where the elasticity is undefined).
+    """
+
+    symbol: Symbol
+    value: Fraction
+    derivative: Fraction
+    elasticity: Optional[Fraction]
+
+
+def sensitivity_profile(
+    expression, bindings: Mapping[Symbol, NumberLike], symbols=None
+) -> Dict[Symbol, SensitivityPoint]:
+    """Exact per-symbol sensitivity report of a performance expression.
+
+    Works for any symbolic measure the performance stack produces — the
+    classical single-cycle expressions as well as the closed forms derived
+    from folded committed cycles (e.g. the lossless sliding window's cycle
+    time, whose elasticities show which medium delay dominates the
+    committed cycle).  ``symbols`` defaults to every free symbol of the
+    expression.
+    """
+    ratfunc = _as_ratfunc(expression)
+    chosen = list(symbols) if symbols is not None else sorted(ratfunc.symbols())
+    value = ratfunc.evaluate(bindings)
+    profile: Dict[Symbol, SensitivityPoint] = {}
+    for symbol in chosen:
+        derivative = ratfunc.partial_derivative(symbol).evaluate(bindings)
+        if value == 0:
+            point_elasticity = None
+        else:
+            point = as_fraction(bindings[symbol])
+            point_elasticity = derivative * point / value
+        profile[symbol] = SensitivityPoint(
+            symbol=symbol,
+            value=value,
+            derivative=derivative,
+            elasticity=point_elasticity,
+        )
+    return profile
 
 
 def finite_difference(

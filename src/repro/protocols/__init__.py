@@ -42,6 +42,7 @@ from .workloads import (
     producer_consumer_net,
     selective_repeat_net,
     sliding_window_net,
+    sliding_window_symbolic,
     token_ring_net,
 )
 
@@ -85,6 +86,7 @@ __all__ = [
     "model_catalog",
     "selective_repeat_net",
     "sliding_window_net",
+    "sliding_window_symbolic",
     "paper_bindings",
     "paper_throughput_expression_value",
     "pipelined_stop_and_wait_net",

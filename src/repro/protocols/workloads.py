@@ -29,10 +29,13 @@ These models exercise the library beyond the paper's running example:
 from __future__ import annotations
 
 from fractions import Fraction
+from typing import Dict, Tuple
 
 from ..petri.builder import NetBuilder
 from ..petri.net import TimedPetriNet
-from ..symbolic.linexpr import ExprLike, as_fraction
+from ..symbolic.constraints import Constraint, ConstraintSet
+from ..symbolic.linexpr import ExprLike, LinExpr, as_expr, as_fraction
+from ..symbolic.symbols import Symbol, time_symbol
 
 
 def producer_consumer_net(
@@ -356,6 +359,48 @@ def sliding_window_net(
         )
         _add_slot_ack_return(builder, prefix, slot, ack_delay=ack_delay)
     return builder.build()
+
+
+def sliding_window_symbolic(
+    window_size: int = 2,
+    *,
+    send_time: ExprLike = 1,
+    receiver_time: ExprLike = 1,
+) -> Tuple[TimedPetriNet, ConstraintSet, Dict[str, Symbol]]:
+    """The lossless sliding window with *symbolic* medium delays.
+
+    Returns ``(net, constraints, symbols)`` in the style of
+    :func:`~repro.protocols.simple_protocol.simple_protocol_symbolic`: the
+    packet delay is the time symbol ``d`` and the acknowledgement delay the
+    time symbol ``a``, declared larger than the (numeric) send and receiver
+    stages combined so the symbolic comparator can order every pair of
+    concurrent clocks the window produces.
+
+    This is the showcase model for the generalized (cycle-folding) decision
+    collapse: the strict paper-shaped collapse rejects the lossless window,
+    while cycle-time analysis of its committed cycles yields the closed
+    forms ``cycle time = send + d + receive + a`` and per-slot throughput
+    ``1 / (send + d + receive + a)`` — valid for *all* delays satisfying the
+    declared constraints, which is the paper's symbolic selling point
+    carried over to cyclic protocols.
+    """
+    symbols = {"d": time_symbol("d"), "a": time_symbol("a")}
+    net = sliding_window_net(
+        window_size,
+        send_time=send_time,
+        packet_delay=symbols["d"],
+        receiver_time=receiver_time,
+        ack_delay=symbols["a"],
+    )
+    stage_total = as_expr(send_time) + as_expr(receiver_time)
+    constraints = ConstraintSet()
+    constraints.add(
+        Constraint.greater(LinExpr.from_symbol(symbols["d"]), stage_total, label="d>stages")
+    )
+    constraints.add(
+        Constraint.greater(LinExpr.from_symbol(symbols["a"]), stage_total, label="a>stages")
+    )
+    return net, constraints, symbols
 
 
 def selective_repeat_net(

@@ -32,9 +32,12 @@ from .analysis import (
 )
 from .compiled import CompiledNet, CompiledSuccessorEngine, build_compiled_graph
 from .decision import (
+    EDGE_CYCLE,
+    EDGE_PATH,
     CollapseSupport,
     DecisionEdge,
     DecisionGraph,
+    FoldedCycle,
     decision_graph,
     supports_decision_collapse,
 )
@@ -63,8 +66,11 @@ __all__ = [
     "CompiledSuccessorEngine",
     "DecisionEdge",
     "DecisionGraph",
+    "EDGE_CYCLE",
+    "EDGE_PATH",
     "ENGINE_COMPILED",
     "ENGINE_REFERENCE",
+    "FoldedCycle",
     "MinimumSelection",
     "build_compiled_graph",
     "NumericProbabilityAlgebra",

@@ -22,16 +22,28 @@ Degenerate shapes are handled explicitly:
   performance analysis refuses such graphs with
   :class:`~repro.exceptions.NotErgodicError` because no steady state exists.
 
-One shape is genuinely out of scope: a **decision-free cycle off the anchor
+One shape needs special treatment: a **decision-free cycle off the anchor
 path** — a cycle that contains no decision node but is entered from one.
 The lossless :func:`~repro.protocols.workloads.sliding_window_net` is the
 canonical example: the sender makes choices while filling the window, but
 once every frame is in flight the slots cycle deterministically forever, so
-the collapsed path never returns to an anchor.  Use
-:func:`supports_decision_collapse` to pre-check a model;
-:func:`decision_graph` performs the same check up front and raises a
-diagnostic :class:`~repro.exceptions.PerformanceError` naming the offending
-cycle instead of failing mid-collapse.
+the collapsed path never returns to an anchor.  The collapse resolves such
+*committed cycles* by **cycle-time analysis**: one node of each cycle is
+promoted to a *synthetic anchor*, the cycle folds onto a probability-one
+self-loop edge carrying the cycle's per-traversal time and firings (a
+:class:`FoldedCycle` records the resolution), and the entry paths from the
+genuine decision nodes become ordinary collapsed edges ending at the
+synthetic anchor.  Downstream, :mod:`repro.performance` treats each folded
+cycle as a terminal class of the decision graph and weights it by its
+absorption probability.
+
+Use :func:`supports_decision_collapse` to pre-check a model; the returned
+:class:`CollapseSupport` names *every* committed cycle and reports how each
+one is resolved.  Folding can be disabled (``fold_cycles=False``) to recover
+the strict paper-shaped collapse, in which case committed cycles are
+rejected with the same diagnosis :func:`decision_graph` raises.  The one
+genuinely unsupported shape is a committed cycle whose per-traversal time is
+zero — the model loops infinitely fast and no steady-state measure exists.
 """
 
 from __future__ import annotations
@@ -43,6 +55,57 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..exceptions import PerformanceError
 from .algebra import ProbabilityScalar, TimeScalar
 from .graph import TimedReachabilityGraph
+
+#: Edge kinds of the collapsed graph.
+EDGE_PATH = "path"
+EDGE_CYCLE = "cycle"
+
+
+@dataclass(frozen=True)
+class FoldedCycle:
+    """A committed (decision-free, anchor-free) cycle resolved by folding.
+
+    Attributes
+    ----------
+    index:
+        Position in the collapse's folded-cycle list.
+    anchor:
+        The TRG node promoted to a synthetic anchor (the smallest node index
+        on the cycle, so the choice is deterministic).
+    nodes:
+        The cycle's node indices in traversal order, starting at ``anchor``.
+    trg_edges:
+        The TRG edge indices traversed, aligned with ``nodes``.
+    cycle_time:
+        Total time elapsing per traversal of the cycle (exact
+        :class:`~fractions.Fraction` in the numeric domain, a symbolic
+        expression in the symbolic one).
+    fired:
+        Transitions that begin firing per traversal, in firing order.
+    completed:
+        Transitions that finish firing per traversal, in completion order.
+    """
+
+    index: int
+    anchor: int
+    nodes: Tuple[int, ...]
+    trg_edges: Tuple[int, ...]
+    cycle_time: TimeScalar
+    fired: Tuple[str, ...]
+    completed: Tuple[str, ...]
+
+    @property
+    def length(self) -> int:
+        """Number of TRG nodes on the cycle."""
+        return len(self.nodes)
+
+    def describe(self) -> str:
+        """One-line human-readable resolution summary (1-based state numbers)."""
+        states = ", ".join(str(node + 1) for node in self.nodes)
+        return (
+            f"committed cycle through state(s) {states} folded onto a self-loop at "
+            f"state {self.anchor + 1} with per-traversal time {self.cycle_time}"
+        )
 
 
 @dataclass(frozen=True)
@@ -74,6 +137,10 @@ class DecisionEdge:
     completed:
         Every transition that finishes firing along the path, in completion
         order (with repetitions).
+    kind:
+        ``"path"`` for an ordinary collapsed path between anchors;
+        ``"cycle"`` for the probability-one self-loop a folded committed
+        cycle collapses onto (its source anchor is synthetic).
     """
 
     index: int
@@ -85,20 +152,39 @@ class DecisionEdge:
     trg_edges: Tuple[int, ...]
     fired: Tuple[str, ...]
     completed: Tuple[str, ...]
+    kind: str = EDGE_PATH
 
     @property
     def is_absorbing(self) -> bool:
         """True when the path ends in a dead state instead of another anchor."""
         return self.target is None
 
+    @property
+    def is_folded_cycle(self) -> bool:
+        """True for the self-loop edge a committed cycle was folded onto."""
+        return self.kind == EDGE_CYCLE
+
 
 class DecisionGraph:
-    """The decision graph of a timed reachability graph."""
+    """The decision graph of a timed reachability graph.
 
-    def __init__(self, trg: TimedReachabilityGraph, anchors: Sequence[int], edges: Sequence[DecisionEdge]):
+    ``anchors`` are the decision nodes plus any synthetic anchors introduced
+    by committed-cycle folding; ``folded_cycles`` records the resolutions
+    (empty for models the strict paper-shaped collapse already handles).
+    """
+
+    def __init__(
+        self,
+        trg: TimedReachabilityGraph,
+        anchors: Sequence[int],
+        edges: Sequence[DecisionEdge],
+        folded_cycles: Sequence[FoldedCycle] = (),
+    ):
         self.trg = trg
         self.anchors: Tuple[int, ...] = tuple(anchors)
         self.edges: Tuple[DecisionEdge, ...] = tuple(edges)
+        self.folded_cycles: Tuple[FoldedCycle, ...] = tuple(folded_cycles)
+        self.synthetic_anchors: frozenset = frozenset(cycle.anchor for cycle in self.folded_cycles)
         self._outgoing: Dict[int, List[DecisionEdge]] = {anchor: [] for anchor in self.anchors}
         self._incoming: Dict[int, List[DecisionEdge]] = {anchor: [] for anchor in self.anchors}
         for edge in self.edges:
@@ -131,6 +217,25 @@ class DecisionGraph:
     def has_absorbing_edge(self) -> bool:
         """True when some path reaches a dead state."""
         return any(edge.is_absorbing for edge in self.edges)
+
+    @property
+    def has_folded_cycles(self) -> bool:
+        """True when committed cycles were resolved by cycle-time folding."""
+        return bool(self.folded_cycles)
+
+    def folded_cycle_edges(self) -> List[DecisionEdge]:
+        """The self-loop edges the folded committed cycles collapsed onto."""
+        return [edge for edge in self.edges if edge.is_folded_cycle]
+
+    def folded_cycle_of_edge(self, edge: DecisionEdge | int) -> Optional[FoldedCycle]:
+        """The folded cycle a ``kind="cycle"`` edge represents (``None`` otherwise)."""
+        edge_obj = self.edges[edge] if isinstance(edge, int) else edge
+        if not edge_obj.is_folded_cycle:
+            return None
+        for cycle in self.folded_cycles:
+            if cycle.anchor == edge_obj.source:
+                return cycle
+        return None
 
     def edges_firing(self, transition_name: str) -> List[DecisionEdge]:
         """Edges along which the given transition begins firing at least once."""
@@ -165,19 +270,45 @@ class DecisionGraph:
         """
         rows = []
         for edge in self.edges:
+            if edge.target is None:
+                target = "dead"
+            elif edge.is_folded_cycle:
+                target = f"{edge.target + 1} (cycle)"
+            else:
+                target = str(edge.target + 1)
             rows.append(
                 (
                     f"a{edge.index + 1}",
                     str(edge.source + 1),
-                    str(edge.target + 1) if edge.target is not None else "dead",
+                    target,
                     str(edge.probability),
                     str(edge.delay),
                 )
             )
         return rows
 
+    def folded_cycle_table(self) -> List[Tuple[str, str, str, str, str]]:
+        """Rows describing each folded committed cycle.
+
+        Columns: cycle label, synthetic anchor state number, cycle length
+        (TRG nodes), per-traversal time, transitions fired per traversal.
+        """
+        rows = []
+        for cycle in self.folded_cycles:
+            rows.append(
+                (
+                    f"c{cycle.index + 1}",
+                    str(cycle.anchor + 1),
+                    str(cycle.length),
+                    str(cycle.cycle_time),
+                    "+".join(cycle.fired),
+                )
+            )
+        return rows
+
     def __repr__(self) -> str:
-        return f"DecisionGraph(anchors={self.anchor_count}, edges={self.edge_count})"
+        folded = f", folded_cycles={len(self.folded_cycles)}" if self.folded_cycles else ""
+        return f"DecisionGraph(anchors={self.anchor_count}, edges={self.edge_count}{folded})"
 
 
 # ---------------------------------------------------------------------------
@@ -196,16 +327,42 @@ class CollapseSupport:
     reason:
         Human-readable diagnosis when unsupported, ``None`` otherwise.
     anchors:
-        The anchor (decision) node indices the collapse would use.
+        The anchor node indices the collapse uses: the decision nodes (or
+        the decision-free fallback anchor) plus one synthetic anchor per
+        folded committed cycle.
     cycle:
-        The node indices of the first anchor-free cycle found (empty when
-        supported), in traversal order.
+        The node indices of the first *unresolved* anchor-free cycle (empty
+        when supported), in traversal order.  Kept for diagnosis; see
+        ``cycles`` for the complete list.
+    cycles:
+        Every anchor-free decision-free cycle found off the anchor path, in
+        discovery order — folded or not.  Empty when the strict paper-shaped
+        collapse applies directly.
+    folded:
+        How each committed cycle is resolved: one :class:`FoldedCycle` per
+        entry of ``cycles`` when folding succeeds.  Empty when folding was
+        disabled or rejected.
     """
 
     supported: bool
     reason: Optional[str]
     anchors: Tuple[int, ...]
     cycle: Tuple[int, ...] = ()
+    cycles: Tuple[Tuple[int, ...], ...] = ()
+    folded: Tuple[FoldedCycle, ...] = ()
+
+    @property
+    def synthetic_anchors(self) -> Tuple[int, ...]:
+        """The anchors introduced by committed-cycle folding."""
+        return tuple(cycle.anchor for cycle in self.folded)
+
+    def resolution_report(self) -> str:
+        """Multi-line description of how each committed cycle was resolved."""
+        if not self.cycles:
+            return "no committed cycles; the strict decision-node collapse applies"
+        if self.folded:
+            return "\n".join(cycle.describe() for cycle in self.folded)
+        return self.reason or "committed cycles present but unresolved"
 
     def __bool__(self) -> bool:
         return self.supported
@@ -220,19 +377,21 @@ def _collapse_anchors(trg: TimedReachabilityGraph) -> List[int]:
     return anchors
 
 
-def _anchor_free_cycle(
+def _anchor_free_cycles(
     trg: TimedReachabilityGraph, anchors: Sequence[int]
-) -> Optional[Tuple[int, ...]]:
-    """First decision-free cycle reachable from an anchor but containing none.
+) -> List[Tuple[int, ...]]:
+    """Every decision-free cycle reachable from an anchor but containing none.
 
     Non-anchor nodes have at most one successor, so following the successor
     chain from every anchor's out-edges visits each non-anchor node at most
-    once overall (nodes proven to terminate are memoized), making the check
-    linear in the graph size.  Returns the cycle's node indices, or ``None``
-    when every collapsed path ends at an anchor or a dead state.
+    once overall (nodes proven to terminate — or to lead to an already-found
+    cycle — are memoized), making the sweep linear in the graph size.  Each
+    cycle is returned once, canonically rotated to start at its smallest
+    node index.
     """
     anchor_set = set(anchors)
     resolved: set = set()
+    cycles: Dict[Tuple[int, ...], None] = {}
     for anchor in anchors:
         for first_edge in trg.successors(anchor):
             chain: List[int] = []
@@ -241,7 +400,10 @@ def _anchor_free_cycle(
             while current not in anchor_set and current not in resolved:
                 revisit = position.get(current)
                 if revisit is not None:
-                    return tuple(chain[revisit:])
+                    cycle = tuple(chain[revisit:])
+                    pivot = cycle.index(min(cycle))
+                    cycles.setdefault(cycle[pivot:] + cycle[:pivot])
+                    break
                 position[current] = len(chain)
                 chain.append(current)
                 successors = trg.successors(current)
@@ -249,10 +411,53 @@ def _anchor_free_cycle(
                     break
                 current = successors[0].target
             resolved.update(chain)
-    return None
+    return list(cycles)
 
 
-def supports_decision_collapse(model, **graph_kwargs) -> CollapseSupport:
+def _fold_cycle(trg: TimedReachabilityGraph, index: int, cycle: Tuple[int, ...]) -> FoldedCycle:
+    """Cycle-time analysis of one committed cycle.
+
+    Walks the cycle once (every node has exactly one successor) accumulating
+    the per-traversal time and the firing/completion sequences.
+    """
+    trg_edges: List[int] = []
+    fired: List[str] = []
+    completed: List[str] = []
+    total: Optional[TimeScalar] = None
+    for node in cycle:
+        hop = trg.successors(node)[0]
+        trg_edges.append(hop.index)
+        fired.extend(hop.fired)
+        completed.extend(hop.completed)
+        total = hop.delay if total is None else total + hop.delay
+    return FoldedCycle(
+        index=index,
+        anchor=cycle[0],
+        nodes=cycle,
+        trg_edges=tuple(trg_edges),
+        cycle_time=total,
+        fired=tuple(fired),
+        completed=tuple(completed),
+    )
+
+
+def _time_is_zero(value) -> bool:
+    """Syntactic zero test working for Fractions and symbolic expressions.
+
+    (A copy of :func:`repro.performance.linear._is_zero`: the reachability
+    layer cannot import the performance layer without inverting the package
+    dependency direction.)
+    """
+    if hasattr(value, "is_zero"):
+        return value.is_zero()
+    return value == 0
+
+
+def _cycle_states(cycle: Sequence[int]) -> str:
+    return ", ".join(str(index + 1) for index in cycle)
+
+
+def supports_decision_collapse(model, *, fold_cycles: bool = True, **graph_kwargs) -> CollapseSupport:
     """Pre-check whether the decision-graph collapse terminates on a model.
 
     ``model`` is either an already-built :class:`TimedReachabilityGraph` or a
@@ -261,11 +466,17 @@ def supports_decision_collapse(model, **graph_kwargs) -> CollapseSupport:
     ``max_states`` or ``engine`` — are forwarded to
     :func:`~repro.reachability.graph.timed_reachability_graph`).
 
-    The unsupported shape is a decision-free cycle entered from a decision
-    node: once the model commits to it, no further choice is ever made, so
-    no edge back to an anchor exists and the collapse cannot terminate.  The
-    returned :class:`CollapseSupport` is truthy/falsy and carries the
-    offending cycle for diagnosis.
+    The delicate shape is a decision-free cycle entered from a decision node:
+    once the model commits to it, no further choice is ever made, so no edge
+    back to an anchor exists and the plain collapse cannot terminate.  With
+    ``fold_cycles=True`` (default) every such *committed cycle* is resolved
+    by cycle-time analysis — its smallest node becomes a synthetic anchor and
+    the returned :class:`CollapseSupport` lists one :class:`FoldedCycle` per
+    cycle — so the model is supported unless some cycle's per-traversal time
+    is zero (an infinitely fast loop with no steady-state measures).  With
+    ``fold_cycles=False`` the strict paper-shaped predicate is recovered: any
+    committed cycle makes the model unsupported, and the diagnosis names
+    *all* of them.
     """
     if isinstance(model, TimedReachabilityGraph):
         trg = model
@@ -275,19 +486,38 @@ def supports_decision_collapse(model, **graph_kwargs) -> CollapseSupport:
 
         trg = timed_reachability_graph(model, **graph_kwargs)
     anchors = _collapse_anchors(trg)
-    cycle = _anchor_free_cycle(trg, anchors)
-    if cycle is None:
+    cycles = _anchor_free_cycles(trg, anchors)
+    if not cycles:
         return CollapseSupport(True, None, tuple(anchors))
-    states = ", ".join(str(index + 1) for index in cycle)
-    reason = (
-        f"the timed reachability graph contains a decision-free cycle through "
-        f"state(s) {states} that is reachable from a decision node but contains "
-        "none; once the model commits to this cycle it never makes another "
-        "choice, so the decision-graph collapse cannot terminate (the lossless "
-        "sliding-window net is the canonical example: with every frame in "
-        "flight the slots cycle deterministically forever)"
-    )
-    return CollapseSupport(False, reason, tuple(anchors), cycle)
+    if not fold_cycles:
+        listing = "; ".join(
+            f"state(s) {_cycle_states(cycle)}" for cycle in cycles
+        )
+        reason = (
+            f"the timed reachability graph contains {len(cycles)} decision-free "
+            f"cycle(s) reachable from a decision node but containing none — through "
+            f"{listing}; once the model commits to such a cycle it never makes "
+            "another choice, so the strict decision-graph collapse cannot "
+            "terminate (the lossless sliding-window net is the canonical "
+            "example: with every frame in flight the slots cycle "
+            "deterministically forever); re-run with fold_cycles=True to "
+            "resolve committed cycles by cycle-time analysis"
+        )
+        return CollapseSupport(False, reason, tuple(anchors), cycles[0], tuple(cycles))
+    folded = [_fold_cycle(trg, index, cycle) for index, cycle in enumerate(cycles)]
+    zero_time = [cycle for cycle in folded if _time_is_zero(cycle.cycle_time)]
+    if zero_time:
+        listing = "; ".join(f"state(s) {_cycle_states(cycle.nodes)}" for cycle in zero_time)
+        reason = (
+            f"committed cycle(s) through {listing} have zero per-traversal time; "
+            "the model loops infinitely fast once committed, so no steady-state "
+            "performance measure exists and cycle-time folding cannot resolve them"
+        )
+        return CollapseSupport(
+            False, reason, tuple(anchors), zero_time[0].nodes, tuple(cycles)
+        )
+    all_anchors = tuple(anchors) + tuple(cycle.anchor for cycle in folded)
+    return CollapseSupport(True, None, all_anchors, (), tuple(cycles), tuple(folded))
 
 
 # ---------------------------------------------------------------------------
@@ -320,25 +550,33 @@ def _fallback_anchor(trg: TimedReachabilityGraph) -> Optional[int]:
         current = successors[0].target
 
 
-def decision_graph(trg: TimedReachabilityGraph) -> DecisionGraph:
+def decision_graph(trg: TimedReachabilityGraph, *, fold_cycles: bool = True) -> DecisionGraph:
     """Collapse a timed reachability graph onto its decision nodes.
+
+    With ``fold_cycles=True`` (default) committed cycles off the anchor path
+    are resolved by cycle-time analysis: each folds onto a probability-one
+    self-loop edge (``kind="cycle"``) at a synthetic anchor, and the graph's
+    ``folded_cycles`` records the resolutions.  ``fold_cycles=False``
+    recovers the strict paper-shaped collapse, which rejects such models.
 
     Raises
     ------
     PerformanceError
-        When the model contains a decision-free cycle off the anchor path —
+        When the model is unsupported (a committed cycle under
+        ``fold_cycles=False``, or a zero-per-traversal-time cycle) —
         diagnosed up front by :func:`supports_decision_collapse`, so the
-        error names the offending cycle instead of surfacing mid-collapse —
-        or when a collapsed path hits a node with several successors that is
-        not an anchor (inconsistent inputs).
+        error names the offending cycle(s) instead of surfacing mid-collapse
+        — or when a collapsed path hits a node with several successors that
+        is not an anchor (inconsistent inputs).
     """
-    support = supports_decision_collapse(trg)
+    support = supports_decision_collapse(trg, fold_cycles=fold_cycles)
     if not support:
         raise PerformanceError(
             support.reason + "; use supports_decision_collapse() to pre-check models"
         )
     anchors = list(support.anchors)
     anchor_set = set(anchors)
+    synthetic = set(support.synthetic_anchors)
 
     edges: List[DecisionEdge] = []
     for anchor in anchors:
@@ -387,6 +625,10 @@ def decision_graph(trg: TimedReachabilityGraph) -> DecisionGraph:
                     trg_edges=tuple(trg_edges),
                     fired=tuple(fired),
                     completed=tuple(completed),
+                    # A synthetic anchor has exactly one successor chain — the
+                    # committed cycle itself — so its single collapsed edge is
+                    # the cycle's probability-one self-loop.
+                    kind=EDGE_CYCLE if anchor in synthetic else EDGE_PATH,
                 )
             )
-    return DecisionGraph(trg, anchors, edges)
+    return DecisionGraph(trg, anchors, edges, support.folded)

@@ -7,12 +7,20 @@ from .graphs import (
     save_reachability_dot,
 )
 from .report import ComparisonRow, ExperimentReport, write_reports
-from .tables import format_kv, format_table, indent
+from .tables import (
+    format_decision_edges,
+    format_folded_cycles,
+    format_kv,
+    format_table,
+    indent,
+)
 
 __all__ = [
     "ComparisonRow",
     "ExperimentReport",
     "decision_to_dot",
+    "format_decision_edges",
+    "format_folded_cycles",
     "format_kv",
     "format_table",
     "indent",

@@ -51,20 +51,33 @@ def reachability_to_dot(trg: TimedReachabilityGraph, *, include_state_details: b
 
 
 def decision_to_dot(decision: DecisionGraph) -> str:
-    """Render a decision graph (Figure 5 / 8 style) as DOT."""
+    """Render a decision graph (Figure 5 / 8 style) as DOT.
+
+    Synthetic anchors introduced by committed-cycle folding are drawn as
+    plain circles (they are not decision states) and the folded cycles'
+    probability-one self-loops as dashed edges labelled with the cycle's
+    per-traversal time.
+    """
     lines = [
         'digraph "decision-graph" {',
         "  rankdir=LR;",
         '  node [fontname="Helvetica", shape=doublecircle];',
     ]
     for anchor in decision.anchors:
-        lines.append(f'  n{anchor} [label="{anchor + 1}"];')
+        if anchor in decision.synthetic_anchors:
+            lines.append(f'  n{anchor} [label="{anchor + 1}", shape=circle];')
+        else:
+            lines.append(f'  n{anchor} [label="{anchor + 1}"];')
     if decision.has_absorbing_edge():
         lines.append('  dead [label="dead", shape=box];')
     for edge in decision.edges:
         target = f"n{edge.target}" if edge.target is not None else "dead"
-        label = _escape(f"a{edge.index + 1}: p={edge.probability}, d={edge.delay}")
-        lines.append(f'  n{edge.source} -> {target} [label="{label}"];')
+        if edge.is_folded_cycle:
+            label = _escape(f"a{edge.index + 1}: cycle, d={edge.delay}")
+            lines.append(f'  n{edge.source} -> {target} [label="{label}", style=dashed];')
+        else:
+            label = _escape(f"a{edge.index + 1}: p={edge.probability}, d={edge.delay}")
+            lines.append(f'  n{edge.source} -> {target} [label="{label}"];')
     lines.append("}")
     return "\n".join(lines) + "\n"
 

@@ -45,6 +45,38 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_decision_edges(decision) -> str:
+    """The Figure-5 style edge table of a decision graph.
+
+    Folded committed cycles render with their target marked ``(cycle)``; an
+    extra ``kind`` column separates ordinary collapsed paths from the
+    probability-one self-loops cycle folding introduces, but only when the
+    graph actually contains folded cycles (the classical table stays
+    byte-identical otherwise).
+    """
+    headers: Sequence[str] = ("edge", "from", "to", "probability", "delay")
+    rows = decision.edge_table()
+    if getattr(decision, "has_folded_cycles", False):
+        headers = tuple(headers) + ("kind",)
+        rows = [row + (edge.kind,) for row, edge in zip(rows, decision.edges)]
+    return format_table(headers, rows, align_right=False)
+
+
+def format_folded_cycles(decision) -> str:
+    """Rows describing each committed cycle resolved by cycle-time folding.
+
+    Empty string when the decision graph has none, so callers can print the
+    result unconditionally.
+    """
+    if not getattr(decision, "has_folded_cycles", False):
+        return ""
+    return format_table(
+        ("cycle", "anchor state", "length", "time/traversal", "fires per traversal"),
+        decision.folded_cycle_table(),
+        align_right=False,
+    )
+
+
 def format_kv(pairs: Iterable[Sequence[object]], *, separator: str = ": ") -> str:
     """Render key/value pairs with aligned keys (used for summary blocks)."""
     items = [(str(key), str(value)) for key, value in pairs]

@@ -1,12 +1,15 @@
-"""Tests for the decision-graph collapse rejection path.
+"""Tests for the generalized decision-graph collapse.
 
-The collapse cannot terminate on models with a decision-free cycle off the
-anchor path — the lossless sliding-window net the ROADMAP flags is the
-canonical case: the sender makes choices while filling the window, but once
-every frame is in flight the slots cycle deterministically forever.  The
-:func:`supports_decision_collapse` predicate diagnoses this up front, and
-:func:`decision_graph` raises the same diagnosis instead of failing
-mid-collapse.
+Committed cycles — decision-free cycles off the anchor path, the shape the
+strict paper collapse cannot terminate on — are resolved by *cycle-time
+analysis*: one node per cycle becomes a synthetic anchor and the cycle folds
+onto a probability-one self-loop edge carrying the per-traversal time.  The
+lossless sliding-window net is the canonical case: the sender makes choices
+while filling the window, but once every frame is in flight the slots cycle
+deterministically forever.
+
+The strict paper-shaped predicate remains available as ``fold_cycles=False``
+and must keep diagnosing *every* offending cycle by name.
 """
 
 from __future__ import annotations
@@ -15,48 +18,147 @@ from fractions import Fraction
 
 import pytest
 
-from repro.exceptions import PerformanceError
+from repro.exceptions import NotErgodicError, PerformanceError
+from repro.performance import (
+    PerformanceAnalysis,
+    PerformanceMetrics,
+    absorption_probabilities,
+    embedded_chain_analysis,
+    entry_anchor,
+    ergodic_decomposition,
+    terminal_classes,
+    traversal_rates,
+)
 from repro.petri.builder import NetBuilder
 from repro.protocols import (
     go_back_n_net,
+    selective_repeat_net,
     simple_protocol_net,
     sliding_window_net,
     token_ring_net,
 )
 from repro.reachability import (
     CollapseSupport,
+    FoldedCycle,
     decision_graph,
     supports_decision_collapse,
     timed_reachability_graph,
 )
 
 
-class TestSupportsDecisionCollapse:
-    def test_lossless_sliding_window_rejected(self):
+class TestCycleFolding:
+    def test_lossless_sliding_window_now_supported(self):
         support = supports_decision_collapse(sliding_window_net(2))
         assert isinstance(support, CollapseSupport)
-        assert not support
-        assert not support.supported
-        assert support.cycle, "the offending cycle must be named"
-        assert "decision-free cycle" in support.reason
-        # The model *does* have decision nodes — the cycle is off their path.
-        assert support.anchors
+        assert support
+        assert support.reason is None
+        # Two slot-phase orderings -> two committed cycles, both folded.
+        assert len(support.cycles) == 2
+        assert len(support.folded) == 2
+        assert len(support.synthetic_anchors) == 2
+        for folded in support.folded:
+            assert isinstance(folded, FoldedCycle)
+            assert folded.anchor == folded.nodes[0]
+            assert folded.cycle_time == Fraction(10)
+            # Every slot's four stages fire exactly once per traversal.
+            assert sorted(folded.fired) == sorted(
+                ["w0_send", "w0_deliver", "w0_ack", "w0_ack_return",
+                 "w1_send", "w1_deliver", "w1_ack", "w1_ack_return"]
+            )
+        # Synthetic anchors join the genuine decision nodes.
+        assert set(support.synthetic_anchors) <= set(support.anchors)
+        assert "folded onto a self-loop" in support.resolution_report()
 
-    def test_accepts_prebuilt_graph(self):
+    def test_folded_cycles_are_canonical_and_decision_free(self):
         trg = timed_reachability_graph(sliding_window_net(2))
         support = supports_decision_collapse(trg)
+        for cycle in support.cycles:
+            # Canonical rotation: starts at the smallest node index.
+            assert cycle[0] == min(cycle)
+            # Decision-free: one successor per node, closing on itself.
+            for index in cycle:
+                assert len(trg.successors(index)) == 1
+            last_edge = trg.successors(cycle[-1])[0]
+            assert last_edge.target == cycle[0]
+
+    def test_decision_graph_emits_cycle_edges(self):
+        trg = timed_reachability_graph(sliding_window_net(2))
+        graph = decision_graph(trg)
+        assert graph.has_folded_cycles
+        assert len(graph.folded_cycles) == 2
+        cycle_edges = graph.folded_cycle_edges()
+        assert len(cycle_edges) == 2
+        for edge in cycle_edges:
+            assert edge.is_folded_cycle
+            assert edge.source == edge.target
+            assert edge.source in graph.synthetic_anchors
+            assert edge.probability == 1
+            assert edge.delay == Fraction(10)
+            folded = graph.folded_cycle_of_edge(edge)
+            assert folded is not None and folded.anchor == edge.source
+        # Folded-cycle rows render alongside the Figure-5 style edge table.
+        assert len(graph.folded_cycle_table()) == 2
+        assert any("(cycle)" in row[2] for row in graph.edge_table())
+
+    @pytest.mark.parametrize(
+        "window,expected_cycles",
+        [(2, 2), (3, 6), (4, 24)],
+        ids=["window-2", "window-3", "window-4"],
+    )
+    def test_cycle_count_is_slot_phase_factorial(self, window, expected_cycles):
+        support = supports_decision_collapse(sliding_window_net(window))
+        assert support
+        assert len(support.cycles) == expected_cycles
+        assert len(support.folded) == expected_cycles
+
+    def test_path_edge_into_cycle_ends_at_synthetic_anchor(self):
+        trg = timed_reachability_graph(sliding_window_net(2))
+        graph = decision_graph(trg)
+        entry_edges = [
+            edge for edge in graph.edges
+            if not edge.is_folded_cycle and edge.target in graph.synthetic_anchors
+        ]
+        assert entry_edges, "the transient must enter the folded cycles"
+        for edge in entry_edges:
+            assert edge.kind == "path"
+
+
+class TestStrictMode:
+    def test_fold_cycles_false_recovers_rejection(self):
+        support = supports_decision_collapse(sliding_window_net(2), fold_cycles=False)
         assert not support
-        # The named cycle really is decision-free: one successor per node.
-        for index in support.cycle:
-            assert len(trg.successors(index)) == 1
-        # ... and closes on itself.
-        last_edge = trg.successors(support.cycle[-1])[0]
-        assert last_edge.target == support.cycle[0]
+        assert support.cycle, "the first offending cycle must be named"
+        assert "decision-free" in support.reason
+        # The model *does* have decision nodes — the cycles are off their path.
+        assert support.anchors
+        assert not support.folded
+
+    def test_strict_mode_reports_all_cycles(self):
+        support = supports_decision_collapse(sliding_window_net(3), fold_cycles=False)
+        assert len(support.cycles) == 6
+        assert support.cycle == support.cycles[0]
+        # The diagnosis counts and names every committed cycle.
+        assert "6 decision-free cycle(s)" in support.reason
+        for cycle in support.cycles:
+            assert str(cycle[0] + 1) in support.reason
+
+    def test_strict_decision_graph_raises_diagnostic(self):
+        trg = timed_reachability_graph(sliding_window_net(2))
+        with pytest.raises(PerformanceError, match="decision-free") as error:
+            decision_graph(trg, fold_cycles=False)
+        message = str(error.value)
+        assert "supports_decision_collapse" in message
+        support = supports_decision_collapse(trg, fold_cycles=False)
+        assert str(support.cycle[0] + 1) in message
 
     def test_graph_kwargs_forwarded(self):
-        support = supports_decision_collapse(sliding_window_net(2), engine="reference")
+        support = supports_decision_collapse(
+            sliding_window_net(2), fold_cycles=False, engine="reference"
+        )
         assert not support and support.cycle
 
+
+class TestSupportedModelsUnchanged:
     @pytest.mark.parametrize(
         "constructor",
         [
@@ -64,6 +166,7 @@ class TestSupportsDecisionCollapse:
             lambda: token_ring_net(3),
             lambda: sliding_window_net(1),
             lambda: go_back_n_net(2),
+            lambda: selective_repeat_net(2),
             lambda: sliding_window_net(2, loss_probability=Fraction(1, 10)),
             lambda: go_back_n_net(2, loss_probability=Fraction(1, 10)),
         ],
@@ -72,20 +175,26 @@ class TestSupportsDecisionCollapse:
             "token-ring",
             "sliding-window-1",
             "go-back-n-lossless",
+            "selective-repeat-lossless",
             "sliding-window-lossy",
             "go-back-n-lossy",
         ],
     )
-    def test_supported_models(self, constructor):
+    def test_models_without_committed_cycles(self, constructor):
         support = supports_decision_collapse(constructor())
         assert support
         assert support.reason is None
         assert support.cycle == ()
+        assert support.cycles == ()
+        assert support.folded == ()
+        assert "strict decision-node collapse applies" in support.resolution_report()
 
     def test_supported_model_still_collapses(self):
         trg = timed_reachability_graph(simple_protocol_net())
         assert supports_decision_collapse(trg)
-        assert decision_graph(trg).edge_count > 0
+        graph = decision_graph(trg)
+        assert graph.edge_count > 0
+        assert not graph.has_folded_cycles
 
     def test_absorbing_path_is_supported(self):
         # A deterministic net that dead-ends: the fallback anchor exposes the
@@ -101,17 +210,163 @@ class TestSupportsDecisionCollapse:
         assert graph.has_absorbing_edge()
 
 
-class TestDecisionGraphRejection:
-    def test_raises_diagnostic_before_collapsing(self):
-        trg = timed_reachability_graph(sliding_window_net(2))
-        with pytest.raises(PerformanceError, match="decision-free cycle") as error:
-            decision_graph(trg)
-        message = str(error.value)
-        assert "supports_decision_collapse" in message
-        # The diagnosis names concrete 1-based state numbers.
-        support = supports_decision_collapse(trg)
-        assert str(support.cycle[0] + 1) in message
+def zero_time_cycle_net():
+    """A decision leading (on one branch) into a zero-per-traversal-time loop.
 
-    def test_window_three_also_diagnosed(self):
-        with pytest.raises(PerformanceError, match="decision-free cycle"):
-            decision_graph(timed_reachability_graph(sliding_window_net(3)))
+    ``spin`` recycles its token with zero enabling and firing time, so once
+    the model commits to that branch it loops infinitely fast — the one
+    committed-cycle shape cycle-time analysis cannot resolve.
+    """
+    builder = NetBuilder("zero-time-cycle")
+    builder.place("choice", tokens=1)
+    builder.place("spin_loop")
+    builder.place("work_loop")
+    builder.transition(
+        "go_spin", inputs=["choice"], outputs=["spin_loop"], firing_time=1, frequency=1
+    )
+    builder.transition(
+        "go_work", inputs=["choice"], outputs=["work_loop"], firing_time=1, frequency=1
+    )
+    builder.transition("spin", inputs=["spin_loop"], outputs=["spin_loop"], firing_time=0)
+    builder.transition("work", inputs=["work_loop"], outputs=["work_loop"], firing_time=3)
+    return builder.build()
+
+
+class TestZeroTimeCycleRejection:
+    def test_zero_time_committed_cycle_is_rejected(self):
+        net = zero_time_cycle_net()
+        support = supports_decision_collapse(net)
+        assert not support
+        assert "zero per-traversal time" in support.reason
+        assert support.cycle, "the zero-time cycle must be named"
+        # All committed cycles are still enumerated (the 3 ms loop folds fine,
+        # the zero-time one is the deal-breaker).
+        assert len(support.cycles) == 2
+
+    def test_decision_graph_raises_before_collapsing(self):
+        trg = timed_reachability_graph(zero_time_cycle_net())
+        with pytest.raises(PerformanceError, match="zero per-traversal time"):
+            decision_graph(trg)
+
+
+class TestFoldedPerformance:
+    def test_ergodic_decomposition_of_lossless_window(self):
+        graph = decision_graph(timed_reachability_graph(sliding_window_net(2)))
+        classes = terminal_classes(graph)
+        assert len(classes) == 2
+        # Each terminal class is one folded cycle's synthetic anchor.
+        assert {anchors[0] for anchors in classes} == set(graph.synthetic_anchors)
+        probabilities = absorption_probabilities(graph, classes)
+        assert sum(probabilities) == 1
+        assert all(probability == Fraction(1, 2) for probability in probabilities)
+        decomposition = ergodic_decomposition(graph)
+        assert not decomposition.is_ergodic
+        assert decomposition.class_count == 2
+        assert decomposition.entry == entry_anchor(graph)
+
+    def test_class_restricted_traversal_rates(self):
+        graph = decision_graph(timed_reachability_graph(sliding_window_net(2)))
+        # The default solve refuses: several terminal classes.
+        with pytest.raises(NotErgodicError):
+            traversal_rates(graph)
+        rates = traversal_rates(graph, terminal_class=0)
+        cycle_edge = graph.folded_cycle_edges()[0]
+        assert rates.rate_of_edge(cycle_edge) == 1
+        with pytest.raises(PerformanceError):
+            traversal_rates(graph, terminal_class=99)
+
+    def test_embedded_chain_cross_checks_each_class(self):
+        graph = decision_graph(timed_reachability_graph(sliding_window_net(2)))
+        with pytest.raises(NotErgodicError):
+            embedded_chain_analysis(graph)
+        for index in range(2):
+            chain = embedded_chain_analysis(graph, terminal_class=index)
+            assert chain.mean_cycle_time == Fraction(10)
+            assert chain.throughput(graph, "w0_send") == Fraction(1, 10)
+
+    @pytest.mark.parametrize("window", [2, 3, 4])
+    def test_window_throughput_closed_form(self, window):
+        analysis = PerformanceAnalysis(sliding_window_net(window))
+        # Send+deliver+ack+ack_return = 1+4+1+4 = 10 ms per slot per round.
+        assert analysis.cycle_time().value == Fraction(10)
+        for slot in range(window):
+            assert analysis.throughput(f"w{slot}_ack_return").value == Fraction(1, 10)
+        assert analysis.utilization("w0_deliver").value == Fraction(2, 5)
+        assert analysis.terminal_class_count == len(analysis.folded_cycles)
+
+    def test_metrics_with_explicit_rates_stay_single_class(self):
+        graph = decision_graph(timed_reachability_graph(sliding_window_net(2)))
+        rates = traversal_rates(graph, terminal_class=1)
+        metrics = PerformanceMetrics(graph, rates)
+        assert metrics.decomposition is None
+        assert metrics.throughput("w0_send") == Fraction(1, 10)
+
+    def test_paper_protocol_decomposition_is_degenerate(self):
+        analysis = PerformanceAnalysis(simple_protocol_net())
+        assert analysis.terminal_class_count == 1
+        assert analysis.decomposition.is_ergodic
+        assert analysis.decomposition.classes[0].probability == 1
+        assert analysis.folded_cycles == ()
+
+
+class TestTraversalEdgeCases:
+    @pytest.fixture(scope="class")
+    def folded_graph(self):
+        return decision_graph(timed_reachability_graph(sliding_window_net(2)))
+
+    def test_absorption_from_a_recurrent_anchor_is_one_hot(self, folded_graph):
+        classes = terminal_classes(folded_graph)
+        anchor = classes[1][0]
+        probabilities = absorption_probabilities(
+            folded_graph, classes, from_anchor=anchor
+        )
+        assert probabilities == (Fraction(0), Fraction(1))
+
+    def test_normalized_rates_and_equations_text(self, folded_graph):
+        rates = traversal_rates(folded_graph, terminal_class=0)
+        cycle_edge = folded_graph.folded_cycle_edges()[0]
+        normalized = rates.normalized_to_edge(cycle_edge)
+        assert normalized.rate_of_edge(cycle_edge) == 1
+        assert "r1 =" in rates.equations_text()
+        # Transient edges carry rate zero; normalizing to one is refused.
+        other_cycle_edge = folded_graph.folded_cycle_edges()[1]
+        assert rates.rate_of_edge(other_cycle_edge) == 0
+        with pytest.raises(PerformanceError, match="rate zero"):
+            rates.normalized_to_edge(other_cycle_edge)
+
+    def test_bad_reference_anchor_is_refused(self, folded_graph):
+        with pytest.raises(PerformanceError, match="not a recurrent"):
+            traversal_rates(
+                folded_graph,
+                terminal_class=0,
+                reference_anchor=folded_graph.synthetic_anchors.__iter__().__next__() + 999,
+            )
+
+    def test_embedded_chain_class_index_out_of_range(self, folded_graph):
+        with pytest.raises(NotErgodicError, match="out of range"):
+            embedded_chain_analysis(folded_graph, terminal_class=7)
+
+    def test_metrics_count_validation_and_completed_counts(self, folded_graph):
+        metrics = PerformanceMetrics(folded_graph)
+        with pytest.raises(ValueError):
+            metrics.firings_per_cycle("w0_send", count="bogus")
+        # In steady state starts and completions coincide on the cycle.
+        assert metrics.throughput("w0_send", count="completed") == metrics.throughput("w0_send")
+        assert metrics.edge_time_share(0) == metrics.edge_time_share(folded_graph.edges[0])
+        entry = entry_anchor(folded_graph)
+        assert metrics.anchor_visit_frequency(entry) == 0  # transient anchor
+
+    def test_absorbing_graph_refused_by_all_solvers(self):
+        builder = NetBuilder("absorbing-choice")
+        builder.place("a", tokens=1)
+        builder.transition("t1", inputs=["a"], outputs=["b"], firing_time=1, frequency=1)
+        builder.transition("t2", inputs=["a"], outputs=[], firing_time=2, frequency=1)
+        builder.transition("t3", inputs=["b"], outputs=["a"], firing_time=1)
+        graph = decision_graph(timed_reachability_graph(builder.build()))
+        assert graph.has_absorbing_edge()
+        with pytest.raises(NotErgodicError):
+            traversal_rates(graph)
+        with pytest.raises(NotErgodicError):
+            ergodic_decomposition(graph)
+        with pytest.raises(NotErgodicError):
+            embedded_chain_analysis(graph)

@@ -1,0 +1,225 @@
+"""Randomized property tests for the generalized decision-graph collapse.
+
+Two seeded generators drive the properties:
+
+* :func:`random_timed_net` — unstructured random timed nets in the style of
+  ``test_engine_random.random_net`` (positive delays so the timed semantics
+  are meaningful), which mostly exercise the classical collapse shapes, and
+* :func:`random_committed_cycle_net` — a decision state feeding several
+  disjoint deterministic rings, which *always* exercises committed-cycle
+  folding with asymmetric cycle times and non-uniform settling
+  probabilities (including, for some seeds, a zero-time ring that must be
+  rejected by name).
+
+The property under test: for every generated net whose timed reachability
+graph closes, the collapse either succeeds — and every derived cycle-time
+expression is a finite positive exact number (or the performance layer
+refuses with a *named* diagnosis: dead state, several classes with the
+legacy API, zero-time steady cycle) — or it is rejected up front with the
+offending cycle named.  No mid-collapse crashes, no unnamed failures.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import (
+    NotErgodicError,
+    PerformanceError,
+    ReachabilityError,
+    UnboundedNetError,
+)
+from repro.performance import PerformanceMetrics, embedded_chain_analysis
+from repro.petri.builder import NetBuilder
+from repro.reachability import (
+    decision_graph,
+    supports_decision_collapse,
+    timed_reachability_graph,
+)
+
+SEEDS = list(range(60))
+MAX_STATES = 3_000
+
+
+def random_timed_net(seed: int):
+    """A small seeded random timed net (strictly positive stage delays).
+
+    Every transition consumes at least one token and takes at least 1 time
+    unit to fire, so zero-time committed cycles cannot arise here (the
+    structured generator below covers those); conflicts get random relative
+    frequencies, making a good share of the states decision states.
+    """
+    rng = random.Random(seed)
+    builder = NetBuilder(f"random-timed-{seed}")
+    place_count = rng.randint(3, 6)
+    places = [f"p{i}" for i in range(place_count)]
+    for place in places:
+        builder.place(place, tokens=rng.choice([0, 0, 1, 1, 2]))
+    for t in range(rng.randint(3, 7)):
+        inputs = {
+            place: 1
+            for place in rng.sample(places, rng.randint(1, min(2, place_count)))
+        }
+        outputs = {
+            place: 1
+            for place in rng.sample(places, rng.randint(0, min(2, place_count)))
+        }
+        builder.transition(
+            f"t{t}",
+            inputs=inputs,
+            outputs=outputs,
+            enabling_time=rng.choice([0, 0, 0, 1]),
+            firing_time=rng.randint(1, 4),
+            frequency=rng.randint(1, 3),
+        )
+    return builder.build()
+
+
+def random_committed_cycle_net(seed: int):
+    """A probabilistic choice into one of several deterministic rings.
+
+    Returns ``(net, ring_specs)`` where ``ring_specs[k]`` is the pair
+    ``(probability, cycle_time)`` of ring ``k`` — the ground truth the
+    folded analysis must reproduce.  Ring delays are random; with seeds
+    ``seed % 5 == 0`` one ring is all-zero-time, the shape the collapse must
+    reject by name.
+    """
+    rng = random.Random(10_000 + seed)
+    ring_count = rng.randint(2, 4)
+    zero_ring = seed % 5 == 0
+    builder = NetBuilder(f"random-rings-{seed}")
+    builder.place("choice", tokens=1)
+    frequencies = [rng.randint(1, 4) for _ in range(ring_count)]
+    total_frequency = sum(frequencies)
+    specs = []
+    for ring in range(ring_count):
+        length = rng.randint(1, 3)
+        delays = [rng.randint(1, 5) for _ in range(length)]
+        if zero_ring and ring == 0:
+            delays = [0] * length
+        entry_time = rng.randint(1, 3)
+        for step in range(length):
+            builder.place(f"r{ring}_s{step}")
+        builder.transition(
+            f"enter_{ring}",
+            inputs=["choice"],
+            outputs=[f"r{ring}_s0"],
+            firing_time=entry_time,
+            frequency=frequencies[ring],
+        )
+        for step in range(length):
+            builder.transition(
+                f"r{ring}_t{step}",
+                inputs=[f"r{ring}_s{step}"],
+                outputs=[f"r{ring}_s{(step + 1) % length}"],
+                firing_time=delays[step],
+            )
+        specs.append(
+            (Fraction(frequencies[ring], total_frequency), Fraction(sum(delays)))
+        )
+    return builder.build(), specs
+
+
+class TestRandomTimedNets:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_collapse_never_crashes(self, seed):
+        net = random_timed_net(seed)
+        try:
+            trg = timed_reachability_graph(net, max_states=MAX_STATES)
+        except (UnboundedNetError, ReachabilityError):
+            return  # graph construction limits, not the collapse's concern
+
+        support = supports_decision_collapse(trg)
+        if not support:
+            # Rejection must name a concrete cycle and explain itself.
+            assert support.cycle, f"seed {seed}: unnamed rejection"
+            assert support.cycles
+            assert support.reason and "cycle" in support.reason
+            with pytest.raises(PerformanceError):
+                decision_graph(trg)
+            return
+
+        graph = decision_graph(trg)
+        assert graph.anchor_count == len(support.anchors)
+        # Folded cycles (if any) line up with the support report.
+        assert len(graph.folded_cycles) == len(support.folded)
+        for folded in graph.folded_cycles:
+            assert folded.cycle_time > 0
+
+        try:
+            metrics = PerformanceMetrics(graph)
+            cycle_time = metrics.cycle_time()
+        except NotErgodicError:
+            return  # dead state reachable or similar — a named, graceful refusal
+        except PerformanceError as error:
+            assert "zero total time" in str(error)
+            return
+        assert isinstance(cycle_time, Fraction)
+        assert cycle_time > 0, f"seed {seed}: non-positive cycle time {cycle_time}"
+
+    @pytest.mark.parametrize("seed", SEEDS[:20])
+    def test_strict_mode_is_a_subset(self, seed):
+        """Anything the strict collapse accepts, the folding collapse accepts
+        identically (no committed cycles -> same anchors, no synthetic)."""
+        net = random_timed_net(seed)
+        try:
+            trg = timed_reachability_graph(net, max_states=MAX_STATES)
+        except (UnboundedNetError, ReachabilityError):
+            return
+        strict = supports_decision_collapse(trg, fold_cycles=False)
+        folding = supports_decision_collapse(trg)
+        if strict:
+            assert folding
+            assert folding.anchors == strict.anchors
+            assert folding.folded == ()
+        else:
+            assert strict.cycles == folding.cycles
+
+
+class TestRandomCommittedCycles:
+    @pytest.mark.parametrize("seed", [s for s in SEEDS if s % 5 != 0])
+    def test_folded_rings_reproduce_ground_truth(self, seed):
+        net, specs = random_committed_cycle_net(seed)
+        trg = timed_reachability_graph(net, max_states=MAX_STATES)
+        support = supports_decision_collapse(trg)
+        assert support, f"seed {seed}: {support.reason}"
+        assert len(support.folded) == len(specs)
+
+        graph = decision_graph(trg)
+        metrics = PerformanceMetrics(graph)
+        decomposition = metrics.decomposition
+        assert decomposition.class_count == len(specs)
+        assert sum(terminal.probability for terminal in decomposition.classes) == 1
+
+        # The folded cycle times are exactly the ring delays; the settling
+        # probabilities are exactly the entry frequencies' shares.
+        folded_times = sorted(cycle.cycle_time for cycle in graph.folded_cycles)
+        assert folded_times == sorted(time for _, time in specs)
+
+        # Expected long-run measures: E[ct] and E[1/ct]-style throughput.
+        expected_cycle_time = sum(p * time for p, time in specs)
+        assert metrics.cycle_time() == expected_cycle_time
+        for ring, (probability, time) in enumerate(specs):
+            # Each ring's first stage fires once per traversal of its ring.
+            assert metrics.throughput(f"r{ring}_t0") == probability / time
+
+        # Per-class embedded-chain cross-check: the independent solver agrees
+        # on every class's mean cycle time.
+        for index, terminal in enumerate(decomposition.classes):
+            chain = embedded_chain_analysis(graph, terminal_class=index)
+            rates_metrics = PerformanceMetrics(graph, terminal.rates)
+            assert chain.mean_cycle_time == rates_metrics.cycle_time()
+
+    @pytest.mark.parametrize("seed", [s for s in SEEDS if s % 5 == 0])
+    def test_zero_time_ring_rejected_by_name(self, seed):
+        net, _specs = random_committed_cycle_net(seed)
+        trg = timed_reachability_graph(net, max_states=MAX_STATES)
+        support = supports_decision_collapse(trg)
+        assert not support
+        assert "zero per-traversal time" in support.reason
+        assert support.cycle
+        with pytest.raises(PerformanceError, match="zero per-traversal time"):
+            decision_graph(trg)

@@ -120,6 +120,36 @@ class TestDotExports:
         path = save_decision_dot(paper_decision, tmp_path / "decision.dot")
         assert "a1" in path.read_text()
 
+    def test_decision_dot_marks_folded_cycles(self):
+        from repro.protocols import sliding_window_net
+
+        graph = decision_graph(timed_reachability_graph(sliding_window_net(2)))
+        dot = decision_to_dot(graph)
+        # Folded cycles: dashed self-loops, synthetic anchors as plain circles.
+        assert dot.count("style=dashed") == 2
+        assert "cycle, d=10" in dot
+        assert "shape=circle" in dot
+
+
+class TestFoldedCycleTables:
+    def test_format_folded_cycles_empty_for_classical_graphs(self, paper_decision):
+        from repro.viz import format_decision_edges, format_folded_cycles
+
+        assert format_folded_cycles(paper_decision) == ""
+        # Without folded cycles the edge table keeps its classical five columns.
+        assert "kind" not in format_decision_edges(paper_decision)
+
+    def test_format_folded_cycles_rows(self):
+        from repro.protocols import sliding_window_net
+        from repro.viz import format_decision_edges, format_folded_cycles
+
+        graph = decision_graph(timed_reachability_graph(sliding_window_net(2)))
+        text = format_folded_cycles(graph)
+        assert "time/traversal" in text
+        assert "c1" in text and "c2" in text
+        edges = format_decision_edges(graph)
+        assert "kind" in edges and "(cycle)" in edges
+
 
 class TestVizHelpers:
     def test_format_table_alignment(self):
@@ -198,15 +228,50 @@ class TestCli:
                 ["untimed", "--model", "sliding-window", "--engine", "parallel", "--workers", "0"]
             )
 
-    def test_analyze_reports_unsupported_collapse(self, capsys):
-        # The lossless sliding window has a decision-free cycle off the
-        # anchor path; the CLI must diagnose it instead of crashing.
-        assert main(["analyze", "--model", "sliding-window"]) == 1
+    def test_analyze_handles_folded_committed_cycles(self, capsys):
+        # The lossless sliding window has decision-free cycles off the anchor
+        # path; the generalized collapse folds them, so analysis succeeds with
+        # the closed-form 1/10 ms⁻¹ per-slot throughput.
+        assert main(["analyze", "--model", "sliding-window"]) == 0
+        output = capsys.readouterr().out
+        assert "cycle time: 10 ms" in output
+
+    def test_decision_renders_folded_cycles(self, capsys):
+        assert main(["decision", "--model", "sliding-window"]) == 0
+        output = capsys.readouterr().out
+        assert "folded committed cycles" in output
+        assert "(cycle)" in output
+        assert "kind" in output
+
+    def test_decision_no_fold_reports_unsupported_collapse(self, capsys):
+        # --no-fold recovers the strict paper-shaped collapse and its
+        # rejection diagnosis naming every committed cycle.
+        assert main(["decision", "--model", "sliding-window", "--no-fold"]) == 1
         assert "decision-free cycle" in capsys.readouterr().out
 
-    def test_decision_reports_unsupported_collapse(self, capsys):
-        assert main(["decision", "--model", "sliding-window"]) == 1
-        assert "decision-free cycle" in capsys.readouterr().out
+    def test_performance_command_on_cyclic_protocol(self, capsys):
+        assert main(["performance", "--model", "sliding-window",
+                     "--transition", "w0_ack_return"]) == 0
+        output = capsys.readouterr().out
+        assert "terminal classes: 2" in output
+        assert "settling probability" in output
+        assert "1/10" in output
+        assert "cycle time: 10 ms" in output
+
+    def test_performance_command_on_paper_protocol(self, capsys):
+        assert main(["performance", "--transition", "t2"]) == 0
+        output = capsys.readouterr().out
+        assert "terminal classes: 1 (ergodic)" in output
+        assert "1805/632922" in output
+
+    def test_performance_command_rejects_zero_time_cycles(self, capsys, tmp_path):
+        from repro.petri.io import jsonio
+        from test_decision_collapse import zero_time_cycle_net
+
+        path = tmp_path / "zero-cycle.json"
+        path.write_text(jsonio.dumps(zero_time_cycle_net()), encoding="utf-8")
+        assert main(["performance", "--file", str(path)]) == 1
+        assert "zero per-traversal time" in capsys.readouterr().out
 
     def test_simulate_command(self, capsys):
         assert main(["simulate", "--model", "token-ring", "--horizon", "500"]) == 0
