@@ -10,7 +10,9 @@ Subcommands mirror the analysis pipeline of the paper:
   --workers N`` runs the frontier-sharded multiprocess timed construction,
 * ``untimed`` — build the untimed reachability graph and report boundedness
   and deadlock facts; ``--engine parallel --workers N`` runs the
-  frontier-sharded multiprocess construction,
+  frontier-sharded multiprocess construction, ``--engine batched`` the numpy
+  level-batched kernel, and ``--stats`` prints the frontier-core build
+  statistics,
 * ``decision`` — print the decision-graph edges (Figure-5 style), including
   the folded committed-cycle rows of the generalized collapse (``--no-fold``
   recovers the strict paper-shaped collapse and its rejection diagnosis),
@@ -32,7 +34,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .engine import ENGINE_PARALLEL, ENGINES
+from .engine import ENGINE_PARALLEL, ENGINES, TIMED_ENGINES
 from .exceptions import PerformanceError, UnboundedNetError
 from .performance import PerformanceAnalysis
 from .petri import reachability_graph as untimed_reachability_graph
@@ -75,6 +77,46 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--file", help="path to a net description in the library's JSON format")
 
 
+def _add_engine_arguments(
+    parser: argparse.ArgumentParser,
+    *,
+    engines: Sequence[str],
+    engine_help: str,
+    max_states_help: str,
+) -> None:
+    """The shared ``--engine`` / ``--workers`` / ``--max-states`` options.
+
+    Every graph-building subcommand takes the same backend-selection trio;
+    ``engines`` restricts the accepted values to what the builder supports
+    (e.g. the timed builders reject the batched kernel).
+    """
+    parser.add_argument(
+        "--engine",
+        choices=tuple(engines),
+        default="compiled",
+        help=engine_help,
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --engine parallel (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--max-states",
+        type=int,
+        default=100_000,
+        help=max_states_help,
+    )
+
+
+def _validate_engine_arguments(arguments) -> None:
+    """Reject ``--workers`` without ``--engine parallel`` — shared by every
+    graph-building subcommand so the message stays identical everywhere."""
+    if arguments.workers is not None and arguments.engine != ENGINE_PARALLEL:
+        raise SystemExit("--workers requires --engine parallel")
+
+
 def _command_models(_arguments) -> int:
     for name, constructor in sorted(model_catalog().items()):
         net = constructor()
@@ -115,8 +157,7 @@ def _command_analyze(arguments) -> int:
 
 def _command_reachability(arguments) -> int:
     net = _load_model(arguments)
-    if arguments.workers is not None and arguments.engine != ENGINE_PARALLEL:
-        raise SystemExit("--workers requires --engine parallel")
+    _validate_engine_arguments(arguments)
     try:
         graph = timed_reachability_graph(
             net,
@@ -144,8 +185,7 @@ def _command_reachability(arguments) -> int:
 
 def _command_untimed(arguments) -> int:
     net = _load_model(arguments)
-    if arguments.workers is not None and arguments.engine != ENGINE_PARALLEL:
-        raise SystemExit("--workers requires --engine parallel")
+    _validate_engine_arguments(arguments)
     try:
         graph = untimed_reachability_graph(
             net,
@@ -172,6 +212,19 @@ def _command_untimed(arguments) -> int:
         ("dead markings", len(graph.dead_markings())),
     ]
     print(format_kv(rows))
+    if arguments.stats:
+        stats = graph.build_stats()
+        if stats is None:
+            print("build stats: not recorded by this engine")
+        else:
+            print("build stats:")
+            print(format_kv([
+                ("states/s", f"{stats.states_per_second:.6g}"),
+                ("mean batch width", f"{stats.mean_batch_width:.6g}"),
+                ("dedup hit rate", f"{stats.dedup_hit_rate:.6g}"),
+                ("batches", stats.batches),
+                ("seconds", f"{stats.seconds:.6g}"),
+            ]))
     return 0
 
 
@@ -322,23 +375,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     reachability = subparsers.add_parser("reachability", help="build the timed reachability graph")
     _add_model_arguments(reachability)
-    reachability.add_argument(
-        "--engine",
-        choices=ENGINES,
-        default="compiled",
-        help="construction backend; 'parallel' shards the timed BFS across processes",
-    )
-    reachability.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes for --engine parallel (default: one per CPU)",
-    )
-    reachability.add_argument(
-        "--max-states",
-        type=int,
-        default=100_000,
-        help="abort if the construction exceeds this many timed states",
+    _add_engine_arguments(
+        reachability,
+        engines=TIMED_ENGINES,
+        engine_help="construction backend; 'parallel' shards the timed BFS across processes",
+        max_states_help="abort if the construction exceeds this many timed states",
     )
     reachability.add_argument("--table", action="store_true", help="print the full state table")
     reachability.add_argument("--dot", help="write the graph as Graphviz DOT to this path")
@@ -348,23 +389,17 @@ def build_parser() -> argparse.ArgumentParser:
         "untimed", help="build the untimed reachability graph (boundedness, deadlocks)"
     )
     _add_model_arguments(untimed)
-    untimed.add_argument(
-        "--engine",
-        choices=ENGINES,
-        default="compiled",
-        help="construction backend; 'parallel' shards the BFS across processes",
+    _add_engine_arguments(
+        untimed,
+        engines=ENGINES,
+        engine_help="construction backend; 'batched' expands whole frontiers with "
+        "numpy, 'parallel' shards the BFS across processes",
+        max_states_help="abort if the enumeration exceeds this many markings",
     )
     untimed.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes for --engine parallel (default: one per CPU)",
-    )
-    untimed.add_argument(
-        "--max-states",
-        type=int,
-        default=100_000,
-        help="abort if the enumeration exceeds this many markings",
+        "--stats",
+        action="store_true",
+        help="print frontier-core build statistics (states/s, batch width, dedup rate)",
     )
     untimed.set_defaults(handler=_command_untimed)
 

@@ -1,4 +1,4 @@
-"""The shared compiled-engine core: integer-indexed net tables and builders.
+"""The shared compiled-engine core: net tables, frontier loop and builders.
 
 Every graph construction in this library walks the same hot loop: test which
 transitions a marking enables, fire one, and deduplicate the successor.  The
@@ -7,37 +7,48 @@ readable implementations (:mod:`repro.reachability.successors`,
 place *name* and rescan the full transition list per marking — the exact
 bottleneck the paper's successor procedure exists to avoid.
 
-This package factors the integer-indexing core that
-:mod:`repro.reachability.compiled` introduced for the timed construction into
-a reusable module:
+The package layers that loop once instead of five times:
 
 * :class:`~repro.engine.tables.NetTables` — place/transition integer ids,
   input/output arc lists, per-transition token deltas, conflict-set group
-  indices, and *incremental* enabled-set maintenance over plain ``int``
-  tuples (only transitions consuming from a place whose count changed are
-  re-tested);
-* :func:`~repro.engine.untimed.compiled_reachability_graph` and
-  :func:`~repro.engine.untimed.compiled_coverability_graph` — compiled BFS
-  backends for the untimed semantics, including Karp–Miller ω-acceleration
-  directly on the integer vectors;
-* :func:`~repro.engine.gspn.compiled_marking_graph` — the compiled
-  exploration behind :class:`repro.stochastic.gspn.GSPNAnalysis`;
+  indices, *incremental* enabled-set maintenance over plain ``int`` tuples,
+  and the lazy dense incidence matrices (``input_matrix``/``delta_matrix``)
+  the batched kernel broadcasts over;
+* :mod:`repro.engine.frontier` — the **shared frontier-exploration core**:
+  the generic ``explore(kernel, intern, on_edge, limits)`` FIFO loop, the
+  per-semantics kernel protocol (``UntimedKernel``, ``GSPNKernel``,
+  ``TimedKernel``), the shared ``max_states`` valves and the
+  ``FrontierStats`` telemetry surfaced by the builders' ``build_stats()``.
+  Every builder below — including Karp–Miller coverability, which stays
+  sequential — runs through this one loop;
+* :func:`~repro.engine.untimed.compiled_reachability_graph`,
+  :func:`~repro.engine.untimed.compiled_coverability_graph` and
+  :func:`~repro.engine.gspn.compiled_marking_graph` — the scalar compiled
+  backends (``engine="compiled"``), each a kernel + intern/edge adapter
+  over the shared loop;
+* :mod:`repro.engine.batched` — the numpy **level-batched** kernel
+  (``engine="batched"`` for untimed reachability and the GSPN marking
+  graph): whole frontiers expand as a ``(frontier × transitions)``
+  enabledness mask with vectorized marking updates and packed-key dedup;
 * :mod:`repro.engine.parallel` — frontier-sharded **multiprocess** BFS for
   the untimed reachability, GSPN marking-graph and *timed* reachability
   constructions (``engine="parallel"``, ``workers=N``; the timed backend
   covers both the numeric and the symbolic algebras), whose deterministic
   merge renumbers cross-process discoveries into the exact sequential FIFO
-  order.
+  order.  The workers execute the same frontier kernels as the sequential
+  builders.
 
 Each public builder that uses this engine keeps an ``engine="reference"``
 escape hatch and is required (by ``tests/test_engine_diff.py`` and
 ``tests/engine_diff.py``) to produce **bit-identical** graphs to the readable
-implementation: same node order, same edge order, same labels, rates and
-weights.
+implementation through every engine value: same node order, same edge order,
+same labels, rates and weights.
 """
 
 from typing import Optional, Sequence
 
+from .batched import batched_marking_graph, batched_reachability_graph
+from .frontier import FrontierStats, explore
 from .gspn import compiled_marking_graph
 from .parallel import (
     parallel_marking_graph,
@@ -52,20 +63,43 @@ from .untimed import compiled_coverability_graph, compiled_reachability_graph
 ENGINE_COMPILED = "compiled"
 ENGINE_REFERENCE = "reference"
 ENGINE_PARALLEL = "parallel"
-ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE, ENGINE_PARALLEL)
-#: The single-process engines every builder supports; builders without a
-#: frontier-sharded backend (only Karp–Miller coverability now) pass this as
-#: ``supported=`` so an ``engine="parallel"`` request fails with a precise
-#: message instead of a silent fallback.
+ENGINE_BATCHED = "batched"
+ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE, ENGINE_PARALLEL, ENGINE_BATCHED)
+#: The single-process scalar engines every builder supports; builders
+#: without a sharded or batched backend (only Karp–Miller coverability now)
+#: pass this as ``supported=`` so an ``engine="parallel"`` or
+#: ``engine="batched"`` request fails with a precise message instead of a
+#: silent fallback.
 SEQUENTIAL_ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE)
+#: The engines of the timed builders, which support the sharded backend but
+#: not the batched one (see :data:`BATCHED_UNSUPPORTED_REASON`).
+TIMED_ENGINES = (ENGINE_COMPILED, ENGINE_REFERENCE, ENGINE_PARALLEL)
 
 
 #: Call-site hint appended when a builder without a sharded backend rejects
-#: ``engine="parallel"``.
+#: ``engine="parallel"`` (or ``engine="batched"``, which shares the
+#: constraint): every builder now runs the shared frontier loop of
+#: :mod:`repro.engine.frontier`, but the Karp–Miller acceleration rule
+#: inspects the BFS-tree ancestor chain of each work vector — per-path
+#: history that neither the frontier-sharded workers nor the level-batched
+#: mask can carry — so the coverability builder stays sequential.
 PARALLEL_UNSUPPORTED_REASON = (
-    "the parallel engine shards the untimed-reachability, GSPN marking-graph "
-    "and timed-reachability constructions; the Karp–Miller coverability "
-    "builder is still sequential"
+    "every builder runs the shared frontier loop of repro.engine.frontier, "
+    "but the Karp–Miller acceleration rule walks the BFS-tree ancestor chain "
+    "of each work vector, so the coverability builder stays sequential "
+    "(no sharded or batched backend)"
+)
+
+#: Call-site hint appended when a builder rejects ``engine="batched"``: the
+#: level-batched kernel expands frontiers of plain token vectors through a
+#: ``(frontier × transitions)`` enabledness mask; timed states carry
+#: per-state clock vectors (remaining enabling/firing times) the mask cannot
+#: represent.
+BATCHED_UNSUPPORTED_REASON = (
+    "the batched kernel expands whole frontiers of plain token vectors; "
+    "timed states carry per-state clock vectors the "
+    "(frontier x transitions) enabledness mask cannot represent, so the "
+    "timed builders support the scalar and parallel engines only"
 )
 
 
@@ -90,17 +124,24 @@ def check_engine(
         )
 
 __all__ = [
+    "BATCHED_UNSUPPORTED_REASON",
+    "ENGINE_BATCHED",
     "ENGINE_COMPILED",
     "ENGINE_PARALLEL",
     "ENGINE_REFERENCE",
     "ENGINES",
     "PARALLEL_UNSUPPORTED_REASON",
     "SEQUENTIAL_ENGINES",
+    "TIMED_ENGINES",
+    "FrontierStats",
     "NetTables",
+    "batched_marking_graph",
+    "batched_reachability_graph",
     "check_engine",
     "compiled_coverability_graph",
     "compiled_marking_graph",
     "compiled_reachability_graph",
+    "explore",
     "parallel_marking_graph",
     "parallel_reachability_graph",
     "parallel_timed_reachability_graph",

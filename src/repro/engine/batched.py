@@ -1,0 +1,402 @@
+"""Numpy level-batched successor kernel on the shared frontier core.
+
+The scalar engines expand one state per step; this module expands a whole
+BFS level at once.  :class:`~repro.engine.tables.NetTables` grows dense
+incidence matrices (``input_matrix`` — the per-transition guard rows — and
+``delta_matrix``), the frontier window ``[cursor, n)`` is tested against
+every transition at once — a ``(frontier × transitions)`` enabledness mask
+computed by per-arc-weight deficiency matmuls — and marking updates,
+deduplication and edge emission are all vectorized.
+
+FIFO equivalence with the scalar loop is structural, not incidental:
+
+* ``np.nonzero`` on the mask walks candidates in row-major order, i.e. in
+  ``(parent index, transition index)`` order — exactly the emission order
+  of the scalar cursor loop;
+* new states are numbered by the *first occurrence* of their key within
+  the candidate stream, which is precisely the order the scalar loop would
+  have interned them;
+* the ``max_states`` valve fires once a level pushes the interned count
+  over the bound, after that level's edges are recorded — the same
+  observable failure as the scalar loop (the differential harness checks
+  the error message, not the partially built graph).
+
+``tests/engine_diff.py`` gates all of this bit-for-bit on every bundled
+workload.
+
+Deduplication packs each token vector into a single ``int64`` key using
+per-place bit fields sized from the running token maxima *plus one-step
+headroom* (the largest positive delta into each place), so every successor
+of an interned state is guaranteed to fit the current layout; successor
+keys are then pure arithmetic — ``key[parent] + delta_key[transition]`` —
+and no successor matrix is materialized unless a capacity filter needs it.
+When the running maxima grow past a field, the table repacks; when a net's
+token counts exceed the 62-bit budget (wide nets, or token pumps on their
+way to the ``max_states`` valve), it falls back to a Python dict over
+vector tuples mid-run and keeps going.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import UnboundedNetError
+from .frontier import ExploreLimits, FrontierStats, gspn_limits, untimed_limits
+from .tables import NetTables
+
+
+class _VectorTable:
+    """Growable dense state table with packed-key dedup.
+
+    States are rows of ``matrix[:count]`` in FIFO interning order.  While
+    ``packable`` holds, dedup runs on packed ``int64`` keys — computed
+    vectorized, then resolved through ``key_index`` (a plain int dict, which
+    beats any sort-based scheme at typical frontier widths and yields
+    first-occurrence FIFO numbering by construction); otherwise on
+    ``index_of``, the same dict over vector tuples.
+    """
+
+    #: Packed keys must stay inside a signed int64; the sign bit is never
+    #: used because token counts are non-negative.
+    _KEY_BITS = 62
+
+    def __init__(self, seed: np.ndarray, delta_matrix: np.ndarray):
+        self.place_count = seed.shape[0]
+        self.delta_matrix = delta_matrix
+        # Per-place headroom: the largest one-step token increase, so any
+        # successor of an interned state fits the current bit layout.
+        if delta_matrix.shape[0]:
+            self.outmax = np.maximum(delta_matrix, 0).max(axis=0)
+        else:
+            self.outmax = np.zeros(self.place_count, dtype=np.int64)
+        self.capacity = 1024
+        self.matrix = np.zeros((self.capacity, self.place_count), dtype=np.int64)
+        self.matrix[0] = seed
+        self.count = 1
+        self.running_max = seed.copy()
+        self.packable = True
+        self.index_of: Optional[dict] = None
+        self.widths = np.ones(self.place_count, dtype=np.int64)
+        self.weights: Optional[np.ndarray] = None
+        self.delta_keys: Optional[np.ndarray] = None
+        self.keys = np.zeros(self.capacity, dtype=np.int64)
+        self.key_index: Optional[dict] = None
+        self._repack()
+
+    # -- key layout -----------------------------------------------------
+
+    def _repack(self) -> None:
+        """Recompute the per-place bit fields from the running maxima (plus
+        headroom) and rebuild every derived key, or fall back to the dict
+        when the layout no longer fits 62 bits.
+
+        Whatever the minimal layout leaves of the 62-bit budget is handed
+        out as growth headroom (round-robin, one bit per place), so slowly
+        ramping token counts trigger O(log growth) repacks instead of one
+        per new maximum.  Packability is unaffected: the fallback condition
+        is still "the *minimal* widths exceed the budget".
+        """
+        limit = self.running_max + self.outmax
+        widths = np.array(
+            [max(1, int(value).bit_length()) for value in limit.tolist()],
+            dtype=np.int64,
+        )
+        total = int(widths.sum())
+        if total > self._KEY_BITS:
+            self._go_unpackable()
+            return
+        spare = self._KEY_BITS - total
+        if spare:
+            places = self.place_count
+            widths += spare // places
+            widths[: spare % places] += 1
+        self.widths = widths
+        shifts = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(widths)[:-1]))
+        self.weights = np.left_shift(np.int64(1), shifts)
+        self.keys[: self.count] = self.matrix[: self.count] @ self.weights
+        self.delta_keys = self.delta_matrix @ self.weights
+        # The layout is injective over every in-range vector, so the key
+        # dict is a faithful vector dict; rebuild it under the new layout.
+        self.key_index = dict(
+            zip(self.keys[: self.count].tolist(), range(self.count))
+        )
+
+    def _go_unpackable(self) -> None:
+        self.packable = False
+        self.index_of = {
+            tuple(row): index
+            for index, row in enumerate(self.matrix[: self.count].tolist())
+        }
+        self.weights = None
+        self.delta_keys = None
+        self.key_index = None
+
+    def _ensure(self, needed: int) -> None:
+        if needed <= self.capacity:
+            return
+        while self.capacity < needed:
+            self.capacity *= 2
+        matrix = np.zeros((self.capacity, self.place_count), dtype=np.int64)
+        matrix[: self.count] = self.matrix[: self.count]
+        self.matrix = matrix
+        keys = np.zeros(self.capacity, dtype=np.int64)
+        keys[: self.count] = self.keys[: self.count]
+        self.keys = keys
+
+    # -- dedup ----------------------------------------------------------
+
+    def resolve(self, candidate_keys: np.ndarray, new_rows_of) -> tuple:
+        """Map one level's candidate keys (in emission order) to state
+        indices, interning unseen states by first occurrence.
+
+        ``new_rows_of(positions)`` must return the candidate *rows* at the
+        given positions within the candidate stream (called once, with the
+        first occurrence of each new key in FIFO rank order).  Returns
+        ``(targets, new_count)``.
+        """
+        key_index = self.key_index
+        setdefault = key_index.setdefault
+        base = self.count
+        # One C-speed dict walk.  ``len(key_index)`` is evaluated *before*
+        # each call and the dict holds exactly one entry per interned state,
+        # so the first occurrence of every unseen key gets the next free
+        # index — the scalar interning order, by construction.
+        targets = np.asarray(
+            [setdefault(key, len(key_index)) for key in candidate_keys.tolist()],
+            dtype=np.int64,
+        )
+        new_count = len(key_index) - base
+        if new_count:
+            # First occurrence of each new index: scatter the referencing
+            # positions in reverse, so the earliest position wins.
+            referencing = np.flatnonzero(targets >= base)[::-1]
+            positions = np.empty(new_count, dtype=np.int64)
+            positions[targets[referencing] - base] = referencing
+            rows = np.asarray(new_rows_of(positions), dtype=np.int64)
+            self._append(rows, candidate_keys[positions])
+        return targets, new_count
+
+    def _append(self, rows: np.ndarray, row_keys: np.ndarray) -> None:
+        """Intern ``rows`` (keys in FIFO rank order, already in the dict)."""
+        base = self.count
+        added = rows.shape[0]
+        self._ensure(base + added)
+        self.matrix[base : base + added] = rows
+        self.count = base + added
+        self.keys[base : base + added] = row_keys
+        new_max = np.maximum(self.running_max, rows.max(axis=0))
+        if (new_max > self.running_max).any():
+            self.running_max = new_max
+            if ((new_max + self.outmax) >= np.left_shift(np.int64(1), self.widths)).any():
+                # Re-key the whole table (rebuilds the key dict under the
+                # new layout) — or flip to the tuple-dict fallback.
+                self._repack()
+
+    def resolve_rows(self, rows: np.ndarray) -> tuple:
+        """Dict-based dedup used once the packed-key budget is exceeded."""
+        index_of = self.index_of
+        targets = np.empty(rows.shape[0], dtype=np.int64)
+        new_rows: List[tuple] = []
+        base = self.count
+        for position, row in enumerate(map(tuple, rows.tolist())):
+            index = index_of.get(row)
+            if index is None:
+                index = base + len(new_rows)
+                index_of[row] = index
+                new_rows.append(row)
+            targets[position] = index
+        if new_rows:
+            added = len(new_rows)
+            self._ensure(base + added)
+            self.matrix[base : base + added] = new_rows
+            self.count = base + added
+        return targets, len(new_rows)
+
+
+def _explore_batched(
+    tables: NetTables,
+    limits: ExploreLimits,
+    stats: FrontierStats,
+    *,
+    is_immediate=None,
+    place_capacity=None,
+):
+    """The level-batched frontier loop over plain token vectors.
+
+    Returns ``(vectors, edge_sources, edge_targets, edge_transitions,
+    vanishing_flags)`` as numpy arrays (``vanishing_flags`` is ``None``
+    outside GSPN semantics).
+    """
+    start = time.perf_counter()
+    input_matrix = tables.input_matrix
+    delta_matrix = tables.delta_matrix
+    transition_count = input_matrix.shape[0]
+    # Enabledness by *deficiency counting*: transition ``t`` is disabled
+    # iff some input place holds fewer tokens than the arc weight, so for
+    # each distinct weight ``w`` the matmul ``(frontier < w) @ (input ==
+    # w)^T`` counts a level's violated arcs per (state, transition) pair.
+    # Arc weights take only a handful of distinct values, so this replaces
+    # the naive ``(width × transitions × places)`` broadcast with one or
+    # two BLAS calls on ``(width × places)`` operands.  float32 is exact
+    # here — the counts are bounded by the place count.
+    guards = [
+        (int(weight), (input_matrix == weight).T.astype(np.float32))
+        for weight in np.unique(input_matrix[input_matrix > 0]).tolist()
+    ]
+    table = _VectorTable(
+        np.array(tables.initial_vector(), dtype=np.int64), delta_matrix
+    )
+    immediate_row = (
+        np.asarray(is_immediate, dtype=bool) if is_immediate is not None else None
+    )
+    vanishing_flags: Optional[List[bool]] = [] if is_immediate is not None else None
+    edge_sources: List[np.ndarray] = []
+    edge_targets: List[np.ndarray] = []
+    edge_transitions: List[np.ndarray] = []
+    edge_count = 0
+    hits = 0
+    cursor = 0
+    while cursor < table.count:
+        level_end = table.count
+        frontier = table.matrix[cursor:level_end]
+        stats.batches += 1
+        stats.expanded += level_end - cursor
+        # (width × transitions) enabledness: zero violated input arcs.
+        if guards:
+            violations = None
+            for weight, guard in guards:
+                deficit = (frontier < weight).astype(np.float32) @ guard
+                violations = deficit if violations is None else violations + deficit
+            mask = violations == 0.0
+        else:
+            # No input arcs anywhere: every transition is always enabled.
+            mask = np.ones((frontier.shape[0], transition_count), dtype=bool)
+        if immediate_row is not None:
+            # GSPN preemption: when any immediate transition is enabled,
+            # only the immediate ones fire (the state is vanishing).
+            immediate_mask = mask & immediate_row[None, :]
+            has_immediate = immediate_mask.any(axis=1)
+            vanishing_flags.extend(has_immediate.tolist())
+            mask = np.where(has_immediate[:, None], immediate_mask, mask)
+        rows, cols = np.nonzero(mask)
+        if rows.shape[0] == 0:
+            cursor = level_end
+            continue
+        successors = None
+        if place_capacity is not None:
+            successors = frontier[rows] + delta_matrix[cols]
+            keep = (successors <= place_capacity).all(axis=1)
+            rows = rows[keep]
+            cols = cols[keep]
+            successors = successors[keep]
+            if rows.shape[0] == 0:
+                cursor = level_end
+                continue
+        parents = cursor + rows
+        if table.packable:
+            candidate_keys = table.keys[parents] + table.delta_keys[cols]
+            if successors is None:
+                # Key arithmetic makes the successor matrix unnecessary:
+                # only the handful of genuinely new rows get materialized.
+                def new_rows_of(positions, rows=rows, cols=cols, frontier=frontier):
+                    return frontier[rows[positions]] + delta_matrix[cols[positions]]
+
+            else:
+                def new_rows_of(positions, successors=successors):
+                    return successors[positions]
+
+            targets, new_count = table.resolve(candidate_keys, new_rows_of)
+        else:
+            if successors is None:
+                successors = frontier[rows] + delta_matrix[cols]
+            targets, new_count = table.resolve_rows(successors)
+        hits += rows.shape[0] - new_count
+        edge_sources.append(parents)
+        edge_targets.append(targets)
+        edge_transitions.append(cols)
+        edge_count += rows.shape[0]
+        if table.count > limits.max_states:
+            raise UnboundedNetError(limits.message)
+        cursor = level_end
+    stats.states = table.count
+    stats.edges = edge_count
+    stats.dedup_hits = hits
+    stats.seconds = time.perf_counter() - start
+    empty = np.zeros(0, dtype=np.int64)
+    return (
+        table.matrix[: table.count],
+        np.concatenate(edge_sources) if edge_sources else empty,
+        np.concatenate(edge_targets) if edge_targets else empty,
+        np.concatenate(edge_transitions) if edge_transitions else empty,
+        np.asarray(vanishing_flags, dtype=bool) if vanishing_flags is not None else None,
+    )
+
+
+def batched_reachability_graph(net, *, max_states: int = 100_000):
+    """Untimed reachability through the numpy level-batched kernel.
+
+    Bit-identical to ``engine="compiled"`` (FIFO numbering, edge order);
+    the resulting graph adopts the columnar arrays directly and only
+    materializes :class:`~repro.petri.marking.Marking` objects and edge
+    records when a per-object view is actually read.
+    """
+    from ..petri.untimed import UntimedReachabilityGraph
+
+    tables = NetTables.of(net)
+    graph = UntimedReachabilityGraph(net)
+    stats = FrontierStats(engine="batched")
+    vectors, sources, targets, transitions, _flags = _explore_batched(
+        tables, untimed_limits(max_states), stats
+    )
+    graph._adopt_columnar(tables, vectors, sources, targets, transitions)
+    graph._build_stats = stats
+    return graph
+
+
+def batched_marking_graph(
+    net,
+    *,
+    immediate,
+    weights,
+    rates,
+    max_states: int = 100_000,
+    place_capacity=None,
+    stats_sink=None,
+):
+    """GSPN marking graph through the numpy level-batched kernel.
+
+    Same ``(markings, edges, vanishing)`` contract as
+    :func:`repro.engine.gspn.compiled_marking_graph`, bit-identical to it.
+    """
+    tables = NetTables.of(net)
+    names = tables.transition_names
+    is_immediate = tuple(immediate[name] for name in names)
+    weight_of = tuple(weights[name] for name in names)
+    rate_of = tuple(rates[name] for name in names)
+    stats = FrontierStats(engine="batched")
+    vectors, sources, targets, transitions, flags = _explore_batched(
+        tables,
+        gspn_limits(max_states),
+        stats,
+        is_immediate=is_immediate,
+        place_capacity=place_capacity,
+    )
+    if stats_sink is not None:
+        stats_sink.append(stats)
+    markings = [tables.to_marking(row) for row in vectors.tolist()]
+    edges = []
+    for source, target, transition in zip(
+        sources.tolist(), targets.tolist(), transitions.tolist()
+    ):
+        if is_immediate[transition]:
+            edges.append((source, target, names[transition], weight_of[transition], True))
+        else:
+            edges.append((source, target, names[transition], rate_of[transition], False))
+    vanishing = {index for index, flag in enumerate(flags.tolist()) if flag}
+    return markings, edges, vanishing
+
+
+__all__ = ["batched_marking_graph", "batched_reachability_graph"]

@@ -1,0 +1,365 @@
+"""The shared frontier-exploration core of every graph construction.
+
+Historically each compiled builder carried its own copy of the same BFS
+skeleton — intern the seed, expand states in FIFO order, deduplicate
+successors, append edges, enforce a ``max_states`` valve:
+:mod:`repro.engine.untimed` (reachability *and* Karp–Miller coverability),
+:mod:`repro.engine.gspn`, :mod:`repro.reachability.compiled` and the worker
+loop of :mod:`repro.engine.parallel` all re-implemented it.  This module
+factors that loop out once:
+
+* :func:`explore` — the generic sequential frontier loop.  It is the single
+  place that owns the FIFO contract every engine is held to: the seed is
+  interned first, states are expanded in interning order, successors are
+  interned before their edge is reported (in the kernel's emission order),
+  and the ``max_states`` valve fires *after* the edge that pushed the count
+  over the limit — bit for bit the behaviour of the historical per-builder
+  loops.
+* the **kernel protocol** — the per-semantics part.  A kernel provides
+  ``seed()`` and ``expand(index, item) -> iterable[(edge_data, successor)]``;
+  kernels that also serve the frontier-sharded multiprocess engine
+  additionally provide ``identity``/``shard_vec``/``adopt``/``record`` (see
+  :mod:`repro.engine.parallel`).  :class:`UntimedKernel`,
+  :class:`GSPNKernel` and :class:`TimedKernel` live here so the sequential
+  and parallel builders expand states through literally the same code.
+* :class:`ExploreLimits` — the ``max_states`` valve with its
+  builder-specific :class:`~repro.exceptions.UnboundedNetError` message
+  (one constructor per graph family, so sequential, parallel and batched
+  backends fail with identical messages).
+* :class:`FrontierStats` — construction telemetry (states/second, mean
+  batch width, dedup hit rate) surfaced by the builders' ``build_stats()``.
+
+The *batched* level-expansion loop — the numpy payoff kernel that expands a
+whole frontier as a ``(frontier × transitions)`` enabledness mask — builds
+on this module and lives in :mod:`repro.engine.batched`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Tuple
+
+from ..exceptions import UnboundedNetError
+from .tables import NetTables
+
+
+@dataclass
+class FrontierStats:
+    """Construction telemetry of one frontier exploration.
+
+    ``expanded`` counts state expansions and ``batches`` the expansion
+    batches: the scalar loop expands one state per batch (mean batch width
+    1.0), the batched kernel one BFS level per batch.  ``dedup_hits`` counts
+    successor candidates that resolved to an already-interned state; the
+    number of *misses* is by definition the number of interned states.
+    """
+
+    engine: str
+    states: int = 0
+    edges: int = 0
+    expanded: int = 0
+    batches: int = 0
+    dedup_hits: int = 0
+    seconds: float = 0.0
+
+    @property
+    def states_per_second(self) -> float:
+        """Interned states per wall-clock second of construction."""
+        return self.states / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def mean_batch_width(self) -> float:
+        """Average number of states expanded per batch (1.0 for scalar loops)."""
+        return self.expanded / self.batches if self.batches else 0.0
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        """Fraction of successor candidates that were already interned."""
+        lookups = self.dedup_hits + self.states
+        return self.dedup_hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        """Flat dict of the counters plus the derived rates (for reports/CLI)."""
+        return {
+            "engine": self.engine,
+            "states": self.states,
+            "edges": self.edges,
+            "batches": self.batches,
+            "seconds": self.seconds,
+            "states_per_second": self.states_per_second,
+            "mean_batch_width": self.mean_batch_width,
+            "dedup_hit_rate": self.dedup_hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class ExploreLimits:
+    """State-count valve of a construction, with its exact failure message."""
+
+    max_states: int
+    message: str
+
+    def check(self, count: int) -> None:
+        """Raise :class:`UnboundedNetError` when ``count`` exceeds the bound."""
+        if count > self.max_states:
+            raise UnboundedNetError(self.message)
+
+
+def untimed_limits(max_states: int) -> ExploreLimits:
+    """The valve of the untimed reachability builders (all engines)."""
+    return ExploreLimits(
+        max_states,
+        f"untimed reachability exceeded {max_states} markings; the net "
+        "is unbounded or the bound is too small",
+    )
+
+
+def coverability_limits(max_nodes: int) -> ExploreLimits:
+    """The valve of the Karp–Miller coverability builders."""
+    return ExploreLimits(
+        max_nodes, f"coverability construction exceeded {max_nodes} nodes"
+    )
+
+
+def gspn_limits(max_states: int) -> ExploreLimits:
+    """The valve of the GSPN marking-graph builders (all engines)."""
+    return ExploreLimits(
+        max_states, f"GSPN marking graph exceeded {max_states} markings"
+    )
+
+
+def timed_limits(max_states: int) -> ExploreLimits:
+    """The valve of the timed reachability builders (all engines)."""
+    return ExploreLimits(
+        max_states,
+        f"timed reachability graph exceeded {max_states} states; "
+        "the net may be unbounded under the timed semantics or the "
+        "bound is too small",
+    )
+
+
+def explore(
+    kernel,
+    intern: Callable[[object, int], Tuple[int, bool]],
+    on_edge: Callable[[int, int, object], None],
+    limits: ExploreLimits,
+    *,
+    stats: FrontierStats = None,
+) -> FrontierStats:
+    """The generic sequential frontier loop shared by every builder.
+
+    ``kernel`` provides the semantics (``seed()`` and
+    ``expand(index, item)``); ``intern(item, parent_index)`` deduplicates a
+    work item into the builder's graph and returns ``(index, is_new)``
+    (``parent_index`` is ``-1`` for the seed — only the coverability
+    builder, whose acceleration rule walks the BFS-tree ancestor chain,
+    uses it); ``on_edge(source, target, edge_data)`` records one edge.
+
+    The FIFO contract, preserved bit for bit from the historical
+    per-builder loops: items are expanded in interning order, each
+    successor is interned before its edge is reported, and the valve fires
+    after the edge that pushed the interned count past ``limits``.
+    """
+    if stats is None:
+        stats = FrontierStats(engine="scalar")
+    start = time.perf_counter()
+    items: List[object] = []
+    seed = kernel.seed()
+    _index, seed_new = intern(seed, -1)
+    if seed_new:
+        items.append(seed)
+    cursor = 0
+    edges = 0
+    hits = 0
+    while cursor < len(items):
+        index = cursor
+        cursor += 1
+        item = items[index]
+        for data, successor in kernel.expand(index, item):
+            target, is_new = intern(successor, index)
+            on_edge(index, target, data)
+            edges += 1
+            if is_new:
+                items.append(successor)
+                limits.check(len(items))
+            else:
+                hits += 1
+    stats.states = len(items)
+    stats.edges = edges
+    stats.expanded = len(items)
+    stats.batches = len(items)
+    stats.dedup_hits = hits
+    stats.seconds = time.perf_counter() - start
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Per-semantics kernels
+# ---------------------------------------------------------------------------
+#
+# Each kernel implements the sequential protocol (seed/expand) plus the
+# extra methods the frontier-sharded multiprocess engine needs to shard,
+# deduplicate and report work items across processes:
+#
+# * ``identity(item)`` — the hashable dedup key of an item,
+# * ``shard_vec(item)`` — the token vector whose deterministic hash picks
+#   the owning worker shard,
+# * ``adopt(item)`` — normalize an item received from a peer (only the
+#   seed arrives without a derived enabled set),
+# * ``record(item)`` — the payload shipped to the coordinator for a newly
+#   interned state.
+
+
+class UntimedKernel:
+    """Atomic-firing (untimed) semantics over ``(vec, enabled)`` items.
+
+    Edge data is the fired transition's index.  The successor's enabled set
+    is derived *incrementally* from the parent's (only consumers of changed
+    places are re-tested, memoized per vector) and travels with the item,
+    so no consumer ever falls back to a full transition rescan.
+    """
+
+    def __init__(self, tables: NetTables):
+        self.tables = tables
+
+    def seed(self):
+        vec = self.tables.initial_vector()
+        return (vec, self.tables.enabled_transitions(vec))
+
+    def expand(self, index: int, item) -> Iterable:
+        vec, enabled = item
+        tables = self.tables
+        for transition in enabled:
+            successor = tables.fire_atomic(vec, transition)
+            yield transition, (
+                successor,
+                tables.derive_enabled(enabled, successor, tables.delta_places[transition]),
+            )
+
+    # -- frontier-sharded protocol --------------------------------------
+
+    def identity(self, item):
+        return item[0]
+
+    def shard_vec(self, item):
+        return item[0]
+
+    def adopt(self, item):
+        vec, enabled = item
+        if enabled is None:
+            # Only the seed entry arrives without a derived enabled set (it
+            # has no parent to derive from).
+            return (vec, self.tables.enabled_transitions(vec))
+        return item
+
+    def record(self, item):
+        return (item[0], None)
+
+
+class GSPNKernel(UntimedKernel):
+    """GSPN race semantics: immediate preemption plus capacity truncation.
+
+    Immediate transitions pre-empt timed ones (only the immediate members
+    of the enabled set fire when any is enabled), and successors that would
+    exceed ``place_capacity`` tokens in any place are truncated away.  The
+    coordinator-side ``record`` payload carries the vanishing flag (an
+    immediate transition is enabled) alongside the vector.
+    """
+
+    def __init__(self, tables: NetTables, *, is_immediate, place_capacity):
+        super().__init__(tables)
+        self.is_immediate = is_immediate
+        self.place_capacity = place_capacity
+
+    def expand(self, index: int, item) -> Iterable:
+        vec, enabled = item
+        if not enabled:
+            return
+        immediate_enabled = [t for t in enabled if self.is_immediate[t]]
+        chosen = immediate_enabled if immediate_enabled else enabled
+        tables = self.tables
+        place_capacity = self.place_capacity
+        for transition in chosen:
+            successor = tables.fire_atomic(vec, transition)
+            if place_capacity is not None and any(
+                count > place_capacity for count in successor
+            ):
+                continue
+            yield transition, (
+                successor,
+                tables.derive_enabled(enabled, successor, tables.delta_places[transition]),
+            )
+
+    def record(self, item):
+        vec, enabled = item
+        return (vec, any(self.is_immediate[t] for t in enabled))
+
+
+class TimedKernel:
+    """Figure-3 timed semantics over compiled timed states.
+
+    Wraps a :class:`~repro.reachability.compiled.CompiledSuccessorEngine`;
+    edge data is the complete successor payload — delay, probability,
+    fired/completed transitions, step kind and used-constraint labels —
+    computed with exact arithmetic, so sequential and worker-side
+    expansions are indistinguishable.
+    """
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    @classmethod
+    def from_tables(cls, compiled, *, overlap_policy):
+        """Wrap already-compiled tables (the multiprocess engine ships one
+        pickled :class:`~repro.reachability.compiled.CompiledNet` per worker
+        instead of recompiling)."""
+        # Imported lazily: repro.reachability imports this package.
+        from ..reachability.compiled import CompiledSuccessorEngine
+
+        return cls(CompiledSuccessorEngine.from_tables(compiled, overlap_policy=overlap_policy))
+
+    def seed(self):
+        return self.engine.initial_state()
+
+    def expand(self, index: int, state) -> Iterable:
+        for edge in self.engine.successors(state):
+            yield (
+                (
+                    edge.delay,
+                    edge.probability,
+                    edge.fired,
+                    edge.completed,
+                    edge.kind,
+                    edge.used_constraints,
+                ),
+                edge.target,
+            )
+
+    # -- frontier-sharded protocol --------------------------------------
+
+    def identity(self, item):
+        return item
+
+    def shard_vec(self, item):
+        return item.vec
+
+    def adopt(self, item):
+        return item
+
+    def record(self, item):
+        return item
+
+
+__all__ = [
+    "ExploreLimits",
+    "FrontierStats",
+    "GSPNKernel",
+    "TimedKernel",
+    "UntimedKernel",
+    "coverability_limits",
+    "explore",
+    "gspn_limits",
+    "timed_limits",
+    "untimed_limits",
+]

@@ -7,18 +7,20 @@ for later elimination, and an optional ``place_capacity`` truncates
 successors that would overflow a place.  The readable implementation
 re-resolves transitions by name and rescans the whole transition list per
 marking; this module runs the *same* exploration over integer token vectors
-from :class:`~repro.engine.tables.NetTables` with incremental enabled-set
-maintenance, producing bit-identical markings, edges and vanishing sets
-(enforced by ``tests/engine_diff.py``).
+through the shared frontier loop of :mod:`repro.engine.frontier` — the
+:class:`~repro.engine.frontier.GSPNKernel` here is the one the parallel
+workers execute, and :mod:`repro.engine.batched` vectorizes — producing
+bit-identical markings, edges and vanishing sets (enforced by
+``tests/engine_diff.py``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
-from ..exceptions import UnboundedNetError
 from ..petri.marking import Marking
 from ..petri.net import TimedPetriNet
+from .frontier import FrontierStats, GSPNKernel, explore, gspn_limits
 from .tables import NetTables
 
 
@@ -30,65 +32,55 @@ def compiled_marking_graph(
     rates: Mapping[str, float],
     max_states: int,
     place_capacity: Optional[int],
+    stats_sink: Optional[list] = None,
 ) -> Tuple[List[Marking], List[Tuple[int, int, str, float, bool]], Set[int]]:
     """Explore the GSPN marking graph; returns ``(markings, edges, vanishing)``.
 
     Edges are ``(source, target, transition, rate-or-weight, is_immediate)``
-    tuples exactly as the reference exploration emits them.
+    tuples exactly as the reference exploration emits them.  When given,
+    ``stats_sink`` receives the construction's
+    :class:`~repro.engine.frontier.FrontierStats`.
     """
-    tables = NetTables(net)
+    tables = NetTables.of(net)
     names = tables.transition_names
     is_immediate = tuple(immediate[name] for name in names)
     weight_of = tuple(weights[name] for name in names)
     rate_of = tuple(rates[name] for name in names)
+    kernel = GSPNKernel(tables, is_immediate=is_immediate, place_capacity=place_capacity)
 
     markings: List[Marking] = []
     index_of_vec: Dict[Tuple[int, ...], int] = {}
-    vec_of: List[Tuple[int, ...]] = []
     enabled_of: List[Tuple[int, ...]] = []
     edges: List[Tuple[int, int, str, float, bool]] = []
 
-    def intern(vec: Tuple[int, ...], enabled: Tuple[int, ...]) -> Tuple[int, bool]:
+    def intern(item, _parent: int) -> Tuple[int, bool]:
+        vec, enabled = item
         existing = index_of_vec.get(vec)
         if existing is not None:
             return existing, False
         index = len(markings)
         markings.append(tables.to_marking(vec))
         index_of_vec[vec] = index
-        vec_of.append(vec)
         enabled_of.append(enabled)
         return index, True
 
-    initial_vec = tables.initial_vector()
-    intern(initial_vec, tables.enabled_transitions(initial_vec))
-    cursor = 0
-    while cursor < len(vec_of):
-        index = cursor
-        cursor += 1
-        vec = vec_of[index]
-        enabled = enabled_of[index]
-        if not enabled:
-            continue
-        immediate_enabled = [t for t in enabled if is_immediate[t]]
-        chosen = immediate_enabled if immediate_enabled else enabled
-        for transition in chosen:
-            successor_vec = tables.fire_atomic(vec, transition)
-            if place_capacity is not None and any(
-                count > place_capacity for count in successor_vec
-            ):
-                continue
-            successor_enabled = tables.derive_enabled(
-                enabled, successor_vec, tables.delta_places[transition]
-            )
-            successor_index, is_new = intern(successor_vec, successor_enabled)
-            if immediate_enabled:
-                edges.append((index, successor_index, names[transition], weight_of[transition], True))
-            else:
-                edges.append((index, successor_index, names[transition], rate_of[transition], False))
-            if is_new and len(markings) > max_states:
-                raise UnboundedNetError(
-                    f"GSPN marking graph exceeded {max_states} markings"
-                )
+    def on_edge(source: int, target: int, transition: int) -> None:
+        # The kernel only fires immediate transitions from vanishing states,
+        # so the per-transition flag equals the parent's preemption branch.
+        if is_immediate[transition]:
+            edges.append((source, target, names[transition], weight_of[transition], True))
+        else:
+            edges.append((source, target, names[transition], rate_of[transition], False))
+
+    stats = explore(
+        kernel,
+        intern,
+        on_edge,
+        gspn_limits(max_states),
+        stats=FrontierStats(engine="compiled"),
+    )
+    if stats_sink is not None:
+        stats_sink.append(stats)
     vanishing = {
         index
         for index, enabled_set in enumerate(enabled_of)

@@ -14,12 +14,13 @@ exploits exactly that property to construct all three graph families across
   ``PYTHONHASHSEED``, so all processes agree on the owner of a vector —
   timed states shard by their *marking* vector, so the states that must
   dedup against each other always meet at the same owner),
-* per BFS level, each worker expands its local frontier with the existing
-  compiled kernels — :class:`~repro.engine.tables.NetTables` fire/enable for
-  the untimed semantics, the full Figure-3
-  :class:`~repro.reachability.compiled.CompiledSuccessorEngine` for the
-  timed one — and exchanges cross-shard successor batches directly with the
-  owning peers,
+* per BFS level, each worker expands its local frontier with the *shared
+  frontier kernels* of :mod:`repro.engine.frontier` — the exact
+  :class:`~repro.engine.frontier.UntimedKernel`/
+  :class:`~repro.engine.frontier.GSPNKernel`/
+  :class:`~repro.engine.frontier.TimedKernel` objects the sequential
+  builders run through :func:`repro.engine.frontier.explore` — and
+  exchanges cross-shard successor batches directly with the owning peers,
 * owners deduplicate incoming batches against their shard and report the new
   states together with per-edge target resolutions to the coordinator,
 * the coordinator runs a **deterministic merge**: new states are renumbered
@@ -59,10 +60,17 @@ import multiprocessing
 import os
 import pickle
 import queue as queue_module
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..exceptions import UnboundedNetError
 from ..petri.net import TimedPetriNet
+from .frontier import (
+    GSPNKernel,
+    TimedKernel,
+    UntimedKernel,
+    gspn_limits,
+    timed_limits,
+    untimed_limits,
+)
 from .tables import NetTables
 
 #: Discovery key of the initial state; smaller than any real ``(parent, slot)``.
@@ -96,123 +104,29 @@ def _shard_of(vec: Tuple[int, ...], workers: int) -> int:
 
 
 # ---------------------------------------------------------------------------
-# Mode expanders: the per-semantics part of the worker loop
+# Worker-side kernels
 # ---------------------------------------------------------------------------
+#
+# The per-semantics expansion logic lives in repro.engine.frontier — the
+# same kernel objects the sequential builders drive through explore().
+# Only the lightweight mode tuple crosses the process boundary; each worker
+# reconstructs its kernel from the shipped tables, so memo caches restart
+# empty per process.
 
 
-def _chosen_transitions(mode: tuple, enabled: Tuple[int, ...]) -> Sequence[int]:
-    """The transitions a state actually expands, per the mode's firing rule."""
-    if mode[0] == _MODE_GSPN:
-        is_immediate = mode[1]
-        immediate_enabled = [t for t in enabled if is_immediate[t]]
-        return immediate_enabled if immediate_enabled else enabled
-    return enabled
+def _make_kernel(tables, mode: tuple):
+    """Build the frontier kernel a worker runs, from its shipped mode tuple.
 
-
-class _VectorExpander:
-    """Untimed/GSPN semantics: items are ``(vec, enabled)`` pairs.
-
-    ``mode`` is ``("untimed",)`` or ``("gspn", is_immediate, place_capacity)``.
-    Edge data is the fired transition's index; the successor's enabled set is
-    derived *incrementally* from the parent's (only consumers of changed
-    places are re-tested, memoized per vector) and shipped with the entry, so
-    owners never fall back to a full transition rescan.
+    ``mode`` is ``("untimed",)``, ``("gspn", is_immediate, place_capacity)``
+    or ``("timed", overlap_policy)``; for the timed mode ``tables`` is a
+    pickled :class:`~repro.reachability.compiled.CompiledNet` (structural
+    tables plus the algebra columns).
     """
-
-    def __init__(self, tables: NetTables, mode: tuple):
-        self.tables = tables
-        self.mode = mode
-        self.place_capacity = mode[2] if mode[0] == _MODE_GSPN else None
-        self.is_immediate = mode[1] if mode[0] == _MODE_GSPN else None
-
-    def identity(self, item):
-        return item[0]
-
-    def shard_vec(self, item):
-        return item[0]
-
-    def expand(self, item):
-        vec, enabled = item
-        tables = self.tables
-        place_capacity = self.place_capacity
-        for transition in _chosen_transitions(self.mode, enabled):
-            successor = tables.fire_atomic(vec, transition)
-            if place_capacity is not None and any(
-                count > place_capacity for count in successor
-            ):
-                continue
-            successor_enabled = tables.derive_enabled(
-                enabled, successor, tables.delta_places[transition]
-            )
-            yield transition, (successor, successor_enabled)
-
-    def adopt(self, item):
-        vec, enabled = item
-        if enabled is None:
-            # Only the seed entry arrives without a derived enabled set (it
-            # has no parent to derive from).
-            return (vec, self.tables.enabled_transitions(vec))
-        return item
-
-    def record(self, item):
-        vec, enabled = item
-        if self.is_immediate is None:
-            extra = None
-        else:
-            extra = any(self.is_immediate[t] for t in enabled)
-        return (vec, extra)
-
-
-class _TimedExpander:
-    """Timed semantics: items are full ``_CompiledState`` values.
-
-    ``mode`` is ``("timed", overlap_policy)`` and ``tables`` is a pickled
-    :class:`~repro.reachability.compiled.CompiledNet` (structural tables plus
-    the algebra columns; memo tables restart empty per process).  Edge data
-    is the complete successor payload of the Figure-3 procedure — delay,
-    probability, fired/completed transitions, step kind and used constraint
-    labels — computed worker-side with exact arithmetic, so it is identical
-    to the sequential engines' output.
-    """
-
-    def __init__(self, tables, mode: tuple):
-        from ..reachability.compiled import CompiledSuccessorEngine
-
-        self.engine = CompiledSuccessorEngine.from_tables(
-            tables, overlap_policy=mode[1]
-        )
-
-    def identity(self, item):
-        return item
-
-    def shard_vec(self, item):
-        return item.vec
-
-    def expand(self, item):
-        for edge in self.engine.successors(item):
-            yield (
-                (
-                    edge.delay,
-                    edge.probability,
-                    edge.fired,
-                    edge.completed,
-                    edge.kind,
-                    edge.used_constraints,
-                ),
-                edge.target,
-            )
-
-    def adopt(self, item):
-        return item
-
-    def record(self, item):
-        return item
-
-
-def _make_expander(tables, mode: tuple):
     if mode[0] == _MODE_TIMED:
-        return _TimedExpander(tables, mode)
-    return _VectorExpander(tables, mode)
+        return TimedKernel.from_tables(tables, overlap_policy=mode[1])
+    if mode[0] == _MODE_GSPN:
+        return GSPNKernel(tables, is_immediate=mode[1], place_capacity=mode[2])
+    return UntimedKernel(tables)
 
 
 # ---------------------------------------------------------------------------
@@ -231,7 +145,7 @@ def _worker_main(
 ) -> None:
     """One shard owner: expand, exchange, deduplicate, report — per level."""
     inbox = inboxes[worker_id]
-    expander = _make_expander(tables, mode)
+    expander = _make_kernel(tables, mode)
     index_of: Dict[object, int] = {}
     #: New states of the previous round, awaiting their global indices
     #: (kept in the discovery-key order they were reported in).
@@ -257,7 +171,7 @@ def _worker_main(
             outboxes: List[list] = [[] for _ in range(workers)]
             for index, item in frontier:
                 slot = 0
-                for data, successor in expander.expand(item):
+                for data, successor in expander.expand(index, item):
                     outboxes[_shard_of(expander.shard_vec(successor), workers)].append(
                         (index, slot, data, successor)
                     )
@@ -503,18 +417,15 @@ def parallel_reachability_graph(
     from ..petri.untimed import UntimedReachabilityGraph
 
     workers = resolve_workers(workers)
-    tables = NetTables(net)
+    tables = NetTables.of(net)
     graph = UntimedReachabilityGraph(net)
     names = tables.transition_names
+    limits = untimed_limits(max_states)
 
     def on_new_state(record) -> None:
         vec, _extra = record
         graph._add_marking(tables.to_marking(vec))
-        if graph.state_count > max_states:
-            raise UnboundedNetError(
-                f"untimed reachability exceeded {max_states} markings; the net "
-                "is unbounded or the bound is too small"
-            )
+        limits.check(graph.state_count)
 
     def on_edge(source: int, target: int, transition: int) -> None:
         graph._add_edge(source, target, names[transition])
@@ -548,7 +459,7 @@ def parallel_marking_graph(
     explorations emit them (same order, same payloads, same vanishing set).
     """
     workers = resolve_workers(workers)
-    tables = NetTables(net)
+    tables = NetTables.of(net)
     names = tables.transition_names
     is_immediate = tuple(immediate[name] for name in names)
     weight_of = tuple(weights[name] for name in names)
@@ -557,14 +468,14 @@ def parallel_marking_graph(
     markings: List = []
     edges: List[Tuple[int, int, str, float, bool]] = []
     vanishing: Set[int] = set()
+    limits = gspn_limits(max_states)
 
     def on_new_state(record) -> None:
         vec, extra = record
         if extra:
             vanishing.add(len(markings))
         markings.append(tables.to_marking(vec))
-        if len(markings) > max_states:
-            raise UnboundedNetError(f"GSPN marking graph exceeded {max_states} markings")
+        limits.check(len(markings))
 
     def on_edge(source: int, target: int, transition: int) -> None:
         if is_immediate[transition]:
@@ -616,15 +527,11 @@ def parallel_timed_reachability_graph(
         net, time_algebra, probability_algebra, overlap_policy=overlap_policy
     )
     graph = TimedReachabilityGraph(net, symbolic=symbolic, constraints=constraints)
+    limits = timed_limits(max_states)
 
     def on_new_state(record) -> None:
         graph._add_state(engine.to_timed_state(record))
-        if graph.state_count > max_states:
-            raise UnboundedNetError(
-                f"timed reachability graph exceeded {max_states} states; "
-                "the net may be unbounded under the timed semantics or the "
-                "bound is too small"
-            )
+        limits.check(graph.state_count)
 
     def on_edge(source: int, target: int, data) -> None:
         graph._add_edge(source, target, *data)

@@ -26,10 +26,21 @@ tests, memoized branch probabilities).
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
 
 from ..petri.marking import Marking
 from ..petri.net import TimedPetriNet
+
+#: Shared structural tables per net, for :meth:`NetTables.of`.  Nets are
+#: immutable, so the compilation (and its memo caches) can be reused across
+#: repeated constructions of the same net object; the weak keys drop an
+#: entry as soon as its net is garbage-collected.
+_SHARED_TABLES: "weakref.WeakKeyDictionary[TimedPetriNet, NetTables]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 class NetTables:
@@ -97,6 +108,26 @@ class NetTables:
 
         # Memoized enabled sets, shared across the whole construction.
         self._enabled_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+        # Lazily built dense incidence matrices (the batched kernel's view
+        # of the same arcs).
+        self._matrix_cache: Dict[str, np.ndarray] = {}
+
+    @classmethod
+    def of(cls, net: TimedPetriNet) -> "NetTables":
+        """The shared structural tables of ``net``, memoized per net object.
+
+        Nets are immutable, so repeated constructions over the same net
+        (differential runs, best-of-N benchmarks, analyses that build more
+        than one graph family) reuse one compilation and its memo caches.
+        Always yields a plain :class:`NetTables`; subclasses with their own
+        constructor arguments (the timed engine's ``CompiledNet``) build
+        directly.
+        """
+        tables = _SHARED_TABLES.get(net)
+        if tables is None:
+            tables = NetTables(net)
+            _SHARED_TABLES[net] = tables
+        return tables
 
     # ------------------------------------------------------------------
     # Pickling (multiprocess engine support)
@@ -106,7 +137,7 @@ class NetTables:
     #: Subclasses that add memo tables (e.g. the timed engine's
     #: :class:`~repro.reachability.compiled.CompiledNet`) extend this tuple
     #: so their working sets are likewise not shipped to worker processes.
-    _TRANSIENT_CACHES: Tuple[str, ...] = ("_enabled_cache",)
+    _TRANSIENT_CACHES: Tuple[str, ...] = ("_enabled_cache", "_matrix_cache")
 
     def __getstate__(self) -> dict:
         """Pickle the structural tables without the memoized working sets.
@@ -143,6 +174,50 @@ class NetTables:
             self.known_places,
             {self.place_names[i]: count for i, count in enumerate(vec) if count},
         )
+
+    # ------------------------------------------------------------------
+    # Dense incidence matrices (batched kernel)
+    # ------------------------------------------------------------------
+
+    @property
+    def input_matrix(self) -> np.ndarray:
+        """Dense ``(transitions × places)`` input-arc weights.
+
+        Row ``t`` is the *guard row* of transition ``t``: a marking vector
+        enables ``t`` iff it dominates the row component-wise, which is how
+        the batched kernel tests a whole frontier against every transition
+        in one broadcast.  Built lazily and excluded from pickles (worker
+        processes re-derive it from the sparse arcs).
+        """
+        matrix = self._matrix_cache.get("input")
+        if matrix is None:
+            matrix = np.zeros(
+                (len(self.transition_names), len(self.place_names)), dtype=np.int64
+            )
+            for transition, arcs in enumerate(self.inputs):
+                for place_idx, count in arcs:
+                    matrix[transition, place_idx] = count
+            self._matrix_cache["input"] = matrix
+        return matrix
+
+    @property
+    def delta_matrix(self) -> np.ndarray:
+        """Dense ``(transitions × places)`` token deltas of atomic firings.
+
+        The dense counterpart of :attr:`deltas`: adding row ``t`` to a
+        marking vector is the atomic firing rule, vectorized over whole
+        candidate batches by the batched kernel.
+        """
+        matrix = self._matrix_cache.get("delta")
+        if matrix is None:
+            matrix = np.zeros(
+                (len(self.transition_names), len(self.place_names)), dtype=np.int64
+            )
+            for transition, sparse in enumerate(self.deltas):
+                for place_idx, change in sparse:
+                    matrix[transition, place_idx] = change
+            self._matrix_cache["delta"] = matrix
+        return matrix
 
     # ------------------------------------------------------------------
     # Enabling

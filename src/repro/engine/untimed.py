@@ -4,16 +4,18 @@ Both builders mirror their readable counterparts in
 :mod:`repro.petri.untimed` **bit for bit** — same FIFO exploration order,
 same node numbering, same edge list, same ``max_states``/``max_nodes``
 failure semantics — but run over integer token vectors from
-:class:`~repro.engine.tables.NetTables` instead of :class:`Marking` objects:
+:class:`~repro.engine.tables.NetTables` through the shared frontier loop of
+:mod:`repro.engine.frontier`:
 
-* the reachability BFS deduplicates on plain tuples, maintains the enabled
-  set incrementally (only consumers of changed places are re-tested) and
-  materializes one :class:`Marking` per *unique* node;
-* the Karp–Miller construction keeps its work vectors as integers (with
-  ``ω`` as the shared infinity marker) and applies the acceleration rule
-  directly on them, materializing the float-vector
-  :class:`~repro.petri.untimed.CoverabilityNode` only when a node is
-  interned.
+* reachability rides the stock :class:`~repro.engine.frontier.UntimedKernel`
+  (incremental enabled-set maintenance, one :class:`Marking` per unique
+  node) — the same kernel the parallel workers and, in level-batched form,
+  :mod:`repro.engine.batched` execute;
+* the Karp–Miller construction supplies its own kernel: work vectors stay
+  integer-valued (``ω`` is the shared infinity marker, which compares
+  correctly against any int) and the acceleration rule re-evaluates against
+  the BFS-tree ancestor chain, reconstructed from a parent-index chain in
+  O(depth) per expansion.
 
 The readable implementations remain available through the public builders'
 ``engine="reference"`` escape hatch and the differential harness in
@@ -22,11 +24,16 @@ The readable implementations remain available through the public builders'
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, List, Tuple
 
-from ..exceptions import UnboundedNetError
 from ..petri.net import TimedPetriNet
+from .frontier import (
+    FrontierStats,
+    UntimedKernel,
+    coverability_limits,
+    explore,
+    untimed_limits,
+)
 from .tables import NetTables
 
 
@@ -36,105 +43,84 @@ def compiled_reachability_graph(net: TimedPetriNet, *, max_states: int):
     # module from inside its builder functions).
     from ..petri.untimed import UntimedReachabilityGraph
 
-    tables = NetTables(net)
+    tables = NetTables.of(net)
     graph = UntimedReachabilityGraph(net)
     names = tables.transition_names
+    kernel = UntimedKernel(tables)
 
     index_of_vec: Dict[Tuple[int, ...], int] = {}
-    vec_of: List[Tuple[int, ...]] = []
-    enabled_of: List[Tuple[int, ...]] = []
 
-    def intern(vec: Tuple[int, ...], enabled: Tuple[int, ...]) -> Tuple[int, bool]:
+    def intern(item, _parent: int) -> Tuple[int, bool]:
+        vec = item[0]
         existing = index_of_vec.get(vec)
         if existing is not None:
             return existing, False
         index, _ = graph._add_marking(tables.to_marking(vec))
         index_of_vec[vec] = index
-        vec_of.append(vec)
-        enabled_of.append(enabled)
         return index, True
 
-    initial_vec = tables.initial_vector()
-    intern(initial_vec, tables.enabled_transitions(initial_vec))
-    cursor = 0
-    while cursor < len(vec_of):
-        index = cursor
-        cursor += 1
-        vec = vec_of[index]
-        parent_enabled = enabled_of[index]
-        for transition in parent_enabled:
-            successor_vec = tables.fire_atomic(vec, transition)
-            enabled = tables.derive_enabled(
-                parent_enabled, successor_vec, tables.delta_places[transition]
-            )
-            successor_index, is_new = intern(successor_vec, enabled)
-            graph._add_edge(index, successor_index, names[transition])
-            if is_new and graph.state_count > max_states:
-                raise UnboundedNetError(
-                    f"untimed reachability exceeded {max_states} markings; the net "
-                    "is unbounded or the bound is too small"
-                )
+    def on_edge(source: int, target: int, transition: int) -> None:
+        graph._add_edge(source, target, names[transition])
+
+    graph._build_stats = explore(
+        kernel,
+        intern,
+        on_edge,
+        untimed_limits(max_states),
+        stats=FrontierStats(engine="compiled"),
+    )
     return graph
 
 
-def compiled_coverability_graph(net: TimedPetriNet, *, max_nodes: int):
-    """Compiled counterpart of :func:`repro.petri.untimed.coverability_graph`.
+class _CoverabilityKernel:
+    """Karp–Miller semantics for the shared frontier loop.
 
-    The work vectors stay integer-valued (``ω`` is the shared ``OMEGA``
-    infinity, which compares correctly against any int), so the acceleration
-    rule — replace components that strictly grew over some ancestor by ``ω``
-    — runs on plain tuples with no name resolution.
+    Items are integer work-vector tuples.  The acceleration rule — replace
+    components that strictly grew over some ancestor by ``ω`` — needs the
+    BFS-tree ancestor chain of the path a node was queued on; the builder's
+    ``intern`` registers every new node's parent here, and ``expand``
+    reconstructs the chain in O(depth) instead of copying an O(depth)
+    ancestor tuple into every work item (which cost O(n · depth) memory in
+    total on deep graphs).  This chain is also why the coverability builder
+    has no sharded or batched backend: the rule inspects per-path history
+    that a stateless frontier expansion cannot carry.
     """
-    from ..petri.untimed import OMEGA, CoverabilityGraph, CoverabilityNode, UntimedEdge
 
-    tables = NetTables(net)
-    graph = CoverabilityGraph(net)
-    names = tables.transition_names
-    transition_count = len(names)
+    def __init__(self, tables: NetTables, omega):
+        self.tables = tables
+        self.omega = omega
+        self.vec_of: List[tuple] = []
+        self.parent_of: List[int] = []
 
-    index_of_vec: Dict[tuple, int] = {}
-    vec_of: List[tuple] = []
-    #: BFS-tree parent of every node (-1 for the root).  The acceleration
-    #: rule needs the ancestor chain of the path a node was queued on; a
-    #: parent-index chain reconstructs it in O(depth) per expansion instead
-    #: of copying an O(depth) ancestor tuple into every work item (which
-    #: cost O(n * depth) memory in total on deep graphs).
-    parent_of: List[int] = []
+    def seed(self) -> tuple:
+        return self.tables.initial_vector()
 
-    def intern(vec: tuple, parent: int) -> Tuple[int, bool]:
-        existing = index_of_vec.get(vec)
-        if existing is not None:
-            return existing, False
-        # Materialize the float vector only for unique nodes, so the public
-        # graph is indistinguishable from the reference construction.
-        index, _ = graph._add_node(CoverabilityNode(tuple(float(v) for v in vec)))
-        index_of_vec[vec] = index
-        vec_of.append(vec)
-        parent_of.append(parent)
-        return index, True
+    def register(self, vec: tuple, parent: int) -> None:
+        """Record a newly interned node's vector and BFS-tree parent."""
+        self.vec_of.append(vec)
+        self.parent_of.append(parent)
 
-    root_index, _ = intern(tables.initial_vector(), -1)
-    work: deque = deque([root_index])
-    while work:
-        index = work.popleft()
+    def expand(self, index: int, vec: tuple):
+        tables = self.tables
+        omega = self.omega
+        vec_of = self.vec_of
         # Walk the parent chain and reverse it: the same root-first ancestor
         # order the ancestor-tuple work items used to carry.
-        ancestors = []
+        ancestors: List[int] = []
         node = index
         while node >= 0:
             ancestors.append(node)
-            node = parent_of[node]
+            node = self.parent_of[node]
         ancestors.reverse()
-        vec = vec_of[index]
-        for transition in range(transition_count):
+        for transition in range(len(tables.transition_names)):
             if not tables.covers(vec, transition):
                 continue
             successor = list(vec)
             for place_idx, count in tables.inputs[transition]:
-                if successor[place_idx] != OMEGA:
+                if successor[place_idx] != omega:
                     successor[place_idx] -= count
             for place_idx, count in tables.outputs[transition]:
-                if successor[place_idx] != OMEGA:
+                if successor[place_idx] != omega:
                     successor[place_idx] += count
             # Acceleration: compare against every ancestor on the path,
             # re-evaluating after each ω-promotion exactly like the
@@ -151,17 +137,44 @@ def compiled_coverability_graph(net: TimedPetriNet, *, max_nodes: int):
                         strictly = True
                 if covers and strictly:
                     successor = [
-                        OMEGA if cand > anc else cand
+                        omega if cand > anc else cand
                         for cand, anc in zip(successor, ancestor)
                     ]
-            successor_index, is_new = intern(tuple(successor), index)
-            graph.edges.append(UntimedEdge(index, successor_index, names[transition]))
-            if is_new:
-                if graph.node_count > max_nodes:
-                    raise UnboundedNetError(
-                        f"coverability construction exceeded {max_nodes} nodes"
-                    )
-                work.append(successor_index)
+            yield transition, tuple(successor)
+
+
+def compiled_coverability_graph(net: TimedPetriNet, *, max_nodes: int):
+    """Compiled counterpart of :func:`repro.petri.untimed.coverability_graph`."""
+    from ..petri.untimed import OMEGA, CoverabilityGraph, CoverabilityNode, UntimedEdge
+
+    tables = NetTables.of(net)
+    graph = CoverabilityGraph(net)
+    names = tables.transition_names
+    kernel = _CoverabilityKernel(tables, OMEGA)
+
+    index_of_vec: Dict[tuple, int] = {}
+
+    def intern(vec: tuple, parent: int) -> Tuple[int, bool]:
+        existing = index_of_vec.get(vec)
+        if existing is not None:
+            return existing, False
+        # Materialize the float vector only for unique nodes, so the public
+        # graph is indistinguishable from the reference construction.
+        index, _ = graph._add_node(CoverabilityNode(tuple(float(v) for v in vec)))
+        index_of_vec[vec] = index
+        kernel.register(vec, parent)
+        return index, True
+
+    def on_edge(source: int, target: int, transition: int) -> None:
+        graph.edges.append(UntimedEdge(source, target, names[transition]))
+
+    graph._build_stats = explore(
+        kernel,
+        intern,
+        on_edge,
+        coverability_limits(max_nodes),
+        stats=FrontierStats(engine="compiled"),
+    )
     return graph
 
 

@@ -14,13 +14,15 @@ Both return light-weight graph objects with deterministic node numbering so
 they can be asserted against in tests and rendered by :mod:`repro.viz`.
 
 Both builders accept an ``engine`` argument: ``"compiled"`` (the default)
-runs the integer-indexed backend of :mod:`repro.engine.untimed`,
-``"reference"`` the readable marking-based constructions in this module,
-and :func:`reachability_graph` additionally accepts ``"parallel"`` — the
-frontier-sharded multiprocess BFS of :mod:`repro.engine.parallel` with a
-``workers=`` knob.  All engines are required to produce bit-identical
-graphs — same node numbering, same edge list — which
-``tests/engine_diff.py`` enforces differentially on every bundled workload.
+runs the integer-indexed backend of :mod:`repro.engine.untimed` over the
+shared frontier loop, ``"reference"`` the readable marking-based
+constructions in this module, and :func:`reachability_graph` additionally
+accepts ``"batched"`` — the numpy level-batched kernel of
+:mod:`repro.engine.batched` — and ``"parallel"`` — the frontier-sharded
+multiprocess BFS of :mod:`repro.engine.parallel` with a ``workers=`` knob.
+All engines are required to produce bit-identical graphs — same node
+numbering, same edge list — which ``tests/engine_diff.py`` enforces
+differentially on every bundled workload.
 """
 
 from __future__ import annotations
@@ -46,47 +48,155 @@ class UntimedEdge:
     transition: str
 
 
+class _ColumnarPayload:
+    """Deferred columnar state of a batch-built reachability graph.
+
+    The batched engine finishes with plain numpy arrays; materializing one
+    :class:`Marking` and one :class:`UntimedEdge` per entry costs more than
+    the whole vectorized exploration, so the graph holds the arrays and
+    converts them only when a per-object view is actually read.
+    """
+
+    __slots__ = ("tables", "vectors", "edge_sources", "edge_targets", "edge_transitions")
+
+    def __init__(self, tables, vectors, edge_sources, edge_targets, edge_transitions):
+        self.tables = tables
+        self.vectors = vectors
+        self.edge_sources = edge_sources
+        self.edge_targets = edge_targets
+        self.edge_transitions = edge_transitions
+
+    @property
+    def state_count(self) -> int:
+        return self.vectors.shape[0]
+
+    @property
+    def edge_count(self) -> int:
+        return self.edge_sources.shape[0]
+
+
 class UntimedReachabilityGraph:
-    """Explicit untimed reachability graph (markings as nodes)."""
+    """Explicit untimed reachability graph (markings as nodes).
+
+    The scalar engines grow the graph one marking/edge at a time through
+    ``_add_marking``/``_add_edge``; the batched engine bulk-loads columnar
+    arrays through ``_adopt_columnar`` and the per-object views
+    (:attr:`markings`, :attr:`edges`, ...) materialize lazily on first
+    access — ``state_count``/``edge_count`` answer straight from the array
+    shapes.  Either way the public content is bit-identical across engines.
+    """
+
+    #: Construction telemetry, set by engines that run the shared frontier
+    #: loop (compiled/batched); ``None`` for the reference and parallel
+    #: backends.
+    _build_stats = None
 
     def __init__(self, net: TimedPetriNet):
         self.net = net
-        self.markings: List[Marking] = []
-        self.index_of: Dict[Marking, int] = {}
-        self.edges: List[UntimedEdge] = []
-        self._successors: Dict[int, List[int]] = {}
+        self._markings: List[Marking] = []
+        self._index_of: Dict[Marking, int] = {}
+        self._edges: List[UntimedEdge] = []
+        self._successor_edges: Dict[int, List[int]] = {}
+        self._pending: Optional[_ColumnarPayload] = None
 
     # -- construction helpers (used by reachability_graph) -------------
 
     def _add_marking(self, marking: Marking) -> Tuple[int, bool]:
-        existing = self.index_of.get(marking)
+        existing = self._index_of.get(marking)
         if existing is not None:
             return existing, False
-        index = len(self.markings)
-        self.markings.append(marking)
-        self.index_of[marking] = index
-        self._successors[index] = []
+        index = len(self._markings)
+        self._markings.append(marking)
+        self._index_of[marking] = index
+        self._successor_edges[index] = []
         return index, True
 
     def _add_edge(self, source: int, target: int, transition: str) -> None:
-        self.edges.append(UntimedEdge(source, target, transition))
-        self._successors[source].append(len(self.edges) - 1)
+        self._edges.append(UntimedEdge(source, target, transition))
+        self._successor_edges[source].append(len(self._edges) - 1)
+
+    def _adopt_columnar(
+        self, tables, vectors, edge_sources, edge_targets, edge_transitions
+    ) -> None:
+        """Bulk-load the batched engine's columnar arrays (lazy views)."""
+        self._pending = _ColumnarPayload(
+            tables, vectors, edge_sources, edge_targets, edge_transitions
+        )
+
+    def _materialize(self) -> None:
+        pending = self._pending
+        if pending is None:
+            return
+        self._pending = None
+        tables = pending.tables
+        names = tables.transition_names
+        markings = [tables.to_marking(row) for row in pending.vectors.tolist()]
+        self._markings = markings
+        self._index_of = {marking: index for index, marking in enumerate(markings)}
+        edges = [
+            UntimedEdge(source, target, names[transition])
+            for source, target, transition in zip(
+                pending.edge_sources.tolist(),
+                pending.edge_targets.tolist(),
+                pending.edge_transitions.tolist(),
+            )
+        ]
+        self._edges = edges
+        successor_edges: Dict[int, List[int]] = {index: [] for index in range(len(markings))}
+        for position, edge in enumerate(edges):
+            successor_edges[edge.source].append(position)
+        self._successor_edges = successor_edges
 
     # -- queries --------------------------------------------------------
 
     @property
+    def markings(self) -> List[Marking]:
+        """All reachable markings in FIFO discovery order."""
+        if self._pending is not None:
+            self._materialize()
+        return self._markings
+
+    @property
+    def index_of(self) -> Dict[Marking, int]:
+        """Marking → node-index lookup."""
+        if self._pending is not None:
+            self._materialize()
+        return self._index_of
+
+    @property
+    def edges(self) -> List[UntimedEdge]:
+        """All firing edges in emission order."""
+        if self._pending is not None:
+            self._materialize()
+        return self._edges
+
+    @property
     def state_count(self) -> int:
         """Number of distinct reachable markings."""
-        return len(self.markings)
+        if self._pending is not None:
+            return self._pending.state_count
+        return len(self._markings)
 
     @property
     def edge_count(self) -> int:
         """Number of firing edges."""
-        return len(self.edges)
+        if self._pending is not None:
+            return self._pending.edge_count
+        return len(self._edges)
+
+    def build_stats(self):
+        """The construction's :class:`~repro.engine.frontier.FrontierStats`.
+
+        Available for the engines that run the shared frontier loop
+        (``"compiled"`` and ``"batched"``); ``None`` otherwise.
+        """
+        return self._build_stats
 
     def successors(self, index: int) -> List[UntimedEdge]:
         """Outgoing edges of a marking index."""
-        return [self.edges[edge_index] for edge_index in self._successors[index]]
+        if self._pending is not None:
+            self._materialize()
+        return [self._edges[edge_index] for edge_index in self._successor_edges[index]]
 
     def dead_markings(self) -> List[int]:
         """Indices of markings with no enabled transition (deadlocks)."""
@@ -144,14 +254,18 @@ def reachability_graph(
     ``engine`` selects the construction backend: ``"compiled"`` (default)
     runs the integer-vector BFS of
     :func:`repro.engine.untimed.compiled_reachability_graph`, ``"reference"``
-    the readable marking-based enumeration below, and ``"parallel"`` the
-    frontier-sharded multiprocess BFS of
+    the readable marking-based enumeration below, ``"batched"`` the numpy
+    level-batched kernel of
+    :func:`repro.engine.batched.batched_reachability_graph` (whole frontiers
+    expand as one enabledness mask), and ``"parallel"`` the frontier-sharded
+    multiprocess BFS of
     :func:`repro.engine.parallel.parallel_reachability_graph` across
-    ``workers`` processes (default: one per CPU).  All three produce
+    ``workers`` processes (default: one per CPU).  All four produce
     identical graphs.
     """
     # Imported lazily: repro.engine imports this module's graph classes.
-    from ..engine import ENGINE_COMPILED, ENGINE_PARALLEL, check_engine
+    from ..engine import ENGINE_BATCHED, ENGINE_COMPILED, ENGINE_PARALLEL, check_engine
+    from ..engine.batched import batched_reachability_graph
     from ..engine.parallel import parallel_reachability_graph
     from ..engine.untimed import compiled_reachability_graph
 
@@ -160,6 +274,8 @@ def reachability_graph(
         return parallel_reachability_graph(net, max_states=max_states, workers=workers)
     if workers is not None:
         raise ValueError("workers= is only meaningful with engine='parallel'")
+    if engine == ENGINE_BATCHED:
+        return batched_reachability_graph(net, max_states=max_states)
     if engine == ENGINE_COMPILED:
         return compiled_reachability_graph(net, max_states=max_states)
     graph = UntimedReachabilityGraph(net)
@@ -205,6 +321,9 @@ class CoverabilityNode:
 class CoverabilityGraph:
     """Karp–Miller coverability graph."""
 
+    #: Construction telemetry (compiled engine only), see :meth:`build_stats`.
+    _build_stats = None
+
     def __init__(self, net: TimedPetriNet):
         self.net = net
         self.nodes: List[CoverabilityNode] = []
@@ -249,6 +368,12 @@ class CoverabilityGraph:
             best = max(best, int(value))
         return best
 
+    def build_stats(self):
+        """The construction's :class:`~repro.engine.frontier.FrontierStats`
+        when built with ``engine="compiled"`` (the shared frontier loop);
+        ``None`` for the reference construction."""
+        return self._build_stats
+
     def __repr__(self) -> str:
         return f"CoverabilityGraph(nodes={self.node_count}, edges={len(self.edges)})"
 
@@ -284,11 +409,13 @@ def coverability_graph(
     guaranteed finite only with unlimited memory.
 
     ``engine`` selects the construction backend exactly as in
-    :func:`reachability_graph`, except that the Karp–Miller construction has
-    no sharded backend (the acceleration rule inspects the BFS-tree ancestor
-    chain, which a frontier-sharded exploration does not preserve), so
-    ``engine="parallel"`` is rejected; the compiled backend applies the
-    ω-acceleration directly on integer vectors.
+    :func:`reachability_graph`, except that the Karp–Miller construction
+    has neither a sharded nor a batched backend: the acceleration rule
+    inspects the BFS-tree ancestor chain of each work vector, per-path
+    history that a frontier-sharded or level-batched expansion does not
+    preserve.  ``engine="parallel"`` and ``engine="batched"`` are therefore
+    rejected; the compiled backend applies the ω-acceleration directly on
+    integer vectors through the shared frontier loop.
     """
     from ..engine import (
         ENGINE_COMPILED,

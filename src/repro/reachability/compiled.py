@@ -50,7 +50,7 @@ from itertools import product
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..engine.tables import NetTables
-from ..exceptions import SafenessViolationError, UnboundedNetError
+from ..exceptions import SafenessViolationError
 from ..petri.net import TimedPetriNet
 from ..symbolic.constraints import ConstraintSet
 from .algebra import ProbabilityScalar, TimeScalar
@@ -526,58 +526,43 @@ def build_compiled_graph(
     """BFS construction of the timed reachability graph via the compiled engine.
 
     Mirrors the reference builder exactly — same breadth-first order, same
-    ``max_states`` semantics — but deduplicates on tuple keys and only
-    materializes one :class:`TimedState` per unique node.
+    ``max_states`` semantics — but deduplicates on tuple keys, only
+    materializes one :class:`TimedState` per unique node, and rides the
+    shared frontier loop of :mod:`repro.engine.frontier` through a
+    :class:`~repro.engine.frontier.TimedKernel` (the same kernel the
+    parallel workers execute).
     """
     # Imported here to avoid a circular import (graph.py imports this module).
+    from ..engine.frontier import FrontierStats, TimedKernel, explore, timed_limits
     from .graph import TimedReachabilityGraph
 
     graph = TimedReachabilityGraph(net, symbolic=symbolic, constraints=constraints)
     engine = CompiledSuccessorEngine(
         net, time_algebra, probability_algebra, overlap_policy=overlap_policy
     )
+    kernel = TimedKernel(engine)
 
     index_of_key: Dict[_CompiledState, int] = {}
-    compiled_states: List[_CompiledState] = []
 
-    def intern(state: _CompiledState) -> Tuple[int, bool]:
+    def intern(state: _CompiledState, _parent: int) -> Tuple[int, bool]:
         existing = index_of_key.get(state)
         if existing is not None:
             return existing, False
         index, _ = graph._add_state(engine.to_timed_state(state))
         index_of_key[state] = index
-        compiled_states.append(state)
         return index, True
 
-    initial = engine.initial_state()
-    initial_index, _ = intern(initial)
-    graph.initial_index = initial_index
+    def on_edge(source: int, target: int, data) -> None:
+        graph._add_edge(source, target, *data)
 
-    frontier = [initial_index]
-    cursor = 0
-    while cursor < len(frontier):
-        index = frontier[cursor]
-        cursor += 1
-        for successor in engine.successors(compiled_states[index]):
-            target_index, is_new = intern(successor.target)
-            graph._add_edge(
-                index,
-                target_index,
-                successor.delay,
-                successor.probability,
-                successor.fired,
-                successor.completed,
-                successor.kind,
-                successor.used_constraints,
-            )
-            if is_new:
-                if graph.state_count > max_states:
-                    raise UnboundedNetError(
-                        f"timed reachability graph exceeded {max_states} states; "
-                        "the net may be unbounded under the timed semantics or the "
-                        "bound is too small"
-                    )
-                frontier.append(target_index)
+    graph.initial_index = 0  # the seed is interned first
+    graph._build_stats = explore(
+        kernel,
+        intern,
+        on_edge,
+        timed_limits(max_states),
+        stats=FrontierStats(engine="compiled"),
+    )
     return graph
 
 

@@ -24,7 +24,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from ..engine import ENGINE_COMPILED, ENGINE_PARALLEL, ENGINE_REFERENCE, check_engine
+from ..engine import (
+    BATCHED_UNSUPPORTED_REASON,
+    ENGINE_COMPILED,
+    ENGINE_PARALLEL,
+    ENGINE_REFERENCE,
+    TIMED_ENGINES,
+    check_engine,
+)
 from ..exceptions import UnboundedNetError
 from ..petri.net import TimedPetriNet
 from ..symbolic.constraints import ConstraintSet
@@ -89,6 +96,9 @@ class TimedNode:
 
 class TimedReachabilityGraph:
     """The timed reachability graph of a net (numeric or symbolic)."""
+
+    #: Set by the compiled builder to the exploration's FrontierStats.
+    _build_stats = None
 
     def __init__(self, net: TimedPetriNet, *, symbolic: bool, constraints: Optional[ConstraintSet] = None):
         self.net = net
@@ -160,6 +170,14 @@ class TimedReachabilityGraph:
     def state(self, index: int) -> TimedState:
         """Timed state of a node."""
         return self.nodes[index].state
+
+    def build_stats(self):
+        """The construction's :class:`~repro.engine.frontier.FrontierStats`.
+
+        Populated by the ``"compiled"`` engine (the backend that runs the
+        shared frontier loop in-process); ``None`` for the other engines.
+        """
+        return self._build_stats
 
     def successors(self, index: int) -> List[TimedEdge]:
         """Outgoing edges of a node."""
@@ -360,13 +378,15 @@ def timed_reachability_graph(
     shards the compiled construction across ``workers`` processes
     (:func:`repro.engine.parallel.parallel_timed_reachability_graph`;
     default: one worker per CPU).  All three produce bit-identical graphs.
+    ``engine="batched"`` is rejected: timed states carry per-state clock
+    vectors the level-batched kernel cannot represent.
     """
     if net.is_symbolic:
         raise ValueError(
             "net has symbolic annotations; use symbolic_timed_reachability_graph() "
             "with the declared timing constraints"
         )
-    check_engine(engine)
+    check_engine(engine, supported=TIMED_ENGINES, reason=BATCHED_UNSUPPORTED_REASON)
     time_algebra, probability_algebra = numeric_algebras()
     if engine == ENGINE_PARALLEL:
         from ..engine.parallel import parallel_timed_reachability_graph
@@ -423,11 +443,13 @@ def symbolic_timed_reachability_graph(
     layer of :mod:`repro.symbolic` (they re-intern on unpickle), and the
     comparator's constraint bookkeeping is reproduced worker-side, so the
     parallel graph carries the identical used-constraint labels.
+    ``engine="batched"`` is rejected exactly as in
+    :func:`timed_reachability_graph`.
     """
     if not isinstance(constraints, ConstraintSet):
         constraints = ConstraintSet(list(constraints))
     constraints.assert_consistent()
-    check_engine(engine)
+    check_engine(engine, supported=TIMED_ENGINES, reason=BATCHED_UNSUPPORTED_REASON)
     time_algebra, probability_algebra = symbolic_algebras(constraints)
     if engine == ENGINE_PARALLEL:
         from ..engine.parallel import parallel_timed_reachability_graph

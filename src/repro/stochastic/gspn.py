@@ -30,7 +30,8 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..engine import ENGINE_COMPILED, ENGINE_PARALLEL, check_engine
+from ..engine import ENGINE_BATCHED, ENGINE_COMPILED, ENGINE_PARALLEL, check_engine
+from ..engine.batched import batched_marking_graph
 from ..engine.gspn import compiled_marking_graph
 from ..engine.parallel import parallel_marking_graph
 from ..exceptions import NotErgodicError, PerformanceError, UnboundedNetError
@@ -89,7 +90,9 @@ class GSPNAnalysis:
         Marking-graph construction backend: ``"compiled"`` (default) runs
         the integer-vector exploration of
         :func:`repro.engine.gspn.compiled_marking_graph`, ``"reference"``
-        the readable marking-based exploration in this module, and
+        the readable marking-based exploration in this module,
+        ``"batched"`` the numpy level-batched kernel of
+        :func:`repro.engine.batched.batched_marking_graph`, and
         ``"parallel"`` the frontier-sharded multiprocess exploration of
         :func:`repro.engine.parallel.parallel_marking_graph`.  All backends
         produce bit-identical marking graphs and therefore identical
@@ -119,6 +122,7 @@ class GSPNAnalysis:
         self.place_capacity = place_capacity
         self.engine = engine
         self.workers = workers
+        self._build_stats = None
         self._rates: Dict[str, float] = {}
         self._immediate: Dict[str, bool] = {}
         self._weights: Dict[str, float] = {}
@@ -144,18 +148,27 @@ class GSPNAnalysis:
     def _explore(self):
         """Build the marking graph: ``(markings, edges, vanishing)``.
 
-        Dispatches on the ``engine`` selected at construction; both backends
+        Dispatches on the ``engine`` selected at construction; all backends
         return bit-identical results (see ``tests/engine_diff.py``).
         """
-        if self.engine == ENGINE_COMPILED:
-            return compiled_marking_graph(
+        if self.engine in (ENGINE_COMPILED, ENGINE_BATCHED):
+            builder = (
+                compiled_marking_graph
+                if self.engine == ENGINE_COMPILED
+                else batched_marking_graph
+            )
+            stats_sink: list = []
+            result = builder(
                 self.net,
                 immediate=self._immediate,
                 weights=self._weights,
                 rates=self._rates,
                 max_states=self.max_states,
                 place_capacity=self.place_capacity,
+                stats_sink=stats_sink,
             )
+            self._build_stats = stats_sink[0] if stats_sink else None
+            return result
         if self.engine == ENGINE_PARALLEL:
             return parallel_marking_graph(
                 self.net,
@@ -167,6 +180,15 @@ class GSPNAnalysis:
                 workers=self.workers,
             )
         return self._explore_reference()
+
+    def build_stats(self):
+        """The exploration's :class:`~repro.engine.frontier.FrontierStats`.
+
+        Available after :meth:`_explore`/:meth:`solve` ran with the
+        ``"compiled"`` or ``"batched"`` engine (the backends that run the
+        shared frontier loop); ``None`` otherwise.
+        """
+        return self._build_stats
 
     def _explore_reference(self):
         markings: List[Marking] = []

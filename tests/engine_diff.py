@@ -5,8 +5,10 @@ escape hatch and must produce **bit-identical** graphs through every engine:
 same node order, same edge order, same delays/probabilities/labels, same
 rates and weights.  The untimed reachability, GSPN and *timed* reachability
 builders (numeric and symbolic) additionally accept ``engine="parallel"``
-(the frontier-sharded multiprocess BFS of :mod:`repro.engine.parallel`),
-which is held to the same bit-identical standard — the deterministic merge
+(the frontier-sharded multiprocess BFS of :mod:`repro.engine.parallel`), and
+the untimed and GSPN builders ``engine="batched"`` (the numpy level-batched
+kernel of :mod:`repro.engine.batched`); both are held to the same
+bit-identical standard — the deterministic merge
 must renumber cross-process discoveries into the exact sequential FIFO
 order, and for the timed construction the worker-computed edge payloads
 (delays, probabilities, used-constraint labels) must match the sequential
@@ -150,6 +152,11 @@ def build_untimed_parallel(net, *, workers=PARALLEL_WORKERS, **kwargs):
     return reachability_graph(net, engine="parallel", workers=workers, **kwargs)
 
 
+def build_untimed_batched(net, **kwargs):
+    """The numpy level-batched untimed reachability graph (fourth engine value)."""
+    return reachability_graph(net, engine="batched", **kwargs)
+
+
 def build_coverability_pair(net, **kwargs):
     """(compiled, reference) Karp–Miller coverability graphs."""
     return (
@@ -169,6 +176,11 @@ def build_gspn_pair(net, **kwargs):
 def build_gspn_parallel(net, *, workers=PARALLEL_WORKERS, **kwargs):
     """The frontier-sharded GSPN analysis (third engine value, not yet solved)."""
     return GSPNAnalysis(net, engine="parallel", workers=workers, **kwargs)
+
+
+def build_gspn_batched(net, **kwargs):
+    """The numpy level-batched GSPN analysis (fourth engine value, not yet solved)."""
+    return GSPNAnalysis(net, engine="batched", **kwargs)
 
 
 # ---------------------------------------------------------------------------

@@ -7,9 +7,11 @@ coverability and the GSPN marking graph — with ``engine="compiled"`` and
 shared harness in :mod:`engine_diff`.  The untimed, GSPN and timed families
 (numeric *and* symbolic) are additionally built with the third engine value,
 ``engine="parallel"`` (``workers=2``), gating the multiprocess
-construction's deterministic merge on cross-process bit-identity.  Workloads
-that are unbounded under a semantics must fail identically through every
-engine.
+construction's deterministic merge on cross-process bit-identity; the
+untimed and GSPN families also run through the fourth value,
+``engine="batched"`` (the numpy level-batched kernel), held to the same
+standard.  Workloads that are unbounded under a semantics must fail
+identically through every engine.
 
 CI runs this module (plus the randomized companion
 ``test_engine_random.py``) as a named differential gate.
@@ -31,12 +33,14 @@ from engine_diff import (
     assert_timed_graphs_identical,
     assert_untimed_graphs_identical,
     build_coverability_pair,
+    build_gspn_batched,
     build_gspn_pair,
     build_gspn_parallel,
     build_symbolic_timed_pair,
     build_symbolic_timed_parallel,
     build_timed_pair,
     build_timed_parallel,
+    build_untimed_batched,
     build_untimed_pair,
     build_untimed_parallel,
     symbolic_workload,
@@ -217,6 +221,92 @@ class TestParallelDifferential:
     def test_coverability_rejects_parallel(self):
         with pytest.raises(ValueError, match="not supported by this builder"):
             coverability_graph(simple_protocol_net(), engine="parallel")
+
+
+class TestBatchedDifferential:
+    """The numpy level-batched kernel vs the reference engine.
+
+    The batched kernel expands whole frontier levels through one
+    ``(frontier × transitions)`` enabledness mask and deduplicates
+    successors with packed integer keys; the FIFO renumbering of its
+    discoveries must still match the one-marking-at-a-time loops bit for
+    bit — including *where* the ``max_states`` valve fires on unbounded
+    workloads (the token-growth path that forces key repacks).
+    """
+
+    @pytest.mark.parametrize("label,constructor", NUMERIC_WORKLOADS, ids=WORKLOAD_IDS)
+    def test_untimed_workload(self, label, constructor):
+        net = constructor()
+        if label in UNBOUNDED_UNTIMED:
+            with pytest.raises(UnboundedNetError, match="untimed reachability exceeded"):
+                build_untimed_batched(net, max_states=500)
+        else:
+            batched = build_untimed_batched(net, max_states=30_000)
+            _compiled, reference = build_untimed_pair(net, max_states=30_000)
+            assert_untimed_graphs_identical(batched, reference)
+
+    @pytest.mark.parametrize("label,constructor", NUMERIC_WORKLOADS, ids=WORKLOAD_IDS)
+    def test_gspn_workload(self, label, constructor):
+        net = constructor()
+        settings = GSPN_SETTINGS.get(label, {})
+        if settings is None:
+            with pytest.raises(UnboundedNetError, match="GSPN marking graph exceeded"):
+                build_gspn_batched(net, max_states=500, place_capacity=2)._explore()
+            return
+        settings = dict(settings)
+        solve = settings.pop("solve", True)
+        batched = build_gspn_batched(net, **settings)
+        reference = GSPNAnalysis(net, engine="reference", **settings)
+        assert_gspn_explorations_identical(batched, reference)
+        if solve:
+            assert_gspn_results_identical(batched.solve(), reference.solve())
+
+    def test_symbolic_net_fails_identically(self):
+        # The untimed rule ignores timing, so the symbolic paper net runs
+        # through the batched kernel too — and is unbounded just like the
+        # numeric one.
+        net, _constraints = symbolic_workload()
+        with pytest.raises(UnboundedNetError, match="untimed reachability exceeded"):
+            build_untimed_batched(net, max_states=500)
+
+    def test_build_stats_surface(self):
+        net = sliding_window_net(2)
+        batched = build_untimed_batched(net)
+        compiled, _reference = build_untimed_pair(net)
+        batched_stats = batched.build_stats()
+        compiled_stats = compiled.build_stats()
+        assert batched_stats.engine == "batched"
+        assert compiled_stats.engine == "compiled"
+        # Same graph, same totals — only the batching shape differs.
+        assert batched_stats.states == compiled_stats.states == batched.state_count
+        assert batched_stats.edges == compiled_stats.edges == batched.edge_count
+        assert batched_stats.dedup_hits == compiled_stats.dedup_hits
+        assert batched_stats.batches < batched_stats.states
+        assert batched_stats.mean_batch_width > 1.0
+        assert compiled_stats.mean_batch_width == 1.0
+        assert batched_stats.states_per_second > 0
+        assert set(batched_stats.as_dict()) == set(compiled_stats.as_dict())
+        # The reference engine records no stats.
+        assert reachability_graph(net, engine="reference").build_stats() is None
+
+    def test_timed_builders_reject_batched(self):
+        with pytest.raises(ValueError, match="not supported by this builder"):
+            timed_reachability_graph(simple_protocol_net(), engine="batched")
+        net, constraints = symbolic_workload()
+        from repro.reachability import symbolic_timed_reachability_graph
+
+        with pytest.raises(ValueError, match="not supported by this builder"):
+            symbolic_timed_reachability_graph(net, constraints, engine="batched")
+
+    def test_coverability_rejects_batched(self):
+        with pytest.raises(ValueError, match="not supported by this builder"):
+            coverability_graph(simple_protocol_net(), engine="batched")
+
+    def test_workers_rejected_for_batched(self):
+        with pytest.raises(ValueError, match="only meaningful with engine='parallel'"):
+            reachability_graph(sliding_window_net(2), engine="batched", workers=2)
+        with pytest.raises(ValueError, match="only meaningful with engine='parallel'"):
+            GSPNAnalysis(simple_protocol_net(), place_capacity=2, engine="batched", workers=2)
 
 
 class TestGSPNDifferential:

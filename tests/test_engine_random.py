@@ -1,15 +1,19 @@
 """Property-style randomized differential tests for the compiled engine.
 
 Small random nets (seeded, via :class:`NetBuilder`) are pushed through the
-compiled and reference backends of every untimed builder; the two must agree
-exactly — including on *failure*: a net that is unbounded for the reference
-enumeration must be unbounded for the compiled one at the same bound.
+compiled, batched and reference backends of every untimed builder; all must
+agree exactly — including on *failure*: a net that is unbounded for the
+reference enumeration must be unbounded for the other engines at the same
+bound.
 
 On top of the differential check, bounded graphs are validated against the
 structure theory of :mod:`repro.petri.invariants`: every P-invariant's
 weighted token count is conserved across every reachable marking (token
 conservation is what ``y·C = 0`` *means*), and coverability must classify
-the net bounded exactly when the enumeration closed.
+the net bounded exactly when the enumeration closed.  A separate property
+check pins the incremental enabled-set maintenance of
+:meth:`NetTables.derive_enabled` to a full from-scratch re-scan of the
+transition list on every edge of the graph.
 """
 
 from __future__ import annotations
@@ -23,9 +27,12 @@ from engine_diff import (
     assert_gspn_explorations_identical,
     assert_untimed_graphs_identical,
     build_coverability_pair,
+    build_gspn_batched,
     build_gspn_pair,
+    build_untimed_batched,
     build_untimed_pair,
 )
+from repro.engine import NetTables
 from repro.exceptions import UnboundedNetError
 from repro.petri import coverability_graph, place_invariants, reachability_graph
 from repro.petri.builder import NetBuilder
@@ -95,9 +102,13 @@ class TestRandomizedUntimedDifferential:
         except UnboundedNetError:
             with pytest.raises(UnboundedNetError):
                 reachability_graph(net, max_states=MAX_STATES, engine="compiled")
+            with pytest.raises(UnboundedNetError):
+                build_untimed_batched(net, max_states=MAX_STATES)
             return
         compiled = reachability_graph(net, max_states=MAX_STATES, engine="compiled")
         assert_untimed_graphs_identical(compiled, reference)
+        batched = build_untimed_batched(net, max_states=MAX_STATES)
+        assert_untimed_graphs_identical(batched, reference)
         assert_p_invariants_conserved(net, compiled)
 
     @pytest.mark.parametrize("seed", SEEDS)
@@ -132,9 +143,13 @@ class TestRandomizedGSPNDifferential:
         except UnboundedNetError:
             with pytest.raises(UnboundedNetError):
                 GSPNAnalysis(net, max_states=MAX_STATES, engine="compiled")._explore()
+            with pytest.raises(UnboundedNetError):
+                build_gspn_batched(net, max_states=MAX_STATES)._explore()
             return
         compiled = GSPNAnalysis(net, max_states=MAX_STATES, engine="compiled")
         assert compiled._explore() == reference_exploration
+        batched = build_gspn_batched(net, max_states=MAX_STATES)
+        assert batched._explore() == reference_exploration
 
     @pytest.mark.parametrize("seed", SEEDS[:10])
     def test_truncated_marking_graph_agrees(self, seed):
@@ -144,3 +159,50 @@ class TestRandomizedGSPNDifferential:
         net = random_net(seed)
         compiled, reference = build_gspn_pair(net, max_states=10_000, place_capacity=2)
         assert_gspn_explorations_identical(compiled, reference)
+        batched = build_gspn_batched(net, max_states=10_000, place_capacity=2)
+        assert_gspn_explorations_identical(batched, reference)
+
+
+class TestRandomizedEnabledSetProperty:
+    """Incremental enabled-set maintenance vs a full from-scratch re-scan.
+
+    The compiled builders never re-scan the transition list: every child's
+    enabled set is *derived* from its parent's through the touched places.
+    This property check walks the reachable vectors of seeded random nets
+    and pins each derived set to a manual :meth:`NetTables.covers` scan of
+    every transition.  The re-scan deliberately avoids
+    ``enabled_transitions`` — that method memoizes into the same cache
+    ``derive_enabled`` consults, which would make the comparison vacuous.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS[:20])
+    def test_derive_enabled_matches_full_rescan(self, seed):
+        net = random_net(seed)
+        tables = NetTables(net)
+        transition_count = len(tables.transition_names)
+
+        def full_rescan(vec):
+            return tuple(
+                index for index in range(transition_count) if tables.covers(vec, index)
+            )
+
+        root = tables.initial_vector()
+        frontier = [(root, full_rescan(root))]
+        seen = {root}
+        checked = 0
+        while frontier and len(seen) < 200:
+            vec, enabled = frontier.pop()
+            for transition in enabled:
+                child = tables.fire_atomic(vec, transition)
+                touched = [place for place, _change in tables.deltas[transition]]
+                derived = tables.derive_enabled(enabled, child, touched)
+                assert derived == full_rescan(child), (
+                    f"incremental enabled set diverged on seed {seed}: "
+                    f"{vec} --t{transition}--> {child}"
+                )
+                checked += 1
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append((child, derived))
+        # Only a dead initial marking yields nothing to check.
+        assert checked > 0 or not full_rescan(root)

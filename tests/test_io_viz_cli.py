@@ -218,9 +218,40 @@ class TestCli:
         assert main(["untimed", "--model", "simple-protocol", "--max-states", "500"]) == 1
         assert "untimed reachability exceeded" in capsys.readouterr().out
 
+    def test_untimed_command_batched_engine_with_stats(self, capsys):
+        assert main(
+            ["untimed", "--model", "sliding-window", "--engine", "batched", "--stats"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "engine" in output and "batched" in output
+        assert "build stats:" in output
+        assert "states/s" in output
+        assert "mean batch width" in output
+        assert "dedup hit rate" in output
+
+    def test_untimed_stats_not_recorded_for_reference_engine(self, capsys):
+        assert main(
+            ["untimed", "--model", "sliding-window", "--engine", "reference", "--stats"]
+        ) == 0
+        assert "build stats: not recorded by this engine" in capsys.readouterr().out
+
     def test_untimed_workers_require_parallel_engine(self):
         with pytest.raises(SystemExit, match="--workers requires --engine parallel"):
             main(["untimed", "--model", "sliding-window", "--workers", "2"])
+
+    def test_reachability_workers_require_parallel_engine(self):
+        # Both graph-building subcommands share one validation helper; the
+        # message must stay identical on the timed path.
+        with pytest.raises(SystemExit, match="--workers requires --engine parallel"):
+            main(["reachability", "--workers", "2"])
+
+    def test_reachability_rejects_batched_engine(self, capsys):
+        # The timed builders have no batched backend; argparse rejects the
+        # value up front (exit code 2).
+        with pytest.raises(SystemExit) as exit_info:
+            main(["reachability", "--engine", "batched"])
+        assert exit_info.value.code == 2
+        assert "invalid choice: 'batched'" in capsys.readouterr().err
 
     def test_untimed_invalid_worker_count_exits_cleanly(self):
         with pytest.raises(SystemExit, match="workers must be a positive integer"):
