@@ -556,6 +556,119 @@ def test_window_branch_probability_caches():
     clear_branch_caches()
 
 
+def test_spill_store_states_per_second():
+    """In-memory vs disk-spilled full builds through the batched kernel.
+
+    The disk-backed state store (``store="disk"``, ``spill_threshold=0`` —
+    every interned state goes through the SQLite shards) trades states/s for
+    bounded resident memory; this row documents the price of that trade on
+    the batched headline workload.  Correctness is gated elsewhere (the
+    spill builds are bit-identical per ``tests/test_store_query.py``); the
+    only floor here is that spilling must not collapse throughput entirely.
+    """
+    label, constructor = BATCHED_ENGINE_MODELS[0]
+    net = constructor()
+    memory_time, in_memory = best_timed(
+        lambda: reachability_graph(net, engine="batched"), repetitions=3
+    )
+    spill_time, spilled = best_timed(
+        lambda: reachability_graph(
+            net, engine="batched", store="disk", spill_threshold=0
+        ),
+        repetitions=3,
+    )
+    assert spilled.state_count == in_memory.state_count
+    assert spilled.edge_count == in_memory.edge_count
+    stats = spilled.build_stats()
+    assert stats.spilled_states == spilled.state_count
+    assert stats.spill_bytes > 0
+    record_bench(label, "untimed/batched", None, in_memory.state_count, memory_time)
+    record_bench(label, "untimed/batched+spill", None, spilled.state_count, spill_time)
+    overhead = spill_time / memory_time
+
+    print()
+    print(
+        format_table(
+            (
+                "model (untimed, batched)",
+                "states",
+                "in-memory states/s",
+                "spilled states/s",
+                "spill MB",
+                "overhead",
+            ),
+            [
+                (
+                    label,
+                    spilled.state_count,
+                    f"{in_memory.state_count / memory_time:,.0f}",
+                    f"{spilled.state_count / spill_time:,.0f}",
+                    f"{stats.spill_bytes / 1e6:.1f}",
+                    f"{overhead:.2f}x",
+                )
+            ],
+            align_right=False,
+        )
+    )
+
+    problems = []
+    if overhead > 50.0:
+        problems.append(
+            f"disk spill overhead collapsed throughput on {label}: {overhead:.1f}x"
+        )
+    soft_or_fail(problems)
+
+
+def test_gspn_lazy_columnar_adoption():
+    """Lazy vs forced adoption of the batched GSPN kernel's columnar output.
+
+    ``batched_marking_graph`` used to convert its columnar numpy arrays into
+    Python ``Marking`` objects and edge tuples eagerly — wasted work for
+    consumers that only need the CTMC (built straight from the arrays) or a
+    subset of the rows.  The lists are now lazy; this row measures the
+    exploration with adoption deferred against the same exploration with
+    both lists forced, which is exactly the cost the laziness removes.
+    """
+    from repro.stochastic import GSPNAnalysis
+
+    label = "sliding window, 4 frames, lossy"
+    constructor = lambda: sliding_window_net(4, loss_probability=Fraction(1, 10))
+
+    lazy_time, lazy_result = best_timed(
+        lambda: GSPNAnalysis(constructor(), engine="batched")._explore(),
+        repetitions=3,
+    )
+    forced_time, forced_result = best_timed(
+        lambda: (
+            lambda markings, edges, vanishing: (list(markings), list(edges), vanishing)
+        )(*GSPNAnalysis(constructor(), engine="batched")._explore()),
+        repetitions=3,
+    )
+    states = len(lazy_result[0])
+    assert states == len(forced_result[0])
+    record_bench(label, "gspn/batched-lazy", None, states, lazy_time)
+    record_bench(label, "gspn/batched-forced", None, states, forced_time)
+    win = forced_time / lazy_time
+
+    print()
+    print(
+        format_table(
+            ("model (GSPN, batched)", "states", "lazy s", "forced s", "win"),
+            [(label, states, f"{lazy_time:.3f}", f"{forced_time:.3f}", f"{win:.2f}x")],
+            align_right=False,
+        )
+    )
+
+    # The point of satellite work on the lazy adoption: skipping the
+    # per-marking materialization must be a measurable win.
+    problems = []
+    if win < 1.1:
+        problems.append(
+            f"lazy columnar adoption shows no win on {label}: {win:.2f}x"
+        )
+    soft_or_fail(problems)
+
+
 def test_coverability_engine_nodes_per_second():
     """Compiled vs. reference Karp–Miller throughput on the largest bundled case."""
     net = alternating_bit_net()

@@ -20,6 +20,11 @@ Subcommands mirror the analysis pipeline of the paper:
   committed cycles, terminal classes with settling probabilities, and the
   closed-form cycle time / throughput / utilization table (this is the path
   that answers lossless window models, which the strict collapse rejects),
+* ``query`` — early-terminating reachability queries (``--reachable``,
+  ``--bound``, ``--deadlock``) that stop at the first witness in BFS order
+  and print a replayable firing path instead of building the full graph;
+  ``--store disk --spill-threshold N`` spills the exploration to disk and
+  ``--stats`` reports states explored, spill bytes and witness depth,
 * ``simulate`` — run the discrete-event simulator and compare against the
   analytic throughput,
 * ``export`` — write a model as JSON, PNML or Graphviz DOT,
@@ -117,6 +122,46 @@ def _validate_engine_arguments(arguments) -> None:
         raise SystemExit("--workers requires --engine parallel")
 
 
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared disk-spill options of the store-capable subcommands."""
+    parser.add_argument(
+        "--store",
+        choices=("disk",),
+        default=None,
+        help="spill the exploration's working set to a disk-backed state "
+        "store once it crosses --spill-threshold interned states",
+    )
+    parser.add_argument(
+        "--spill-threshold",
+        type=int,
+        default=None,
+        help="interned-state count above which --store disk moves to disk "
+        "(default: the store's built-in threshold; 0 spills immediately)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="spool directory for --store disk (default: a self-cleaning "
+        "temporary directory; an explicit path is kept for reopening)",
+    )
+
+
+def _resolve_store_arguments(arguments):
+    """Build the ``(store, owned)`` pair the builders expect from the CLI
+    flags; ``--spill-threshold``/``--store-dir`` without ``--store disk``
+    are rejected rather than silently ignored."""
+    from .engine.store import DiskStateStore
+
+    if arguments.store is None:
+        if arguments.spill_threshold is not None or arguments.store_dir is not None:
+            raise SystemExit("--spill-threshold/--store-dir require --store disk")
+        return None, False
+    kwargs = {}
+    if arguments.spill_threshold is not None:
+        kwargs["spill_threshold"] = arguments.spill_threshold
+    return DiskStateStore(arguments.store_dir, **kwargs), True
+
+
 def _command_models(_arguments) -> int:
     for name, constructor in sorted(model_catalog().items()):
         net = constructor()
@@ -186,20 +231,26 @@ def _command_reachability(arguments) -> int:
 def _command_untimed(arguments) -> int:
     net = _load_model(arguments)
     _validate_engine_arguments(arguments)
+    store, owned = _resolve_store_arguments(arguments)
     try:
         graph = untimed_reachability_graph(
             net,
             max_states=arguments.max_states,
             engine=arguments.engine,
             workers=arguments.workers,
+            store=store,
         )
     except ValueError as error:
-        # e.g. a non-positive --workers count; argparse already guaranteed
-        # the engine name, so surface the builder's message cleanly.
+        # e.g. a non-positive --workers count or a store on a non-frontier
+        # engine; argparse already guaranteed the engine name, so surface
+        # the builder's message cleanly.
         raise SystemExit(str(error))
     except UnboundedNetError as error:
         print(f"cannot enumerate: {error}")
         return 1
+    finally:
+        if owned:
+            store.close()
     print(graph)
     rows = [
         ("engine", arguments.engine
@@ -223,8 +274,83 @@ def _command_untimed(arguments) -> int:
                 ("mean batch width", f"{stats.mean_batch_width:.6g}"),
                 ("dedup hit rate", f"{stats.dedup_hit_rate:.6g}"),
                 ("batches", stats.batches),
+                ("spilled states", stats.spilled_states),
+                ("spill bytes", stats.spill_bytes),
                 ("seconds", f"{stats.seconds:.6g}"),
             ]))
+    return 0
+
+
+def _parse_marking_spec(spec: str) -> dict:
+    """Parse a ``place=count,place=count`` target-marking specification."""
+    target = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _sep, count = part.partition("=")
+        if not _sep:
+            raise SystemExit(
+                f"invalid marking component {part!r}; expected place=count"
+            )
+        try:
+            target[name.strip()] = int(count.strip())
+        except ValueError:
+            raise SystemExit(f"invalid token count in {part!r}; expected an integer")
+    if not target:
+        raise SystemExit("empty target marking; expected place=count[,place=count...]")
+    return target
+
+
+def _command_query(arguments) -> int:
+    from .engine import query as queries
+
+    net = _load_model(arguments)
+    store, owned = _resolve_store_arguments(arguments)
+    options = dict(
+        max_states=arguments.max_states,
+        store=store,
+    )
+    try:
+        if arguments.reachable is not None:
+            question = f"marking {arguments.reachable} reachable?"
+            result = queries.is_reachable(
+                net, _parse_marking_spec(arguments.reachable), **options
+            )
+        elif arguments.bound is not None:
+            spec = _parse_marking_spec(arguments.bound)
+            if len(spec) != 1:
+                raise SystemExit("--bound expects exactly one place=k pair")
+            (place, k), = spec.items()
+            question = f"can {place} exceed {k} tokens?"
+            result = queries.bound_check(net, place, k, **options)
+        else:
+            question = "deadlock reachable?"
+            result = queries.find_deadlock(net, **options)
+    except (ValueError, PerformanceError) as error:
+        raise SystemExit(str(error))
+    except UnboundedNetError as error:
+        print(f"query aborted: {error}")
+        return 1
+    finally:
+        if owned:
+            store.close()
+    print(f"query: {question}")
+    if result.found:
+        print(f"answer: yes (witness at depth {result.witness_depth})")
+        print(f"witness: {result.witness}")
+        print("path: " + (" -> ".join(result.path) if result.path else "(initial marking)"))
+    else:
+        print(f"answer: no (exhausted all {result.states_explored} reachable markings)")
+    if arguments.stats:
+        print("query stats:")
+        print(format_kv([
+            ("states explored", result.states_explored),
+            ("edges explored", result.edges_explored),
+            ("witness depth", result.witness_depth if result.found else "-"),
+            ("spill bytes", result.spill_bytes),
+            ("seconds", f"{result.seconds:.6g}"),
+        ]))
     return 0
 
 
@@ -396,12 +522,49 @@ def build_parser() -> argparse.ArgumentParser:
         "numpy, 'parallel' shards the BFS across processes",
         max_states_help="abort if the enumeration exceeds this many markings",
     )
+    _add_store_arguments(untimed)
     untimed.add_argument(
         "--stats",
         action="store_true",
         help="print frontier-core build statistics (states/s, batch width, dedup rate)",
     )
     untimed.set_defaults(handler=_command_untimed)
+
+    query = subparsers.add_parser(
+        "query",
+        help="early-terminating reachability queries (stop at the first witness)",
+    )
+    _add_model_arguments(query)
+    question = query.add_mutually_exclusive_group(required=True)
+    question.add_argument(
+        "--reachable",
+        metavar="MARKING",
+        help="is this marking reachable? (place=count[,place=count...]; "
+        "unnamed places default to 0 tokens)",
+    )
+    question.add_argument(
+        "--bound",
+        metavar="PLACE=K",
+        help="can this place ever exceed k tokens?",
+    )
+    question.add_argument(
+        "--deadlock",
+        action="store_true",
+        help="is a dead marking (no transition enabled) reachable?",
+    )
+    query.add_argument(
+        "--max-states",
+        type=int,
+        default=100_000,
+        help="abort if the query explores more than this many markings",
+    )
+    _add_store_arguments(query)
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print query telemetry (states explored, spill bytes, witness depth)",
+    )
+    query.set_defaults(handler=_command_query)
 
     decision = subparsers.add_parser("decision", help="print the decision graph")
     _add_model_arguments(decision)

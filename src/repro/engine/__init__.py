@@ -36,7 +36,18 @@ The package layers that loop once instead of five times:
   covers both the numeric and the symbolic algebras), whose deterministic
   merge renumbers cross-process discoveries into the exact sequential FIFO
   order.  The workers execute the same frontier kernels as the sequential
-  builders.
+  builders;
+* :mod:`repro.engine.store` — the **disk-backed state store**
+  (``store="disk"``, ``spill_threshold=N``): the frontier-core engines
+  spill their dedup index and item log (and the batched kernel its dense
+  state matrix) into SQLite shards — selected by the same ``hash(vec) %
+  shards`` function the parallel engine shards workers with — once the
+  interned-state count crosses a threshold, so full builds continue past
+  RAM with bounded resident memory and bit-identical results;
+* :mod:`repro.engine.query` — **early-terminating queries**
+  (``is_reachable``, ``bound_check``, ``find_deadlock``, predicate
+  ``search``) that drive the same frontier loop with a stop predicate:
+  first witness in BFS order, a replayable firing path, no full graph.
 
 Each public builder that uses this engine keeps an ``engine="reference"``
 escape hatch and is required (by ``tests/test_engine_diff.py`` and
@@ -56,6 +67,8 @@ from .parallel import (
     parallel_timed_reachability_graph,
     resolve_workers,
 )
+from .query import QueryResult, bound_check, find_deadlock, is_reachable, search
+from .store import DiskStateStore, resolve_store
 from .tables import NetTables
 from .untimed import compiled_coverability_graph, compiled_reachability_graph
 
@@ -133,17 +146,24 @@ __all__ = [
     "PARALLEL_UNSUPPORTED_REASON",
     "SEQUENTIAL_ENGINES",
     "TIMED_ENGINES",
+    "DiskStateStore",
     "FrontierStats",
     "NetTables",
+    "QueryResult",
     "batched_marking_graph",
     "batched_reachability_graph",
+    "bound_check",
     "check_engine",
     "compiled_coverability_graph",
     "compiled_marking_graph",
     "compiled_reachability_graph",
     "explore",
+    "find_deadlock",
+    "is_reachable",
     "parallel_marking_graph",
     "parallel_reachability_graph",
     "parallel_timed_reachability_graph",
+    "resolve_store",
     "resolve_workers",
+    "search",
 ]

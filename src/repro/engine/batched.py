@@ -45,27 +45,53 @@ import numpy as np
 
 from ..exceptions import UnboundedNetError
 from .frontier import ExploreLimits, FrontierStats, gspn_limits, untimed_limits
+from .store import DiskStateStore
 from .tables import NetTables
+
+#: Archived rows are read back from the disk store in chunks of this many
+#: states (repack, unpackable fallback, final assembly).
+_ARCHIVE_CHUNK = 4096
 
 
 class _VectorTable:
     """Growable dense state table with packed-key dedup.
 
-    States are rows of ``matrix[:count]`` in FIFO interning order.  While
+    States are rows of the matrix in FIFO interning order.  While
     ``packable`` holds, dedup runs on packed ``int64`` keys — computed
     vectorized, then resolved through ``key_index`` (a plain int dict, which
     beats any sort-based scheme at typical frontier widths and yields
     first-occurrence FIFO numbering by construction); otherwise on
     ``index_of``, the same dict over vector tuples.
+
+    With a :class:`~repro.engine.store.DiskStateStore` the dense matrix
+    becomes a sliding window: once the interned count crosses the store's
+    spill threshold, rows behind the current frontier are archived into the
+    store's FIFO item log at level boundaries (:meth:`archive_below`) and
+    the resident matrix keeps only ``[archived, count)`` — the level loop
+    never touches earlier rows, so the exploration is unchanged bit for
+    bit.  The packed-key dict and per-state key array stay resident (8+
+    bytes per state versus ``places × 8`` for the vectors; the tuple-dict
+    fallback of :meth:`_go_unpackable` likewise keeps its dict resident),
+    so spilling bounds the dominant dense-matrix term, not the dedup index.
+    Rare whole-table passes (:meth:`_repack` re-keying, the unpackable
+    flip, final :meth:`vectors` assembly) stream archived rows back in
+    chunks.
     """
 
     #: Packed keys must stay inside a signed int64; the sign bit is never
     #: used because token counts are non-negative.
     _KEY_BITS = 62
 
-    def __init__(self, seed: np.ndarray, delta_matrix: np.ndarray):
+    def __init__(
+        self,
+        seed: np.ndarray,
+        delta_matrix: np.ndarray,
+        store: Optional[DiskStateStore] = None,
+    ):
         self.place_count = seed.shape[0]
         self.delta_matrix = delta_matrix
+        self.store = store
+        self.archived = 0
         # Per-place headroom: the largest one-step token increase, so any
         # successor of an interned state fits the current bit layout.
         if delta_matrix.shape[0]:
@@ -85,6 +111,56 @@ class _VectorTable:
         self.keys = np.zeros(self.capacity, dtype=np.int64)
         self.key_index: Optional[dict] = None
         self._repack()
+
+    # -- archived-row access --------------------------------------------
+
+    def _archived_chunks(self):
+        """Stream the archived rows back as ``(base_index, matrix)`` chunks."""
+        buffer: List[tuple] = []
+        base = 0
+        for row in self.store.items_range(0, self.archived):
+            buffer.append(row)
+            if len(buffer) == _ARCHIVE_CHUNK:
+                yield base, np.asarray(buffer, dtype=np.int64)
+                base += len(buffer)
+                buffer = []
+        if buffer:
+            yield base, np.asarray(buffer, dtype=np.int64)
+
+    def row_of(self, index: int) -> tuple:
+        """State ``index`` as a token-vector tuple (resident or archived)."""
+        if index >= self.archived:
+            return tuple(self.matrix[index - self.archived].tolist())
+        return self.store.item_at(index)
+
+    def archive_below(self, boundary: int) -> None:
+        """Move rows ``[archived, boundary)`` into the disk store.
+
+        Called at level ends with ``boundary`` = the next level's first
+        state, so the resident window always contains the whole frontier.
+        A no-op until the interned count crosses the store's threshold.
+        """
+        store = self.store
+        if store is None or boundary <= self.archived:
+            return
+        threshold = store.spill_threshold
+        if threshold is not None and self.count <= threshold:
+            return
+        drop = boundary - self.archived
+        resident = self.count - self.archived
+        for row in self.matrix[:drop].tolist():
+            store.append_item(tuple(row))
+        self.matrix[: resident - drop] = self.matrix[drop:resident].copy()
+        self.keys[: resident - drop] = self.keys[drop:resident].copy()
+        self.archived = boundary
+
+    def vectors(self) -> np.ndarray:
+        """The full ``(count × places)`` state matrix in interning order."""
+        if not self.archived:
+            return self.matrix[: self.count]
+        parts = [chunk for _base, chunk in self._archived_chunks()]
+        parts.append(self.matrix[: self.count - self.archived])
+        return np.concatenate(parts)
 
     # -- key layout -----------------------------------------------------
 
@@ -116,34 +192,48 @@ class _VectorTable:
         self.widths = widths
         shifts = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(widths)[:-1]))
         self.weights = np.left_shift(np.int64(1), shifts)
-        self.keys[: self.count] = self.matrix[: self.count] @ self.weights
         self.delta_keys = self.delta_matrix @ self.weights
         # The layout is injective over every in-range vector, so the key
-        # dict is a faithful vector dict; rebuild it under the new layout.
-        self.key_index = dict(
-            zip(self.keys[: self.count].tolist(), range(self.count))
-        )
+        # dict is a faithful vector dict; rebuild it under the new layout
+        # (streaming archived rows back, root-first, when spilled).
+        key_index: dict = {}
+        for base, chunk in self._archived_chunks() if self.archived else ():
+            chunk_keys = chunk @ self.weights
+            for offset, key in enumerate(chunk_keys.tolist()):
+                key_index[key] = base + offset
+        resident = self.count - self.archived
+        self.keys[:resident] = self.matrix[:resident] @ self.weights
+        for offset, key in enumerate(self.keys[:resident].tolist()):
+            key_index[key] = self.archived + offset
+        self.key_index = key_index
 
     def _go_unpackable(self) -> None:
         self.packable = False
-        self.index_of = {
-            tuple(row): index
-            for index, row in enumerate(self.matrix[: self.count].tolist())
-        }
+        index_of: dict = {}
+        for base, chunk in self._archived_chunks() if self.archived else ():
+            for offset, row in enumerate(chunk.tolist()):
+                index_of[tuple(row)] = base + offset
+        resident = self.count - self.archived
+        for offset, row in enumerate(self.matrix[:resident].tolist()):
+            index_of[tuple(row)] = self.archived + offset
+        self.index_of = index_of
         self.weights = None
         self.delta_keys = None
         self.key_index = None
 
     def _ensure(self, needed: int) -> None:
+        """Grow the resident window to hold ``needed - archived`` rows."""
+        needed -= self.archived
         if needed <= self.capacity:
             return
         while self.capacity < needed:
             self.capacity *= 2
+        resident = self.count - self.archived
         matrix = np.zeros((self.capacity, self.place_count), dtype=np.int64)
-        matrix[: self.count] = self.matrix[: self.count]
+        matrix[:resident] = self.matrix[:resident]
         self.matrix = matrix
         keys = np.zeros(self.capacity, dtype=np.int64)
-        keys[: self.count] = self.keys[: self.count]
+        keys[:resident] = self.keys[:resident]
         self.keys = keys
 
     # -- dedup ----------------------------------------------------------
@@ -184,9 +274,10 @@ class _VectorTable:
         base = self.count
         added = rows.shape[0]
         self._ensure(base + added)
-        self.matrix[base : base + added] = rows
+        offset = base - self.archived
+        self.matrix[offset : offset + added] = rows
         self.count = base + added
-        self.keys[base : base + added] = row_keys
+        self.keys[offset : offset + added] = row_keys
         new_max = np.maximum(self.running_max, rows.max(axis=0))
         if (new_max > self.running_max).any():
             self.running_max = new_max
@@ -211,7 +302,8 @@ class _VectorTable:
         if new_rows:
             added = len(new_rows)
             self._ensure(base + added)
-            self.matrix[base : base + added] = new_rows
+            offset = base - self.archived
+            self.matrix[offset : offset + added] = new_rows
             self.count = base + added
         return targets, len(new_rows)
 
@@ -223,12 +315,15 @@ def _explore_batched(
     *,
     is_immediate=None,
     place_capacity=None,
+    store: Optional[DiskStateStore] = None,
 ):
     """The level-batched frontier loop over plain token vectors.
 
     Returns ``(vectors, edge_sources, edge_targets, edge_transitions,
     vanishing_flags)`` as numpy arrays (``vanishing_flags`` is ``None``
-    outside GSPN semantics).
+    outside GSPN semantics).  A ``store`` turns the dense state matrix into
+    a sliding resident window (rows behind the frontier archive to disk at
+    level boundaries) without changing the exploration.
     """
     start = time.perf_counter()
     input_matrix = tables.input_matrix
@@ -247,7 +342,7 @@ def _explore_batched(
         for weight in np.unique(input_matrix[input_matrix > 0]).tolist()
     ]
     table = _VectorTable(
-        np.array(tables.initial_vector(), dtype=np.int64), delta_matrix
+        np.array(tables.initial_vector(), dtype=np.int64), delta_matrix, store
     )
     immediate_row = (
         np.asarray(is_immediate, dtype=bool) if is_immediate is not None else None
@@ -261,7 +356,7 @@ def _explore_batched(
     cursor = 0
     while cursor < table.count:
         level_end = table.count
-        frontier = table.matrix[cursor:level_end]
+        frontier = table.matrix[cursor - table.archived : level_end - table.archived]
         stats.batches += 1
         stats.expanded += level_end - cursor
         # (width × transitions) enabledness: zero violated input arcs.
@@ -297,7 +392,7 @@ def _explore_batched(
                 continue
         parents = cursor + rows
         if table.packable:
-            candidate_keys = table.keys[parents] + table.delta_keys[cols]
+            candidate_keys = table.keys[parents - table.archived] + table.delta_keys[cols]
             if successors is None:
                 # Key arithmetic makes the successor matrix unnecessary:
                 # only the handful of genuinely new rows get materialized.
@@ -321,13 +416,19 @@ def _explore_batched(
         if table.count > limits.max_states:
             raise UnboundedNetError(limits.message)
         cursor = level_end
+        table.archive_below(cursor)
     stats.states = table.count
     stats.edges = edge_count
     stats.dedup_hits = hits
+    vectors = table.vectors()
+    if store is not None:
+        store.flush()
+        stats.spilled_states = max(len(store), store.item_count) if store.spilled else 0
+        stats.spill_bytes = store.spill_bytes()
     stats.seconds = time.perf_counter() - start
     empty = np.zeros(0, dtype=np.int64)
     return (
-        table.matrix[: table.count],
+        vectors,
         np.concatenate(edge_sources) if edge_sources else empty,
         np.concatenate(edge_targets) if edge_targets else empty,
         np.concatenate(edge_transitions) if edge_transitions else empty,
@@ -335,7 +436,56 @@ def _explore_batched(
     )
 
 
-def batched_reachability_graph(net, *, max_states: int = 100_000):
+class _LazyColumnarList:
+    """List façade over columnar arrays, materialized on first access.
+
+    The batched kernel's payoff is that it never touches Python objects
+    during the build; this façade extends that to the *results* — the
+    marking list and edge list answer ``len()`` from the array shapes and
+    only run the per-object materialization loop when an element is
+    actually read (mirroring ``UntimedReachabilityGraph._adopt_columnar``
+    on the untimed side).  Equality materializes and compares as a plain
+    list, in either operand position, so the differential harness's ``==``
+    assertions see no difference.
+    """
+
+    __slots__ = ("_build", "_length", "_data")
+
+    def __init__(self, build, length: int):
+        self._build = build
+        self._length = length
+        self._data = None
+
+    def _materialize(self) -> list:
+        if self._data is None:
+            self._data = self._build()
+            self._build = None
+        return self._data
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __contains__(self, value) -> bool:
+        return value in self._materialize()
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _LazyColumnarList):
+            other = other._materialize()
+        return self._materialize() == other
+
+    def __repr__(self) -> str:
+        if self._data is None:
+            return f"<lazy columnar list of {self._length} entries>"
+        return repr(self._data)
+
+
+def batched_reachability_graph(net, *, max_states: int = 100_000, store=None):
     """Untimed reachability through the numpy level-batched kernel.
 
     Bit-identical to ``engine="compiled"`` (FIFO numbering, edge order);
@@ -349,7 +499,7 @@ def batched_reachability_graph(net, *, max_states: int = 100_000):
     graph = UntimedReachabilityGraph(net)
     stats = FrontierStats(engine="batched")
     vectors, sources, targets, transitions, _flags = _explore_batched(
-        tables, untimed_limits(max_states), stats
+        tables, untimed_limits(max_states), stats, store=store
     )
     graph._adopt_columnar(tables, vectors, sources, targets, transitions)
     graph._build_stats = stats
@@ -365,11 +515,17 @@ def batched_marking_graph(
     max_states: int = 100_000,
     place_capacity=None,
     stats_sink=None,
+    store=None,
 ):
     """GSPN marking graph through the numpy level-batched kernel.
 
     Same ``(markings, edges, vanishing)`` contract as
     :func:`repro.engine.gspn.compiled_marking_graph`, bit-identical to it.
+    Markings and edge tuples adopt the columnar arrays lazily (see
+    :class:`_LazyColumnarList`) — solvers that only count states or read
+    the vanishing set never pay the per-object materialization loop, the
+    same deal ``batched_reachability_graph`` has had via
+    ``_adopt_columnar``.
     """
     tables = NetTables.of(net)
     names = tables.transition_names
@@ -383,19 +539,32 @@ def batched_marking_graph(
         stats,
         is_immediate=is_immediate,
         place_capacity=place_capacity,
+        store=store,
     )
     if stats_sink is not None:
         stats_sink.append(stats)
-    markings = [tables.to_marking(row) for row in vectors.tolist()]
-    edges = []
-    for source, target, transition in zip(
-        sources.tolist(), targets.tolist(), transitions.tolist()
-    ):
-        if is_immediate[transition]:
-            edges.append((source, target, names[transition], weight_of[transition], True))
-        else:
-            edges.append((source, target, names[transition], rate_of[transition], False))
-    vanishing = {index for index, flag in enumerate(flags.tolist()) if flag}
+
+    def build_markings() -> list:
+        return [tables.to_marking(row) for row in vectors.tolist()]
+
+    def build_edges() -> list:
+        edges = []
+        for source, target, transition in zip(
+            sources.tolist(), targets.tolist(), transitions.tolist()
+        ):
+            if is_immediate[transition]:
+                edges.append(
+                    (source, target, names[transition], weight_of[transition], True)
+                )
+            else:
+                edges.append(
+                    (source, target, names[transition], rate_of[transition], False)
+                )
+        return edges
+
+    markings = _LazyColumnarList(build_markings, int(vectors.shape[0]))
+    edges = _LazyColumnarList(build_edges, int(sources.shape[0]))
+    vanishing = set(np.flatnonzero(flags).tolist())
     return markings, edges, vanishing
 
 

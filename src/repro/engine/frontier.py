@@ -62,6 +62,8 @@ class FrontierStats:
     batches: int = 0
     dedup_hits: int = 0
     seconds: float = 0.0
+    spilled_states: int = 0
+    spill_bytes: int = 0
 
     @property
     def states_per_second(self) -> float:
@@ -90,6 +92,8 @@ class FrontierStats:
             "states_per_second": self.states_per_second,
             "mean_batch_width": self.mean_batch_width,
             "dedup_hit_rate": self.dedup_hit_rate,
+            "spilled_states": self.spilled_states,
+            "spill_bytes": self.spill_bytes,
         }
 
 
@@ -146,6 +150,8 @@ def explore(
     limits: ExploreLimits,
     *,
     stats: FrontierStats = None,
+    store=None,
+    stop: Callable[[int, object], bool] = None,
 ) -> FrontierStats:
     """The generic sequential frontier loop shared by every builder.
 
@@ -156,13 +162,28 @@ def explore(
     builder, whose acceleration rule walks the BFS-tree ancestor chain,
     uses it); ``on_edge(source, target, edge_data)`` records one edge.
 
+    ``store`` (a :class:`~repro.engine.store.DiskStateStore`) moves the
+    FIFO item log out of the in-process list: past the store's spill
+    threshold the pending work items live in SQLite and only the current
+    item plus one write buffer stay resident, so the BFS continues past RAM
+    — the expansion/interning order is untouched, the built graph is bit
+    identical.  ``stop(index, item)`` is the query layer's early-exit
+    valve: it is evaluated for every *newly interned* item (the seed
+    included), immediately after the discovering edge was reported, and
+    ends the exploration as soon as it returns true — the first witness in
+    BFS order, without building the rest of the graph.
+
     The FIFO contract, preserved bit for bit from the historical
     per-builder loops: items are expanded in interning order, each
     successor is interned before its edge is reported, and the valve fires
-    after the edge that pushed the interned count past ``limits``.
+    after the edge that pushed the count over ``limits``.
     """
     if stats is None:
         stats = FrontierStats(engine="scalar")
+    if store is not None or stop is not None:
+        return _explore_general(
+            kernel, intern, on_edge, limits, stats, store=store, stop=stop
+        )
     start = time.perf_counter()
     items: List[object] = []
     seed = kernel.seed()
@@ -194,6 +215,73 @@ def explore(
     return stats
 
 
+def _explore_general(
+    kernel,
+    intern,
+    on_edge,
+    limits: ExploreLimits,
+    stats: FrontierStats,
+    *,
+    store=None,
+    stop=None,
+) -> FrontierStats:
+    """The store-backed / early-terminating variant of :func:`explore`.
+
+    Kept off the plain in-memory hot path: the dispatch in :func:`explore`
+    means full in-memory builds pay nothing for the extra capabilities.
+    The item FIFO is either the store's spillable log or a plain list;
+    everything else — expansion order, intern-before-edge, the valve firing
+    after the overflowing edge — mirrors the fast loop exactly.
+    """
+    start = time.perf_counter()
+    if store is not None:
+        append_item = store.append_item
+        item_at = store.item_at
+        item_count = lambda: store.item_count  # noqa: E731
+    else:
+        items: List[object] = []
+        append_item = items.append
+        item_at = items.__getitem__
+        item_count = lambda: len(items)  # noqa: E731
+    halted = False
+    seed = kernel.seed()
+    seed_index, seed_new = intern(seed, -1)
+    if seed_new:
+        append_item(seed)
+        if stop is not None and stop(seed_index, seed):
+            halted = True
+    cursor = 0
+    edges = 0
+    hits = 0
+    while not halted and cursor < item_count():
+        index = cursor
+        cursor += 1
+        item = item_at(index)
+        for data, successor in kernel.expand(index, item):
+            target, is_new = intern(successor, index)
+            on_edge(index, target, data)
+            edges += 1
+            if is_new:
+                append_item(successor)
+                limits.check(item_count())
+                if stop is not None and stop(target, successor):
+                    halted = True
+                    break
+            else:
+                hits += 1
+    stats.states = item_count()
+    stats.edges = edges
+    stats.expanded = cursor
+    stats.batches = cursor
+    stats.dedup_hits = hits
+    if store is not None:
+        store.flush()
+        stats.spilled_states = max(len(store), store.item_count) if store.spilled else 0
+        stats.spill_bytes = store.spill_bytes()
+    stats.seconds = time.perf_counter() - start
+    return stats
+
+
 # ---------------------------------------------------------------------------
 # Per-semantics kernels
 # ---------------------------------------------------------------------------
@@ -218,23 +306,35 @@ class UntimedKernel:
     is derived *incrementally* from the parent's (only consumers of changed
     places are re-tested, memoized per vector) and travels with the item,
     so no consumer ever falls back to a full transition rescan.
+
+    ``memoize_enabled=False`` turns the per-vector enabled-set memo off:
+    the enabled set is a pure function of the vector so results are
+    unchanged, but bounded-memory explorations (the query layer, spilled
+    builds) avoid growing a cache proportional to the whole state space.
     """
 
-    def __init__(self, tables: NetTables):
+    def __init__(self, tables: NetTables, *, memoize_enabled: bool = True):
         self.tables = tables
+        self.memoize_enabled = memoize_enabled
 
     def seed(self):
         vec = self.tables.initial_vector()
-        return (vec, self.tables.enabled_transitions(vec))
+        return (vec, self.tables.enabled_transitions(vec, memoize=self.memoize_enabled))
 
     def expand(self, index: int, item) -> Iterable:
         vec, enabled = item
         tables = self.tables
+        memoize = self.memoize_enabled
         for transition in enabled:
             successor = tables.fire_atomic(vec, transition)
             yield transition, (
                 successor,
-                tables.derive_enabled(enabled, successor, tables.delta_places[transition]),
+                tables.derive_enabled(
+                    enabled,
+                    successor,
+                    tables.delta_places[transition],
+                    memoize=memoize,
+                ),
             )
 
     # -- frontier-sharded protocol --------------------------------------
@@ -288,7 +388,12 @@ class GSPNKernel(UntimedKernel):
                 continue
             yield transition, (
                 successor,
-                tables.derive_enabled(enabled, successor, tables.delta_places[transition]),
+                tables.derive_enabled(
+                    enabled,
+                    successor,
+                    tables.delta_places[transition],
+                    memoize=self.memoize_enabled,
+                ),
             )
 
     def record(self, item):

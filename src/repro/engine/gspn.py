@@ -21,6 +21,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 from ..petri.marking import Marking
 from ..petri.net import TimedPetriNet
 from .frontier import FrontierStats, GSPNKernel, explore, gspn_limits
+from .store import DiskStateStore
 from .tables import NetTables
 
 
@@ -33,13 +34,18 @@ def compiled_marking_graph(
     max_states: int,
     place_capacity: Optional[int],
     stats_sink: Optional[list] = None,
+    store: Optional[DiskStateStore] = None,
 ) -> Tuple[List[Marking], List[Tuple[int, int, str, float, bool]], Set[int]]:
     """Explore the GSPN marking graph; returns ``(markings, edges, vanishing)``.
 
     Edges are ``(source, target, transition, rate-or-weight, is_immediate)``
     tuples exactly as the reference exploration emits them.  When given,
     ``stats_sink`` receives the construction's
-    :class:`~repro.engine.frontier.FrontierStats`.
+    :class:`~repro.engine.frontier.FrontierStats`; a ``store`` spills the
+    dedup index and the frontier item log past its threshold without
+    changing the exploration order.  Vanishing membership is decided at
+    intern time from the item's enabled set, so no per-state enabled tuple
+    is retained for the posthoc pass.
     """
     tables = NetTables.of(net)
     names = tables.transition_names
@@ -49,20 +55,36 @@ def compiled_marking_graph(
     kernel = GSPNKernel(tables, is_immediate=is_immediate, place_capacity=place_capacity)
 
     markings: List[Marking] = []
-    index_of_vec: Dict[Tuple[int, ...], int] = {}
-    enabled_of: List[Tuple[int, ...]] = []
     edges: List[Tuple[int, int, str, float, bool]] = []
+    vanishing: Set[int] = set()
 
-    def intern(item, _parent: int) -> Tuple[int, bool]:
-        vec, enabled = item
-        existing = index_of_vec.get(vec)
-        if existing is not None:
-            return existing, False
-        index = len(markings)
-        markings.append(tables.to_marking(vec))
-        index_of_vec[vec] = index
-        enabled_of.append(enabled)
-        return index, True
+    def note_vanishing(index: int, enabled) -> None:
+        if any(is_immediate[t] for t in enabled):
+            vanishing.add(index)
+
+    if store is None:
+        index_of_vec: Dict[Tuple[int, ...], int] = {}
+
+        def intern(item, _parent: int) -> Tuple[int, bool]:
+            vec, enabled = item
+            existing = index_of_vec.get(vec)
+            if existing is not None:
+                return existing, False
+            index = len(markings)
+            markings.append(tables.to_marking(vec))
+            index_of_vec[vec] = index
+            note_vanishing(index, enabled)
+            return index, True
+
+    else:
+
+        def intern(item, _parent: int) -> Tuple[int, bool]:
+            vec, enabled = item
+            index, is_new = store.intern(vec)
+            if is_new:
+                markings.append(tables.to_marking(vec))
+                note_vanishing(index, enabled)
+            return index, is_new
 
     def on_edge(source: int, target: int, transition: int) -> None:
         # The kernel only fires immediate transitions from vanishing states,
@@ -78,14 +100,10 @@ def compiled_marking_graph(
         on_edge,
         gspn_limits(max_states),
         stats=FrontierStats(engine="compiled"),
+        store=store,
     )
     if stats_sink is not None:
         stats_sink.append(stats)
-    vanishing = {
-        index
-        for index, enabled_set in enumerate(enabled_of)
-        if any(is_immediate[t] for t in enabled_set)
-    }
     return markings, edges, vanishing
 
 

@@ -230,14 +230,23 @@ class NetTables:
                 return False
         return True
 
-    def enabled_transitions(self, vec: Tuple[int, ...]) -> Tuple[int, ...]:
-        """All enabled transition indices of a marking vector (memoized)."""
+    def enabled_transitions(
+        self, vec: Tuple[int, ...], *, memoize: bool = True
+    ) -> Tuple[int, ...]:
+        """All enabled transition indices of a marking vector (memoized).
+
+        The enabled set is a pure function of the vector, so ``memoize``
+        only trades speed for memory: early-terminating queries and
+        store-spilled builds pass ``memoize=False`` to keep the per-vector
+        memo from growing with the whole explored state space.
+        """
         cached = self._enabled_cache.get(vec)
         if cached is None:
             cached = tuple(
                 index for index in range(len(self.transition_names)) if self.covers(vec, index)
             )
-            self._enabled_cache[vec] = cached
+            if memoize:
+                self._enabled_cache[vec] = cached
         return cached
 
     def derive_enabled(
@@ -245,6 +254,8 @@ class NetTables:
         parent_enabled: Tuple[int, ...],
         vec: Tuple[int, ...],
         touched_places: Iterable[int],
+        *,
+        memoize: bool = True,
     ) -> Tuple[int, ...]:
         """Enabled set of ``vec``, updated incrementally from the parent's.
 
@@ -262,7 +273,8 @@ class NetTables:
                 else:
                     enabled.discard(transition)
         result = tuple(sorted(enabled))
-        self._enabled_cache[vec] = result
+        if memoize:
+            self._enabled_cache[vec] = result
         return result
 
     def candidate_new_enabled(self, touched_places: Iterable[int]) -> List[int]:

@@ -24,7 +24,10 @@ The readable implementations remain available through the public builders'
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..petri.net import TimedPetriNet
 from .frontier import (
@@ -34,11 +37,21 @@ from .frontier import (
     explore,
     untimed_limits,
 )
+from .store import DiskStateStore
 from .tables import NetTables
 
 
-def compiled_reachability_graph(net: TimedPetriNet, *, max_states: int):
-    """Compiled counterpart of :func:`repro.petri.untimed.reachability_graph`."""
+def compiled_reachability_graph(
+    net: TimedPetriNet, *, max_states: int, store: Optional[DiskStateStore] = None
+):
+    """Compiled counterpart of :func:`repro.petri.untimed.reachability_graph`.
+
+    With a ``store`` the dedup index and the frontier item log live in the
+    spillable :class:`~repro.engine.store.DiskStateStore` instead of resident
+    dicts, so the construction's working set stays bounded past the store's
+    threshold; interning order — and therefore the built graph — is
+    unchanged bit for bit.
+    """
     # Imported here to avoid a circular import (petri.untimed imports this
     # module from inside its builder functions).
     from ..petri.untimed import UntimedReachabilityGraph
@@ -48,16 +61,25 @@ def compiled_reachability_graph(net: TimedPetriNet, *, max_states: int):
     names = tables.transition_names
     kernel = UntimedKernel(tables)
 
-    index_of_vec: Dict[Tuple[int, ...], int] = {}
+    if store is None:
+        index_of_vec: Dict[Tuple[int, ...], int] = {}
 
-    def intern(item, _parent: int) -> Tuple[int, bool]:
-        vec = item[0]
-        existing = index_of_vec.get(vec)
-        if existing is not None:
-            return existing, False
-        index, _ = graph._add_marking(tables.to_marking(vec))
-        index_of_vec[vec] = index
-        return index, True
+        def intern(item, _parent: int) -> Tuple[int, bool]:
+            vec = item[0]
+            existing = index_of_vec.get(vec)
+            if existing is not None:
+                return existing, False
+            index, _ = graph._add_marking(tables.to_marking(vec))
+            index_of_vec[vec] = index
+            return index, True
+
+    else:
+
+        def intern(item, _parent: int) -> Tuple[int, bool]:
+            index, is_new = store.intern(item[0])
+            if is_new:
+                graph._add_marking(tables.to_marking(item[0]))
+            return index, is_new
 
     def on_edge(source: int, target: int, transition: int) -> None:
         graph._add_edge(source, target, names[transition])
@@ -68,28 +90,80 @@ def compiled_reachability_graph(net: TimedPetriNet, *, max_states: int):
         on_edge,
         untimed_limits(max_states),
         stats=FrontierStats(engine="compiled"),
+        store=store,
     )
     return graph
+
+
+class _AncestorArchive:
+    """The work-vector archive behind the Karp–Miller ancestor chain.
+
+    Resident mode keeps every vector in a plain list, exactly the
+    historical ``vec_of``.  Store mode does not duplicate the vectors at
+    all: the frontier loop already logs every work item into the
+    :class:`~repro.engine.store.DiskStateStore`, so ancestor lookups read
+    that same log back through a small bounded LRU — the archive's resident
+    footprint stays O(cache), not O(nodes), which is what makes the
+    ancestor-chain representation compatible with spilling.
+    """
+
+    _CACHE_LIMIT = 8192
+
+    def __init__(self, store: Optional[DiskStateStore] = None):
+        self._store = store
+        self._resident: List[tuple] = []
+        self._cache: "OrderedDict[int, tuple]" = OrderedDict()
+
+    def append(self, vec: tuple) -> None:
+        if self._store is None:
+            self._resident.append(vec)
+
+    def get(self, index: int) -> tuple:
+        if self._store is None:
+            return self._resident[index]
+        cached = self._cache.get(index)
+        if cached is not None:
+            self._cache.move_to_end(index)
+            return cached
+        vec = self._store.item_at(index)
+        self._cache[index] = vec
+        if len(self._cache) > self._CACHE_LIMIT:
+            self._cache.popitem(last=False)
+        return vec
 
 
 class _CoverabilityKernel:
     """Karp–Miller semantics for the shared frontier loop.
 
-    Items are integer work-vector tuples.  The acceleration rule — replace
-    components that strictly grew over some ancestor by ``ω`` — needs the
-    BFS-tree ancestor chain of the path a node was queued on; the builder's
-    ``intern`` registers every new node's parent here, and ``expand``
-    reconstructs the chain in O(depth) instead of copying an O(depth)
-    ancestor tuple into every work item (which cost O(n · depth) memory in
-    total on deep graphs).  This chain is also why the coverability builder
-    has no sharded or batched backend: the rule inspects per-path history
-    that a stateless frontier expansion cannot carry.
+    Items are work-vector tuples whose finite components are exact ints and
+    whose unbounded components are the shared ``ω`` marker.  The
+    acceleration rule — replace components that strictly grew over some
+    ancestor by ``ω`` — needs the BFS-tree ancestor chain of the path a
+    node was queued on; the builder's ``intern`` registers every new node's
+    parent here, and ``expand`` reconstructs the chain in O(depth) from the
+    parent-index chain.
+
+    The per-ancestor re-evaluation itself is vectorized: the chain's
+    vectors are gathered once per expanded node into a dense float64 matrix
+    (``ω`` maps onto IEEE ``inf``, token counts are exact in float64) and
+    each successor scans it with whole-matrix comparisons, restarting after
+    every ω-promotion exactly where the scalar re-evaluation would — the
+    scalar loop only ever re-reads ancestors *after* a promotion point, so
+    resuming the scan past it reproduces the reference promotions bit for
+    bit.  That turns the O(depth · places) Python loop per successor into
+    O(promotions + 1) numpy passes, and promotions are bounded by the place
+    count.
+
+    The chain is also why the coverability builder has no sharded or
+    batched backend: the rule inspects per-path history that a stateless
+    frontier expansion cannot carry.  It *is* compatible with the disk
+    store — see :class:`_AncestorArchive`.
     """
 
-    def __init__(self, tables: NetTables, omega):
+    def __init__(self, tables: NetTables, omega, store: Optional[DiskStateStore] = None):
         self.tables = tables
         self.omega = omega
-        self.vec_of: List[tuple] = []
+        self.archive = _AncestorArchive(store)
         self.parent_of: List[int] = []
 
     def seed(self) -> tuple:
@@ -97,21 +171,24 @@ class _CoverabilityKernel:
 
     def register(self, vec: tuple, parent: int) -> None:
         """Record a newly interned node's vector and BFS-tree parent."""
-        self.vec_of.append(vec)
+        self.archive.append(vec)
         self.parent_of.append(parent)
+
+    def _ancestor_matrix(self, index: int) -> np.ndarray:
+        """The expanded node's root-first ancestor chain as a float64 matrix."""
+        chain: List[int] = []
+        node = index
+        while node >= 0:
+            chain.append(node)
+            node = self.parent_of[node]
+        chain.reverse()
+        archive = self.archive
+        return np.array([archive.get(node) for node in chain], dtype=np.float64)
 
     def expand(self, index: int, vec: tuple):
         tables = self.tables
         omega = self.omega
-        vec_of = self.vec_of
-        # Walk the parent chain and reverse it: the same root-first ancestor
-        # order the ancestor-tuple work items used to carry.
-        ancestors: List[int] = []
-        node = index
-        while node >= 0:
-            ancestors.append(node)
-            node = self.parent_of[node]
-        ancestors.reverse()
+        ancestors = self._ancestor_matrix(index)
         for transition in range(len(tables.transition_names)):
             if not tables.covers(vec, transition):
                 continue
@@ -122,48 +199,72 @@ class _CoverabilityKernel:
             for place_idx, count in tables.outputs[transition]:
                 if successor[place_idx] != omega:
                     successor[place_idx] += count
-            # Acceleration: compare against every ancestor on the path,
-            # re-evaluating after each ω-promotion exactly like the
-            # reference construction does.
-            for ancestor_index in ancestors:
-                ancestor = vec_of[ancestor_index]
-                covers = True
-                strictly = False
-                for cand, anc in zip(successor, ancestor):
-                    if cand < anc:
-                        covers = False
-                        break
-                    if cand > anc:
-                        strictly = True
-                if covers and strictly:
-                    successor = [
-                        omega if cand > anc else cand
-                        for cand, anc in zip(successor, ancestor)
-                    ]
-            yield transition, tuple(successor)
+            # Acceleration: scan the ancestor matrix for the first row the
+            # successor covers strictly, promote the strictly-grown
+            # components to ω, and resume the scan past that row — the
+            # scalar re-evaluation never revisits rows before a promotion
+            # point, so this emits the exact same promotions.
+            candidate = np.array(successor, dtype=np.float64)
+            start = 0
+            while start < len(ancestors):
+                window = ancestors[start:]
+                hits = np.flatnonzero(
+                    (candidate >= window).all(axis=1) & (candidate > window).any(axis=1)
+                )
+                if hits.size == 0:
+                    break
+                first = int(hits[0])
+                candidate = np.where(candidate > window[first], np.inf, candidate)
+                start += first + 1
+            # Canonical work-vector form — finite components as exact ints,
+            # unbounded ones as the shared ω marker — so dedup keys have one
+            # byte representation regardless of how a component was derived
+            # (the disk store deduplicates on serialized keys).
+            yield transition, tuple(
+                omega if value == np.inf else int(value) for value in candidate
+            )
 
 
-def compiled_coverability_graph(net: TimedPetriNet, *, max_nodes: int):
-    """Compiled counterpart of :func:`repro.petri.untimed.coverability_graph`."""
+def compiled_coverability_graph(
+    net: TimedPetriNet, *, max_nodes: int, store: Optional[DiskStateStore] = None
+):
+    """Compiled counterpart of :func:`repro.petri.untimed.coverability_graph`.
+
+    With a ``store`` the dedup index and the work-vector log spill past the
+    store's threshold, and the acceleration rule reads ancestor vectors back
+    from the spilled log (see :class:`_AncestorArchive`) — the node
+    numbering and edge list stay bit-identical.
+    """
     from ..petri.untimed import OMEGA, CoverabilityGraph, CoverabilityNode, UntimedEdge
 
     tables = NetTables.of(net)
     graph = CoverabilityGraph(net)
     names = tables.transition_names
-    kernel = _CoverabilityKernel(tables, OMEGA)
+    kernel = _CoverabilityKernel(tables, OMEGA, store)
 
-    index_of_vec: Dict[tuple, int] = {}
+    if store is None:
+        index_of_vec: Dict[tuple, int] = {}
 
-    def intern(vec: tuple, parent: int) -> Tuple[int, bool]:
-        existing = index_of_vec.get(vec)
-        if existing is not None:
-            return existing, False
-        # Materialize the float vector only for unique nodes, so the public
-        # graph is indistinguishable from the reference construction.
-        index, _ = graph._add_node(CoverabilityNode(tuple(float(v) for v in vec)))
-        index_of_vec[vec] = index
-        kernel.register(vec, parent)
-        return index, True
+        def intern(vec: tuple, parent: int) -> Tuple[int, bool]:
+            existing = index_of_vec.get(vec)
+            if existing is not None:
+                return existing, False
+            # Materialize the float vector only for unique nodes, so the
+            # public graph is indistinguishable from the reference
+            # construction.
+            index, _ = graph._add_node(CoverabilityNode(tuple(float(v) for v in vec)))
+            index_of_vec[vec] = index
+            kernel.register(vec, parent)
+            return index, True
+
+    else:
+
+        def intern(vec: tuple, parent: int) -> Tuple[int, bool]:
+            index, is_new = store.intern(vec)
+            if is_new:
+                graph._add_node(CoverabilityNode(tuple(float(v) for v in vec)))
+                kernel.register(vec, parent)
+            return index, is_new
 
     def on_edge(source: int, target: int, transition: int) -> None:
         graph.edges.append(UntimedEdge(source, target, names[transition]))
@@ -174,6 +275,7 @@ def compiled_coverability_graph(net: TimedPetriNet, *, max_nodes: int):
         on_edge,
         coverability_limits(max_nodes),
         stats=FrontierStats(engine="compiled"),
+        store=store,
     )
     return graph
 

@@ -137,15 +137,26 @@ def net_from_pnml(text: str) -> TimedPetriNet:
             place_id = element.get("id")
             if not place_id:
                 raise NetDefinitionError("PNML place without id")
+            if place_id in places:
+                raise NetDefinitionError(f"duplicate PNML place id {place_id!r}")
             description = _find_text(element, "name") or ""
             places[place_id] = Place(place_id, description if description != place_id else "")
             marking_text = _find_text(element, "initialMarking")
             if marking_text:
-                initial_marking[place_id] = int(marking_text.strip())
+                tokens = int(marking_text.strip())
+                if tokens < 0:
+                    raise NetDefinitionError(
+                        f"place {place_id!r} has negative initialMarking {tokens}"
+                    )
+                initial_marking[place_id] = tokens
         elif tag == "transition":
             transition_id = element.get("id")
             if not transition_id:
                 raise NetDefinitionError("PNML transition without id")
+            if transition_id in transition_meta:
+                raise NetDefinitionError(
+                    f"duplicate PNML transition id {transition_id!r}"
+                )
             meta: Dict[str, object] = {
                 "description": _find_text(element, "name") or "",
                 "enabling_time": 0,
@@ -168,24 +179,42 @@ def net_from_pnml(text: str) -> TimedPetriNet:
                 meta["description"] = ""
             transition_meta[transition_id] = meta
         elif tag == "arc":
+            arc_id = element.get("id") or f"arc#{len(arcs) + 1}"
             weight_text = _find_text(element, "inscription")
-            arcs.append(
-                (
-                    element.get("source"),
-                    element.get("target"),
-                    int(weight_text.strip()) if weight_text else 1,
+            weight = int(weight_text.strip()) if weight_text else 1
+            if weight <= 0:
+                raise NetDefinitionError(
+                    f"arc {arc_id!r} has non-positive inscription {weight}"
                 )
-            )
+            arcs.append((arc_id, element.get("source"), element.get("target"), weight))
 
     inputs: Dict[str, Dict[str, int]] = {t: {} for t in transition_meta}
     outputs: Dict[str, Dict[str, int]] = {t: {} for t in transition_meta}
-    for source, target, weight in arcs:
+    for arc_id, source, target, weight in arcs:
         if source in places and target in transition_meta:
             inputs[target][source] = inputs[target].get(source, 0) + weight
         elif source in transition_meta and target in places:
             outputs[source][target] = outputs[source].get(target, 0) + weight
         else:
-            raise NetDefinitionError(f"arc {source!r} -> {target!r} does not join a place and a transition")
+            # Distinguish a typo'd endpoint from a genuinely ill-typed arc:
+            # "does not join a place and a transition" used to cover both,
+            # sending users hunting for a type error when the id simply
+            # doesn't exist.
+            known = set(places) | set(transition_meta)
+            unknown = [
+                node for node in (source, target) if node not in known
+            ]
+            if unknown:
+                raise NetDefinitionError(
+                    f"arc {arc_id!r} ({source!r} -> {target!r}) references "
+                    f"unknown node id{'s' if len(unknown) > 1 else ''} "
+                    + ", ".join(repr(node) for node in unknown)
+                )
+            kind = "place" if source in places else "transition"
+            raise NetDefinitionError(
+                f"arc {arc_id!r} ({source!r} -> {target!r}) joins two "
+                f"{kind}s; arcs must join a place and a transition"
+            )
 
     transitions = [
         Transition(

@@ -243,6 +243,8 @@ def reachability_graph(
     max_states: int = 100_000,
     engine: str = "compiled",
     workers: Optional[int] = None,
+    store=None,
+    spill_threshold: Optional[int] = None,
 ) -> UntimedReachabilityGraph:
     """Enumerate every marking reachable with the atomic firing rule.
 
@@ -262,22 +264,44 @@ def reachability_graph(
     :func:`repro.engine.parallel.parallel_reachability_graph` across
     ``workers`` processes (default: one per CPU).  All four produce
     identical graphs.
+
+    ``store`` (``None``, ``"disk"``, or a
+    :class:`~repro.engine.store.DiskStateStore`) spills the construction's
+    working set — the dedup index and frontier of the compiled engine, the
+    dense state matrix of the batched kernel — to disk past
+    ``spill_threshold`` interned states, without changing the built graph
+    (bit-identical, see ``tests/engine_diff.py``).  Supported by the
+    frontier-core engines (``"compiled"`` and ``"batched"``) only.
     """
     # Imported lazily: repro.engine imports this module's graph classes.
     from ..engine import ENGINE_BATCHED, ENGINE_COMPILED, ENGINE_PARALLEL, check_engine
     from ..engine.batched import batched_reachability_graph
     from ..engine.parallel import parallel_reachability_graph
+    from ..engine.store import resolve_store
     from ..engine.untimed import compiled_reachability_graph
 
     check_engine(engine)
+    if store is not None and engine not in (ENGINE_COMPILED, ENGINE_BATCHED):
+        raise ValueError(
+            "store= is only supported by the frontier-core engines "
+            "('compiled' and 'batched')"
+        )
     if engine == ENGINE_PARALLEL:
         return parallel_reachability_graph(net, max_states=max_states, workers=workers)
     if workers is not None:
         raise ValueError("workers= is only meaningful with engine='parallel'")
-    if engine == ENGINE_BATCHED:
-        return batched_reachability_graph(net, max_states=max_states)
-    if engine == ENGINE_COMPILED:
-        return compiled_reachability_graph(net, max_states=max_states)
+    if engine in (ENGINE_COMPILED, ENGINE_BATCHED):
+        resolved, owned = resolve_store(store, spill_threshold=spill_threshold)
+        builder = (
+            batched_reachability_graph
+            if engine == ENGINE_BATCHED
+            else compiled_reachability_graph
+        )
+        try:
+            return builder(net, max_states=max_states, store=resolved)
+        finally:
+            if owned:
+                resolved.close()
     graph = UntimedReachabilityGraph(net)
     initial_index, _ = graph._add_marking(net.initial_marking)
     frontier = deque([initial_index])
@@ -398,7 +422,12 @@ def _fire_vector(net: TimedPetriNet, vector: Sequence[float], transition_name: s
 
 
 def coverability_graph(
-    net: TimedPetriNet, *, max_nodes: int = 50_000, engine: str = "compiled"
+    net: TimedPetriNet,
+    *,
+    max_nodes: int = 50_000,
+    engine: str = "compiled",
+    store=None,
+    spill_threshold: Optional[int] = None,
 ) -> CoverabilityGraph:
     """Build the Karp–Miller coverability graph (always terminates).
 
@@ -415,7 +444,13 @@ def coverability_graph(
     history that a frontier-sharded or level-batched expansion does not
     preserve.  ``engine="parallel"`` and ``engine="batched"`` are therefore
     rejected; the compiled backend applies the ω-acceleration directly on
-    integer vectors through the shared frontier loop.
+    integer vectors through the shared frontier loop, vectorizing the
+    per-ancestor re-evaluation into whole-chain numpy comparisons.
+
+    ``store``/``spill_threshold`` spill the compiled construction's dedup
+    index and work-vector log to disk exactly as in
+    :func:`reachability_graph`; the acceleration rule reads ancestor
+    vectors back from the spilled log through a bounded cache.
     """
     from ..engine import (
         ENGINE_COMPILED,
@@ -423,11 +458,22 @@ def coverability_graph(
         SEQUENTIAL_ENGINES,
         check_engine,
     )
+    from ..engine.store import resolve_store
     from ..engine.untimed import compiled_coverability_graph
 
     check_engine(engine, supported=SEQUENTIAL_ENGINES, reason=PARALLEL_UNSUPPORTED_REASON)
+    if store is not None and engine != ENGINE_COMPILED:
+        raise ValueError(
+            "store= is only supported by the frontier-core engines "
+            "('compiled' and 'batched')"
+        )
     if engine == ENGINE_COMPILED:
-        return compiled_coverability_graph(net, max_nodes=max_nodes)
+        resolved, owned = resolve_store(store, spill_threshold=spill_threshold)
+        try:
+            return compiled_coverability_graph(net, max_nodes=max_nodes, store=resolved)
+        finally:
+            if owned:
+                resolved.close()
     graph = CoverabilityGraph(net)
     root = CoverabilityNode(tuple(float(v) for v in net.initial_marking.to_vector()))
     root_index, _ = graph._add_node(root)

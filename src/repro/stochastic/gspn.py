@@ -32,6 +32,7 @@ import numpy as np
 
 from ..engine import ENGINE_BATCHED, ENGINE_COMPILED, ENGINE_PARALLEL, check_engine
 from ..engine.batched import batched_marking_graph
+from ..engine.store import resolve_store
 from ..engine.gspn import compiled_marking_graph
 from ..engine.parallel import parallel_marking_graph
 from ..exceptions import NotErgodicError, PerformanceError, UnboundedNetError
@@ -100,6 +101,15 @@ class GSPNAnalysis:
     workers:
         Worker-process count for ``engine="parallel"`` (default: one per
         CPU); rejected for the single-process engines.
+    store:
+        ``None`` (default), ``"disk"`` or a
+        :class:`~repro.engine.store.DiskStateStore`: spill the exploration's
+        dedup index and frontier past ``spill_threshold`` interned states to
+        disk.  Supported by the frontier-core engines (``"compiled"`` and
+        ``"batched"``); rejected for ``"reference"`` and ``"parallel"``.
+    spill_threshold:
+        Interned-state count above which a ``store="disk"`` spool moves to
+        disk (defaults to the store's own default).
     """
 
     def __init__(
@@ -111,17 +121,26 @@ class GSPNAnalysis:
         place_capacity: Optional[int] = None,
         engine: str = ENGINE_COMPILED,
         workers: Optional[int] = None,
+        store=None,
+        spill_threshold: Optional[int] = None,
     ):
         if net.is_symbolic:
             raise PerformanceError("GSPN analysis requires a numeric net; bind symbols first")
         check_engine(engine)
         if workers is not None and engine != ENGINE_PARALLEL:
             raise ValueError("workers= is only meaningful with engine='parallel'")
+        if store is not None and engine not in (ENGINE_COMPILED, ENGINE_BATCHED):
+            raise ValueError(
+                "store= is only supported by the frontier-core engines "
+                "('compiled' and 'batched')"
+            )
         self.net = net
         self.max_states = max_states
         self.place_capacity = place_capacity
         self.engine = engine
         self.workers = workers
+        self.store = store
+        self.spill_threshold = spill_threshold
         self._build_stats = None
         self._rates: Dict[str, float] = {}
         self._immediate: Dict[str, bool] = {}
@@ -157,16 +176,24 @@ class GSPNAnalysis:
                 if self.engine == ENGINE_COMPILED
                 else batched_marking_graph
             )
-            stats_sink: list = []
-            result = builder(
-                self.net,
-                immediate=self._immediate,
-                weights=self._weights,
-                rates=self._rates,
-                max_states=self.max_states,
-                place_capacity=self.place_capacity,
-                stats_sink=stats_sink,
+            store, owned = resolve_store(
+                self.store, spill_threshold=self.spill_threshold
             )
+            stats_sink: list = []
+            try:
+                result = builder(
+                    self.net,
+                    immediate=self._immediate,
+                    weights=self._weights,
+                    rates=self._rates,
+                    max_states=self.max_states,
+                    place_capacity=self.place_capacity,
+                    stats_sink=stats_sink,
+                    store=store,
+                )
+            finally:
+                if owned:
+                    store.close()
             self._build_stats = stats_sink[0] if stats_sink else None
             return result
         if self.engine == ENGINE_PARALLEL:

@@ -165,6 +165,34 @@ def build_coverability_pair(net, **kwargs):
     )
 
 
+#: Spill thresholds the disk-store differential builds run at: spill before
+#: the seed (0), spill after the first interned state (1, exercising the
+#: mid-build migration of resident tables), and never spill (None, the pure
+#: in-memory hybrid).  Bit-identity must hold at every point.
+SPILL_THRESHOLDS = (0, 1, None)
+
+
+def build_untimed_spill(net, *, engine="compiled", spill_threshold=0, **kwargs):
+    """An untimed reachability graph built through the disk-backed store."""
+    return reachability_graph(
+        net, engine=engine, store="disk", spill_threshold=spill_threshold, **kwargs
+    )
+
+
+def build_coverability_spill(net, *, spill_threshold=0, **kwargs):
+    """A Karp–Miller coverability graph built through the disk-backed store."""
+    return coverability_graph(
+        net, store="disk", spill_threshold=spill_threshold, **kwargs
+    )
+
+
+def build_gspn_spill(net, *, engine="compiled", spill_threshold=0, **kwargs):
+    """A GSPN analysis built through the disk-backed store (not yet solved)."""
+    return GSPNAnalysis(
+        net, engine=engine, store="disk", spill_threshold=spill_threshold, **kwargs
+    )
+
+
 def build_gspn_pair(net, **kwargs):
     """(compiled, reference) GSPN analyses (not yet solved)."""
     return (

@@ -1,0 +1,159 @@
+"""PNML round-trip property test and importer validation.
+
+The first half round-trips **every** bundled workload (the full
+``model_catalog()``, plus the symbolic paper and sliding-window nets)
+through ``net_to_pnml`` → ``net_from_pnml`` and asserts the restored net is
+observably identical: place/transition order, arc multisets and weights,
+initial marking, descriptions, and the toolspecific timing/frequency
+annotations — numeric (``Fraction``-exact) and symbolic alike.
+
+The second half pins the importer's validation diagnoses: negative
+``initialMarking``, non-positive arc inscriptions, duplicate place and
+transition ids, arcs referencing unknown node ids (distinguished, by id,
+from genuinely ill-typed place→place / transition→transition arcs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NetDefinitionError
+from repro.petri.io.pnml import net_from_pnml, net_to_pnml
+from repro.protocols import (
+    model_catalog,
+    simple_protocol_symbolic,
+    sliding_window_symbolic,
+)
+
+CATALOG = sorted(model_catalog().items())
+CATALOG_IDS = [name for name, _constructor in CATALOG]
+
+
+def assert_nets_identical(original, restored):
+    """Everything PNML is contracted to carry, compared exactly."""
+    assert restored.name == original.name
+    assert restored.place_order == original.place_order
+    assert restored.transition_order == original.transition_order
+    assert restored.initial_marking == original.initial_marking
+    for name in original.place_order:
+        assert restored.places[name].description == original.places[name].description
+    for name in original.transition_order:
+        ours, theirs = original.transitions[name], restored.transitions[name]
+        assert dict(theirs.inputs) == dict(ours.inputs)
+        assert dict(theirs.outputs) == dict(ours.outputs)
+        # Annotation values round-trip exactly — Fractions stay Fractions,
+        # symbolic expressions reparse to equal expressions — though an
+        # int may come back as an equal Fraction (parse_value is exact,
+        # not type-preserving).
+        assert theirs.enabling_time == ours.enabling_time
+        assert theirs.firing_time == ours.firing_time
+        assert theirs.firing_frequency == ours.firing_frequency
+        assert theirs.description == ours.description
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name,constructor", CATALOG, ids=CATALOG_IDS)
+    def test_catalog_workload(self, name, constructor):
+        net = constructor()
+        assert_nets_identical(net, net_from_pnml(net_to_pnml(net)))
+
+    def test_symbolic_paper_net(self):
+        net, _constraints, _symbols = simple_protocol_symbolic()
+        restored = net_from_pnml(net_to_pnml(net))
+        assert_nets_identical(net, restored)
+        assert restored.is_symbolic
+
+    def test_symbolic_sliding_window(self):
+        net, _constraints, _symbols = sliding_window_symbolic()
+        restored = net_from_pnml(net_to_pnml(net))
+        assert_nets_identical(net, restored)
+        assert restored.is_symbolic
+
+    @pytest.mark.parametrize("name,constructor", CATALOG, ids=CATALOG_IDS)
+    def test_double_round_trip_is_stable(self, name, constructor):
+        # The first rendering is already a fixed point.
+        once = net_to_pnml(constructor())
+        assert net_to_pnml(net_from_pnml(once)) == once
+
+
+def _document(body: str) -> str:
+    return f'<pnml><net id="n" type="ptnet"><page id="p0">{body}</page></net></pnml>'
+
+
+VALID_CORE = (
+    '<place id="a"><initialMarking><text>1</text></initialMarking></place>'
+    '<place id="b"/>'
+    '<transition id="t"/>'
+    '<arc id="a1" source="a" target="t"/>'
+    '<arc id="a2" source="t" target="b"/>'
+)
+
+
+class TestImporterValidation:
+    def test_valid_core_parses(self):
+        net = net_from_pnml(_document(VALID_CORE))
+        assert net.place_order == ("a", "b")
+        assert net.initial_marking["a"] == 1
+
+    def test_negative_initial_marking(self):
+        body = '<place id="a"><initialMarking><text>-2</text></initialMarking></place>'
+        with pytest.raises(NetDefinitionError, match=r"'a' has negative initialMarking -2"):
+            net_from_pnml(_document(body))
+
+    @pytest.mark.parametrize("weight", ["0", "-3"])
+    def test_non_positive_inscription(self, weight):
+        body = (
+            '<place id="a"/><transition id="t"/>'
+            f'<arc id="bad" source="a" target="t">'
+            f"<inscription><text>{weight}</text></inscription></arc>"
+        )
+        with pytest.raises(
+            NetDefinitionError, match=rf"arc 'bad' has non-positive inscription {weight}"
+        ):
+            net_from_pnml(_document(body))
+
+    def test_duplicate_place_id(self):
+        body = '<place id="a"/><place id="a"/>'
+        with pytest.raises(NetDefinitionError, match=r"duplicate PNML place id 'a'"):
+            net_from_pnml(_document(body))
+
+    def test_duplicate_transition_id(self):
+        body = '<transition id="t"/><transition id="t"/>'
+        with pytest.raises(NetDefinitionError, match=r"duplicate PNML transition id 't'"):
+            net_from_pnml(_document(body))
+
+    def test_arc_with_unknown_source(self):
+        body = '<place id="a"/><transition id="t"/><arc id="a9" source="ghost" target="t"/>'
+        with pytest.raises(
+            NetDefinitionError, match=r"arc 'a9' .* unknown node id 'ghost'"
+        ):
+            net_from_pnml(_document(body))
+
+    def test_arc_with_two_unknown_endpoints(self):
+        body = '<place id="a"/><arc id="a9" source="ghost1" target="ghost2"/>'
+        with pytest.raises(
+            NetDefinitionError, match=r"unknown node ids 'ghost1', 'ghost2'"
+        ):
+            net_from_pnml(_document(body))
+
+    def test_place_to_place_arc(self):
+        body = '<place id="a"/><place id="b"/><arc id="pp" source="a" target="b"/>'
+        with pytest.raises(NetDefinitionError, match=r"arc 'pp' .* joins two places"):
+            net_from_pnml(_document(body))
+
+    def test_transition_to_transition_arc(self):
+        body = '<transition id="t"/><transition id="u"/><arc id="tt" source="t" target="u"/>'
+        with pytest.raises(NetDefinitionError, match=r"arc 'tt' .* joins two transitions"):
+            net_from_pnml(_document(body))
+
+    def test_unknown_id_diagnosis_beats_type_diagnosis(self):
+        # A typo'd endpoint must be reported as unknown even when the other
+        # endpoint would make the arc look ill-typed.
+        body = '<place id="a"/><place id="b"/><arc id="x" source="a" target="bb"/>'
+        with pytest.raises(NetDefinitionError, match=r"unknown node id 'bb'"):
+            net_from_pnml(_document(body))
+
+    def test_anonymous_arc_gets_a_positional_id(self):
+        body = '<place id="a"/><arc source="a" target="ghost"/>'
+        with pytest.raises(NetDefinitionError, match=r"arc 'arc#1'"):
+            net_from_pnml(_document(body))
