@@ -80,23 +80,25 @@ def best_timed(build, repetitions: int = 5):
 _BENCH_RECORDS: list = []
 
 
-def record_bench(workload: str, engine: str, workers, states: int, seconds: float) -> None:
+def record_bench(workload: str, engine: str, workers, states: int, seconds: float, **extra) -> None:
     """Collect one engine-throughput measurement for the JSON report.
 
     ``workers`` is ``None`` for single-process engines; ``seconds`` is the
     best-of-N wall-clock the printed tables report, so the JSON numbers match
-    the human-readable output exactly.
+    the human-readable output exactly.  ``extra`` keyword fields (e.g. the
+    warm-cache rows' ``speedup`` and ``cache_hit_rate``) are merged into the
+    record verbatim.
     """
-    _BENCH_RECORDS.append(
-        {
-            "workload": workload,
-            "engine": engine,
-            "workers": workers,
-            "states": states,
-            "seconds": seconds,
-            "states_per_second": (states / seconds) if seconds else None,
-        }
-    )
+    record = {
+        "workload": workload,
+        "engine": engine,
+        "workers": workers,
+        "states": states,
+        "seconds": seconds,
+        "states_per_second": (states / seconds) if seconds else None,
+    }
+    record.update(extra)
+    _BENCH_RECORDS.append(record)
 
 
 def pytest_sessionfinish(session, exitstatus):

@@ -1,0 +1,65 @@
+"""Content-addressed analysis pipeline.
+
+``repro.analysis`` ties the whole pipeline — structural tables, timed /
+untimed / coverability / GSPN graphs, decision collapse, performance
+expressions — to the canonical net identity of
+:mod:`repro.petri.fingerprint`:
+
+* :class:`ArtifactCache` — a two-tier (in-memory LRU + optional SQLite
+  disk) store of analysis artifacts keyed on ``(fingerprint, stage,
+  params)``,
+* :class:`AnalysisSession` — a facade that runs any stage through the
+  cache and reports unified hit/miss/eviction statistics via
+  :meth:`AnalysisSession.cache_report`,
+* the compact timed-graph codec (:func:`encode_timed_graph` /
+  :func:`decode_timed_graph`) that makes warm rehydration an order of
+  magnitude cheaper than re-exploration while staying bit-identical.
+"""
+
+from .cache import (
+    DEFAULT_MEMORY_LIMIT,
+    DISK_FILE,
+    TIER_BUILT,
+    TIER_DISK,
+    TIER_MEMORY,
+    ArtifactCache,
+    params_token,
+)
+from .codec import (
+    CODEC_VERSION,
+    decode_timed_graph,
+    dump_with_graph,
+    encode_timed_graph,
+    load_with_graph,
+)
+from .session import (
+    STAGE_COVERABILITY,
+    STAGE_DECISION,
+    STAGE_GSPN,
+    STAGE_PERFORMANCE,
+    STAGE_TIMED,
+    STAGE_UNTIMED,
+    AnalysisSession,
+)
+
+__all__ = [
+    "AnalysisSession",
+    "ArtifactCache",
+    "CODEC_VERSION",
+    "DEFAULT_MEMORY_LIMIT",
+    "DISK_FILE",
+    "STAGE_COVERABILITY",
+    "STAGE_DECISION",
+    "STAGE_GSPN",
+    "STAGE_PERFORMANCE",
+    "STAGE_TIMED",
+    "STAGE_UNTIMED",
+    "TIER_BUILT",
+    "TIER_DISK",
+    "TIER_MEMORY",
+    "decode_timed_graph",
+    "dump_with_graph",
+    "encode_timed_graph",
+    "load_with_graph",
+    "params_token",
+]

@@ -1,0 +1,335 @@
+"""Compact artifact codec for timed reachability graphs.
+
+A :class:`~repro.reachability.graph.TimedReachabilityGraph` pickles
+naively as ~35k :class:`TimedState` objects, each rebuilding its marking
+dict, re-validating clock entries and re-deriving hashes — rehydration then
+costs almost as much as the exploration it was meant to replace.  This
+module stores the graph the way the engine thinks about it instead:
+
+* one **value table** of the distinct scalar clock/delay/probability values
+  (a 35k-state lossy window graph holds barely a few dozen distinct
+  Fractions, yet naive pickling rebuilds 86k of them),
+* one **marking table** of the distinct token distributions (timed states
+  massively share markings — they differ in clocks),
+* one **clock-map table** of the distinct RET/RFT mappings, decoded once
+  into dicts that the rebuilt states *share* (safe: ``TimedState`` never
+  mutates its clock dicts),
+* columnar index lists for the per-state and per-edge fields.
+
+Decoding rebuilds the public objects through trusted constructors
+(``Marking._trusted``, ``object.__new__`` for states/nodes/edges) and
+defers the graph's ``index_of`` dict (see
+:attr:`TimedReachabilityGraph.index_of`), so a cache hit rehydrates in a
+small fraction of a cold build while remaining **bit-identical**: same node
+order, same edge order, same delays/probabilities/labels, equal states.
+
+The net itself is *not* stored — artifacts are keyed by the net's content
+fingerprint, so the decoder attaches the requesting (content-equal) net.
+:func:`dump_with_graph` / :func:`load_with_graph` extend the same idea to
+artifacts that *reference* a timed graph (decision graphs, performance
+analyses): the referenced graph is swapped out for a persistent-id stub and
+re-linked to a codec-decoded graph on load, so downstream artifacts stay
+small and share one rehydrated graph instance.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Dict, List, Optional, Tuple
+
+from ..petri.marking import Marking
+from ..petri.net import TimedPetriNet
+from ..reachability.graph import TimedEdge, TimedNode, TimedReachabilityGraph
+from ..reachability.state import TimedState
+from ..reachability.successors import STEP_ADVANCE, STEP_FIRE
+
+#: Bump when the payload layout changes; decode rejects other versions.
+CODEC_VERSION = 1
+
+_KINDS = (STEP_FIRE, STEP_ADVANCE)
+_KIND_INDEX = {kind: index for index, kind in enumerate(_KINDS)}
+
+#: Persistent-id tags of :func:`dump_with_graph` payloads.
+_PID_GRAPH = "timed-graph"
+_PID_NET = "net"
+
+
+def _intern(table: Dict, rows: List, key) -> int:
+    """Index of ``key`` in ``table``/``rows``, appending on first sight."""
+    index = table.get(key)
+    if index is None:
+        index = len(rows)
+        table[key] = index
+        rows.append(key)
+    return index
+
+
+def encode_timed_graph(graph: TimedReachabilityGraph) -> bytes:
+    """Serialize a timed reachability graph into the compact payload."""
+    value_table: Dict[tuple, int] = {}
+    values: List[object] = []
+
+    def value_of(scalar) -> int:
+        # Key by (type, value): a constant LinExpr and an equal Fraction
+        # must decode back to their original types.
+        key = (scalar.__class__.__name__, scalar)
+        index = value_table.get(key)
+        if index is None:
+            index = len(values)
+            value_table[key] = index
+            values.append(scalar)
+        return index
+
+    transition_index = {
+        name: index for index, name in enumerate(graph.net.transition_order)
+    }
+    place_index = {name: index for index, name in enumerate(graph.net.place_order)}
+
+    marking_table: Dict[tuple, int] = {}
+    markings: List[tuple] = []
+    clock_table: Dict[tuple, int] = {}
+    clock_maps: List[tuple] = []
+
+    def clock_of(entries: Dict[str, object]) -> int:
+        key = tuple(
+            (transition_index[name], value_of(value)) for name, value in entries.items()
+        )
+        return _intern(clock_table, clock_maps, key)
+
+    state_marking: List[int] = []
+    state_ret: List[int] = []
+    state_rft: List[int] = []
+    for node in graph.nodes:
+        state = node.state
+        # _tokens holds exactly the strictly positive counts — the invariant
+        # Marking._trusted expects back on decode.
+        marking_key = tuple(
+            (place_index[place], count) for place, count in state.marking._tokens.items()
+        )
+        state_marking.append(_intern(marking_table, markings, marking_key))
+        state_ret.append(clock_of(state._ret))
+        state_rft.append(clock_of(state._rft))
+
+    name_table: Dict[tuple, int] = {}
+    name_tuples: List[tuple] = []
+    label_table: Dict[tuple, int] = {}
+    label_tuples: List[tuple] = []
+
+    edge_source: List[int] = []
+    edge_target: List[int] = []
+    edge_delay: List[int] = []
+    edge_probability: List[int] = []
+    edge_fired: List[int] = []
+    edge_completed: List[int] = []
+    edge_kind: List[int] = []
+    edge_used: List[int] = []
+    for edge in graph.edges:
+        edge_source.append(edge.source)
+        edge_target.append(edge.target)
+        edge_delay.append(value_of(edge.delay))
+        edge_probability.append(value_of(edge.probability))
+        edge_fired.append(
+            _intern(name_table, name_tuples, tuple(transition_index[n] for n in edge.fired))
+        )
+        edge_completed.append(
+            _intern(name_table, name_tuples, tuple(transition_index[n] for n in edge.completed))
+        )
+        edge_kind.append(_KIND_INDEX[edge.kind])
+        edge_used.append(_intern(label_table, label_tuples, edge.used_constraints))
+
+    payload = {
+        "version": CODEC_VERSION,
+        "symbolic": graph.symbolic,
+        "constraints": graph.constraints,
+        "initial_index": graph.initial_index,
+        "build_stats": graph._build_stats,
+        "values": values,
+        "markings": markings,
+        "clock_maps": clock_maps,
+        "state_marking": state_marking,
+        "state_ret": state_ret,
+        "state_rft": state_rft,
+        "name_tuples": name_tuples,
+        "label_tuples": label_tuples,
+        "edge_source": edge_source,
+        "edge_target": edge_target,
+        "edge_delay": edge_delay,
+        "edge_probability": edge_probability,
+        "edge_fired": edge_fired,
+        "edge_completed": edge_completed,
+        "edge_kind": edge_kind,
+        "edge_used": edge_used,
+    }
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_timed_graph(blob: bytes, net: TimedPetriNet) -> TimedReachabilityGraph:
+    """Rehydrate a timed reachability graph for a content-equal ``net``."""
+    payload = pickle.loads(blob)
+    if payload["version"] != CODEC_VERSION:
+        raise ValueError(
+            f"unsupported timed-graph payload version {payload['version']!r}"
+        )
+    values = payload["values"]
+    place_order = net.place_order
+    known_places = frozenset(place_order)
+    transition_order = net.transition_order
+
+    shared_markings = [
+        Marking._trusted(
+            place_order,
+            known_places,
+            {place_order[place]: count for place, count in entry},
+        )
+        for entry in payload["markings"]
+    ]
+    shared_clock_maps = [
+        {transition_order[transition]: values[value] for transition, value in entry}
+        for entry in payload["clock_maps"]
+    ]
+
+    graph = TimedReachabilityGraph(
+        net, symbolic=payload["symbolic"], constraints=payload["constraints"]
+    )
+    graph.initial_index = payload["initial_index"]
+    graph._build_stats = payload["build_stats"]
+    graph._index_of = None  # rebuilt lazily on first by-state lookup
+
+    new_state = TimedState.__new__
+    nodes: List[TimedNode] = []
+    for index, (marking, ret, rft) in enumerate(
+        zip(payload["state_marking"], payload["state_ret"], payload["state_rft"])
+    ):
+        state = new_state(TimedState)
+        state.marking = shared_markings[marking]
+        state._ret = shared_clock_maps[ret]
+        state._rft = shared_clock_maps[rft]
+        state._hash = None
+        node = object.__new__(TimedNode)
+        node.__dict__ = {
+            "index": index,
+            "state": state,
+            "successor_edges": [],
+            "predecessor_edges": [],
+        }
+        nodes.append(node)
+    graph.nodes = nodes
+
+    name_tuples = [
+        tuple(transition_order[index] for index in entry)
+        for entry in payload["name_tuples"]
+    ]
+    label_tuples = payload["label_tuples"]
+    edges: List[TimedEdge] = []
+    for index, (source, target, delay, probability, fired, completed, kind, used) in enumerate(
+        zip(
+            payload["edge_source"],
+            payload["edge_target"],
+            payload["edge_delay"],
+            payload["edge_probability"],
+            payload["edge_fired"],
+            payload["edge_completed"],
+            payload["edge_kind"],
+            payload["edge_used"],
+        )
+    ):
+        # TimedEdge is a frozen dataclass; updating __dict__ in place skips
+        # the generated __init__'s per-field object.__setattr__ calls.
+        edge = object.__new__(TimedEdge)
+        edge.__dict__.update({
+            "index": index,
+            "source": source,
+            "target": target,
+            "delay": values[delay],
+            "probability": values[probability],
+            "fired": name_tuples[fired],
+            "completed": name_tuples[completed],
+            "kind": _KINDS[kind],
+            "used_constraints": label_tuples[used],
+        })
+        edges.append(edge)
+        nodes[source].successor_edges.append(index)
+        nodes[target].predecessor_edges.append(index)
+    graph.edges = edges
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Graph-referencing artifacts (decision graphs, performance analyses)
+# ---------------------------------------------------------------------------
+
+
+class _StrippingPickler(pickle.Pickler):
+    """Pickle an object graph with its timed graph and net swapped for stubs."""
+
+    def __init__(self, buffer, graph: TimedReachabilityGraph, net: TimedPetriNet):
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self._graph = graph
+        self._net = net
+
+    def persistent_id(self, obj):
+        if obj is self._graph:
+            return _PID_GRAPH
+        if obj is self._net:
+            return _PID_NET
+        return None
+
+
+class _LinkingUnpickler(pickle.Unpickler):
+    """Resolve the stubs back to a rehydrated graph and the requesting net."""
+
+    def __init__(self, buffer, graph: TimedReachabilityGraph, net: TimedPetriNet):
+        super().__init__(buffer)
+        self._graph = graph
+        self._net = net
+
+    def persistent_load(self, pid):
+        if pid == _PID_GRAPH:
+            return self._graph
+        if pid == _PID_NET:
+            return self._net
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def dump_with_graph(artifact, graph: TimedReachabilityGraph) -> Tuple[bytes, bytes]:
+    """Serialize ``artifact`` with its referenced ``graph`` codec-encoded.
+
+    Returns ``(graph_blob, artifact_blob)``.  Every reference to ``graph``
+    (and to ``graph.net``) inside ``artifact`` — however deeply nested — is
+    replaced by a stub, so the artifact blob stays small and the expensive
+    part rides the compact codec.
+    """
+    buffer = io.BytesIO()
+    _StrippingPickler(buffer, graph, graph.net).dump(artifact)
+    return encode_timed_graph(graph), buffer.getvalue()
+
+
+def load_with_graph(
+    graph_blob: bytes,
+    artifact_blob: bytes,
+    net: TimedPetriNet,
+    *,
+    graph: Optional[TimedReachabilityGraph] = None,
+):
+    """Rehydrate an artifact stored by :func:`dump_with_graph`.
+
+    ``graph`` short-circuits the graph decode when the caller already holds
+    the rehydrated graph of the same cache entry (an
+    :class:`~repro.analysis.session.AnalysisSession` fetching the decision
+    stage after the timed-graph stage), so both artifacts share one
+    instance.  Returns ``(graph, artifact)``.
+    """
+    if graph is None:
+        graph = decode_timed_graph(graph_blob, net)
+    artifact = _LinkingUnpickler(io.BytesIO(artifact_blob), graph, net).load()
+    return graph, artifact
+
+
+__all__ = [
+    "CODEC_VERSION",
+    "decode_timed_graph",
+    "dump_with_graph",
+    "encode_timed_graph",
+    "load_with_graph",
+]

@@ -28,8 +28,17 @@ Subcommands mirror the analysis pipeline of the paper:
 * ``simulate`` — run the discrete-event simulator and compare against the
   analytic throughput,
 * ``export`` — write a model as JSON, PNML or Graphviz DOT,
+* ``cache`` — inspect (``stats``) or empty (``clear``) a content-addressed
+  artifact cache directory,
 * ``paper`` — regenerate the paper's headline numbers (Figures 4, 5 and the
   throughput expression) in one shot.
+
+The graph-building subcommands (``analyze``, ``reachability``, ``untimed``,
+``decision``, ``performance``) accept ``--cache-dir DIR``: analysis
+artifacts are then stored in a content-addressed cache keyed on the net's
+fingerprint (:mod:`repro.petri.fingerprint`), so repeated runs on an
+unchanged model rehydrate the cached graphs — bit-identically — instead of
+re-exploring.
 """
 
 from __future__ import annotations
@@ -162,6 +171,34 @@ def _resolve_store_arguments(arguments):
     return DiskStateStore(arguments.store_dir, **kwargs), True
 
 
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed artifact cache directory; repeated runs on an "
+        "unchanged model reload cached graphs instead of rebuilding "
+        "(inspect with the 'cache' subcommand)",
+    )
+
+
+def _open_session(arguments):
+    """An :class:`~repro.analysis.AnalysisSession` when ``--cache-dir`` was
+    given, else ``None`` (the subcommand then calls the builders directly)."""
+    if getattr(arguments, "cache_dir", None) is None:
+        return None
+    from .analysis import AnalysisSession
+
+    return AnalysisSession(cache_dir=arguments.cache_dir)
+
+
+def _print_cache_summary(session) -> None:
+    parts = []
+    for stage, counts in session.stage_outcomes.items():
+        for tier, count in sorted(counts.items()):
+            parts.append(f"{stage}: {tier}" + (f" x{count}" if count > 1 else ""))
+    print("cache: " + ("; ".join(parts) if parts else "unused"))
+
+
 def _command_models(_arguments) -> int:
     for name, constructor in sorted(model_catalog().items()):
         net = constructor()
@@ -171,17 +208,26 @@ def _command_models(_arguments) -> int:
 
 def _command_analyze(arguments) -> int:
     net = _load_model(arguments)
+    session = _open_session(arguments)
     try:
         # decision_graph() pre-checks collapse support and raises with the
         # supports_decision_collapse() diagnosis; catching it here avoids
         # building the reachability graph twice just to pre-check.
-        analysis = PerformanceAnalysis(net)
+        if session is not None:
+            analysis = session.performance(net)
+        else:
+            analysis = PerformanceAnalysis(net)
     except PerformanceError as error:
         print(net.summary())
         print()
         print(f"cannot analyze: {error}")
         return 1
+    finally:
+        if session is not None:
+            session.close()
     print(net.summary())
+    if session is not None:
+        _print_cache_summary(session)
     print()
     print(f"timed reachability graph: {analysis.reachability.state_count} states, "
           f"{analysis.reachability.edge_count} edges, "
@@ -203,13 +249,22 @@ def _command_analyze(arguments) -> int:
 def _command_reachability(arguments) -> int:
     net = _load_model(arguments)
     _validate_engine_arguments(arguments)
+    session = _open_session(arguments)
     try:
-        graph = timed_reachability_graph(
-            net,
-            max_states=arguments.max_states,
-            engine=arguments.engine,
-            workers=arguments.workers,
-        )
+        if session is not None:
+            graph = session.timed_graph(
+                net,
+                max_states=arguments.max_states,
+                engine=arguments.engine,
+                workers=arguments.workers,
+            )
+        else:
+            graph = timed_reachability_graph(
+                net,
+                max_states=arguments.max_states,
+                engine=arguments.engine,
+                workers=arguments.workers,
+            )
     except ValueError as error:
         # e.g. a non-positive --workers count; argparse already guaranteed
         # the engine name, so surface the builder's message cleanly.
@@ -217,7 +272,12 @@ def _command_reachability(arguments) -> int:
     except UnboundedNetError as error:
         print(f"cannot enumerate: {error}")
         return 1
+    finally:
+        if session is not None:
+            session.close()
     print(graph)
+    if session is not None:
+        _print_cache_summary(session)
     if arguments.engine == ENGINE_PARALLEL:
         print(f"engine: parallel ({arguments.workers or 'auto'} workers)")
     if arguments.table:
@@ -232,14 +292,24 @@ def _command_untimed(arguments) -> int:
     net = _load_model(arguments)
     _validate_engine_arguments(arguments)
     store, owned = _resolve_store_arguments(arguments)
+    session = _open_session(arguments)
     try:
-        graph = untimed_reachability_graph(
-            net,
-            max_states=arguments.max_states,
-            engine=arguments.engine,
-            workers=arguments.workers,
-            store=store,
-        )
+        if session is not None:
+            graph = session.untimed_graph(
+                net,
+                max_states=arguments.max_states,
+                engine=arguments.engine,
+                workers=arguments.workers,
+                store=store,
+            )
+        else:
+            graph = untimed_reachability_graph(
+                net,
+                max_states=arguments.max_states,
+                engine=arguments.engine,
+                workers=arguments.workers,
+                store=store,
+            )
     except ValueError as error:
         # e.g. a non-positive --workers count or a store on a non-frontier
         # engine; argparse already guaranteed the engine name, so surface
@@ -251,7 +321,11 @@ def _command_untimed(arguments) -> int:
     finally:
         if owned:
             store.close()
+        if session is not None:
+            session.close()
     print(graph)
+    if session is not None:
+        _print_cache_summary(session)
     rows = [
         ("engine", arguments.engine
          + (f" ({arguments.workers or 'auto'} workers)" if arguments.engine == ENGINE_PARALLEL else "")),
@@ -356,14 +430,23 @@ def _command_query(arguments) -> int:
 
 def _command_decision(arguments) -> int:
     net = _load_model(arguments)
+    session = _open_session(arguments)
     try:
-        graph = decision_graph(
-            timed_reachability_graph(net), fold_cycles=not arguments.no_fold
-        )
+        if session is not None:
+            graph = session.decision(net, fold_cycles=not arguments.no_fold)
+        else:
+            graph = decision_graph(
+                timed_reachability_graph(net), fold_cycles=not arguments.no_fold
+            )
     except PerformanceError as error:
         print(f"cannot collapse: {error}")
         return 1
+    finally:
+        if session is not None:
+            session.close()
     print(graph)
+    if session is not None:
+        _print_cache_summary(session)
     print(format_decision_edges(graph))
     if graph.has_folded_cycles:
         print()
@@ -374,13 +457,22 @@ def _command_decision(arguments) -> int:
 
 def _command_performance(arguments) -> int:
     net = _load_model(arguments)
+    session = _open_session(arguments)
     try:
-        analysis = PerformanceAnalysis(net)
+        if session is not None:
+            analysis = session.performance(net)
+        else:
+            analysis = PerformanceAnalysis(net)
     except PerformanceError as error:
         print(f"cannot analyze: {error}")
         return 1
+    finally:
+        if session is not None:
+            session.close()
     decision = analysis.decision
     print(f"timed reachability graph: {analysis.reachability.state_count} states")
+    if session is not None:
+        _print_cache_summary(session)
     print(decision)
     print()
     print(format_decision_edges(decision))
@@ -453,6 +545,26 @@ def _command_export(arguments) -> int:
     return 0
 
 
+def _command_cache(arguments) -> int:
+    from .analysis import ArtifactCache
+
+    with ArtifactCache(arguments.cache_dir) as cache:
+        if arguments.action == "clear":
+            removed = cache.clear()
+            print(f"cleared {removed} cached artifact{'s' if removed != 1 else ''}")
+            return 0
+        stats = cache.stats()
+        print(format_kv([
+            ("directory", arguments.cache_dir),
+            ("entries", stats["disk_entries"]),
+            ("bytes", stats["disk_bytes"]),
+        ]))
+        if stats["disk_stages"]:
+            print("by stage:")
+            print(format_kv(sorted(stats["disk_stages"].items())))
+    return 0
+
+
 def _command_paper(_arguments) -> int:
     net = simple_protocol_net()
     analysis = PerformanceAnalysis(net)
@@ -496,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = subparsers.add_parser("analyze", help="end-to-end performance analysis")
     _add_model_arguments(analyze)
+    _add_cache_arguments(analyze)
     analyze.add_argument("--transition", help="only report this transition")
     analyze.set_defaults(handler=_command_analyze)
 
@@ -507,6 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
         engine_help="construction backend; 'parallel' shards the timed BFS across processes",
         max_states_help="abort if the construction exceeds this many timed states",
     )
+    _add_cache_arguments(reachability)
     reachability.add_argument("--table", action="store_true", help="print the full state table")
     reachability.add_argument("--dot", help="write the graph as Graphviz DOT to this path")
     reachability.set_defaults(handler=_command_reachability)
@@ -523,6 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
         max_states_help="abort if the enumeration exceeds this many markings",
     )
     _add_store_arguments(untimed)
+    _add_cache_arguments(untimed)
     untimed.add_argument(
         "--stats",
         action="store_true",
@@ -568,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     decision = subparsers.add_parser("decision", help="print the decision graph")
     _add_model_arguments(decision)
+    _add_cache_arguments(decision)
     decision.add_argument(
         "--no-fold",
         action="store_true",
@@ -582,6 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
         "cycles, terminal classes, closed-form measures)",
     )
     _add_model_arguments(performance)
+    _add_cache_arguments(performance)
     performance.add_argument("--transition", help="only report this transition")
     performance.set_defaults(handler=_command_performance)
 
@@ -596,6 +713,17 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--format", choices=("json", "pnml", "dot"), default="json")
     export.add_argument("--output", help="output path (defaults to stdout)")
     export.set_defaults(handler=_command_export)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear a content-addressed artifact cache directory"
+    )
+    cache.add_argument("action", choices=("stats", "clear"), help="what to do")
+    cache.add_argument(
+        "--cache-dir",
+        required=True,
+        help="the artifact cache directory (as passed to the analysis subcommands)",
+    )
+    cache.set_defaults(handler=_command_cache)
 
     subparsers.add_parser(
         "paper", help="regenerate the paper's headline numbers"

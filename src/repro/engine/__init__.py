@@ -69,7 +69,12 @@ from .parallel import (
 )
 from .query import QueryResult, bound_check, find_deadlock, is_reachable, search
 from .store import DiskStateStore, resolve_store
-from .tables import NetTables
+from .tables import (
+    NetTables,
+    clear_shared_tables,
+    set_tables_cache_limit,
+    tables_cache_stats,
+)
 from .untimed import compiled_coverability_graph, compiled_reachability_graph
 
 #: Engine selection values shared by every builder with a compiled backend.
@@ -154,6 +159,7 @@ __all__ = [
     "batched_reachability_graph",
     "bound_check",
     "check_engine",
+    "clear_shared_tables",
     "compiled_coverability_graph",
     "compiled_marking_graph",
     "compiled_reachability_graph",
@@ -166,4 +172,6 @@ __all__ = [
     "resolve_store",
     "resolve_workers",
     "search",
+    "set_tables_cache_limit",
+    "tables_cache_stats",
 ]

@@ -26,21 +26,55 @@ tests, memoized branch probabilities).
 
 from __future__ import annotations
 
-import weakref
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..petri.fingerprint import net_cache_key
 from ..petri.marking import Marking
 from ..petri.net import TimedPetriNet
 
-#: Shared structural tables per net, for :meth:`NetTables.of`.  Nets are
-#: immutable, so the compilation (and its memo caches) can be reused across
-#: repeated constructions of the same net object; the weak keys drop an
-#: entry as soon as its net is garbage-collected.
-_SHARED_TABLES: "weakref.WeakKeyDictionary[TimedPetriNet, NetTables]" = (
-    weakref.WeakKeyDictionary()
-)
+#: Default bound of the shared-tables LRU (distinct net contents held at
+#: once).  Tables are small — O(P + T + arcs) plus the per-vector memo that
+#: grows with use — but long-running services churn through many models, so
+#: the memo is LRU-bounded like every other cache in the tree.
+DEFAULT_TABLES_LIMIT = 128
+
+#: Shared structural tables for :meth:`NetTables.of`, keyed by the net's
+#: *content* (``repro.petri.fingerprint.net_cache_key``: canonical
+#: fingerprint + declaration-order digest) instead of object identity, so
+#: structurally equal nets — two ``sliding_window_net(4)`` calls, a net and
+#: its pickle round-trip — share one compilation and its memo caches.
+_SHARED_TABLES: "OrderedDict[str, NetTables]" = OrderedDict()
+_TABLES_LIMIT: int = DEFAULT_TABLES_LIMIT
+_TABLES_COUNTERS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def tables_cache_stats() -> Dict[str, int]:
+    """Hit/miss/eviction counters and current size of the shared-tables memo."""
+    stats = dict(_TABLES_COUNTERS)
+    stats["size"] = len(_SHARED_TABLES)
+    stats["limit"] = _TABLES_LIMIT
+    return stats
+
+
+def clear_shared_tables() -> None:
+    """Drop every memoized compilation and reset the counters (for tests)."""
+    _SHARED_TABLES.clear()
+    for key in _TABLES_COUNTERS:
+        _TABLES_COUNTERS[key] = 0
+
+
+def set_tables_cache_limit(limit: int) -> None:
+    """Re-bound the shared-tables LRU, evicting oldest entries if needed."""
+    global _TABLES_LIMIT
+    if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+        raise ValueError(f"tables cache limit must be a positive integer, got {limit!r}")
+    _TABLES_LIMIT = limit
+    while len(_SHARED_TABLES) > _TABLES_LIMIT:
+        _SHARED_TABLES.popitem(last=False)
+        _TABLES_COUNTERS["evictions"] += 1
 
 
 class NetTables:
@@ -114,19 +148,31 @@ class NetTables:
 
     @classmethod
     def of(cls, net: TimedPetriNet) -> "NetTables":
-        """The shared structural tables of ``net``, memoized per net object.
+        """The shared structural tables of ``net``, memoized by content.
 
-        Nets are immutable, so repeated constructions over the same net
-        (differential runs, best-of-N benchmarks, analyses that build more
-        than one graph family) reuse one compilation and its memo caches.
-        Always yields a plain :class:`NetTables`; subclasses with their own
-        constructor arguments (the timed engine's ``CompiledNet``) build
-        directly.
+        Keyed on ``net_cache_key(net)`` — the canonical content fingerprint
+        plus the declaration-order digest — so *structurally equal* nets
+        share one compilation and its memo caches even when they are
+        distinct objects (repeated constructor calls, pickle round-trips,
+        differential runs, best-of-N benchmarks).  The declaration-order
+        component keeps the reuse bit-exact: tables fix vector columns and
+        transition numbering, so only nets that also declare in the same
+        order may share.  Always yields a plain :class:`NetTables`;
+        subclasses with their own constructor arguments (the timed engine's
+        ``CompiledNet``) keep a parallel content-keyed memo.
         """
-        tables = _SHARED_TABLES.get(net)
+        key = net_cache_key(net)
+        tables = _SHARED_TABLES.get(key)
         if tables is None:
+            _TABLES_COUNTERS["misses"] += 1
             tables = NetTables(net)
-            _SHARED_TABLES[net] = tables
+            _SHARED_TABLES[key] = tables
+            while len(_SHARED_TABLES) > _TABLES_LIMIT:
+                _SHARED_TABLES.popitem(last=False)
+                _TABLES_COUNTERS["evictions"] += 1
+        else:
+            _TABLES_COUNTERS["hits"] += 1
+            _SHARED_TABLES.move_to_end(key)
         return tables
 
     # ------------------------------------------------------------------
@@ -300,4 +346,10 @@ class NetTables:
         return tuple(new_vec)
 
 
-__all__ = ["NetTables"]
+__all__ = [
+    "DEFAULT_TABLES_LIMIT",
+    "NetTables",
+    "clear_shared_tables",
+    "set_tables_cache_limit",
+    "tables_cache_stats",
+]

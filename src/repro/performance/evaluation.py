@@ -60,6 +60,7 @@ class PerformanceAnalysis:
         *,
         max_states: int = 100_000,
         time_unit: str = "ms",
+        reachability: Optional[TimedReachabilityGraph] = None,
     ):
         self.net = net
         self.constraints = constraints
@@ -70,9 +71,16 @@ class PerformanceAnalysis:
                     "the net carries symbolic annotations; supply the declared timing "
                     "constraints (a ConstraintSet) to analyze it"
                 )
-            self.reachability: TimedReachabilityGraph = symbolic_timed_reachability_graph(
-                net, constraints, max_states=max_states
+            self.reachability: TimedReachabilityGraph = (
+                reachability
+                if reachability is not None
+                else symbolic_timed_reachability_graph(net, constraints, max_states=max_states)
             )
+        elif reachability is not None:
+            # A pre-built graph (an AnalysisSession feeding the cached
+            # timed-graph stage) skips the reachability construction; the
+            # caller guarantees it belongs to a content-equal net.
+            self.reachability = reachability
         else:
             self.reachability = timed_reachability_graph(net, max_states=max_states)
         self.decision: DecisionGraph = decision_graph(self.reachability)

@@ -15,6 +15,14 @@ Public surface:
 from .builder import NetBuilder
 from .classification import StructuralClassification, classify
 from .conflict import ConflictSet, partition_into_conflict_sets, validate_user_partition
+from .fingerprint import (
+    DIGEST_SCHEME,
+    canonical_form,
+    constraints_digest,
+    net_cache_key,
+    net_fingerprint,
+    presentation_digest,
+)
 from .incidence import IncidenceMatrices, incidence_matrices
 from .invariants import (
     Invariant,
@@ -62,6 +70,7 @@ __all__ = [
     "BehaviouralReport",
     "ConflictSet",
     "CoverabilityGraph",
+    "DIGEST_SCHEME",
     "Diagnostic",
     "EMPTY_MULTISET",
     "IncidenceMatrices",
@@ -77,9 +86,11 @@ __all__ = [
     "UntimedReachabilityGraph",
     "assert_valid",
     "behavioural_report",
+    "canonical_form",
     "check_state_equation",
     "classify",
     "commoner_condition",
+    "constraints_digest",
     "coverability_graph",
     "find_deadlocks",
     "incidence_matrices",
@@ -98,8 +109,11 @@ __all__ = [
     "maximal_trap_within",
     "minimal_siphons",
     "minimal_traps",
+    "net_cache_key",
+    "net_fingerprint",
     "partition_into_conflict_sets",
     "place_invariants",
+    "presentation_digest",
     "reachability_graph",
     "structural_bound_report",
     "transition_invariants",

@@ -1,0 +1,220 @@
+"""Canonical net identity: content-addressed fingerprints of timed Petri nets.
+
+Every stage of the analysis pipeline — structural tables, reachability /
+coverability / GSPN graphs, decision collapse, performance expressions — is a
+pure function of the net tuple ``(P, T, I, O, E, F, mu0)`` plus the firing
+frequencies.  This module computes a *canonical form* of that tuple and a
+stable digest over it, so equal nets share compiled artifacts within a
+process (:meth:`repro.engine.tables.NetTables.of`) and across processes
+(:class:`repro.analysis.ArtifactCache`).
+
+Digest scheme (version ``tpn1``)
+--------------------------------
+
+``net_fingerprint`` is the hex SHA-256 of the UTF-8 ``repr()`` of the nested
+primitive tuple returned by :func:`canonical_form`, prefixed with the scheme
+tag::
+
+    tpn1:<64 hex digits>
+
+The canonical form contains, in fixed order:
+
+* the scheme tag and version,
+* every place as ``(name, capacity)``, **sorted by name**,
+* every transition as ``(name, inputs, outputs, E, F, frequency)``,
+  **sorted by name**, with input/output bags as ``(place, count)`` pairs
+  sorted by place name,
+* the nonzero entries of the initial marking as ``(place, count)`` pairs
+  sorted by place name.
+
+Values are encoded without reference to Python object identity or hash
+seeds: a :class:`~fractions.Fraction` becomes ``("q", numerator,
+denominator)``; a :class:`~repro.symbolic.linexpr.LinExpr` becomes its
+constant plus its terms sorted by ``(symbol kind, symbol name)`` with exact
+rational coefficients.  Only ``repr()`` of ints, strings and tuples is ever
+hashed — never ``hash()``, which is salted for strings.
+
+Identity-bearing vs. presentation-only
+--------------------------------------
+
+The fingerprint is **invariant** under place/transition declaration order
+and under name-preserving rebuilds (two independently constructed nets with
+the same places, arcs, weights, timings, frequencies and initial marking
+have equal fingerprints).  It is **sensitive** to any change of an arc
+weight, a capacity, an enabling/firing time, a firing frequency, or the
+initial marking.  The net's display ``name`` and the human-readable
+descriptions of places and transitions are presentation-only and excluded.
+
+Declaration order *is* observable in analysis artifacts, though: it fixes
+state-vector columns, node numbering and edge order of every graph.  Cached
+artifacts must therefore be keyed on the pair ``(fingerprint, presentation
+digest)`` — :func:`presentation_digest` hashes the declaration order, and
+:func:`net_cache_key` combines the two into the composite key used by
+``NetTables.of`` and the artifact cache, so a cache hit is bit-identical to
+a cold build, not merely isomorphic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from fractions import Fraction
+from typing import TYPE_CHECKING, Tuple
+
+from ..symbolic.linexpr import LinExpr
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .net import TimedPetriNet
+
+#: Version tag of the digest scheme.  Bump whenever the canonical form
+#: changes so stale disk caches miss instead of colliding.
+DIGEST_SCHEME = "tpn1"
+
+#: Instance attributes the memoized digests live under.  Nets are immutable,
+#: so the memo can never go stale; it also survives pickling (the digests
+#: are content-derived, hence equally valid in the unpickling process).
+_FINGERPRINT_ATTR = "_content_fingerprint_tpn1"
+_PRESENTATION_ATTR = "_presentation_digest_tpn1"
+
+
+def _encode_value(value: object) -> Tuple:
+    """Encode a timing/frequency annotation as a primitive tuple.
+
+    Fractions and LinExprs that happen to be constant encode identically
+    (``as_time`` already collapses constant expressions to Fractions, but
+    the guard keeps rebuilt nets equal even if a constant LinExpr slips
+    through a future construction path).
+    """
+    if isinstance(value, LinExpr):
+        if value.is_constant():
+            value = value.constant_value()
+        else:
+            constant = value.constant_term
+            terms = tuple(
+                (symbol.kind, symbol.name, coeff.numerator, coeff.denominator)
+                for symbol, coeff in sorted(
+                    value.terms.items(), key=lambda item: (item[0].kind, item[0].name)
+                )
+            )
+            return ("lin", terms, constant.numerator, constant.denominator)
+    fraction = Fraction(value)
+    return ("q", fraction.numerator, fraction.denominator)
+
+
+def _encode_bag(bag) -> Tuple[Tuple[str, int], ...]:
+    """A multiset of place names as sorted ``(place, count)`` pairs."""
+    return tuple(sorted(bag.items()))
+
+
+def canonical_form(net: "TimedPetriNet") -> Tuple:
+    """The order-invariant canonical form of ``net`` (see module docs).
+
+    A nested tuple of ints, strings and tuples only — deterministic
+    ``repr()``, picklable, directly comparable: two nets are
+    content-equal iff their canonical forms are equal.
+    """
+    places = tuple(
+        (place.name, place.capacity if place.capacity is not None else -1)
+        for place in sorted(net.places.values(), key=lambda p: p.name)
+    )
+    transitions = tuple(
+        (
+            transition.name,
+            _encode_bag(transition.inputs),
+            _encode_bag(transition.outputs),
+            _encode_value(transition.enabling_time),
+            _encode_value(transition.firing_time),
+            _encode_value(transition.firing_frequency),
+        )
+        for transition in sorted(net.transitions.values(), key=lambda t: t.name)
+    )
+    marking = tuple(sorted(net.initial_marking.to_dict().items()))
+    return (
+        "tpn-canonical",
+        DIGEST_SCHEME,
+        ("places", places),
+        ("transitions", transitions),
+        ("marking", marking),
+    )
+
+
+def _digest(payload: Tuple) -> str:
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+def net_fingerprint(net: "TimedPetriNet") -> str:
+    """The content fingerprint ``tpn1:<sha256>`` of ``net`` (memoized).
+
+    Equal for structurally equal nets regardless of declaration order or
+    construction history; different whenever any identity-bearing component
+    (structure, arc weight, capacity, timing, frequency, initial marking)
+    differs.  Stable across processes and pickle round-trips.
+    """
+    cached = getattr(net, _FINGERPRINT_ATTR, None)
+    if cached is None:
+        cached = f"{DIGEST_SCHEME}:{_digest(canonical_form(net))}"
+        setattr(net, _FINGERPRINT_ATTR, cached)
+    return cached
+
+
+def presentation_digest(net: "TimedPetriNet") -> str:
+    """Digest of the declaration order (memoized).
+
+    Declaration order fixes vector columns, node numbering and edge order
+    of every derived graph, so order-sensitive artifacts carry this digest
+    next to the fingerprint (see :func:`net_cache_key`).
+    """
+    cached = getattr(net, _PRESENTATION_ATTR, None)
+    if cached is None:
+        payload = ("tpn-presentation", DIGEST_SCHEME, net.place_order, net.transition_order)
+        cached = _digest(payload)[:16]
+        setattr(net, _PRESENTATION_ATTR, cached)
+    return cached
+
+
+def constraints_digest(constraints) -> str:
+    """Digest of a :class:`~repro.symbolic.constraints.ConstraintSet`.
+
+    Symbolic-stage artifacts (Figure-6 graphs, symbolic performance
+    expressions) depend on the declared timing constraints, so their cache
+    keys carry this digest next to the net's.  Declaration *order* is
+    identity-bearing here — default labels are positional and entailment
+    reports cite them — so the encoding preserves it.
+    """
+    if constraints is None:
+        return "none"
+    rows = tuple(
+        (
+            constraint.label,
+            constraint.relation,
+            _encode_value(constraint.expression),
+        )
+        for constraint in constraints.constraints
+    )
+    payload = (
+        "tpn-constraints",
+        DIGEST_SCHEME,
+        rows,
+        bool(getattr(constraints, "_implicit_nonnegative", True)),
+    )
+    return _digest(payload)[:16]
+
+
+def net_cache_key(net: "TimedPetriNet") -> str:
+    """The composite artifact-cache key ``<fingerprint>/<presentation>``.
+
+    Two nets with the same key produce bit-identical tables, graphs and
+    performance expressions; two content-equal nets that merely declare
+    their places or transitions in a different order share a fingerprint
+    but not a cache key (their artifacts are isomorphic, not identical).
+    """
+    return f"{net_fingerprint(net)}/{presentation_digest(net)}"
+
+
+__all__ = [
+    "DIGEST_SCHEME",
+    "canonical_form",
+    "constraints_digest",
+    "net_cache_key",
+    "net_fingerprint",
+    "presentation_digest",
+]

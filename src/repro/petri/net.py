@@ -486,6 +486,21 @@ class TimedPetriNet:
         )
 
     # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """The content fingerprint of this net (see :mod:`repro.petri.fingerprint`).
+
+        Invariant under declaration order and name-preserving rebuilds;
+        sensitive to any structural, weight, timing, frequency or marking
+        change.  Memoized — nets are immutable.
+        """
+        from .fingerprint import net_fingerprint
+
+        return net_fingerprint(self)
+
+    # ------------------------------------------------------------------
     # Summaries / dunder methods
     # ------------------------------------------------------------------
 

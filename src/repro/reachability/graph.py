@@ -106,20 +106,37 @@ class TimedReachabilityGraph:
         self.constraints = constraints
         self.nodes: List[TimedNode] = []
         self.edges: List[TimedEdge] = []
-        self.index_of: Dict[TimedState, int] = {}
+        self._index_of: Optional[Dict[TimedState, int]] = {}
         self.initial_index = 0
+
+    @property
+    def index_of(self) -> Dict[TimedState, int]:
+        """State → node index.  Rebuilt lazily after cache rehydration.
+
+        A graph decoded from a cached artifact
+        (:mod:`repro.analysis.codec`) defers this dict: hashing every state
+        is a large part of rehydration cost and most cached-artifact
+        consumers never look states up by value.  The rebuilt dict is
+        bit-identical to the construction-time one (states are interned in
+        node order, and first insertion wins for duplicates — which cannot
+        occur, as nodes are deduplicated by construction).
+        """
+        if self._index_of is None:
+            self._index_of = {node.state: node.index for node in self.nodes}
+        return self._index_of
 
     # ------------------------------------------------------------------
     # Construction helpers (used by the builder functions)
     # ------------------------------------------------------------------
 
     def _add_state(self, state: TimedState) -> Tuple[int, bool]:
-        existing = self.index_of.get(state)
+        index_map = self.index_of
+        existing = index_map.get(state)
         if existing is not None:
             return existing, False
         index = len(self.nodes)
         self.nodes.append(TimedNode(index, state))
-        self.index_of[state] = index
+        index_map[state] = index
         return index, True
 
     def _add_edge(

@@ -22,8 +22,10 @@ arithmetic exactly.  This module centralizes
   graph families (timed, untimed reachability, coverability, GSPN marking
   graph),
 
-so ``tests/test_engine_diff.py``, ``tests/test_engine_random.py`` and
-``tests/test_compiled_engine.py`` share one comparison instead of each
+so ``tests/test_engine_diff.py``, ``tests/test_engine_random.py``,
+``tests/test_compiled_engine.py`` and the cache-determinism gate of
+``tests/test_analysis_cache.py`` (a warm artifact-cache hit must be
+bit-identical to a cold build) share one comparison instead of each
 growing its own copy.
 """
 
@@ -137,6 +139,27 @@ def build_symbolic_timed_parallel(net, constraints, *, workers=PARALLEL_WORKERS,
     return symbolic_timed_reachability_graph(
         net, constraints, engine="parallel", workers=workers, **kwargs
     )
+
+
+def build_timed_cached_roundtrip(net, **kwargs):
+    """(cold, warm) numeric timed graphs: build vs artifact-codec rehydration.
+
+    The warm graph goes through the exact bytes a disk cache hit would read
+    (:mod:`repro.analysis.codec`), so holding the pair to
+    :func:`assert_timed_graphs_identical` is the cache-determinism gate.
+    """
+    from repro.analysis import decode_timed_graph, encode_timed_graph
+
+    cold = timed_reachability_graph(net, **kwargs)
+    return cold, decode_timed_graph(encode_timed_graph(cold), net)
+
+
+def build_symbolic_timed_cached_roundtrip(net, constraints, **kwargs):
+    """(cold, warm) symbolic timed graphs through the artifact codec."""
+    from repro.analysis import decode_timed_graph, encode_timed_graph
+
+    cold = symbolic_timed_reachability_graph(net, constraints, **kwargs)
+    return cold, decode_timed_graph(encode_timed_graph(cold), net)
 
 
 def build_untimed_pair(net, **kwargs):

@@ -1,0 +1,230 @@
+"""Property tests for the canonical net identity (repro.petri.fingerprint).
+
+The fingerprint underwrites every cache in the content-addressed pipeline
+(``NetTables.of``, the artifact cache, the CLI's ``--cache-dir``), so these
+tests pin down exactly what it may and may not depend on: invariant under
+declaration reorder, name-preserving rebuilds, pickling and process
+boundaries; sensitive to every identity-bearing component (structure, arc
+weights, capacities, timings, frequencies, the initial marking).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+from fractions import Fraction
+
+import pytest
+
+import repro
+from repro.petri import (
+    NetBuilder,
+    canonical_form,
+    constraints_digest,
+    net_cache_key,
+    net_fingerprint,
+    presentation_digest,
+)
+from repro.protocols import (
+    simple_protocol_net,
+    simple_protocol_symbolic,
+    sliding_window_net,
+)
+from repro.symbolic import ConstraintSet
+
+
+def build_protocol(
+    *,
+    name="proto",
+    reverse=False,
+    weight=1,
+    firing_time=2,
+    enabling_time=0,
+    timeout=10,
+    ok_frequency=Fraction(19, 20),
+    tokens=1,
+    capacity=None,
+    descriptions=True,
+):
+    """A small lossy send/ack net with every identity knob exposed.
+
+    ``reverse=True`` declares the same places and transitions in the
+    opposite order — content-equal, presentation-different.
+    """
+    builder = NetBuilder(name)
+    places = [("p1", "ready"), ("p2", "in flight"), ("p3", "acked")]
+    transitions = [
+        dict(
+            name="send",
+            inputs={"p1": weight},
+            outputs=["p2"],
+            enabling_time=enabling_time,
+            firing_time=firing_time,
+            description="transmit" if descriptions else "",
+        ),
+        dict(
+            name="ok",
+            inputs=["p2"],
+            outputs=["p3"],
+            frequency=ok_frequency,
+            description="delivered" if descriptions else "",
+        ),
+        dict(
+            name="lose",
+            inputs=["p2"],
+            outputs={"p1": weight},
+            firing_time=timeout,
+            frequency=1 - ok_frequency,
+            description="timeout" if descriptions else "",
+        ),
+        dict(name="reset", inputs=["p3"], outputs={"p1": weight}),
+    ]
+    if reverse:
+        places = list(reversed(places))
+        transitions = list(reversed(transitions))
+    for place, description in places:
+        builder.place(place, description if descriptions else "", capacity=capacity)
+    for spec in transitions:
+        spec = dict(spec)
+        builder.transition(spec.pop("name"), **spec)
+    builder.mark("p1", tokens)
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Invariance
+# ---------------------------------------------------------------------------
+
+
+def test_rebuild_invariance():
+    """Two independent builds of the same model share fingerprint AND key."""
+    first, second = build_protocol(), build_protocol()
+    assert first is not second
+    assert canonical_form(first) == canonical_form(second)
+    assert net_fingerprint(first) == net_fingerprint(second)
+    assert presentation_digest(first) == presentation_digest(second)
+    assert net_cache_key(first) == net_cache_key(second)
+
+
+def test_bundled_workload_rebuild_invariance():
+    kwargs = dict(loss_probability=Fraction(1, 10), packet_delay=2, ack_delay=2, timeout=6)
+    assert net_fingerprint(sliding_window_net(4, **kwargs)) == net_fingerprint(
+        sliding_window_net(4, **kwargs)
+    )
+    assert net_cache_key(sliding_window_net(4, **kwargs)) == net_cache_key(
+        sliding_window_net(4, **kwargs)
+    )
+
+
+def test_declaration_reorder_keeps_fingerprint_not_cache_key():
+    """Reordering declarations preserves content but changes presentation."""
+    forward, backward = build_protocol(), build_protocol(reverse=True)
+    assert canonical_form(forward) == canonical_form(backward)
+    assert net_fingerprint(forward) == net_fingerprint(backward)
+    # ... but graphs number their states by declaration order, so the
+    # composite cache key must distinguish the two presentations.
+    assert presentation_digest(forward) != presentation_digest(backward)
+    assert net_cache_key(forward) != net_cache_key(backward)
+
+
+def test_names_and_descriptions_are_presentation_only():
+    plain = build_protocol(name="a", descriptions=True)
+    renamed = build_protocol(name="b", descriptions=False)
+    assert net_fingerprint(plain) == net_fingerprint(renamed)
+    assert net_cache_key(plain) == net_cache_key(renamed)
+
+
+def test_fingerprint_format_is_versioned():
+    fingerprint = net_fingerprint(build_protocol())
+    scheme, _, digest = fingerprint.partition(":")
+    assert scheme == "tpn1"
+    assert len(digest) == 64 and set(digest) <= set("0123456789abcdef")
+
+
+# ---------------------------------------------------------------------------
+# Sensitivity
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "tweak",
+    [
+        {"weight": 2},  # arc weight
+        {"firing_time": 3},  # firing time
+        {"enabling_time": 1},  # enabling time
+        {"timeout": 11},  # another transition's timing
+        {"ok_frequency": Fraction(9, 10)},  # firing frequency / branch rate
+        {"tokens": 2},  # initial marking
+        {"capacity": 5},  # place capacity
+    ],
+    ids=lambda tweak: next(iter(tweak)),
+)
+def test_fingerprint_sensitivity(tweak):
+    baseline = build_protocol()
+    changed = build_protocol(**tweak)
+    assert net_fingerprint(baseline) != net_fingerprint(changed)
+    assert canonical_form(baseline) != canonical_form(changed)
+
+
+def test_symbolic_timing_is_identity_bearing():
+    net, constraints, symbols = simple_protocol_symbolic()
+    numeric = simple_protocol_net()
+    assert net_fingerprint(net) != net_fingerprint(numeric)
+    # A second symbolic build is equal; binding the symbols changes identity.
+    again, _constraints, _symbols = simple_protocol_symbolic()
+    assert net_fingerprint(net) == net_fingerprint(again)
+    bound = net.bind({symbol: Fraction(1) for symbol in symbols.values()})
+    assert net_fingerprint(bound) != net_fingerprint(net)
+
+
+def test_constraints_digest_properties():
+    _net, constraints, _symbols = simple_protocol_symbolic()
+    assert constraints_digest(None) == "none"
+    assert constraints_digest(constraints) == constraints_digest(constraints)
+    # Constraint declaration order is identity-bearing (positional labels).
+    reordered = ConstraintSet(tuple(reversed(constraints.constraints)))
+    assert constraints_digest(constraints) != constraints_digest(reordered)
+
+
+# ---------------------------------------------------------------------------
+# Stability across pickling and process boundaries
+# ---------------------------------------------------------------------------
+
+
+def test_fingerprint_survives_pickle_round_trip():
+    net = build_protocol()
+    fingerprint = net_fingerprint(net)
+    clone = pickle.loads(pickle.dumps(net))
+    assert net_fingerprint(clone) == fingerprint
+    assert net_cache_key(clone) == net_cache_key(net)
+
+
+def test_fingerprint_stable_across_spawned_subprocess():
+    """The digest must not depend on hash seeds or interpreter state.
+
+    A fresh interpreter (its own PYTHONHASHSEED) rebuilds the same model
+    and must print the exact same fingerprint and cache key.
+    """
+    net = sliding_window_net(2, loss_probability=Fraction(1, 10))
+    expected = net_cache_key(net)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    script = (
+        "from fractions import Fraction\n"
+        "from repro.petri import net_cache_key\n"
+        "from repro.protocols import sliding_window_net\n"
+        "net = sliding_window_net(2, loss_probability=Fraction(1, 10))\n"
+        "print(net_cache_key(net))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = "random"
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert result.stdout.strip() == expected
