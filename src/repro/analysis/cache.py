@@ -28,7 +28,8 @@ from collections import OrderedDict
 from fractions import Fraction
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
-from ..engine.store import _decode, _encode
+from ..engine import faults
+from ..engine.store import _decode, _encode, locked_retry
 from ..petri.fingerprint import net_cache_key
 from ..petri.net import TimedPetriNet
 
@@ -150,20 +151,32 @@ class ArtifactCache:
         connection = self._connect(create=False)
         if connection is None:
             return None
-        row = connection.execute(
-            "SELECT payload FROM artifacts WHERE key = ?", (key,)
-        ).fetchone()
+        # A concurrent writer holding the database (another analysis process
+        # sharing the cache directory) is transient, not fatal — same
+        # bounded-backoff retry as the engine's spill stores.
+        row = locked_retry(
+            lambda: connection.execute(
+                "SELECT payload FROM artifacts WHERE key = ?", (key,)
+            ).fetchone(),
+            what=f"artifact cache read of {key!r}",
+        )
         return None if row is None else row[0]
 
     def _disk_put(self, key: str, stage: str, payload: bytes) -> None:
         connection = self._connect(create=True)
         if connection is None:
             return
-        connection.execute(
-            "INSERT OR REPLACE INTO artifacts (key, stage, payload) VALUES (?, ?, ?)",
-            (key, stage, payload),
-        )
-        connection.commit()
+
+        def write():
+            faults.on_store_write()
+            connection.execute(
+                "INSERT OR REPLACE INTO artifacts (key, stage, payload) "
+                "VALUES (?, ?, ?)",
+                (key, stage, payload),
+            )
+            connection.commit()
+
+        locked_retry(write, what=f"artifact cache write of {key!r}")
 
     # ------------------------------------------------------------------
     # Memory tier

@@ -25,6 +25,8 @@ Subcommands mirror the analysis pipeline of the paper:
   and print a replayable firing path instead of building the full graph;
   ``--store disk --spill-threshold N`` spills the exploration to disk and
   ``--stats`` reports states explored, spill bytes and witness depth,
+* ``resume`` — complete an interrupted build from its checkpoint directory,
+  bit-identically to an uninterrupted run,
 * ``simulate`` — run the discrete-event simulator and compare against the
   analytic throughput,
 * ``export`` — write a model as JSON, PNML or Graphviz DOT,
@@ -39,17 +41,24 @@ artifacts are then stored in a content-addressed cache keyed on the net's
 fingerprint (:mod:`repro.petri.fingerprint`), so repeated runs on an
 unchanged model rehydrate the cached graphs — bit-identically — instead of
 re-exploring.
+
+``untimed`` and ``query`` additionally accept the robust-execution trio
+``--deadline SECONDS`` / ``--checkpoint-every N`` / ``--checkpoint-dir DIR``:
+an expired or Ctrl-C'd build stops at the next state boundary, writes a
+final checkpoint and exits with status 2, printing the ``resume`` invocation
+that completes it.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Optional, Sequence
 
 from .engine import ENGINE_PARALLEL, ENGINES, TIMED_ENGINES
-from .exceptions import PerformanceError, UnboundedNetError
+from .exceptions import BuildInterruptedError, PerformanceError, UnboundedNetError
 from .performance import PerformanceAnalysis
 from .petri import reachability_graph as untimed_reachability_graph
 from .petri.io import jsonio, pnml
@@ -171,6 +180,64 @@ def _resolve_store_arguments(arguments):
     return DiskStateStore(arguments.store_dir, **kwargs), True
 
 
+def _add_control_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared robust-execution options (deadline, periodic checkpoints)."""
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds; an expired build stops at the "
+        "next state boundary (writing a checkpoint when --checkpoint-dir "
+        "is set) and exits with status 2",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="write a durable checkpoint every N expanded states "
+        "(requires --checkpoint-dir)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="checkpoint directory (store spool + manifest); an interrupted "
+        "build leaves a checkpoint here that the 'resume' subcommand "
+        "completes bit-identically",
+    )
+
+
+def _resolve_control(arguments):
+    """Build the :class:`~repro.engine.runtime.RunControl` the CLI flags ask
+    for, or ``None`` when no robust-execution flag was given."""
+    from .engine import RunControl
+
+    if arguments.checkpoint_every is not None and arguments.checkpoint_dir is None:
+        raise SystemExit("--checkpoint-every requires --checkpoint-dir")
+    if (
+        arguments.deadline is None
+        and arguments.checkpoint_every is None
+        and arguments.checkpoint_dir is None
+    ):
+        return None
+    try:
+        return RunControl(
+            deadline=arguments.deadline,
+            checkpoint_every=arguments.checkpoint_every,
+            checkpoint_dir=arguments.checkpoint_dir,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _exit_interrupted(error: BuildInterruptedError) -> int:
+    """Report an interrupted build and how to continue it (exit status 2)."""
+    print(f"interrupted: {error}")
+    if error.checkpoint is not None:
+        print(f"resume with: repro-tpn resume {error.checkpoint.path}")
+    return 2
+
+
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
@@ -289,10 +356,18 @@ def _command_reachability(arguments) -> int:
 
 
 def _command_untimed(arguments) -> int:
+    from .engine import cancel_on_sigint
+
     net = _load_model(arguments)
     _validate_engine_arguments(arguments)
+    control = _resolve_control(arguments)
     store, owned = _resolve_store_arguments(arguments)
     session = _open_session(arguments)
+    if control is not None and session is not None:
+        raise SystemExit(
+            "--deadline/--checkpoint-* cannot be combined with --cache-dir "
+            "(a partial build is not a cacheable artifact)"
+        )
     try:
         if session is not None:
             graph = session.untimed_graph(
@@ -302,6 +377,18 @@ def _command_untimed(arguments) -> int:
                 workers=arguments.workers,
                 store=store,
             )
+        elif control is not None:
+            # Ctrl-C becomes a cooperative cancellation: the build stops at
+            # the next state boundary and writes its final checkpoint.
+            with cancel_on_sigint(control):
+                graph = untimed_reachability_graph(
+                    net,
+                    max_states=arguments.max_states,
+                    engine=arguments.engine,
+                    workers=arguments.workers,
+                    store=store,
+                    control=control,
+                )
         else:
             graph = untimed_reachability_graph(
                 net,
@@ -318,6 +405,8 @@ def _command_untimed(arguments) -> int:
     except UnboundedNetError as error:
         print(f"cannot enumerate: {error}")
         return 1
+    except BuildInterruptedError as error:
+        return _exit_interrupted(error)
     finally:
         if owned:
             store.close()
@@ -376,39 +465,7 @@ def _parse_marking_spec(spec: str) -> dict:
     return target
 
 
-def _command_query(arguments) -> int:
-    from .engine import query as queries
-
-    net = _load_model(arguments)
-    store, owned = _resolve_store_arguments(arguments)
-    options = dict(
-        max_states=arguments.max_states,
-        store=store,
-    )
-    try:
-        if arguments.reachable is not None:
-            question = f"marking {arguments.reachable} reachable?"
-            result = queries.is_reachable(
-                net, _parse_marking_spec(arguments.reachable), **options
-            )
-        elif arguments.bound is not None:
-            spec = _parse_marking_spec(arguments.bound)
-            if len(spec) != 1:
-                raise SystemExit("--bound expects exactly one place=k pair")
-            (place, k), = spec.items()
-            question = f"can {place} exceed {k} tokens?"
-            result = queries.bound_check(net, place, k, **options)
-        else:
-            question = "deadlock reachable?"
-            result = queries.find_deadlock(net, **options)
-    except (ValueError, PerformanceError) as error:
-        raise SystemExit(str(error))
-    except UnboundedNetError as error:
-        print(f"query aborted: {error}")
-        return 1
-    finally:
-        if owned:
-            store.close()
+def _print_query_result(result, *, question: str, stats: bool) -> None:
     print(f"query: {question}")
     if result.found:
         print(f"answer: yes (witness at depth {result.witness_depth})")
@@ -416,7 +473,7 @@ def _command_query(arguments) -> int:
         print("path: " + (" -> ".join(result.path) if result.path else "(initial marking)"))
     else:
         print(f"answer: no (exhausted all {result.states_explored} reachable markings)")
-    if arguments.stats:
+    if stats:
         print("query stats:")
         print(format_kv([
             ("states explored", result.states_explored),
@@ -425,6 +482,101 @@ def _command_query(arguments) -> int:
             ("spill bytes", result.spill_bytes),
             ("seconds", f"{result.seconds:.6g}"),
         ]))
+
+
+def _command_query(arguments) -> int:
+    from .engine import cancel_on_sigint, query as queries
+
+    net = _load_model(arguments)
+    control = _resolve_control(arguments)
+    store, owned = _resolve_store_arguments(arguments)
+    options = dict(
+        max_states=arguments.max_states,
+        store=store,
+        control=control,
+    )
+    try:
+        with cancel_on_sigint(control) if control is not None else nullcontext():
+            if arguments.reachable is not None:
+                question = f"marking {arguments.reachable} reachable?"
+                result = queries.is_reachable(
+                    net, _parse_marking_spec(arguments.reachable), **options
+                )
+            elif arguments.bound is not None:
+                spec = _parse_marking_spec(arguments.bound)
+                if len(spec) != 1:
+                    raise SystemExit("--bound expects exactly one place=k pair")
+                (place, k), = spec.items()
+                question = f"can {place} exceed {k} tokens?"
+                result = queries.bound_check(net, place, k, **options)
+            else:
+                question = "deadlock reachable?"
+                result = queries.find_deadlock(net, **options)
+    except (ValueError, PerformanceError) as error:
+        raise SystemExit(str(error))
+    except UnboundedNetError as error:
+        print(f"query aborted: {error}")
+        return 1
+    except BuildInterruptedError as error:
+        return _exit_interrupted(error)
+    finally:
+        if owned:
+            store.close()
+    _print_query_result(result, question=question, stats=arguments.stats)
+    return 0
+
+
+def _command_resume(arguments) -> int:
+    from .engine import Checkpoint, cancel_on_sigint, resume
+    from .engine.query import QueryResult
+
+    try:
+        checkpoint = Checkpoint.load(arguments.checkpoint)
+    except Exception as error:
+        raise SystemExit(str(error))
+    if arguments.checkpoint_every is not None and arguments.checkpoint_dir is None:
+        # A resumed run re-checkpoints into the directory it came from
+        # unless redirected, so repeated interruptions keep working.
+        arguments.checkpoint_dir = checkpoint.path
+    control = _resolve_control(arguments)
+    print(
+        f"resuming {checkpoint.kind} build from {checkpoint.path} "
+        f"(interrupted at cursor {checkpoint.cursor}: {checkpoint.reason})"
+    )
+    try:
+        if control is not None:
+            with cancel_on_sigint(control):
+                artifact = resume(checkpoint, control=control)
+        else:
+            artifact = resume(checkpoint)
+    except BuildInterruptedError as error:
+        return _exit_interrupted(error)
+    except UnboundedNetError as error:
+        print(f"cannot enumerate: {error}")
+        return 1
+    if isinstance(artifact, QueryResult):
+        spec = checkpoint.manifest["params"].get("spec") or {}
+        question = spec.get("query", "query")
+        _print_query_result(artifact, question=question, stats=arguments.stats)
+        return 0
+    if checkpoint.kind in ("gspn", "batched-gspn"):
+        markings, edges, vanishing = artifact._explore()
+        print(format_kv([
+            ("kind", checkpoint.kind),
+            ("markings", len(markings)),
+            ("edges", len(edges)),
+            ("vanishing markings", len(vanishing)),
+        ]))
+        return 0
+    if checkpoint.kind == "coverability":
+        count, edges = artifact.node_count, len(artifact.edges)
+    else:
+        count, edges = artifact.state_count, artifact.edge_count
+    print(format_kv([
+        ("kind", checkpoint.kind),
+        ("states", count),
+        ("edges", edges),
+    ]))
     return 0
 
 
@@ -637,6 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
         max_states_help="abort if the enumeration exceeds this many markings",
     )
     _add_store_arguments(untimed)
+    _add_control_arguments(untimed)
     _add_cache_arguments(untimed)
     untimed.add_argument(
         "--stats",
@@ -674,12 +827,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="abort if the query explores more than this many markings",
     )
     _add_store_arguments(query)
+    _add_control_arguments(query)
     query.add_argument(
         "--stats",
         action="store_true",
         help="print query telemetry (states explored, spill bytes, witness depth)",
     )
     query.set_defaults(handler=_command_query)
+
+    resume_parser = subparsers.add_parser(
+        "resume",
+        help="complete an interrupted build from its checkpoint directory "
+        "(bit-identical to an uninterrupted run)",
+    )
+    resume_parser.add_argument(
+        "checkpoint",
+        help="the checkpoint directory an interrupted build left behind",
+    )
+    _add_control_arguments(resume_parser)
+    resume_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print query telemetry when resuming a query checkpoint",
+    )
+    resume_parser.set_defaults(handler=_command_resume)
 
     decision = subparsers.add_parser("decision", help="print the decision graph")
     _add_model_arguments(decision)

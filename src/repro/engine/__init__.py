@@ -47,7 +47,17 @@ The package layers that loop once instead of five times:
 * :mod:`repro.engine.query` — **early-terminating queries**
   (``is_reachable``, ``bound_check``, ``find_deadlock``, predicate
   ``search``) that drive the same frontier loop with a stop predicate:
-  first witness in BFS order, a replayable firing path, no full graph.
+  first witness in BFS order, a replayable firing path, no full graph;
+* :mod:`repro.engine.runtime` — **robust execution**: ``RunControl``
+  (deadline, cooperative cancellation, progress, ``checkpoint_every``)
+  threaded through the frontier loop and every store-capable builder,
+  durable :class:`~repro.engine.runtime.Checkpoint` directories, and
+  :func:`~repro.engine.runtime.resume` which completes an interrupted
+  build bit-identically;
+* :mod:`repro.engine.faults` — the **fault-injection** hooks the
+  robustness tests (and the CI fault-injection step) drive: crash at the
+  Nth expansion, transient/broken store writes, worker crashes at a given
+  BFS level, a stepping clock for deterministic deadline expiry.
 
 Each public builder that uses this engine keeps an ``engine="reference"``
 escape hatch and is required (by ``tests/test_engine_diff.py`` and
@@ -67,7 +77,22 @@ from .parallel import (
     parallel_timed_reachability_graph,
     resolve_workers,
 )
-from .query import QueryResult, bound_check, find_deadlock, is_reachable, search
+from .query import (
+    QueryResult,
+    bound_check,
+    find_deadlock,
+    is_reachable,
+    resume_query,
+    search,
+)
+from .runtime import (
+    CancellationToken,
+    Checkpoint,
+    Progress,
+    RunControl,
+    cancel_on_sigint,
+    resume,
+)
 from .store import DiskStateStore, resolve_store
 from .tables import (
     NetTables,
@@ -151,13 +176,18 @@ __all__ = [
     "PARALLEL_UNSUPPORTED_REASON",
     "SEQUENTIAL_ENGINES",
     "TIMED_ENGINES",
+    "CancellationToken",
+    "Checkpoint",
     "DiskStateStore",
     "FrontierStats",
     "NetTables",
+    "Progress",
     "QueryResult",
+    "RunControl",
     "batched_marking_graph",
     "batched_reachability_graph",
     "bound_check",
+    "cancel_on_sigint",
     "check_engine",
     "clear_shared_tables",
     "compiled_coverability_graph",
@@ -171,6 +201,8 @@ __all__ = [
     "parallel_timed_reachability_graph",
     "resolve_store",
     "resolve_workers",
+    "resume",
+    "resume_query",
     "search",
     "set_tables_cache_limit",
     "tables_cache_stats",

@@ -44,7 +44,9 @@ from typing import List, Optional
 import numpy as np
 
 from ..exceptions import UnboundedNetError
+from . import faults
 from .frontier import ExploreLimits, FrontierStats, gspn_limits, untimed_limits
+from .runtime import CheckpointWriter, raise_interrupted
 from .store import DiskStateStore
 from .tables import NetTables
 
@@ -308,6 +310,39 @@ class _VectorTable:
         return targets, len(new_rows)
 
 
+def _table_from_rows(
+    rows: np.ndarray,
+    delta_matrix: np.ndarray,
+    store: Optional[DiskStateStore] = None,
+) -> _VectorTable:
+    """Rebuild a :class:`_VectorTable` from a checkpoint's state matrix.
+
+    The rows are re-interned in their saved (FIFO) order, reproducing the
+    exact numbering.  The key layout is pre-widened to the *global* row
+    maxima first: incremental replay would size the bit fields from the
+    running maxima plus one-step headroom, and a saved row far beyond the
+    early maxima could alias a packed key mid-load.  With the global maxima
+    folded in, every saved row fits the layout (or the table flips to the
+    tuple-dict fallback, which needs no layout at all).
+    """
+    table = _VectorTable(rows[0], delta_matrix, store)
+    if rows.shape[0] > 1:
+        table.running_max = np.maximum(table.running_max, rows.max(axis=0))
+        table._repack()
+        position = 1
+        while position < rows.shape[0]:
+            chunk = rows[position : position + _ARCHIVE_CHUNK]
+            if table.packable:
+                keys = chunk @ table.weights
+                table.resolve(
+                    keys, lambda positions, chunk=chunk: chunk[positions]
+                )
+            else:
+                table.resolve_rows(chunk)
+            position += chunk.shape[0]
+    return table
+
+
 def _explore_batched(
     tables: NetTables,
     limits: ExploreLimits,
@@ -316,6 +351,9 @@ def _explore_batched(
     is_immediate=None,
     place_capacity=None,
     store: Optional[DiskStateStore] = None,
+    control=None,
+    writer: Optional[CheckpointWriter] = None,
+    resume: Optional[dict] = None,
 ):
     """The level-batched frontier loop over plain token vectors.
 
@@ -324,6 +362,15 @@ def _explore_batched(
     outside GSPN semantics).  A ``store`` turns the dense state matrix into
     a sliding resident window (rows behind the frontier archive to disk at
     level boundaries) without changing the exploration.
+
+    A ``control`` is polled at level boundaries; on interruption the
+    partial arrays are returned with ``stats.interrupt_reason`` set (the
+    caller writes the final checkpoint and raises).  Batched checkpoints
+    are manifest-only — the snapshot closure installed on ``writer``
+    captures the state matrix, the edge arrays and the vanishing flags
+    directly, because the level loop keeps its dedup keys resident anyway.
+    ``resume`` is such a snapshot plus the saved cursor; exploration
+    re-enters the loop at that level boundary.
     """
     start = time.perf_counter()
     input_matrix = tables.input_matrix
@@ -341,20 +388,63 @@ def _explore_batched(
         (int(weight), (input_matrix == weight).T.astype(np.float32))
         for weight in np.unique(input_matrix[input_matrix > 0]).tolist()
     ]
-    table = _VectorTable(
-        np.array(tables.initial_vector(), dtype=np.int64), delta_matrix, store
-    )
     immediate_row = (
         np.asarray(is_immediate, dtype=bool) if is_immediate is not None else None
     )
-    vanishing_flags: Optional[List[bool]] = [] if is_immediate is not None else None
-    edge_sources: List[np.ndarray] = []
-    edge_targets: List[np.ndarray] = []
-    edge_transitions: List[np.ndarray] = []
-    edge_count = 0
+    if resume is None:
+        table = _VectorTable(
+            np.array(tables.initial_vector(), dtype=np.int64), delta_matrix, store
+        )
+        vanishing_flags: Optional[List[bool]] = [] if is_immediate is not None else None
+        edge_sources: List[np.ndarray] = []
+        edge_targets: List[np.ndarray] = []
+        edge_transitions: List[np.ndarray] = []
+        edge_count = 0
+        cursor = 0
+    else:
+        table = _table_from_rows(
+            np.asarray(resume["vectors"], dtype=np.int64), delta_matrix, store
+        )
+        vanishing_flags = (
+            list(resume["vanishing"]) if is_immediate is not None else None
+        )
+        edge_sources = [np.asarray(resume["sources"], dtype=np.int64)]
+        edge_targets = [np.asarray(resume["targets"], dtype=np.int64)]
+        edge_transitions = [np.asarray(resume["transitions"], dtype=np.int64)]
+        edge_count = edge_sources[0].shape[0]
+        cursor = resume["cursor"]
+    if writer is not None:
+
+        def _snapshot() -> dict:
+            empty = np.zeros(0, dtype=np.int64)
+            return {
+                "vectors": np.array(table.vectors(), dtype=np.int64),
+                "sources": np.concatenate(edge_sources) if edge_sources else empty,
+                "targets": np.concatenate(edge_targets) if edge_targets else empty,
+                "transitions": (
+                    np.concatenate(edge_transitions) if edge_transitions else empty
+                ),
+                "vanishing": (
+                    np.asarray(vanishing_flags, dtype=bool)
+                    if vanishing_flags is not None
+                    else None
+                ),
+            }
+
+        writer.extra = _snapshot
+    if control is not None:
+        control._begin(cursor)
     hits = 0
-    cursor = 0
+    interrupted = None
     while cursor < table.count:
+        if faults._PLAN is not None:
+            faults.on_expansion(cursor)
+        if control is not None:
+            interrupted = control._pulse(cursor, table.count, edge_count)
+            if interrupted is not None:
+                break
+            if writer is not None and control._due_checkpoint(cursor):
+                writer.write(cursor)
         level_end = table.count
         frontier = table.matrix[cursor - table.archived : level_end - table.archived]
         stats.batches += 1
@@ -420,6 +510,9 @@ def _explore_batched(
     stats.states = table.count
     stats.edges = edge_count
     stats.dedup_hits = hits
+    if interrupted is not None:
+        stats.interrupted_at = cursor
+        stats.interrupt_reason = interrupted
     vectors = table.vectors()
     if store is not None:
         store.flush()
@@ -485,25 +578,110 @@ class _LazyColumnarList:
         return repr(self._data)
 
 
-def batched_reachability_graph(net, *, max_states: int = 100_000, store=None):
+def _batched_writer(control, *, kind, net, max_states, store, gspn_params=None):
+    """A manifest-only :class:`CheckpointWriter` for the batched builders.
+
+    Unlike the scalar builders, the level loop's snapshot (state matrix +
+    edge arrays) goes straight into the manifest — the store, when present,
+    is only a memory-bounding device here, so resume does not depend on
+    it.  The snapshot closure is installed by :func:`_explore_batched`.
+    """
+    if control is None or not control.wants_checkpoint:
+        return None
+    params = {
+        "max_states": max_states,
+        "used_store": store is not None,
+        "spill_threshold": store.spill_threshold if store is not None else None,
+    }
+    if gspn_params:
+        params.update(gspn_params)
+    return CheckpointWriter(
+        control, kind=kind, net=net, params=params, extra=lambda: {}, store=None
+    )
+
+
+def batched_reachability_graph(
+    net, *, max_states: int = 100_000, store=None, control=None
+):
     """Untimed reachability through the numpy level-batched kernel.
 
     Bit-identical to ``engine="compiled"`` (FIFO numbering, edge order);
     the resulting graph adopts the columnar arrays directly and only
     materializes :class:`~repro.petri.marking.Marking` objects and edge
-    records when a per-object view is actually read.
+    records when a per-object view is actually read.  A ``control`` is
+    polled at level boundaries (deadline/cancellation, periodic
+    manifest-only checkpoints).
     """
     from ..petri.untimed import UntimedReachabilityGraph
 
     tables = NetTables.of(net)
     graph = UntimedReachabilityGraph(net)
     stats = FrontierStats(engine="batched")
-    vectors, sources, targets, transitions, _flags = _explore_batched(
-        tables, untimed_limits(max_states), stats, store=store
+    writer = _batched_writer(
+        control, kind="batched-untimed", net=net, max_states=max_states, store=store
     )
+    vectors, sources, targets, transitions, _flags = _explore_batched(
+        tables,
+        untimed_limits(max_states),
+        stats,
+        store=store,
+        control=control,
+        writer=writer,
+    )
+    if stats.interrupt_reason is not None:
+        raise_interrupted(stats, writer, control, "untimed reachability build")
     graph._adopt_columnar(tables, vectors, sources, targets, transitions)
     graph._build_stats = stats
     return graph
+
+
+def resume_batched_reachability(checkpoint, *, control=None):
+    """Resume a ``batched-untimed`` checkpoint; returns the finished graph.
+
+    The state matrix is re-interned in saved order (see
+    :func:`_table_from_rows`) and the level loop re-enters at the saved
+    boundary; the spill store, when the original build used one, is a
+    fresh temporary spool — archiving bounds memory but never affects the
+    result.  Dispatched through :func:`repro.engine.runtime.resume`.
+    """
+    from ..petri.untimed import UntimedReachabilityGraph
+
+    manifest = checkpoint.manifest
+    net = checkpoint.restore_net()
+    params = manifest["params"]
+    tables = NetTables.of(net)
+    graph = UntimedReachabilityGraph(net)
+    stats = FrontierStats(engine="batched")
+    store = (
+        DiskStateStore(spill_threshold=params["spill_threshold"])
+        if params["used_store"]
+        else None
+    )
+    writer = _batched_writer(
+        control,
+        kind="batched-untimed",
+        net=net,
+        max_states=params["max_states"],
+        store=store,
+    )
+    try:
+        vectors, sources, targets, transitions, _flags = _explore_batched(
+            tables,
+            untimed_limits(params["max_states"]),
+            stats,
+            store=store,
+            control=control,
+            writer=writer,
+            resume={"cursor": checkpoint.cursor, **manifest["extra"]},
+        )
+        if stats.interrupt_reason is not None:
+            raise_interrupted(stats, writer, control, "untimed reachability build")
+        graph._adopt_columnar(tables, vectors, sources, targets, transitions)
+        graph._build_stats = stats
+        return graph
+    finally:
+        if store is not None:
+            store.close()
 
 
 def batched_marking_graph(
@@ -516,6 +694,7 @@ def batched_marking_graph(
     place_capacity=None,
     stats_sink=None,
     store=None,
+    control=None,
 ):
     """GSPN marking graph through the numpy level-batched kernel.
 
@@ -533,6 +712,19 @@ def batched_marking_graph(
     weight_of = tuple(weights[name] for name in names)
     rate_of = tuple(rates[name] for name in names)
     stats = FrontierStats(engine="batched")
+    writer = _batched_writer(
+        control,
+        kind="batched-gspn",
+        net=net,
+        max_states=max_states,
+        store=store,
+        gspn_params={
+            "immediate": dict(immediate),
+            "weights": dict(weights),
+            "rates": dict(rates),
+            "place_capacity": place_capacity,
+        },
+    )
     vectors, sources, targets, transitions, flags = _explore_batched(
         tables,
         gspn_limits(max_states),
@@ -540,9 +732,13 @@ def batched_marking_graph(
         is_immediate=is_immediate,
         place_capacity=place_capacity,
         store=store,
+        control=control,
+        writer=writer,
     )
     if stats_sink is not None:
         stats_sink.append(stats)
+    if stats.interrupt_reason is not None:
+        raise_interrupted(stats, writer, control, "GSPN marking-graph build")
 
     def build_markings() -> list:
         return [tables.to_marking(row) for row in vectors.tolist()]
@@ -568,4 +764,94 @@ def batched_marking_graph(
     return markings, edges, vanishing
 
 
-__all__ = ["batched_marking_graph", "batched_reachability_graph"]
+def resume_batched_marking(checkpoint, *, control=None, stats_sink=None):
+    """Resume a ``batched-gspn`` checkpoint.
+
+    Same ``(markings, edges, vanishing)`` contract as
+    :func:`batched_marking_graph`; the wrapper in
+    :mod:`repro.stochastic.gspn` turns it back into a solvable analysis.
+    """
+    manifest = checkpoint.manifest
+    net = checkpoint.restore_net()
+    params = manifest["params"]
+    tables = NetTables.of(net)
+    names = tables.transition_names
+    immediate = params["immediate"]
+    weights = params["weights"]
+    rates = params["rates"]
+    max_states = params["max_states"]
+    place_capacity = params["place_capacity"]
+    is_immediate = tuple(immediate[name] for name in names)
+    weight_of = tuple(weights[name] for name in names)
+    rate_of = tuple(rates[name] for name in names)
+    stats = FrontierStats(engine="batched")
+    store = (
+        DiskStateStore(spill_threshold=params["spill_threshold"])
+        if params["used_store"]
+        else None
+    )
+    writer = _batched_writer(
+        control,
+        kind="batched-gspn",
+        net=net,
+        max_states=max_states,
+        store=store,
+        gspn_params={
+            "immediate": dict(immediate),
+            "weights": dict(weights),
+            "rates": dict(rates),
+            "place_capacity": place_capacity,
+        },
+    )
+    try:
+        vectors, sources, targets, transitions, flags = _explore_batched(
+            tables,
+            gspn_limits(max_states),
+            stats,
+            is_immediate=is_immediate,
+            place_capacity=place_capacity,
+            store=store,
+            control=control,
+            writer=writer,
+            resume={"cursor": checkpoint.cursor, **manifest["extra"]},
+        )
+        if stats_sink is not None:
+            stats_sink.append(stats)
+        if stats.interrupt_reason is not None:
+            # Raised (and its final checkpoint snapshot taken) before the
+            # finally closes the spill store the snapshot streams from.
+            raise_interrupted(stats, writer, control, "GSPN marking-graph build")
+    finally:
+        if store is not None:
+            store.close()
+
+    def build_markings() -> list:
+        return [tables.to_marking(row) for row in vectors.tolist()]
+
+    def build_edges() -> list:
+        edges = []
+        for source, target, transition in zip(
+            sources.tolist(), targets.tolist(), transitions.tolist()
+        ):
+            if is_immediate[transition]:
+                edges.append(
+                    (source, target, names[transition], weight_of[transition], True)
+                )
+            else:
+                edges.append(
+                    (source, target, names[transition], rate_of[transition], False)
+                )
+        return edges
+
+    markings = _LazyColumnarList(build_markings, int(vectors.shape[0]))
+    edges = _LazyColumnarList(build_edges, int(sources.shape[0]))
+    vanishing = set(np.flatnonzero(flags).tolist())
+    return markings, edges, vanishing
+
+
+__all__ = [
+    "batched_marking_graph",
+    "batched_reachability_graph",
+    "resume_batched_marking",
+    "resume_batched_reachability",
+]

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Tuple
 
 from ..exceptions import UnboundedNetError
+from . import faults
 from .tables import NetTables
 
 
@@ -64,6 +65,11 @@ class FrontierStats:
     seconds: float = 0.0
     spilled_states: int = 0
     spill_bytes: int = 0
+    #: Expansion cursor at which the run stopped early, or ``None`` when it
+    #: ran to completion (set only by control-interrupted explorations).
+    interrupted_at: object = None
+    #: ``"deadline"`` or the cancellation reason, ``None`` when completed.
+    interrupt_reason: object = None
 
     @property
     def states_per_second(self) -> float:
@@ -94,6 +100,8 @@ class FrontierStats:
             "dedup_hit_rate": self.dedup_hit_rate,
             "spilled_states": self.spilled_states,
             "spill_bytes": self.spill_bytes,
+            "interrupted_at": self.interrupted_at,
+            "interrupt_reason": self.interrupt_reason,
         }
 
 
@@ -152,6 +160,9 @@ def explore(
     stats: FrontierStats = None,
     store=None,
     stop: Callable[[int, object], bool] = None,
+    control=None,
+    checkpoint: Callable[[int], None] = None,
+    start_cursor: int = 0,
 ) -> FrontierStats:
     """The generic sequential frontier loop shared by every builder.
 
@@ -173,6 +184,16 @@ def explore(
     ends the exploration as soon as it returns true — the first witness in
     BFS order, without building the rest of the graph.
 
+    ``control`` (a :class:`~repro.engine.runtime.RunControl`) adds the
+    robustness valves: the deadline/cancellation token is polled before
+    every expansion and stops the run at that item boundary (setting
+    ``stats.interrupt_reason``/``interrupted_at`` instead of raising, so
+    the builder can write its final checkpoint first), ``checkpoint`` is
+    invoked with the cursor whenever a periodic checkpoint is due, and
+    ``start_cursor`` resumes expansion mid-log — item ``[0, start_cursor)``
+    are taken as already expanded, which is exactly the state a checkpoint
+    captures.
+
     The FIFO contract, preserved bit for bit from the historical
     per-builder loops: items are expanded in interning order, each
     successor is interned before its edge is reported, and the valve fires
@@ -180,9 +201,18 @@ def explore(
     """
     if stats is None:
         stats = FrontierStats(engine="scalar")
-    if store is not None or stop is not None:
+    if store is not None or stop is not None or control is not None:
         return _explore_general(
-            kernel, intern, on_edge, limits, stats, store=store, stop=stop
+            kernel,
+            intern,
+            on_edge,
+            limits,
+            stats,
+            store=store,
+            stop=stop,
+            control=control,
+            checkpoint=checkpoint,
+            start_cursor=start_cursor,
         )
     start = time.perf_counter()
     items: List[object] = []
@@ -224,14 +254,21 @@ def _explore_general(
     *,
     store=None,
     stop=None,
+    control=None,
+    checkpoint=None,
+    start_cursor: int = 0,
 ) -> FrontierStats:
-    """The store-backed / early-terminating variant of :func:`explore`.
+    """The store-backed / early-terminating / controllable variant of
+    :func:`explore`.
 
     Kept off the plain in-memory hot path: the dispatch in :func:`explore`
     means full in-memory builds pay nothing for the extra capabilities.
     The item FIFO is either the store's spillable log or a plain list;
     everything else — expansion order, intern-before-edge, the valve firing
-    after the overflowing edge — mirrors the fast loop exactly.
+    after the overflowing edge — mirrors the fast loop exactly.  Control
+    checks, periodic checkpoints and injected faults all happen at item
+    boundaries (before an expansion), so an interrupted log is always a
+    clean prefix of the uninterrupted one.
     """
     start = time.perf_counter()
     if store is not None:
@@ -244,16 +281,27 @@ def _explore_general(
         item_at = items.__getitem__
         item_count = lambda: len(items)  # noqa: E731
     halted = False
+    interrupted = None
     seed = kernel.seed()
     seed_index, seed_new = intern(seed, -1)
     if seed_new:
         append_item(seed)
         if stop is not None and stop(seed_index, seed):
             halted = True
-    cursor = 0
+    if control is not None:
+        control._begin(start_cursor)
+    cursor = start_cursor
     edges = 0
     hits = 0
     while not halted and cursor < item_count():
+        if faults._PLAN is not None:
+            faults.on_expansion(cursor)
+        if control is not None:
+            interrupted = control._pulse(cursor, item_count(), edges)
+            if interrupted is not None:
+                break
+            if checkpoint is not None and control._due_checkpoint(cursor):
+                checkpoint(cursor)
         index = cursor
         cursor += 1
         item = item_at(index)
@@ -271,9 +319,12 @@ def _explore_general(
                 hits += 1
     stats.states = item_count()
     stats.edges = edges
-    stats.expanded = cursor
-    stats.batches = cursor
+    stats.expanded = cursor - start_cursor
+    stats.batches = cursor - start_cursor
     stats.dedup_hits = hits
+    if interrupted is not None:
+        stats.interrupted_at = cursor
+        stats.interrupt_reason = interrupted
     if store is not None:
         store.flush()
         stats.spilled_states = max(len(store), store.item_count) if store.spilled else 0
@@ -355,6 +406,13 @@ class UntimedKernel:
 
     def record(self, item):
         return (item[0], None)
+
+    def revive(self, record):
+        # The record drops the enabled set (a pure function of the vector),
+        # so a respawned worker recomputes it — bit-identical to the derived
+        # one, exactly like ``adopt`` does for the seed.
+        vec, _extra = record
+        return (vec, self.tables.enabled_transitions(vec, memoize=self.memoize_enabled))
 
 
 class GSPNKernel(UntimedKernel):
@@ -454,6 +512,9 @@ class TimedKernel:
 
     def record(self, item):
         return item
+
+    def revive(self, record):
+        return record
 
 
 __all__ = [

@@ -60,9 +60,13 @@ import multiprocessing
 import os
 import pickle
 import queue as queue_module
+import time
+import warnings
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..exceptions import WorkerCrashError
 from ..petri.net import TimedPetriNet
+from . import faults
 from .frontier import (
     GSPNKernel,
     TimedKernel,
@@ -75,6 +79,14 @@ from .tables import NetTables
 
 #: Discovery key of the initial state; smaller than any real ``(parent, slot)``.
 _SEED_KEY = (-1, -1)
+
+#: How many full-fleet restarts the supervisor attempts before giving up.
+#: Each restart replays the current BFS level from the coordinator's retained
+#: records — levels are deterministic barriers, so a replay is bit-identical.
+MAX_RESTARTS = 3
+
+#: Base of the exponential backoff slept before each fleet restart (seconds).
+RESTART_BACKOFF = 0.05
 
 #: Mode tags understood by the worker loop.
 _MODE_UNTIMED = "untimed"
@@ -142,8 +154,16 @@ def _worker_main(
     task_queue,
     inboxes,
     result_queue,
+    fault_plan=None,
 ) -> None:
-    """One shard owner: expand, exchange, deduplicate, report — per level."""
+    """One shard owner: expand, exchange, deduplicate, report — per level.
+
+    ``fault_plan`` is the coordinator's captured
+    :class:`~repro.engine.faults.FaultPlan` (workers do not inherit the
+    process-global plan under the ``spawn`` start method), re-installed
+    here so injected worker crashes fire inside the worker process.
+    """
+    faults.install(fault_plan)
     inbox = inboxes[worker_id]
     expander = _make_kernel(tables, mode)
     index_of: Dict[object, int] = {}
@@ -153,16 +173,44 @@ def _worker_main(
     try:
         while True:
             message = task_queue.get()
-            if message[0] == "stop":
+            kind = message[0]
+            if kind == "stop":
                 break
-            _kind, round_no, assigned, seed_item = message
+            if kind == "round":
+                _kind, round_no, assigned, seed_item = message
 
-            # 1. Promote last round's new states into this round's frontier.
-            frontier = []
-            for item, index in zip(pending, assigned):
-                index_of[expander.identity(item)] = index
-                frontier.append((index, item))
-            pending = []
+                # 1. Promote last round's new states into this round's
+                #    frontier.
+                frontier = []
+                for item, index in zip(pending, assigned):
+                    index_of[expander.identity(item)] = index
+                    frontier.append((index, item))
+                pending = []
+            else:  # "restore": respawned after a fleet restart
+                _kind, round_no, settled_pairs, frontier_pairs, seed_item = message
+
+                # Rebuild the shard from the coordinator's retained records:
+                # every owned state re-interns under its original global
+                # index, and the current level's frontier is replayed whole
+                # (levels are deterministic barriers, so the replay emits
+                # exactly the discoveries the crashed round would have).
+                index_of = {}
+                for index, record in settled_pairs:
+                    index_of[expander.identity(expander.revive(record))] = index
+                frontier = []
+                for index, record in frontier_pairs:
+                    item = expander.revive(record)
+                    index_of[expander.identity(item)] = index
+                    frontier.append((index, item))
+                pending = []
+
+            # Injected crashes fire at the top of a round — before any
+            # cross-worker exchange — exactly like an OOM kill at a barrier.
+            if faults._PLAN is not None:
+                faults.on_worker_round(worker_id, round_no)
+            # Heartbeat: tells the supervisor this worker reached the round
+            # alive, so a later silence is attributable.
+            result_queue.put(("heartbeat", worker_id, round_no))
 
             # 2. Expand the frontier, batching successors by owner shard.
             #    ``slot`` numbers the edges actually emitted by a parent, in
@@ -260,14 +308,16 @@ def _worker_main(
 def _get_result(result_queue, processes):
     """Fetch one worker result, failing fast when a worker process died.
 
-    A worker that dies before reporting (killed, import failure under the
-    ``spawn`` start method, ...) would otherwise leave the coordinator
-    blocked on the result queue forever; polling with a short timeout lets
-    the coordinator notice the corpse and raise instead.
+    A worker that dies before reporting (killed, OOM, injected
+    ``os._exit``, import failure under the ``spawn`` start method, ...)
+    would otherwise leave the coordinator blocked on the result queue
+    forever; polling with a short timeout lets the supervisor notice the
+    corpse and raise a :class:`~repro.exceptions.WorkerCrashError` the
+    restart logic can act on.
     """
     while True:
         try:
-            return result_queue.get(timeout=1.0)
+            return result_queue.get(timeout=0.25)
         except queue_module.Empty:
             # "stop" has not been sent yet, so every worker must still be
             # alive while results are being collected — any exit is abnormal.
@@ -279,10 +329,47 @@ def _get_result(result_queue, processes):
                     return result_queue.get(timeout=0.1)
                 except queue_module.Empty:
                     pass
-                raise RuntimeError(
+                corpse = dead[0]
+                raise WorkerCrashError(
                     "parallel engine worker process(es) died without reporting: "
-                    + ", ".join(f"pid={p.pid} exitcode={p.exitcode}" for p in dead)
+                    + ", ".join(f"pid={p.pid} exitcode={p.exitcode}" for p in dead),
+                    worker_id=processes.index(corpse),
+                    exitcode=corpse.exitcode,
                 )
+
+
+def _stop_fleet(processes, task_queues, inboxes, result_queue, *, graceful: bool):
+    """Tear a worker fleet down without leaving zombies.
+
+    ``graceful`` sends each worker a ``stop`` first (the normal end of a
+    build); a supervision restart skips that (crashed fleets have peers
+    blocked on inboxes that will never fill).  Stragglers escalate
+    ``join(timeout)`` → ``terminate()`` → ``kill()``, and every queue is
+    closed with its feeder thread cancelled so a broken queue cannot hang
+    interpreter shutdown.
+    """
+    if graceful:
+        for queue in task_queues:
+            try:
+                queue.put(("stop",))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for process in processes:
+            process.join(timeout=2)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1)
+    for process in processes:
+        if process.is_alive():  # pragma: no cover - terminate() ignored
+            process.kill()
+            process.join(timeout=1)
+    for queue in list(task_queues) + list(inboxes) + [result_queue]:
+        try:
+            queue.close()
+            queue.cancel_join_thread()
+        except Exception:  # pragma: no cover - queue already broken
+            pass
 
 
 def _run_sharded_bfs(
@@ -293,6 +380,8 @@ def _run_sharded_bfs(
     seed_vec: Tuple[int, ...],
     on_new_state: Callable[[object], None],
     on_edge: Callable[[int, int, object], None],
+    *,
+    max_restarts: int = MAX_RESTARTS,
 ) -> None:
     """Drive the level-synchronized worker protocol and merge deterministically.
 
@@ -300,35 +389,114 @@ def _run_sharded_bfs(
     sequential numbering order (it must intern the state and enforce any
     ``max_states`` bound); ``on_edge(source, target, data)`` once per edge in
     the exact sequential emission order, with the mode-specific edge data.
+
+    **Supervision.**  Workers heartbeat at each round start and the result
+    collection fails fast when a process dies (:func:`_get_result`).  On a
+    crash the supervisor kills the whole fleet (surviving peers may be
+    blocked on inboxes the corpse will never fill), recreates every queue,
+    respawns, and replays the current BFS level from records it retains —
+    levels are deterministic barriers, so the replay merges bit-identically
+    and the already-merged prefix is untouched.  After ``max_restarts``
+    fleet restarts the :class:`~repro.exceptions.WorkerCrashError`
+    propagates; the public builders degrade to the sequential compiled
+    engine at that point.
     """
     context = multiprocessing.get_context()
-    task_queues = [context.Queue() for _ in range(workers)]
-    inboxes = [context.Queue() for _ in range(workers)]
-    result_queue = context.Queue()
-    processes = [
-        context.Process(
-            target=_worker_main,
-            args=(w, workers, tables, mode, task_queues[w], inboxes, result_queue),
-            daemon=True,
-        )
-        for w in range(workers)
-    ]
-    for process in processes:
-        process.start()
+    # Workers do not inherit the process-global fault plan under "spawn";
+    # ship it explicitly.  After each injected crash the coordinator counts
+    # down the scheduled repeats and stops shipping once they are exhausted,
+    # so a respawned fleet is only re-crashed while the plan says so.
+    fault_plan = faults.active()
+    crashes_remaining = (
+        fault_plan.crash_worker_repeats
+        if fault_plan is not None and fault_plan.crash_worker is not None
+        else 0
+    )
 
+    processes: List = []
+    task_queues: List = []
+    inboxes: List = []
+    result_queue = None
+
+    def spawn_fleet():
+        nonlocal processes, task_queues, inboxes, result_queue
+        task_queues = [context.Queue() for _ in range(workers)]
+        inboxes = [context.Queue() for _ in range(workers)]
+        result_queue = context.Queue()
+        processes = [
+            context.Process(
+                target=_worker_main,
+                args=(
+                    w,
+                    workers,
+                    tables,
+                    mode,
+                    task_queues[w],
+                    inboxes,
+                    result_queue,
+                    fault_plan,
+                ),
+                daemon=True,
+            )
+            for w in range(workers)
+        ]
+        for process in processes:
+            process.start()
+
+    spawn_fleet()
+    seed_owner = _shard_of(seed_vec, workers)
+    #: Per worker: (global_index, record) of every owned state whose
+    #: expansion round completed — what a respawned worker needs to rebuild
+    #: its dedup shard.
+    settled: List[List[Tuple[int, object]]] = [[] for _ in range(workers)]
+    #: Per worker: (global_index, record) of the states it expands in the
+    #: current round — the level a restart replays.
+    frontier_pairs: List[List[Tuple[int, object]]] = [[] for _ in range(workers)]
+    graceful = True
     try:
-        seed_owner = _shard_of(seed_vec, workers)
         assignments: List[List[int]] = [[] for _ in range(workers)]
         next_index = 0
         round_no = 0
+        restarts = 0
+        for w in range(workers):
+            seed = seed_item if w == seed_owner else None
+            task_queues[w].put(("round", 0, assignments[w], seed))
         while True:
-            for w in range(workers):
-                seed = seed_item if (round_no == 0 and w == seed_owner) else None
-                task_queues[w].put(("round", round_no, assignments[w], seed))
-
+            # Collect one "level" result per worker, restarting the fleet on
+            # a crash (bounded, with backoff) and replaying the round.
             results: List[Optional[tuple]] = [None] * workers
-            for _ in range(workers):
-                message = _get_result(result_queue, processes)
+            collected = 0
+            while collected < workers:
+                try:
+                    message = _get_result(result_queue, processes)
+                except WorkerCrashError:
+                    restarts += 1
+                    if restarts > max_restarts:
+                        graceful = False
+                        raise
+                    if crashes_remaining > 0:
+                        crashes_remaining -= 1
+                        if crashes_remaining == 0:
+                            fault_plan = None
+                    _stop_fleet(
+                        processes, task_queues, inboxes, result_queue, graceful=False
+                    )
+                    time.sleep(RESTART_BACKOFF * (2 ** (restarts - 1)))
+                    spawn_fleet()
+                    for w in range(workers):
+                        seed = (
+                            seed_item
+                            if (round_no == 0 and w == seed_owner)
+                            else None
+                        )
+                        task_queues[w].put(
+                            ("restore", round_no, settled[w], frontier_pairs[w], seed)
+                        )
+                    results = [None] * workers
+                    collected = 0
+                    continue
+                if message[0] == "heartbeat":
+                    continue
                 if message[0] == "error":
                     detail = message[2]
                     if isinstance(detail, BaseException):
@@ -342,6 +510,8 @@ def _run_sharded_bfs(
                         f"parallel engine coordinator: level skew from worker "
                         f"{worker_id} (round {reported_round} != {round_no})"
                     )
+                if results[worker_id] is None:
+                    collected += 1
                 results[worker_id] = (keys, records, resolutions)
 
             # Deterministic renumbering: k-way merge of the per-shard new
@@ -352,12 +522,16 @@ def _run_sharded_bfs(
                 if keys:
                     merge_heap.append((keys[0], worker_id, 0))
             assignments = [[] for _ in range(workers)]
+            for w in range(workers):
+                settled[w].extend(frontier_pairs[w])
+            frontier_pairs = [[] for _ in range(workers)]
             heapq.heapify(merge_heap)
             while merge_heap:
                 key, worker_id, pos = heapq.heappop(merge_heap)
                 keys, records, _res = results[worker_id]
                 on_new_state(records[pos])
                 assignments[worker_id].append(next_index)
+                frontier_pairs[worker_id].append((next_index, records[pos]))
                 next_index += 1
                 if pos + 1 < len(keys):
                     heapq.heappush(merge_heap, (keys[pos + 1], worker_id, pos + 1))
@@ -387,23 +561,31 @@ def _run_sharded_bfs(
             if not any(assignments):
                 break
             round_no += 1
+            for w in range(workers):
+                task_queues[w].put(("round", round_no, assignments[w], None))
     finally:
-        for queue in task_queues:
-            try:
-                queue.put(("stop",))
-            except Exception:  # pragma: no cover - queue already broken
-                pass
-        for process in processes:
-            process.join(timeout=2)
-        for process in processes:
-            if process.is_alive():  # pragma: no cover - only on worker failure
-                process.terminate()
-                process.join(timeout=1)
+        _stop_fleet(processes, task_queues, inboxes, result_queue, graceful=graceful)
 
 
 # ---------------------------------------------------------------------------
 # Public builders
 # ---------------------------------------------------------------------------
+
+
+def _warn_degraded(what: str, crash: WorkerCrashError) -> None:
+    """Announce the parallel → sequential degradation as a RuntimeWarning.
+
+    The rebuild below starts from scratch with the compiled engine — the
+    same graph, bit-identically (both engines reproduce the sequential FIFO
+    order), just without the worker fleet — so degradation is loud but
+    lossless.
+    """
+    warnings.warn(
+        f"parallel engine gave up on the {what} after repeated worker "
+        f"crashes ({crash}); degrading to the sequential compiled engine",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def parallel_reachability_graph(
@@ -431,15 +613,21 @@ def parallel_reachability_graph(
         graph._add_edge(source, target, names[transition])
 
     initial_vec = tables.initial_vector()
-    _run_sharded_bfs(
-        tables,
-        (_MODE_UNTIMED,),
-        workers,
-        (initial_vec, None),
-        initial_vec,
-        on_new_state,
-        on_edge,
-    )
+    try:
+        _run_sharded_bfs(
+            tables,
+            (_MODE_UNTIMED,),
+            workers,
+            (initial_vec, None),
+            initial_vec,
+            on_new_state,
+            on_edge,
+        )
+    except WorkerCrashError as crash:
+        _warn_degraded("reachability graph", crash)
+        from .untimed import compiled_reachability_graph
+
+        return compiled_reachability_graph(net, max_states=max_states)
     return graph
 
 
@@ -485,9 +673,28 @@ def parallel_marking_graph(
 
     mode = (_MODE_GSPN, is_immediate, place_capacity)
     initial_vec = tables.initial_vector()
-    _run_sharded_bfs(
-        tables, mode, workers, (initial_vec, None), initial_vec, on_new_state, on_edge
-    )
+    try:
+        _run_sharded_bfs(
+            tables,
+            mode,
+            workers,
+            (initial_vec, None),
+            initial_vec,
+            on_new_state,
+            on_edge,
+        )
+    except WorkerCrashError as crash:
+        _warn_degraded("GSPN marking graph", crash)
+        from .gspn import compiled_marking_graph
+
+        return compiled_marking_graph(
+            net,
+            immediate=immediate,
+            weights=weights,
+            rates=rates,
+            max_states=max_states,
+            place_capacity=place_capacity,
+        )
     return markings, edges, vanishing
 
 
@@ -539,9 +746,23 @@ def parallel_timed_reachability_graph(
     initial = engine.initial_state()
     graph.initial_index = 0  # the seed merges first (its key precedes all)
     mode = (_MODE_TIMED, overlap_policy)
-    _run_sharded_bfs(
-        engine.compiled, mode, workers, initial, initial.vec, on_new_state, on_edge
-    )
+    try:
+        _run_sharded_bfs(
+            engine.compiled, mode, workers, initial, initial.vec, on_new_state, on_edge
+        )
+    except WorkerCrashError as crash:
+        _warn_degraded("timed reachability graph", crash)
+        from ..reachability.compiled import build_compiled_graph
+
+        return build_compiled_graph(
+            net,
+            time_algebra,
+            probability_algebra,
+            symbolic=symbolic,
+            constraints=constraints,
+            max_states=max_states,
+            overlap_policy=overlap_policy,
+        )
     return graph
 
 

@@ -36,10 +36,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Tuple, Union
 
-from ..exceptions import PerformanceError
+from ..exceptions import PerformanceError, StoreError
 from ..petri.marking import Marking
 from ..petri.net import TimedPetriNet
 from .frontier import FrontierStats, UntimedKernel, explore, untimed_limits
+from .runtime import (
+    CheckpointWriter,
+    checkpoint_store,
+    open_checkpoint_store,
+    raise_interrupted,
+)
 from .store import DiskStateStore, resolve_store
 from .tables import NetTables
 
@@ -145,20 +151,27 @@ def search(
     max_states: int = 100_000,
     store=None,
     spill_threshold: Optional[int] = None,
+    control=None,
 ) -> QueryResult:
     """First reachable marking satisfying ``predicate``, in BFS order.
 
     The predicate receives a :class:`~repro.petri.marking.Marking` per
     *newly discovered* state (each state is tested exactly once); the
     specialized queries below avoid that per-state materialization by
-    testing raw token vectors.
+    testing raw token vectors.  A ``control`` bounds the search by
+    deadline/cancellation; checkpointing is rejected because an arbitrary
+    predicate cannot be serialized into a manifest — use the named queries
+    (:func:`is_reachable`, :func:`bound_check`, :func:`find_deadlock`) for
+    resumable runs.
     """
     tables = NetTables.of(net)
 
     def stop(vec, enabled) -> bool:
         return bool(predicate(tables.to_marking(vec)))
 
-    return _run_query(net, tables, stop, max_states, store, spill_threshold)
+    return _run_query(
+        net, tables, stop, max_states, store, spill_threshold, control=control
+    )
 
 
 def is_reachable(
@@ -168,6 +181,7 @@ def is_reachable(
     max_states: int = 100_000,
     store=None,
     spill_threshold: Optional[int] = None,
+    control=None,
 ) -> QueryResult:
     """Is ``target`` (a marking, or a place→count mapping) reachable?
 
@@ -177,11 +191,14 @@ def is_reachable(
     """
     tables = NetTables.of(net)
     target_vec = _target_vector(net, target)
+    spec = {"query": "is_reachable", "target": list(target_vec)}
 
     def stop(vec, enabled) -> bool:
         return vec == target_vec
 
-    return _run_query(net, tables, stop, max_states, store, spill_threshold)
+    return _run_query(
+        net, tables, stop, max_states, store, spill_threshold, control=control, spec=spec
+    )
 
 
 def bound_check(
@@ -192,6 +209,7 @@ def bound_check(
     max_states: int = 100_000,
     store=None,
     spill_threshold: Optional[int] = None,
+    control=None,
 ) -> QueryResult:
     """Can ``place`` ever hold more than ``k`` tokens?
 
@@ -203,11 +221,14 @@ def bound_check(
         raise ValueError(f"unknown place {place!r}")
     place_index = net.place_order.index(place)
     tables = NetTables.of(net)
+    spec = {"query": "bound_check", "place": place, "k": int(k)}
 
     def stop(vec, enabled) -> bool:
         return vec[place_index] > k
 
-    return _run_query(net, tables, stop, max_states, store, spill_threshold)
+    return _run_query(
+        net, tables, stop, max_states, store, spill_threshold, control=control, spec=spec
+    )
 
 
 def find_deadlock(
@@ -216,6 +237,7 @@ def find_deadlock(
     max_states: int = 100_000,
     store=None,
     spill_threshold: Optional[int] = None,
+    control=None,
 ) -> QueryResult:
     """First reachable dead marking (no transition enabled), if any.
 
@@ -224,11 +246,31 @@ def find_deadlock(
     ``found`` False proves the net deadlock-free under the atomic rule.
     """
     tables = NetTables.of(net)
+    spec = {"query": "find_deadlock"}
 
     def stop(vec, enabled) -> bool:
         return not enabled
 
-    return _run_query(net, tables, stop, max_states, store, spill_threshold)
+    return _run_query(
+        net, tables, stop, max_states, store, spill_threshold, control=control, spec=spec
+    )
+
+
+def _stop_from_spec(
+    net: TimedPetriNet, spec: dict
+) -> Callable[[Tuple[int, ...], Tuple[int, ...]], bool]:
+    """Rebuild a named query's stop predicate from its manifest spec."""
+    kind = spec["query"]
+    if kind == "is_reachable":
+        target_vec = tuple(int(v) for v in spec["target"])
+        return lambda vec, enabled: vec == target_vec
+    if kind == "bound_check":
+        place_index = net.place_order.index(spec["place"])
+        k = int(spec["k"])
+        return lambda vec, enabled: vec[place_index] > k
+    if kind == "find_deadlock":
+        return lambda vec, enabled: not enabled
+    raise StoreError(f"unknown query spec {kind!r} in checkpoint manifest")
 
 
 def _run_query(
@@ -238,6 +280,9 @@ def _run_query(
     max_states: int,
     store,
     spill_threshold: Optional[int],
+    *,
+    control=None,
+    spec: Optional[dict] = None,
 ) -> QueryResult:
     """Drive the shared frontier loop until ``stop_vec`` hits or the space
     is exhausted, then reconstruct the witness path from the item log."""
@@ -245,14 +290,53 @@ def _run_query(
         raise PerformanceError(
             "reachability queries require a numeric net; bind symbols first"
         )
-    resolved, owned = resolve_store(store, spill_threshold=spill_threshold)
-    if resolved is None:
-        # Queries always route dedup and the parent-annotated item log
-        # through a store so the witness path is reconstructible after the
-        # loop; without an explicit one, a never-spilling in-memory store
-        # costs what the builders' plain dicts cost.
-        resolved = DiskStateStore(spill_threshold=None)
-        owned = True
+    if control is not None and control.wants_checkpoint and spec is None:
+        raise ValueError(
+            "checkpointing a predicate search is not supported (the predicate "
+            "cannot be serialized into a manifest); use is_reachable / "
+            "bound_check / find_deadlock, or drop checkpoint_dir"
+        )
+    if control is not None and control.wants_checkpoint:
+        resolved, owned = checkpoint_store(
+            control, store, spill_threshold=spill_threshold
+        )
+    else:
+        resolved, owned = resolve_store(store, spill_threshold=spill_threshold)
+        if resolved is None:
+            # Queries always route dedup and the parent-annotated item log
+            # through a store so the witness path is reconstructible after
+            # the loop; without an explicit one, a never-spilling in-memory
+            # store costs what the builders' plain dicts cost.
+            resolved = DiskStateStore(spill_threshold=None)
+            owned = True
+    try:
+        return _drive_query(
+            net,
+            tables,
+            stop_vec,
+            max_states,
+            resolved,
+            control=control,
+            spec=spec,
+            start_cursor=0,
+        )
+    finally:
+        if owned:
+            resolved.close()
+
+
+def _drive_query(
+    net: TimedPetriNet,
+    tables: NetTables,
+    stop_vec: Callable[[Tuple[int, ...], Tuple[int, ...]], bool],
+    max_states: int,
+    resolved: DiskStateStore,
+    *,
+    control=None,
+    spec: Optional[dict] = None,
+    start_cursor: int = 0,
+) -> QueryResult:
+    """The query core shared by cold runs and checkpoint resumes."""
     kernel = _TracedKernel(UntimedKernel(tables, memoize_enabled=False))
     witness: dict = {"index": None, "item": None}
 
@@ -270,31 +354,42 @@ def _run_query(
             return True
         return False
 
-    try:
-        stats = explore(
-            kernel,
-            intern,
-            on_edge,
-            untimed_limits(max_states),
-            stats=FrontierStats(engine="query"),
+    writer = None
+    if control is not None and control.wants_checkpoint:
+        writer = CheckpointWriter(
+            control,
+            kind="query",
+            net=net,
+            params={"max_states": max_states, "spec": dict(spec)},
+            extra=lambda: {},
             store=resolved,
-            stop=stop,
         )
-        found = witness["index"] is not None
-        witness_marking = None
-        path: Tuple[str, ...] = ()
-        if found:
-            names = tables.transition_names
-            (vec, _enabled), parent, transition = witness["item"]
-            witness_marking = tables.to_marking(vec)
-            reversed_path = []
-            while parent >= 0:
-                reversed_path.append(names[transition])
-                (_vec, _enabled), parent, transition = resolved.item_at(parent)
-            path = tuple(reversed(reversed_path))
-    finally:
-        if owned:
-            resolved.close()
+    stats = explore(
+        kernel,
+        intern,
+        on_edge,
+        untimed_limits(max_states),
+        stats=FrontierStats(engine="query"),
+        store=resolved,
+        stop=stop,
+        control=control,
+        checkpoint=writer.write if writer is not None else None,
+        start_cursor=start_cursor,
+    )
+    if stats.interrupt_reason is not None:
+        raise_interrupted(stats, writer, control, "reachability query")
+    found = witness["index"] is not None
+    witness_marking = None
+    path: Tuple[str, ...] = ()
+    if found:
+        names = tables.transition_names
+        (vec, _enabled), parent, transition = witness["item"]
+        witness_marking = tables.to_marking(vec)
+        reversed_path = []
+        while parent >= 0:
+            reversed_path.append(names[transition])
+            (_vec, _enabled), parent, transition = resolved.item_at(parent)
+        path = tuple(reversed(reversed_path))
     return QueryResult(
         found=found,
         witness=witness_marking,
@@ -307,10 +402,42 @@ def _run_query(
     )
 
 
+def resume_query(checkpoint, *, control=None) -> QueryResult:
+    """Resume an interrupted named query from its checkpoint.
+
+    The spool already fixes the interning order and carries each logged
+    item's BFS-tree parent and discovering transition, so the resumed
+    exploration continues at the saved cursor and the witness path (when a
+    witness is eventually found) is reconstructed exactly as in a cold
+    run.  Dispatched through :func:`repro.engine.runtime.resume`.
+    """
+    if checkpoint.kind != "query":
+        raise StoreError(f"not a query checkpoint: kind {checkpoint.kind!r}")
+    net = checkpoint.restore_net()
+    params = checkpoint.manifest["params"]
+    tables = NetTables.of(net)
+    stop_vec = _stop_from_spec(net, params["spec"])
+    resolved = open_checkpoint_store(checkpoint)
+    try:
+        return _drive_query(
+            net,
+            tables,
+            stop_vec,
+            params["max_states"],
+            resolved,
+            control=control,
+            spec=params["spec"],
+            start_cursor=checkpoint.cursor,
+        )
+    finally:
+        resolved.close()
+
+
 __all__ = [
     "QueryResult",
     "bound_check",
     "find_deadlock",
     "is_reachable",
+    "resume_query",
     "search",
 ]

@@ -49,7 +49,11 @@ import pickle
 import shutil
 import sqlite3
 import tempfile
+import time
 from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..exceptions import StoreCorruptionError, StoreError
+from . import faults
 
 #: Default interned-state count above which the store moves to disk.
 DEFAULT_SPILL_THRESHOLD = 100_000
@@ -62,6 +66,45 @@ _FLUSH_BATCH = 2048
 
 #: Read-back chunk size of :meth:`DiskStateStore.items_range`.
 _READ_CHUNK = 4096
+
+#: Transient-lock retry policy: attempts and first backoff delay (doubled
+#: per attempt: 50ms, 100ms, 200ms, 400ms before the final try).
+RETRY_ATTEMPTS = 5
+RETRY_BASE_DELAY = 0.05
+
+
+def locked_retry(
+    operation,
+    *,
+    what: str = "sqlite write",
+    attempts: int = RETRY_ATTEMPTS,
+    base_delay: float = RETRY_BASE_DELAY,
+    sleep=time.sleep,
+):
+    """Run ``operation`` retrying transient SQLite lock errors with backoff.
+
+    ``OperationalError`` conditions whose message marks them transient
+    ("database is locked" / "database is busy") are retried up to
+    ``attempts`` times with exponentially growing delays; anything else —
+    and the final exhausted retry — surfaces as a typed
+    :class:`~repro.exceptions.StoreError`.  Shared by
+    :class:`DiskStateStore` and the :class:`~repro.analysis.cache.ArtifactCache`
+    disk tier.
+    """
+    last = None
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except sqlite3.OperationalError as error:
+            message = str(error).lower()
+            if "locked" not in message and "busy" not in message:
+                raise StoreError(f"{what} failed: {error}") from error
+            last = error
+            if attempt + 1 < attempts:
+                sleep(base_delay * (2 ** attempt))
+    raise StoreError(
+        f"{what} still locked after {attempts} attempts: {last}"
+    ) from last
 
 
 def shard_of(key, shards: int) -> int:
@@ -155,6 +198,15 @@ class DiskStateStore:
         The shard count is read back from the directory unless given; the
         reopened store starts spilled (resident count zero) with the next
         intern index following the highest committed one.
+
+        Every spool file is integrity-probed first (``PRAGMA quick_check``
+        plus a schema check), so a truncated or corrupted shard raises a
+        :class:`~repro.exceptions.StoreCorruptionError` naming the exact
+        file instead of failing later with an opaque SQLite error.  A crash
+        *between* the shard and log transactions of one flush leaves dedup
+        keys whose log items were never committed; those orphans are
+        dropped on reopen so the store is exactly the committed prefix
+        (interning will re-discover the states).
         """
         files = sorted(
             name for name in os.listdir(path)
@@ -162,6 +214,10 @@ class DiskStateStore:
         )
         if not files:
             raise FileNotFoundError(f"no shard files in spool directory {path!r}")
+        for name in files:
+            cls._probe(path, name, "states")
+        if os.path.exists(os.path.join(path, "log.db")):
+            cls._probe(path, "log.db", "items")
         if shards is None:
             shards = len(files)
         store = cls(path, shards=shards, spill_threshold=0)
@@ -170,10 +226,47 @@ class DiskStateStore:
         count = 0
         for db in store._shard_dbs:
             count += db.execute("SELECT COUNT(*) FROM states").fetchone()[0]
-        store._count = count
         row = store._log_db.execute("SELECT COUNT(*) FROM items").fetchone()
-        store._item_count = row[0]
+        item_count = row[0]
+        if count > item_count:
+            for db in store._shard_dbs:
+                with db:
+                    db.execute("DELETE FROM states WHERE idx >= ?", (item_count,))
+            count = item_count
+        store._count = count
+        store._item_count = item_count
         return store
+
+    @staticmethod
+    def _probe(path: str, filename: str, table: str) -> None:
+        """Integrity-probe one spool file; raise naming it when bad."""
+        full = os.path.join(path, filename)
+        try:
+            db = sqlite3.connect(full)
+            try:
+                row = db.execute("PRAGMA quick_check").fetchone()
+                if row is None or row[0] != "ok":
+                    detail = row[0] if row else "no integrity result"
+                    raise StoreCorruptionError(
+                        f"spool file {full!r} failed its integrity probe: {detail}",
+                        shard=filename,
+                    )
+                exists = db.execute(
+                    "SELECT name FROM sqlite_master WHERE type='table' AND name=?",
+                    (table,),
+                ).fetchone()
+                if exists is None:
+                    raise StoreCorruptionError(
+                        f"spool file {full!r} is missing its {table!r} table",
+                        shard=filename,
+                    )
+            finally:
+                db.close()
+        except sqlite3.DatabaseError as error:
+            raise StoreCorruptionError(
+                f"spool file {full!r} failed its integrity probe: {error}",
+                shard=filename,
+            ) from error
 
     # ------------------------------------------------------------------
     # Spill machinery
@@ -210,23 +303,93 @@ class DiskStateStore:
         self.flush()
 
     def flush(self) -> None:
-        """Commit every buffered write durably (one transaction per file)."""
+        """Commit every buffered write durably (one transaction per file).
+
+        Each transaction runs under :func:`locked_retry`, so a concurrent
+        reader holding a transient lock delays the commit instead of
+        killing the build; the fault-injection hook fires inside the
+        retried operation so injected lock errors exercise the same path.
+        """
         if not self._spilled:
             return
         for shard, rows in enumerate(self._pending_keys):
             if rows:
                 db = self._shard_dbs[shard]
-                with db:
-                    db.executemany("INSERT OR IGNORE INTO states VALUES (?, ?)", rows)
+
+                def _commit_shard(db=db, rows=rows):
+                    faults.on_store_write()
+                    with db:
+                        db.executemany(
+                            "INSERT OR IGNORE INTO states VALUES (?, ?)", rows
+                        )
+
+                locked_retry(_commit_shard, what=f"dedup shard {shard} commit")
                 rows.clear()
         if self._pending_items:
-            with self._log_db:
-                self._log_db.executemany(
-                    "INSERT OR REPLACE INTO items VALUES (?, ?)", self._pending_items
-                )
+
+            def _commit_log():
+                faults.on_store_write()
+                with self._log_db:
+                    self._log_db.executemany(
+                        "INSERT OR REPLACE INTO items VALUES (?, ?)",
+                        self._pending_items,
+                    )
+
+            locked_retry(_commit_log, what="item log commit")
             self._pending_items.clear()
         self._pending_keys_lookup = {}
         self._pending = 0
+
+    def truncate(self, item_count: int) -> None:
+        """Rewind a spilled spool to its first ``item_count`` entries.
+
+        Drops interned keys and logged items with indices past the cut.
+        The checkpoint layer uses this on resume to rewind a spool to the
+        manifest's committed prefix: the store's batch flushing may have
+        committed states discovered *after* the last manifest was written
+        (a crash between a flush and the next checkpoint), and resuming
+        replays those expansions deterministically anyway.
+        """
+        if not self._spilled:
+            raise StoreError("truncate applies to spilled stores only")
+        self.flush()
+        for db in self._shard_dbs:
+
+            def _cut_shard(db=db):
+                faults.on_store_write()
+                with db:
+                    db.execute("DELETE FROM states WHERE idx >= ?", (item_count,))
+
+            locked_retry(_cut_shard, what="dedup shard truncate")
+
+        def _cut_log():
+            faults.on_store_write()
+            with self._log_db:
+                self._log_db.execute("DELETE FROM items WHERE idx >= ?", (item_count,))
+
+        locked_retry(_cut_log, what="item log truncate")
+        self._count = min(self._count, item_count)
+        self._item_count = min(self._item_count, item_count)
+
+    def persist(self) -> None:
+        """Force the full working set durably onto disk (spill if resident).
+
+        The checkpoint layer calls this before writing a manifest, so the
+        spool under :attr:`path` holds every interned state and logged item
+        whatever the spill threshold — a below-threshold build checkpoints
+        just as well as a spilled one.
+        """
+        if self._closed:
+            raise StoreError("cannot persist a closed store")
+        if not self._spilled:
+            if self.path is None:
+                raise StoreError(
+                    "cannot persist an anonymous in-memory store; create it "
+                    "with an explicit path so the spool survives close()"
+                )
+            self._spill()
+        else:
+            self.flush()
 
     def _maybe_spill(self) -> None:
         if self._spilled:
@@ -431,7 +594,10 @@ def resolve_store(store, *, spill_threshold=None, path=None):
 __all__ = [
     "DEFAULT_SHARDS",
     "DEFAULT_SPILL_THRESHOLD",
+    "RETRY_ATTEMPTS",
+    "RETRY_BASE_DELAY",
     "DiskStateStore",
+    "locked_retry",
     "resolve_store",
     "shard_of",
 ]

@@ -14,6 +14,9 @@ The hierarchy mirrors the subsystems described in ``DESIGN.md``:
   :class:`InsufficientConstraintsError`, :class:`InconsistentConstraintsError`)
 * performance-derivation errors (:class:`PerformanceError`)
 * simulation errors (:class:`SimulationError`)
+* execution-robustness errors (:class:`BuildInterruptedError`,
+  :class:`StoreError`, :class:`StoreCorruptionError`,
+  :class:`WorkerCrashError`)
 """
 
 from __future__ import annotations
@@ -159,3 +162,69 @@ class SimulationError(ReproError):
 
 class DeadlockError(SimulationError):
     """The simulated net reached a dead marking before the requested horizon."""
+
+
+# ---------------------------------------------------------------------------
+# Robust execution (checkpoints, supervision, durable stores)
+# ---------------------------------------------------------------------------
+
+
+class BuildInterruptedError(ReproError):
+    """A graph construction stopped before completion (deadline/cancellation).
+
+    Raised by the store-capable builders when a
+    :class:`~repro.engine.runtime.RunControl` deadline expires or its
+    cancellation token fires mid-build.  When the control was configured
+    with a ``checkpoint_dir``, :attr:`checkpoint` carries the
+    :class:`~repro.engine.runtime.Checkpoint` handle written on the way
+    out, and :func:`repro.engine.runtime.resume` completes the build
+    bit-identically to an uninterrupted run; otherwise it is ``None``.
+    """
+
+    def __init__(self, message: str, *, checkpoint=None, reason: str = "cancelled"):
+        super().__init__(message)
+        #: The resumable checkpoint handle, or ``None`` when no
+        #: ``checkpoint_dir`` was configured (or the build is not resumable,
+        #: e.g. a predicate ``search`` query).
+        self.checkpoint = checkpoint
+        #: Why the build stopped: ``"deadline"`` or the cancellation reason.
+        self.reason = reason
+
+
+class StoreError(ReproError):
+    """A durable state store operation failed permanently.
+
+    Transient SQLite ``OperationalError`` conditions ("database is locked")
+    are retried with exponential backoff; this error surfaces only once the
+    retry budget is exhausted or the failure is not transient.
+    """
+
+
+class StoreCorruptionError(StoreError):
+    """A spool directory failed its reopen integrity probe.
+
+    :attr:`shard` names the offending file (a dedup shard database or the
+    FIFO ``log.db``) so operators know exactly what to restore or discard.
+    """
+
+    def __init__(self, message: str, *, shard: str = ""):
+        super().__init__(message)
+        #: File name of the shard (or log) database that failed the probe.
+        self.shard = shard
+
+
+class WorkerCrashError(ReproError):
+    """A parallel-engine worker died without reporting a result.
+
+    The supervisor retries the current BFS level on fresh workers (levels
+    are deterministic barriers, so a replay is safe); the public parallel
+    builders catch the error once retries are exhausted and degrade to the
+    sequential compiled engine with a :class:`RuntimeWarning`.
+    """
+
+    def __init__(self, message: str, *, worker_id: int = -1, exitcode=None):
+        super().__init__(message)
+        #: Index of the worker that died (``-1`` when unknown).
+        self.worker_id = worker_id
+        #: The dead process's exit code, when available.
+        self.exitcode = exitcode

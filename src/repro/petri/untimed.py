@@ -245,6 +245,7 @@ def reachability_graph(
     workers: Optional[int] = None,
     store=None,
     spill_threshold: Optional[int] = None,
+    control=None,
 ) -> UntimedReachabilityGraph:
     """Enumerate every marking reachable with the atomic firing rule.
 
@@ -272,11 +273,20 @@ def reachability_graph(
     ``spill_threshold`` interned states, without changing the built graph
     (bit-identical, see ``tests/engine_diff.py``).  Supported by the
     frontier-core engines (``"compiled"`` and ``"batched"``) only.
+
+    ``control`` (a :class:`~repro.engine.runtime.RunControl`) bounds the
+    construction: deadline, cooperative cancellation, progress reports and
+    periodic resumable checkpoints.  Supported by the frontier-core
+    engines; an interrupted build raises
+    :class:`~repro.exceptions.BuildInterruptedError` carrying the
+    checkpoint that :func:`repro.engine.runtime.resume` completes
+    bit-identically.
     """
     # Imported lazily: repro.engine imports this module's graph classes.
     from ..engine import ENGINE_BATCHED, ENGINE_COMPILED, ENGINE_PARALLEL, check_engine
     from ..engine.batched import batched_reachability_graph
     from ..engine.parallel import parallel_reachability_graph
+    from ..engine.runtime import checkpoint_store
     from ..engine.store import resolve_store
     from ..engine.untimed import compiled_reachability_graph
 
@@ -286,19 +296,30 @@ def reachability_graph(
             "store= is only supported by the frontier-core engines "
             "('compiled' and 'batched')"
         )
+    if control is not None and engine not in (ENGINE_COMPILED, ENGINE_BATCHED):
+        raise ValueError(
+            "control= is only supported by the frontier-core engines "
+            "('compiled' and 'batched')"
+        )
     if engine == ENGINE_PARALLEL:
         return parallel_reachability_graph(net, max_states=max_states, workers=workers)
     if workers is not None:
         raise ValueError("workers= is only meaningful with engine='parallel'")
     if engine in (ENGINE_COMPILED, ENGINE_BATCHED):
-        resolved, owned = resolve_store(store, spill_threshold=spill_threshold)
-        builder = (
-            batched_reachability_graph
-            if engine == ENGINE_BATCHED
-            else compiled_reachability_graph
-        )
+        if engine == ENGINE_COMPILED:
+            # Checkpoints of the scalar engine are store spools, so a
+            # checkpointing control anchors the store in its directory.
+            resolved, owned = checkpoint_store(
+                control, store, spill_threshold=spill_threshold
+            )
+            builder = compiled_reachability_graph
+        else:
+            # Batched checkpoints are manifest-only; the store stays a pure
+            # memory-bounding device.
+            resolved, owned = resolve_store(store, spill_threshold=spill_threshold)
+            builder = batched_reachability_graph
         try:
-            return builder(net, max_states=max_states, store=resolved)
+            return builder(net, max_states=max_states, store=resolved, control=control)
         finally:
             if owned:
                 resolved.close()
@@ -428,6 +449,7 @@ def coverability_graph(
     engine: str = "compiled",
     store=None,
     spill_threshold: Optional[int] = None,
+    control=None,
 ) -> CoverabilityGraph:
     """Build the Karp–Miller coverability graph (always terminates).
 
@@ -451,6 +473,9 @@ def coverability_graph(
     index and work-vector log to disk exactly as in
     :func:`reachability_graph`; the acceleration rule reads ancestor
     vectors back from the spilled log through a bounded cache.
+    ``control`` bounds the compiled construction exactly as in
+    :func:`reachability_graph` (the checkpoint manifest additionally
+    carries the BFS-tree parent chain the acceleration rule needs).
     """
     from ..engine import (
         ENGINE_COMPILED,
@@ -458,7 +483,7 @@ def coverability_graph(
         SEQUENTIAL_ENGINES,
         check_engine,
     )
-    from ..engine.store import resolve_store
+    from ..engine.runtime import checkpoint_store
     from ..engine.untimed import compiled_coverability_graph
 
     check_engine(engine, supported=SEQUENTIAL_ENGINES, reason=PARALLEL_UNSUPPORTED_REASON)
@@ -467,10 +492,18 @@ def coverability_graph(
             "store= is only supported by the frontier-core engines "
             "('compiled' and 'batched')"
         )
+    if control is not None and engine != ENGINE_COMPILED:
+        raise ValueError(
+            "control= is only supported by the compiled coverability engine"
+        )
     if engine == ENGINE_COMPILED:
-        resolved, owned = resolve_store(store, spill_threshold=spill_threshold)
+        resolved, owned = checkpoint_store(
+            control, store, spill_threshold=spill_threshold
+        )
         try:
-            return compiled_coverability_graph(net, max_nodes=max_nodes, store=resolved)
+            return compiled_coverability_graph(
+                net, max_nodes=max_nodes, store=resolved, control=control
+            )
         finally:
             if owned:
                 resolved.close()

@@ -32,10 +32,11 @@ import numpy as np
 
 from ..engine import ENGINE_BATCHED, ENGINE_COMPILED, ENGINE_PARALLEL, check_engine
 from ..engine.batched import batched_marking_graph
+from ..engine.runtime import checkpoint_store
 from ..engine.store import resolve_store
 from ..engine.gspn import compiled_marking_graph
 from ..engine.parallel import parallel_marking_graph
-from ..exceptions import NotErgodicError, PerformanceError, UnboundedNetError
+from ..exceptions import NotErgodicError, PerformanceError, StoreError, UnboundedNetError
 from ..petri.marking import Marking
 from ..petri.net import TimedPetriNet
 from ..symbolic.linexpr import LinExpr
@@ -110,6 +111,15 @@ class GSPNAnalysis:
     spill_threshold:
         Interned-state count above which a ``store="disk"`` spool moves to
         disk (defaults to the store's own default).
+    control:
+        A :class:`~repro.engine.runtime.RunControl` bounding the marking
+        graph exploration: deadline, cooperative cancellation, progress
+        reports and periodic resumable checkpoints.  Supported by the
+        frontier-core engines (``"compiled"`` and ``"batched"``); an
+        interrupted exploration raises
+        :class:`~repro.exceptions.BuildInterruptedError` whose checkpoint
+        :func:`resume_gspn` (or :func:`repro.engine.runtime.resume`)
+        completes bit-identically.
     """
 
     def __init__(
@@ -123,6 +133,7 @@ class GSPNAnalysis:
         workers: Optional[int] = None,
         store=None,
         spill_threshold: Optional[int] = None,
+        control=None,
     ):
         if net.is_symbolic:
             raise PerformanceError("GSPN analysis requires a numeric net; bind symbols first")
@@ -134,6 +145,11 @@ class GSPNAnalysis:
                 "store= is only supported by the frontier-core engines "
                 "('compiled' and 'batched')"
             )
+        if control is not None and engine not in (ENGINE_COMPILED, ENGINE_BATCHED):
+            raise ValueError(
+                "control= is only supported by the frontier-core engines "
+                "('compiled' and 'batched')"
+            )
         self.net = net
         self.max_states = max_states
         self.place_capacity = place_capacity
@@ -141,7 +157,9 @@ class GSPNAnalysis:
         self.workers = workers
         self.store = store
         self.spill_threshold = spill_threshold
+        self.control = control
         self._build_stats = None
+        self._exploration = None
         self._rates: Dict[str, float] = {}
         self._immediate: Dict[str, bool] = {}
         self._weights: Dict[str, float] = {}
@@ -168,17 +186,28 @@ class GSPNAnalysis:
         """Build the marking graph: ``(markings, edges, vanishing)``.
 
         Dispatches on the ``engine`` selected at construction; all backends
-        return bit-identical results (see ``tests/engine_diff.py``).
+        return bit-identical results (see ``tests/engine_diff.py``).  A
+        resumed analysis (see :func:`resume_gspn`) returns its cached
+        exploration instead of re-building.
         """
+        if self._exploration is not None:
+            return self._exploration
         if self.engine in (ENGINE_COMPILED, ENGINE_BATCHED):
-            builder = (
-                compiled_marking_graph
-                if self.engine == ENGINE_COMPILED
-                else batched_marking_graph
-            )
-            store, owned = resolve_store(
-                self.store, spill_threshold=self.spill_threshold
-            )
+            if self.engine == ENGINE_COMPILED:
+                builder = compiled_marking_graph
+                # A checkpointing control needs the durable spool anchored
+                # inside the checkpoint directory; without one this is a
+                # plain resolve_store.
+                store, owned = checkpoint_store(
+                    self.control, self.store, spill_threshold=self.spill_threshold
+                )
+            else:
+                builder = batched_marking_graph
+                # Batched checkpoints are manifest-only snapshots; the store
+                # stays a pure memory-bounding device.
+                store, owned = resolve_store(
+                    self.store, spill_threshold=self.spill_threshold
+                )
             stats_sink: list = []
             try:
                 result = builder(
@@ -190,11 +219,12 @@ class GSPNAnalysis:
                     place_capacity=self.place_capacity,
                     stats_sink=stats_sink,
                     store=store,
+                    control=self.control,
                 )
             finally:
                 if owned:
                     store.close()
-            self._build_stats = stats_sink[0] if stats_sink else None
+                self._build_stats = stats_sink[0] if stats_sink else None
             return result
         if self.engine == ENGINE_PARALLEL:
             return parallel_marking_graph(
@@ -355,6 +385,46 @@ class GSPNAnalysis:
             throughput=throughput,
             utilization=utilization,
         )
+
+
+def resume_gspn(checkpoint, *, control=None) -> GSPNAnalysis:
+    """Resume an interrupted GSPN exploration from its checkpoint.
+
+    Accepts ``gspn`` (compiled) and ``batched-gspn`` checkpoints and
+    returns a :class:`GSPNAnalysis` whose marking graph is the completed —
+    bit-identical — exploration; call :meth:`GSPNAnalysis.solve` on it as
+    usual.  Dispatched through :func:`repro.engine.runtime.resume`.
+    """
+    from ..engine.batched import resume_batched_marking
+    from ..engine.gspn import resume_marking_graph
+
+    kind = checkpoint.kind
+    if kind == "gspn":
+        resumer, engine = resume_marking_graph, ENGINE_COMPILED
+    elif kind == "batched-gspn":
+        resumer, engine = resume_batched_marking, ENGINE_BATCHED
+    else:
+        raise StoreError(f"not a GSPN checkpoint: kind {kind!r}")
+    net = checkpoint.restore_net()
+    params = checkpoint.manifest["params"]
+    stats_sink: list = []
+    exploration = resumer(checkpoint, control=control, stats_sink=stats_sink)
+    analysis = GSPNAnalysis(
+        net,
+        max_states=params["max_states"],
+        place_capacity=params["place_capacity"],
+        engine=engine,
+        control=control,
+    )
+    # The checkpointed immediate/weight/rate maps override the defaults the
+    # constructor derived from the net: explicit rates= overrides passed to
+    # the original analysis live only in these maps.
+    analysis._immediate = dict(params["immediate"])
+    analysis._weights = dict(params["weights"])
+    analysis._rates = dict(params["rates"])
+    analysis._build_stats = stats_sink[0] if stats_sink else None
+    analysis._exploration = exploration
+    return analysis
 
 
 def gspn_throughput(net: TimedPetriNet, transition_name: str, **kwargs) -> float:

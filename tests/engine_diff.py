@@ -235,6 +235,86 @@ def build_gspn_batched(net, **kwargs):
 
 
 # ---------------------------------------------------------------------------
+# Interrupt / resume builders
+# ---------------------------------------------------------------------------
+#
+# The robustness gate: a build interrupted at an arbitrary point and resumed
+# from its checkpoint must be bit-identical to a cold build, through the
+# same assertions below.  ``build`` is a one-argument callable receiving the
+# RunControl (e.g. ``lambda control: reachability_graph(net, control=control,
+# ...)``) so every store-capable builder plugs into the same two drivers.
+
+
+def interrupt_and_resume(
+    build, *, checkpoint_dir, expire_after, resume_budget=25, max_rounds=400
+):
+    """Deadline-interrupt ``build(control)`` after ``expire_after`` clock
+    readings (deterministic via :class:`~repro.engine.faults.SteppingClock`),
+    then resume the checkpoint chain to completion.
+
+    Returns ``(artifact, interrupted)``; ``interrupted`` is False when the
+    build finished inside the budget (callers asserting interruption should
+    pick a smaller ``expire_after``).  Each resume round runs under its own
+    stepping deadline of ``resume_budget`` readings, so large workloads
+    converge in bounded rounds while small ones still chain several
+    interruptions; ``max_rounds`` guards against a chain that stops making
+    progress.
+    """
+    from repro.engine.faults import SteppingClock
+    from repro.engine.runtime import RunControl, resume
+    from repro.exceptions import BuildInterruptedError
+
+    def fresh_control(budget):
+        return RunControl(
+            deadline=float(budget),
+            checkpoint_dir=checkpoint_dir,
+            clock=SteppingClock(),
+        )
+
+    try:
+        return build(fresh_control(expire_after)), False
+    except BuildInterruptedError as error:
+        assert error.checkpoint is not None, "interrupted build left no checkpoint"
+        checkpoint = error.checkpoint
+    last_cursor = -1
+    for _ in range(max_rounds):
+        assert checkpoint.cursor > last_cursor, "resume made no progress"
+        last_cursor = checkpoint.cursor
+        try:
+            return resume(checkpoint, control=fresh_control(resume_budget)), True
+        except BuildInterruptedError as error:
+            assert error.checkpoint is not None
+            checkpoint = error.checkpoint
+    raise AssertionError(f"no convergence after {max_rounds} resume rounds")
+
+
+def crash_and_resume(build, *, checkpoint_dir, crash_at, checkpoint_every=1):
+    """Hard-crash ``build(control)`` at expansion ``crash_at`` (injected
+    :class:`~repro.engine.faults.InjectedFailure`, simulating a process
+    kill: no final checkpoint) and complete from the last *periodic*
+    checkpoint.  ``crash_at`` must be >= ``checkpoint_every + 1`` so at
+    least one periodic manifest exists.  Returns the resumed artifact.
+    """
+    from repro.engine import faults
+    from repro.engine.faults import FaultPlan, InjectedFailure
+    from repro.engine.runtime import Checkpoint, RunControl, resume
+
+    control = RunControl(
+        checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir
+    )
+    with faults.inject(FaultPlan(crash_at_expansion=crash_at)):
+        try:
+            build(control)
+        except InjectedFailure:
+            pass
+        else:
+            raise AssertionError(
+                f"build finished before the injected crash at {crash_at}"
+            )
+    return resume(Checkpoint.load(checkpoint_dir))
+
+
+# ---------------------------------------------------------------------------
 # Exact-equality assertions
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,120 @@
+"""Parallel-engine supervision gate: crashes recover, exhaustion degrades.
+
+A worker hard-killed mid-build (injected ``os._exit`` via
+:mod:`repro.engine.faults`, indistinguishable from an OOM kill) must be
+recovered **transparently**: the supervisor restarts the fleet, replays the
+current BFS level from its retained records, and the finished graph is
+bit-identical to the sequential engines — deterministic FIFO numbering
+included.  When crashes repeat past the restart budget, the public builders
+degrade to the sequential compiled engine with a ``RuntimeWarning`` and
+still return the exact same graph.  Teardown must leave no zombie worker
+processes in either scenario.
+
+CI runs this module in the fault-injection step.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import warnings
+
+import pytest
+
+from engine_diff import (
+    assert_gspn_explorations_identical,
+    assert_timed_graphs_identical,
+    assert_untimed_graphs_identical,
+    build_gspn_pair,
+    build_timed_pair,
+    build_untimed_pair,
+)
+from repro.engine import faults
+from repro.engine.faults import FaultPlan
+from repro.engine.parallel import MAX_RESTARTS
+from repro.petri import reachability_graph
+from repro.protocols import simple_protocol_net, token_ring_net
+from repro.stochastic import GSPNAnalysis
+
+WORKERS = 2
+
+
+def _assert_no_zombies(before):
+    """Every worker spawned since ``before`` must be joined within a grace
+    period — the supervisor's teardown escalation guarantees it."""
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        alive = [p for p in multiprocessing.active_children() if p not in before]
+        if not alive:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"worker processes left behind: {alive}")
+
+
+class TestCrashRecovery:
+    """A single injected crash recovers transparently, bit-identically."""
+
+    @pytest.mark.parametrize("victim", range(WORKERS))
+    @pytest.mark.parametrize("level", (0, 1))
+    def test_untimed(self, victim, level):
+        net = token_ring_net(5)
+        _compiled, reference = build_untimed_pair(net)
+        before = multiprocessing.active_children()
+        with faults.inject(FaultPlan(crash_worker=(victim, level))):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # recovery must be silent
+                recovered = reachability_graph(
+                    net, engine="parallel", workers=WORKERS
+                )
+        assert_untimed_graphs_identical(recovered, reference)
+        _assert_no_zombies(before)
+
+    def test_gspn(self):
+        net = token_ring_net(5)
+        _compiled, reference = build_gspn_pair(net)
+        with faults.inject(FaultPlan(crash_worker=(1, 1))):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                recovered = GSPNAnalysis(net, engine="parallel", workers=WORKERS)
+                recovered._explore()
+        assert_gspn_explorations_identical(recovered, reference)
+
+    def test_timed(self):
+        from repro.reachability import timed_reachability_graph
+
+        net = simple_protocol_net()
+        _compiled, reference = build_timed_pair(net)
+        with faults.inject(FaultPlan(crash_worker=(0, 1))):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                recovered = timed_reachability_graph(
+                    net, engine="parallel", workers=WORKERS
+                )
+        assert_timed_graphs_identical(recovered, reference)
+
+
+class TestDegradation:
+    """Crashes past the restart budget degrade loudly but losslessly."""
+
+    def test_untimed_degrades_with_warning(self):
+        net = token_ring_net(5)
+        _compiled, reference = build_untimed_pair(net)
+        before = multiprocessing.active_children()
+        # More scheduled crashes than the supervisor will retry: every
+        # respawned fleet dies again until the budget is exhausted.
+        plan = FaultPlan(crash_worker=(0, 0), crash_worker_repeats=MAX_RESTARTS + 5)
+        with faults.inject(plan):
+            with pytest.warns(RuntimeWarning, match="degrading to the sequential"):
+                degraded = reachability_graph(net, engine="parallel", workers=WORKERS)
+        assert_untimed_graphs_identical(degraded, reference)
+        _assert_no_zombies(before)
+
+    def test_gspn_degrades_with_warning(self):
+        net = token_ring_net(5)
+        _compiled, reference = build_gspn_pair(net)
+        plan = FaultPlan(crash_worker=(1, 0), crash_worker_repeats=MAX_RESTARTS + 5)
+        with faults.inject(plan):
+            with pytest.warns(RuntimeWarning, match="degrading to the sequential"):
+                degraded = GSPNAnalysis(net, engine="parallel", workers=WORKERS)
+                degraded._explore()
+        assert_gspn_explorations_identical(degraded, reference)
