@@ -37,6 +37,7 @@ from .session import (
     STAGE_DECISION,
     STAGE_GSPN,
     STAGE_PERFORMANCE,
+    STAGE_QUERY,
     STAGE_TIMED,
     STAGE_UNTIMED,
     AnalysisSession,
@@ -52,6 +53,7 @@ __all__ = [
     "STAGE_DECISION",
     "STAGE_GSPN",
     "STAGE_PERFORMANCE",
+    "STAGE_QUERY",
     "STAGE_TIMED",
     "STAGE_UNTIMED",
     "TIER_BUILT",

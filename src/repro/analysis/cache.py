@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import sqlite3
+import threading
 from collections import OrderedDict
 from fractions import Fraction
 from typing import Callable, Dict, Mapping, Optional, Tuple
@@ -96,6 +97,12 @@ class ArtifactCache:
         self._memory: "OrderedDict[str, object]" = OrderedDict()
         self._memory_limit = memory_limit
         self._connection: Optional[sqlite3.Connection] = None
+        # One cache instance may serve many request-handler threads (the
+        # analysis server shares a single cache across its job pool).  The
+        # lock serializes the memory tier, the counters and every statement
+        # on the shared SQLite connection; builds themselves never run
+        # under it.
+        self._lock = threading.RLock()
         self._counters: Dict[str, int] = {
             "memory_hits": 0,
             "disk_hits": 0,
@@ -125,6 +132,10 @@ class ArtifactCache:
     # ------------------------------------------------------------------
 
     def _connect(self, *, create: bool) -> Optional[sqlite3.Connection]:
+        with self._lock:
+            return self._connect_locked(create=create)
+
+    def _connect_locked(self, *, create: bool) -> Optional[sqlite3.Connection]:
         if self._connection is not None:
             return self._connection
         if self.directory is None:
@@ -133,7 +144,9 @@ class ArtifactCache:
         if not create and not os.path.exists(path):
             return None
         os.makedirs(self.directory, exist_ok=True)
-        connection = sqlite3.connect(path)
+        # The connection is shared across the server's worker threads;
+        # self._lock serializes every statement on it.
+        connection = sqlite3.connect(path, check_same_thread=False)
         # Same discipline as the engine's spill stores: throughput over
         # mid-transaction durability — a torn write loses a cache entry,
         # never correctness, because artifacts are rebuildable.
@@ -151,15 +164,18 @@ class ArtifactCache:
         connection = self._connect(create=False)
         if connection is None:
             return None
+
         # A concurrent writer holding the database (another analysis process
         # sharing the cache directory) is transient, not fatal — same
-        # bounded-backoff retry as the engine's spill stores.
-        row = locked_retry(
-            lambda: connection.execute(
-                "SELECT payload FROM artifacts WHERE key = ?", (key,)
-            ).fetchone(),
-            what=f"artifact cache read of {key!r}",
-        )
+        # bounded-backoff retry as the engine's spill stores.  The lock is
+        # taken inside the retried operation so backoff sleeps never hold it.
+        def read():
+            with self._lock:
+                return connection.execute(
+                    "SELECT payload FROM artifacts WHERE key = ?", (key,)
+                ).fetchone()
+
+        row = locked_retry(read, what=f"artifact cache read of {key!r}")
         return None if row is None else row[0]
 
     def _disk_put(self, key: str, stage: str, payload: bytes) -> None:
@@ -168,13 +184,14 @@ class ArtifactCache:
             return
 
         def write():
-            faults.on_store_write()
-            connection.execute(
-                "INSERT OR REPLACE INTO artifacts (key, stage, payload) "
-                "VALUES (?, ?, ?)",
-                (key, stage, payload),
-            )
-            connection.commit()
+            with self._lock:
+                faults.on_store_write()
+                connection.execute(
+                    "INSERT OR REPLACE INTO artifacts (key, stage, payload) "
+                    "VALUES (?, ?, ?)",
+                    (key, stage, payload),
+                )
+                connection.commit()
 
         locked_retry(write, what=f"artifact cache write of {key!r}")
 
@@ -183,11 +200,12 @@ class ArtifactCache:
     # ------------------------------------------------------------------
 
     def _memory_put(self, key: str, artifact: object) -> None:
-        self._memory[key] = artifact
-        self._memory.move_to_end(key)
-        while len(self._memory) > self._memory_limit:
-            self._memory.popitem(last=False)
-            self._counters["evictions"] += 1
+        with self._lock:
+            self._memory[key] = artifact
+            self._memory.move_to_end(key)
+            while len(self._memory) > self._memory_limit:
+                self._memory.popitem(last=False)
+                self._counters["evictions"] += 1
 
     # ------------------------------------------------------------------
     # The one lookup path
@@ -208,21 +226,27 @@ class ArtifactCache:
         ``"disk"`` or ``"built"``.  Disk hits are decoded once and promoted
         to the memory tier.
         """
-        cached = self._memory.get(key)
-        if cached is not None:
-            self._memory.move_to_end(key)
-            self._counters["memory_hits"] += 1
-            return cached, TIER_MEMORY
+        with self._lock:
+            cached = self._memory.get(key)
+            if cached is not None:
+                self._memory.move_to_end(key)
+                self._counters["memory_hits"] += 1
+                return cached, TIER_MEMORY
         payload = self._disk_get(key)
         if payload is not None:
             artifact = decode(payload)
-            self._counters["disk_hits"] += 1
+            with self._lock:
+                self._counters["disk_hits"] += 1
             self._memory_put(key, artifact)
             return artifact, TIER_DISK
-        self._counters["misses"] += 1
+        with self._lock:
+            self._counters["misses"] += 1
+        # The build itself runs outside the lock: one slow build must not
+        # serialize every other thread's cache traffic.
         artifact = build()
         self._disk_put(key, stage, encode(artifact))
-        self._counters["stores"] += 1
+        with self._lock:
+            self._counters["stores"] += 1
         self._memory_put(key, artifact)
         return artifact, TIER_BUILT
 
@@ -231,19 +255,38 @@ class ArtifactCache:
     # ------------------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """Counters plus current occupancy of both tiers."""
-        stats: Dict[str, object] = dict(self._counters)
-        stats["memory_entries"] = len(self._memory)
-        stats["memory_limit"] = self._memory_limit
+        """Counters plus current occupancy of both tiers.
+
+        The disk scan runs under the same :func:`locked_retry` bounded
+        backoff as :meth:`fetch`'s read/write paths: a concurrent writer
+        sharing the cache directory (an analysis server's job pool, or
+        ``repro-tpn cache stats`` next to a running analysis) holds the
+        database only transiently, and must surface as a retried wait — or
+        a typed :class:`~repro.exceptions.StoreError` — never as a raw
+        ``sqlite3.OperationalError``.
+        """
+        with self._lock:
+            stats: Dict[str, object] = dict(self._counters)
+            stats["memory_entries"] = len(self._memory)
+            stats["memory_limit"] = self._memory_limit
         connection = self._connect(create=False)
         if connection is not None:
-            row = connection.execute(
-                "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) FROM artifacts"
-            ).fetchone()
+
+            def scan():
+                with self._lock:
+                    faults.on_store_write()
+                    row = connection.execute(
+                        "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) "
+                        "FROM artifacts"
+                    ).fetchone()
+                    by_stage = connection.execute(
+                        "SELECT stage, COUNT(*) FROM artifacts "
+                        "GROUP BY stage ORDER BY stage"
+                    ).fetchall()
+                    return row, by_stage
+
+            row, by_stage = locked_retry(scan, what="artifact cache stats scan")
             stats["disk_entries"], stats["disk_bytes"] = row
-            by_stage = connection.execute(
-                "SELECT stage, COUNT(*) FROM artifacts GROUP BY stage ORDER BY stage"
-            ).fetchall()
             stats["disk_stages"] = {stage: count for stage, count in by_stage}
         else:
             stats["disk_entries"] = 0
@@ -252,21 +295,36 @@ class ArtifactCache:
         return stats
 
     def clear(self) -> int:
-        """Drop both tiers; returns the number of disk entries removed."""
-        self._memory.clear()
-        removed = 0
+        """Drop both tiers; returns the number of disk entries removed.
+
+        Like :meth:`stats`, the delete transaction runs under
+        :func:`locked_retry` so a concurrent writer sharing the directory
+        cannot make it raise a raw ``sqlite3.OperationalError``.
+        """
+        with self._lock:
+            self._memory.clear()
         connection = self._connect(create=False)
-        if connection is not None:
-            (removed,) = connection.execute("SELECT COUNT(*) FROM artifacts").fetchone()
-            connection.execute("DELETE FROM artifacts")
-            connection.commit()
-        return removed
+        if connection is None:
+            return 0
+
+        def wipe():
+            with self._lock:
+                faults.on_store_write()
+                (count,) = connection.execute(
+                    "SELECT COUNT(*) FROM artifacts"
+                ).fetchone()
+                connection.execute("DELETE FROM artifacts")
+                connection.commit()
+                return count
+
+        return locked_retry(wipe, what="artifact cache clear")
 
     def close(self) -> None:
         """Close the disk connection (the cache directory stays reopenable)."""
-        if self._connection is not None:
-            self._connection.close()
-            self._connection = None
+        with self._lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
 
     def __enter__(self) -> "ArtifactCache":
         return self

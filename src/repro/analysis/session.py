@@ -18,6 +18,7 @@ The session also unifies the tree's scattered cache telemetry —
 from __future__ import annotations
 
 import pickle
+import threading
 from typing import Dict, Mapping, Optional
 
 from ..engine.tables import NetTables, tables_cache_stats
@@ -46,6 +47,7 @@ STAGE_COVERABILITY = "coverability-graph"
 STAGE_GSPN = "gspn-solution"
 STAGE_DECISION = "decision-graph"
 STAGE_PERFORMANCE = "performance"
+STAGE_QUERY = "query"
 
 
 class AnalysisSession:
@@ -81,12 +83,28 @@ class AnalysisSession:
         self.cache = cache
         #: Per-stage tier counts, e.g. ``{"timed-graph": {"built": 1, "disk": 2}}``.
         self.stage_outcomes: Dict[str, Dict[str, int]] = {}
+        # Sessions may be driven from several threads at once (the analysis
+        # server shares one cache but hands each job its own session; a
+        # shared session must still not corrupt its outcome counts).
+        self._outcomes_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
 
     def _fetch(self, net, stage, params, build, *, encode=None, decode=None):
+        artifact, _tier = self.fetch_tiered(
+            net, stage, params, build, encode=encode, decode=decode
+        )
+        return artifact
+
+    def fetch_tiered(self, net, stage, params, build, *, encode=None, decode=None):
+        """Run ``build`` through the cache, returning ``(artifact, tier)``.
+
+        The tier is one of the :class:`ArtifactCache` tier labels
+        (``"memory"``/``"disk"``/``"built"``); the analysis server reports
+        it back to clients so cache behaviour is observable per request.
+        """
         key = ArtifactCache.key_for(net, stage, params)
         kwargs = {}
         if encode is not None:
@@ -94,9 +112,10 @@ class AnalysisSession:
         if decode is not None:
             kwargs["decode"] = decode
         artifact, tier = self.cache.fetch(key, stage=stage, build=build, **kwargs)
-        per_stage = self.stage_outcomes.setdefault(stage, {})
-        per_stage[tier] = per_stage.get(tier, 0) + 1
-        return artifact
+        with self._outcomes_lock:
+            per_stage = self.stage_outcomes.setdefault(stage, {})
+            per_stage[tier] = per_stage.get(tier, 0) + 1
+        return artifact, tier
 
     # ------------------------------------------------------------------
     # Stages
@@ -263,6 +282,53 @@ class AnalysisSession:
 
         return self._fetch(net, STAGE_PERFORMANCE, params, build, encode=encode, decode=decode)
 
+    def query(
+        self,
+        net: TimedPetriNet,
+        kind: str,
+        *,
+        target: Optional[Mapping[str, int]] = None,
+        place: Optional[str] = None,
+        k: Optional[int] = None,
+        max_states: int = 100_000,
+        **build_kwargs,
+    ):
+        """An early-terminating reachability query, cached.
+
+        ``kind`` selects the question: ``"reachable"`` (requires
+        ``target``), ``"bound"`` (requires ``place`` and ``k``) or
+        ``"deadlock"``.  The :class:`~repro.engine.query.QueryResult` is
+        cached like any other artifact — a definitive answer on an
+        unchanged net never re-explores.
+        """
+        from ..engine import query as queries
+
+        params: Dict[str, object] = {"kind": kind, "max_states": max_states}
+        if kind == "reachable":
+            if target is None:
+                raise ValueError("query kind 'reachable' requires a target marking")
+            params["target"] = {name: int(count) for name, count in target.items()}
+            build = lambda: queries.is_reachable(  # noqa: E731
+                net, target, max_states=max_states, **build_kwargs
+            )
+        elif kind == "bound":
+            if place is None or k is None:
+                raise ValueError("query kind 'bound' requires place and k")
+            params["place"] = place
+            params["k"] = int(k)
+            build = lambda: queries.bound_check(  # noqa: E731
+                net, place, int(k), max_states=max_states, **build_kwargs
+            )
+        elif kind == "deadlock":
+            build = lambda: queries.find_deadlock(  # noqa: E731
+                net, max_states=max_states, **build_kwargs
+            )
+        else:
+            raise ValueError(
+                f"unknown query kind {kind!r}; expected 'reachable', 'bound' or 'deadlock'"
+            )
+        return self._fetch(net, STAGE_QUERY, params, build)
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -299,6 +365,7 @@ __all__ = [
     "STAGE_DECISION",
     "STAGE_GSPN",
     "STAGE_PERFORMANCE",
+    "STAGE_QUERY",
     "STAGE_TIMED",
     "STAGE_UNTIMED",
 ]

@@ -717,6 +717,21 @@ def _command_cache(arguments) -> int:
     return 0
 
 
+def _command_serve(arguments) -> int:
+    from .service import serve
+
+    serve(
+        arguments.host,
+        arguments.port,
+        cache_dir=arguments.cache_dir,
+        workers=arguments.jobs,
+        default_deadline=arguments.deadline,
+        state_dir=arguments.state_dir,
+        checkpoint_every=arguments.checkpoint_every,
+    )
+    return 0
+
+
 def _command_paper(_arguments) -> int:
     net = simple_protocol_net()
     analysis = PerformanceAnalysis(net)
@@ -895,6 +910,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="the artifact cache directory (as passed to the analysis subcommands)",
     )
     cache.set_defaults(handler=_command_cache)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the analysis service: an HTTP/JSON job API over a shared "
+        "artifact cache (submit nets, poll progress, cancel, resume)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8752,
+        help="bind port (0 binds an ephemeral port, printed on startup)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        help="artifact cache directory shared by all jobs (omit for a "
+        "memory-only cache that dies with the server)",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="concurrent job-runner threads",
+    )
+    serve_parser.add_argument(
+        "--deadline",
+        type=float,
+        help="default wall-clock budget in seconds for jobs that do not "
+        "carry their own (interrupted jobs leave resumable checkpoints)",
+    )
+    serve_parser.add_argument(
+        "--state-dir",
+        help="root of the per-job checkpoint directories (defaults to "
+        "<cache-dir>/jobs, or a temporary directory without a cache dir)",
+    )
+    serve_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1000,
+        help="periodic-checkpoint cadence in expanded states for "
+        "control-capable stages",
+    )
+    serve_parser.set_defaults(handler=_command_serve)
 
     subparsers.add_parser(
         "paper", help="regenerate the paper's headline numbers"

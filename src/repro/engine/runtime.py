@@ -65,12 +65,19 @@ class CancellationToken:
     def __init__(self):
         self._event = threading.Event()
         self._reason: Optional[str] = None
+        self._lock = threading.Lock()
 
     def cancel(self, reason: str = "cancelled") -> None:
-        """Request cancellation (idempotent; the first reason wins)."""
-        if not self._event.is_set():
-            self._reason = reason
-            self._event.set()
+        """Request cancellation (idempotent; the first reason wins).
+
+        The test-and-set runs under a lock: two concurrent cancellers (a
+        server's DELETE handler racing a deadline timer) must not both pass
+        the ``is_set`` gate, or the *last* reason would win.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._reason = reason
+                self._event.set()
 
     @property
     def cancelled(self) -> bool:
@@ -277,15 +284,31 @@ class Checkpoint:
 def write_manifest(path: str, payload: dict) -> None:
     """Atomically write a checkpoint manifest into directory ``path``.
 
-    Pickle to a temporary sibling then ``os.replace`` — a crash mid-write
-    leaves the previous manifest intact, never a torn one.
+    Pickle to a temporary sibling, flush and ``fsync`` it, then
+    ``os.replace`` — a crash (or power loss) mid-write leaves the previous
+    manifest intact, never a torn one.  Without the fsync the rename could
+    survive a power loss while the payload does not, which is exactly the
+    torn manifest the atomic replace promises to prevent.  The directory
+    entry is fsynced best-effort afterwards so the rename itself is durable.
     """
     os.makedirs(path, exist_ok=True)
     target = os.path.join(path, MANIFEST_NAME)
     temporary = target + ".tmp"
     with open(temporary, "wb") as handle:
         pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(temporary, target)
+    try:
+        directory_fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:  # pragma: no cover - platform without directory opens
+        return
+    try:
+        os.fsync(directory_fd)
+    except OSError:  # pragma: no cover - filesystem without directory fsync
+        pass
+    finally:
+        os.close(directory_fd)
 
 
 class CheckpointWriter:

@@ -1,0 +1,45 @@
+"""Analysis-as-a-service: an HTTP/JSON job API over the artifact cache.
+
+The ROADMAP's server item, stdlib-only: :class:`JobManager` runs
+validated submissions through per-job
+:class:`~repro.analysis.AnalysisSession`\\ s over one shared
+:class:`~repro.analysis.ArtifactCache` (identical nets — including
+reordered declarations of the same content — are answered from the
+memory/disk tiers without re-running a builder), under per-job
+:class:`~repro.engine.runtime.RunControl` deadlines, cooperative
+cancellation and resumable checkpoints; :func:`serve` exposes it over
+``http.server.ThreadingHTTPServer`` as ``repro-tpn serve``.
+"""
+
+from .jobs import Job, JobManager, describe_artifact, stage_cache_params
+from .schemas import (
+    MAX_BATCH,
+    QUERY_KINDS,
+    SERVICE_ENGINES,
+    STAGES,
+    JobRequest,
+    ServiceError,
+    parse_batch,
+    parse_job,
+    parse_net,
+)
+from .server import AnalysisServer, make_server, serve
+
+__all__ = [
+    "AnalysisServer",
+    "Job",
+    "JobManager",
+    "JobRequest",
+    "MAX_BATCH",
+    "QUERY_KINDS",
+    "SERVICE_ENGINES",
+    "STAGES",
+    "ServiceError",
+    "describe_artifact",
+    "make_server",
+    "parse_batch",
+    "parse_job",
+    "parse_net",
+    "serve",
+    "stage_cache_params",
+]

@@ -332,3 +332,66 @@ def test_warm_cache_window4_acceptance(tmp_path):
         f"warm re-analysis only {speedup:.1f}x faster than cold "
         f"({cold_seconds:.2f}s -> {best:.2f}s)"
     )
+
+
+class TestMaintenanceUnderContention:
+    """``stats()``/``clear()`` must ride the same bounded-backoff retry as
+    the fetch paths: a transient ``database is locked`` from a concurrent
+    writer sharing the cache directory is absorbed, and an exhausted retry
+    budget surfaces as a typed ``StoreError`` — never as a raw
+    ``sqlite3.OperationalError``.  (Regression: both methods used to issue
+    their SQL outside ``locked_retry``.)"""
+
+    @staticmethod
+    def _populated_cache(tmp_path):
+        from repro.engine import faults  # noqa: F401 - symmetry with the tests
+
+        cache = ArtifactCache(str(tmp_path / "cache"))
+        net = window_net(2)
+        cache.fetch(
+            cache.key_for(net, "stage-a"), stage="stage-a", build=lambda: {"a": 1}
+        )
+        return cache
+
+    def test_stats_absorbs_transient_locks(self, tmp_path):
+        from repro.engine import faults
+        from repro.engine.faults import FaultPlan
+
+        with self._populated_cache(tmp_path) as cache:
+            with faults.inject(FaultPlan(locked_writes=2)):
+                stats = cache.stats()
+            assert stats["disk_entries"] == 1
+
+    def test_stats_exhausted_retries_raise_typed_error(self, tmp_path):
+        from repro.engine import faults
+        from repro.engine.faults import FaultPlan
+        from repro.engine.store import RETRY_ATTEMPTS
+        from repro.exceptions import StoreError
+
+        with self._populated_cache(tmp_path) as cache:
+            with faults.inject(FaultPlan(locked_writes=RETRY_ATTEMPTS * 2)):
+                with pytest.raises(StoreError):
+                    cache.stats()
+
+    def test_clear_absorbs_transient_locks(self, tmp_path):
+        from repro.engine import faults
+        from repro.engine.faults import FaultPlan
+
+        with self._populated_cache(tmp_path) as cache:
+            with faults.inject(FaultPlan(locked_writes=2)):
+                removed = cache.clear()
+            assert removed == 1
+            assert cache.stats()["disk_entries"] == 0
+
+    def test_clear_exhausted_retries_raise_typed_error(self, tmp_path):
+        from repro.engine import faults
+        from repro.engine.faults import FaultPlan
+        from repro.engine.store import RETRY_ATTEMPTS
+        from repro.exceptions import StoreError
+
+        with self._populated_cache(tmp_path) as cache:
+            with faults.inject(FaultPlan(locked_writes=RETRY_ATTEMPTS * 2)):
+                with pytest.raises(StoreError):
+                    cache.clear()
+            # The entry survived the failed wipe; a later clear succeeds.
+            assert cache.clear() == 1

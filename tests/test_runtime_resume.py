@@ -20,6 +20,9 @@ CI runs this module in the fault-injection step.
 from __future__ import annotations
 
 import os
+import pickle
+import threading
+import time
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -37,7 +40,14 @@ from engine_diff import (
 from repro.engine import faults
 from repro.engine.faults import FaultPlan, SteppingClock
 from repro.engine.query import bound_check, find_deadlock, is_reachable, search
-from repro.engine.runtime import Checkpoint, RunControl, resume
+from repro.engine.runtime import (
+    MANIFEST_NAME,
+    CancellationToken,
+    Checkpoint,
+    RunControl,
+    resume,
+    write_manifest,
+)
 from repro.exceptions import (
     BuildInterruptedError,
     StoreCorruptionError,
@@ -312,3 +322,88 @@ class TestStoreFailureSemantics:
                         stage="stage-b",
                         build=lambda: {"answer": 43},
                     )
+
+
+class TestCancellationTokenRace:
+    """``cancel()`` is a locked test-and-set: of two concurrent cancellers
+    (a server's DELETE handler racing a deadline timer) the **first** reason
+    must win.  (Regression: an unlocked check-then-set let both pass the
+    ``is_set`` gate, and the last writer's reason won.)"""
+
+    class _SlowEvent(threading.Event):
+        """An Event whose ``set()`` dallies — widening the check-then-set
+        window from nanoseconds to a deterministic 200ms."""
+
+        def set(self):
+            time.sleep(0.2)
+            super().set()
+
+    def test_first_reason_wins_under_contention(self):
+        token = CancellationToken()
+        token._event = self._SlowEvent()
+
+        first = threading.Thread(target=lambda: token.cancel("first"))
+        first.start()
+        time.sleep(0.05)  # let "first" enter cancel() and stall in set()
+        token.cancel("second")
+        first.join()
+
+        assert token.cancelled
+        assert token.reason == "first"
+
+    def test_reason_stable_across_many_cancellers(self):
+        token = CancellationToken()
+        barrier = threading.Barrier(8)
+        reasons = [f"canceller-{index}" for index in range(8)]
+
+        def cancel(reason):
+            barrier.wait()
+            token.cancel(reason)
+
+        threads = [threading.Thread(target=cancel, args=(r,)) for r in reasons]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        winner = token.reason
+        assert winner in reasons
+        token.cancel("latecomer")
+        assert token.reason == winner
+
+
+class TestManifestDurability:
+    """``write_manifest`` must fsync the temporary file *before* the atomic
+    ``os.replace`` — otherwise a power loss can preserve the rename while
+    dropping the payload, i.e. exactly the torn manifest the replace is
+    there to prevent.  (Regression: no fsync was issued at all.)"""
+
+    def test_payload_fsynced_before_replace(self, tmp_path, monkeypatch):
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def recording_fsync(fd):
+            events.append(("fsync", fd))
+            return real_fsync(fd)
+
+        def recording_replace(src, dst):
+            events.append(("replace", src, dst))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        monkeypatch.setattr(os, "replace", recording_replace)
+
+        directory = str(tmp_path / "ckpt")
+        write_manifest(directory, {"version": 1, "kind": "test"})
+
+        kinds = [event[0] for event in events]
+        assert "fsync" in kinds, "manifest payload never fsynced"
+        replace_at = kinds.index("replace")
+        assert "fsync" in kinds[:replace_at], (
+            "manifest payload must be fsynced before os.replace, "
+            f"got order {kinds}"
+        )
+        # The rename itself is made durable by a best-effort directory fsync.
+        assert "fsync" in kinds[replace_at + 1 :]
+        # And the manifest actually landed, reloadable.
+        with open(os.path.join(directory, MANIFEST_NAME), "rb") as handle:
+            assert pickle.load(handle)["kind"] == "test"
